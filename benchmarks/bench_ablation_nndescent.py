@@ -1,0 +1,21 @@
+"""Design-choice ablation: NNDescent+ vs plain NNDescent (§5.1).
+
+The paper's Table 4 shows NNDescent+ beating NNDescent on Glove
+(464s vs 924s) thanks to VP-tree-seeded initialisation and
+update-skipping.  This bench reproduces that comparison: fewer total
+updates at equal-or-better AKNN recall.
+"""
+
+
+def test_ablation_nndescent_plus(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("ablation_nndescent", suite="glove"),
+        rounds=1, iterations=1,
+    )
+    table = tables[0]
+    rows = {row["builder"]: row for row in table.rows}
+    plain, plus = rows["nndescent"], rows["nndescent+"]
+    # Seeded initialisation must save AKNN updates...
+    assert plus["total_updates"] < plain["total_updates"]
+    # ...without sacrificing graph quality.
+    assert plus["recall"] > plain["recall"] - 0.05

@@ -1,0 +1,19 @@
+"""Extension bench: graph-seeded top-n DOD.
+
+Applies the paper's proximity-graph idea to the top-n ranking variant
+(the original ORCA problem).  Seeding each object's k-NN bound from
+its MRPG links makes ORCA's cutoff prune fire earlier: identical exact
+ranking, strictly more pruned objects.
+"""
+
+
+def test_ext_topn_graph_seeding(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("ext_topn", suite="sift"), rounds=1, iterations=1
+    )
+    table = tables[0]
+    rows = {row["variant"]: row for row in table.rows}
+    plain = rows["orca (no graph)"]
+    seeded = rows["orca + mrpg seeding"]
+    assert seeded["pruned_objects"] >= plain["pruned_objects"]
+    assert seeded["pairs"] <= plain["pairs"] * 1.2  # seeding cost bounded

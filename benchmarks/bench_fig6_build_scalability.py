@@ -1,0 +1,28 @@
+"""Figure 6: pre-processing time vs sampling rate (scalability in n).
+
+Paper shape: every builder grows near-linearly in n (Theorems 2 and 4).
+The sweep runs on a three-suite subset by default; set
+``REPRO_BENCH_SUITES=all`` for the paper's full grid.
+"""
+
+from repro.harness import GRAPH_NAMES
+
+
+def test_fig6_build_scalability(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("fig6"), rounds=1, iterations=1
+    )
+    table = tables[0]
+    suites = sorted({row["dataset"] for row in table.rows})
+    for suite in suites:
+        rows = sorted(
+            (r for r in table.rows if r["dataset"] == suite),
+            key=lambda r: r["rate"],
+        )
+        lo, hi = rows[0], rows[-1]
+        scale = hi["n"] / lo["n"]
+        for builder in GRAPH_NAMES:
+            # Near-linear: quadratic growth would give time ratios of
+            # scale^2; allow generous slack above linear.
+            ratio = hi[builder] / max(lo[builder], 1e-9)
+            assert ratio < scale ** 2, (suite, builder, ratio, scale)

@@ -1,0 +1,27 @@
+"""Figure 7: detection time vs sampling rate.
+
+Paper shape: detection cost grows with n for every graph, and MRPG
+keeps outperforming the others at every rate.  Note that (as in the
+paper) fixing r while shrinking n raises the outlier *ratio*, so small
+rates are relatively harder per object.
+"""
+
+from repro.harness import GRAPH_NAMES, bench_scale
+
+
+def test_fig7_detection_scalability(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("fig7"), rounds=1, iterations=1
+    )
+    table = tables[0]
+    for row in table.rows:
+        for builder in GRAPH_NAMES:
+            assert row[builder] > 0, row
+    if bench_scale() == 1.0:
+        for suite in sorted({row["dataset"] for row in table.rows}):
+            rows = [r for r in table.rows if r["dataset"] == suite]
+            full = next(r for r in rows if r["rate"] == 1.0)
+            # At the full (calibrated) rate MRPG is at least competitive
+            # with every other graph (paper: clear winner).
+            others = min(full[b] for b in GRAPH_NAMES if b != "mrpg")
+            assert full["mrpg"] <= others * 2.0, (suite, full)

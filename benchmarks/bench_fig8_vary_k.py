@@ -1,0 +1,22 @@
+"""Figure 8: impact of the count threshold k.
+
+Paper shape: larger k means more traversal and more outliers, so every
+method slows down; MRPG(-basic) stays the most robust thanks to
+connectivity and monotonic paths.
+"""
+
+
+def test_fig8_vary_k(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("fig8"), rounds=1, iterations=1
+    )
+    table = tables[0]
+    suites = sorted({row["dataset"] for row in table.rows})
+    for suite in suites:
+        rows = sorted(
+            (r for r in table.rows if r["dataset"] == suite),
+            key=lambda r: r["k"],
+        )
+        # Growing k cannot make the largest-k run faster than the
+        # smallest-k run by more than noise (cost grows with k).
+        assert rows[-1]["mrpg"] >= 0.3 * rows[0]["mrpg"], (suite, rows)

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the hot kernels (statistical, multi-round).
+
+Unlike the table/figure benches (one-shot macro experiments), these use
+pytest-benchmark's statistical engine on the operations Algorithm 1
+performs millions of times: one-to-many distances, greedy counting of a
+single object, one VP-tree range count, one verification.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Verifier, VisitTracker, greedy_count
+from repro.harness import default_workload, get_dataset, get_graph
+from repro.index import VPTree
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return default_workload("glove")
+
+
+@pytest.fixture(scope="module")
+def dataset(workload):
+    return get_dataset(workload)
+
+
+@pytest.fixture(scope="module")
+def graph(workload):
+    return get_graph(workload, "mrpg")
+
+
+def test_distance_kernel_one_to_many(benchmark, dataset):
+    idx = np.arange(dataset.n, dtype=np.int64)
+    view = dataset.view()
+    benchmark(lambda: view.dist_many(0, idx))
+
+
+def test_greedy_count_single_object(benchmark, workload, dataset, graph):
+    tracker = VisitTracker(graph.n)
+    view = dataset.view()
+    benchmark(
+        lambda: greedy_count(view, graph, 17, workload.r, workload.k, tracker=tracker)
+    )
+
+
+def test_vptree_range_count(benchmark, workload, dataset):
+    tree = VPTree(dataset, capacity=16, rng=0)
+    view = dataset.view()
+    benchmark(
+        lambda: tree.count_within(5, workload.r, stop_at=workload.k, dataset=view)
+    )
+
+
+def test_linear_verification(benchmark, workload, dataset):
+    verifier = Verifier(dataset, strategy="linear")
+    view = dataset.view()
+    benchmark(lambda: verifier.count(3, workload.r, stop_at=workload.k, dataset=view))
+
+
+def test_edit_distance_batch(benchmark):
+    w = default_workload("words")
+    ds = get_dataset(w)
+    idx = np.arange(ds.n, dtype=np.int64)
+    view = ds.view()
+    benchmark(lambda: view.dist_many(0, idx, bound=w.r))

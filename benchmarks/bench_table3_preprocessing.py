@@ -1,0 +1,22 @@
+"""Table 3: proximity-graph pre-processing time.
+
+Paper shape: NNDescent+ makes MRPG-basic cheaper than (or comparable
+to) KGraph; the full MRPG pays a modest premium over MRPG-basic for
+exact K'-NN lists.  (The paper's "NSW slowest" finding is a
+million-scale artifact of sequential insertion vs 48-thread NNDescent
+and does not transfer to this single-threaded scale — see
+EXPERIMENTS.md.)
+"""
+
+
+def test_table3_preprocessing(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("table3"), rounds=1, iterations=1
+    )
+    table = tables[0]
+    for row in table.rows:
+        # MRPG's extra phases must stay a bounded overhead over the
+        # shared NNDescent+ backbone (paper: ~15-45% on most datasets).
+        assert row["mrpg"] <= 2.5 * row["mrpg-basic"], row
+        # Every build must finish; no NA at bench scale.
+        assert all(row[b] is not None for b in ("nsw", "kgraph", "mrpg-basic", "mrpg"))

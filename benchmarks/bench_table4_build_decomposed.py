@@ -1,0 +1,21 @@
+"""Table 4: decomposed pre-processing time on the Glove-like suite.
+
+Paper shape: NNDescent(+) dominates the build; Connect-SubGraphs and
+Remove-Links are cheap; Remove-Detours is the second-largest phase.
+"""
+
+
+def test_table4_build_decomposition(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("table4", suite="glove"), rounds=1, iterations=1
+    )
+    table = tables[0]
+    by_phase = {row["phase"]: row for row in table.rows}
+    descent = by_phase["NNDescent(+)"]
+    # The AKNN build is the dominant phase for both MRPG flavours.
+    for col in ("mrpg-basic", "mrpg"):
+        others = sum(
+            by_phase[p][col]
+            for p in ("Connect-SubGraphs", "Remove-Links")
+        )
+        assert descent[col] > others, (col, table.format())

@@ -1,0 +1,36 @@
+"""Table 5: DOD running time — the paper's headline comparison.
+
+Eight exact algorithms on every suite.  Paper shape: the proximity
+graph-based approach beats the state-of-the-art everywhere, and MRPG
+is the overall winner thanks to the K'-NN verification shortcut.
+A companion table reports distance computations (machine-independent).
+"""
+
+from repro.harness import bench_scale
+
+
+def test_table5_running_time(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("table5"), rounds=1, iterations=1
+    )
+    time_table = next(t for t in tables if t.exp_id == "table5")
+    pairs_table = next(t for t in tables if t.exp_id == "table5_pairs")
+
+    for row in pairs_table.rows:
+        # Graph filtering must compute far fewer distances than the
+        # quadratic nested loop — this is scale-independent.
+        assert row["mrpg"] < row["nested-loop"] / 2, row
+
+    if bench_scale() == 1.0:
+        # Wall-clock comparisons only mean something in the calibrated
+        # sub-percent-outlier regime (fixed r at smaller n inflates the
+        # outlier ratio and fixed overheads dominate).  NA entries
+        # (REPRO_BENCH_BUDGET timeouts) are skipped: an NA baseline
+        # lost by definition.
+        for row in time_table.rows:
+            if row["mrpg"] is None:
+                continue
+            if row["nested-loop"] is not None:
+                assert row["mrpg"] < row["nested-loop"], row
+            if row["vptree"] is not None:
+                assert row["mrpg"] < row["vptree"], row

@@ -1,0 +1,19 @@
+"""Table 6: index size [MB].
+
+Paper shape: graph indexes cost more memory than the baselines'
+structures but stay O(nK); MRPG is comparable to (somewhat above)
+KGraph after Remove-Links pruning.
+"""
+
+
+def test_table6_index_size(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("table6"), rounds=1, iterations=1
+    )
+    table = tables[0]
+    for row in table.rows:
+        assert row["nested-loop"] == 0.0
+        # Graphs hold more state than SNIF's cluster table...
+        assert row["mrpg"] > row["snif"], row
+        # ...but stay within a small factor of the K-regular KGraph.
+        assert row["mrpg"] < 12 * row["kgraph"], row

@@ -1,0 +1,17 @@
+"""Table 7: false positives after the filtering phase.
+
+The quantity Theorem 1 says detection cost is made of.  Paper shape:
+MRPG <= MRPG-basic <= KGraph, with NSW worst (or near-worst) — the
+monotonic-path and connectivity machinery is what buys the reduction.
+"""
+
+
+def test_table7_false_positives(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("table7"), rounds=1, iterations=1
+    )
+    table = tables[0]
+    for row in table.rows:
+        assert row["mrpg"] <= row["kgraph"], row
+        assert row["mrpg-basic"] <= row["kgraph"], row
+        assert row["mrpg"] <= row["nsw"], row

@@ -1,0 +1,18 @@
+"""Table 8: filtering vs verification time on the Glove-like suite.
+
+Paper shape: MRPG(-basic) spends a little more on filtering than
+NSW/KGraph but slashes verification; MRPG's exact-K'NN shortcut makes
+its verification phase nearly free (2 orders of magnitude on Glove in
+the paper).
+"""
+
+
+def test_table8_detection_decomposition(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("table8", suite="glove"), rounds=1, iterations=1
+    )
+    table = tables[0]
+    verify = next(r for r in table.rows if r["phase"] == "verify")
+    # MRPG's verification must undercut the graphs without exact lists.
+    assert verify["mrpg"] <= verify["kgraph"] + 1e-9
+    assert verify["mrpg"] <= verify["nsw"] + 1e-9

@@ -1,0 +1,69 @@
+"""DOD over binary fingerprints (Hamming) and tag sets (Jaccard).
+
+The paper's pitch is metric-space generality (§1): any data type with
+a metric works.  Two spaces beyond its evaluation: fixed-width binary
+codes under Hamming distance (semantic hashes, chemical fingerprints)
+and variable-size sets under Jaccard distance (tags, market baskets).
+
+Run:  python examples/binary_fingerprints.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import DODetector
+
+N = int(os.environ.get("REPRO_EXAMPLE_N", "1000"))
+BITS = 64
+
+
+def make_fingerprints(rng: np.random.Generator) -> np.ndarray:
+    """Fingerprint families: prototypes + few-bit mutations + noise."""
+    prototypes = rng.integers(0, 2, size=(6, BITS))
+    rows = []
+    for _ in range(N - 8):
+        base = prototypes[int(rng.integers(6))].copy()
+        flips = rng.choice(BITS, size=int(rng.integers(1, 5)), replace=False)
+        base[flips] ^= 1
+        rows.append(base)
+    rows.extend(rng.integers(0, 2, size=(8, BITS)))  # unrelated random codes
+    return np.asarray(rows)
+
+
+def make_baskets(rng: np.random.Generator) -> list[set]:
+    """Shopping-basket-like sets drawn from themed catalogues."""
+    themes = [list(range(t * 12, t * 12 + 12)) for t in range(5)]
+    baskets = []
+    for _ in range(N - 6):
+        theme = themes[int(rng.integers(5))]
+        size = int(rng.integers(3, 7))
+        baskets.append(set(rng.choice(theme, size=size, replace=False).tolist()))
+    for _ in range(6):  # cross-theme oddballs
+        baskets.append(set(rng.choice(60, size=6, replace=False).tolist()))
+    return baskets
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+
+    prints = make_fingerprints(rng)
+    det = DODetector(metric="hamming", graph="mrpg", K=12, seed=0)
+    res = det.fit_detect(prints, r=10, k=8)
+    print("-- Hamming fingerprints --")
+    print(res.summary())
+    print(f"random codes sit ~{BITS // 2} bits from everything; "
+          f"family members within a few bits — {res.n_outliers} codes flagged")
+
+    baskets = make_baskets(rng)
+    det = DODetector(metric="jaccard", graph="mrpg", K=12, seed=0)
+    res = det.fit_detect(baskets, r=0.75, k=6)
+    print("\n-- Jaccard baskets --")
+    print(res.summary())
+    flagged = [sorted(baskets[int(p)]) for p in res.outliers[:5]]
+    for basket in flagged:
+        print(f"  cross-theme basket: {basket}")
+
+
+if __name__ == "__main__":
+    main()

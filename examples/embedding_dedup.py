@@ -1,0 +1,52 @@
+"""Finding unique/erroneous embeddings under angular distance.
+
+§1 cites Larson et al.: DOD over sentence-embedding vectors finds error
+or unique sentences, and "word (sentence) embedding vectors usually
+exist in angular distance spaces".  This example runs the pipeline on
+synthetic embedding directions (clusters of paraphrases + stray
+vectors) and compares the filter quality of MRPG against KGraph — the
+paper's Table 7 in miniature.
+
+Run:  python examples/embedding_dedup.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import Dataset, Verifier, build_graph, graph_dod
+from repro.analysis import filtering_stats
+from repro.datasets import sphere_blobs_with_outliers
+
+N = int(os.environ.get("REPRO_EXAMPLE_N", "1500"))
+
+
+def main() -> None:
+    embeddings = sphere_blobs_with_outliers(
+        N, dim=32, n_clusters=12, core_std=0.05, tail_std=0.3,
+        planted_frac=0.008, rng=1,
+    )
+    dataset = Dataset(embeddings, "angular")
+    r, k = 0.9, 12  # radians; an embedding with < 12 close paraphrases is "unique"
+    verifier = Verifier(dataset, strategy="linear")
+
+    results = {}
+    for builder in ("kgraph", "mrpg"):
+        graph = build_graph(builder, dataset, K=12, rng=0)
+        result = graph_dod(dataset, graph, r, k, verifier=verifier)
+        stats = filtering_stats(dataset, graph, r, k, verifier=verifier)
+        results[builder] = result
+        print(
+            f"{builder:7s}: {result.n_outliers} unique embeddings in "
+            f"{result.seconds:.3f}s; filter false positives = "
+            f"{stats.false_positives}, direct outlier verdicts = "
+            f"{stats.direct_outliers}"
+        )
+
+    assert results["kgraph"].same_outliers(results["mrpg"])
+    print("both graphs return the identical exact answer; MRPG just "
+          "spends less verification effort (the paper's Table 7 effect)")
+
+
+if __name__ == "__main__":
+    main()

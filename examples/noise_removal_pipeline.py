@@ -1,0 +1,86 @@
+"""ML pre-processing: remove noisy training objects before learning.
+
+The paper's introduction motivates DOD as training-set noise removal:
+"the performances of models tend to be affected by outliers" (§1).
+This example builds a labelled Gaussian-blob classification task,
+injects label-free *feature noise* (corrupted rows), cleans the
+training set with the exact DOD pipeline, and shows that a simple
+1-nearest-neighbor classifier gets more accurate after cleaning.
+
+Run:  python examples/noise_removal_pipeline.py
+"""
+
+import os
+
+import numpy as np
+
+from repro import DODetector
+
+N_PER_CLASS = int(os.environ.get("REPRO_EXAMPLE_N", "900")) // 3
+NOISE_FRACTION = 0.04
+
+
+def make_task(rng: np.random.Generator):
+    """Three labelled clusters + corrupted feature rows in the train set."""
+    centers = np.asarray(
+        [[0.0, 0.0, 0.0, 0.0], [7.0, 7.0, 0.0, 0.0], [0.0, 7.0, 7.0, 0.0]]
+    )
+    train_x, train_y = [], []
+    test_x, test_y = [], []
+    for label, center in enumerate(centers):
+        # Test points use a heavier tail so some fall between clusters,
+        # where they are vulnerable to nearby noise.
+        pts = center + rng.normal(0.0, 1.0, size=(N_PER_CLASS, 4))
+        split = int(0.7 * N_PER_CLASS)
+        train_x.append(pts[:split])
+        train_y.append(np.full(split, label))
+        test_x.append(center + rng.normal(0.0, 1.7, size=(N_PER_CLASS - split, 4)))
+        test_y.append(np.full(N_PER_CLASS - split, label))
+    train_x = np.concatenate(train_x)
+    train_y = np.concatenate(train_y)
+    # Corrupt a few training rows: they land in the sparse no-man's-land
+    # between the clusters (distance outliers) with random labels, close
+    # enough to steal 1-NN votes from boundary test points.
+    n_noise = max(3, int(NOISE_FRACTION * train_x.shape[0]))
+    noisy_rows = rng.choice(train_x.shape[0], size=n_noise, replace=False)
+    train_x[noisy_rows] = rng.uniform(-2.0, 9.0, size=(n_noise, 4))
+    train_y[noisy_rows] = rng.integers(0, 3, size=n_noise)
+    return train_x, train_y, np.concatenate(test_x), np.concatenate(test_y)
+
+
+def knn_accuracy(train_x, train_y, test_x, test_y) -> float:
+    """1-NN accuracy with a plain vectorised scan (no sklearn needed)."""
+    correct = 0
+    for x, y in zip(test_x, test_y):
+        diff = train_x - x
+        nearest = int(np.argmin(np.einsum("ij,ij->i", diff, diff)))
+        correct += int(train_y[nearest] == y)
+    return correct / len(test_y)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    train_x, train_y, test_x, test_y = make_task(rng)
+    before = knn_accuracy(train_x, train_y, test_x, test_y)
+    print(f"training set: {train_x.shape[0]} rows (some corrupted)")
+    print(f"1-NN accuracy before cleaning: {before:.3f}")
+
+    # Clean: an object with < k neighbors within r is noise.
+    detector = DODetector(metric="l2", graph="mrpg", K=12, seed=0)
+    result = detector.fit_detect(train_x, r=3.0, k=8)
+    print(result.summary())
+
+    keep = np.ones(train_x.shape[0], dtype=bool)
+    keep[result.outliers] = False
+    after = knn_accuracy(train_x[keep], train_y[keep], test_x, test_y)
+    print(f"removed {result.n_outliers} noisy objects "
+          f"({100 * result.outlier_ratio:.2f}% of the training set)")
+    print(f"1-NN accuracy after cleaning:  {after:.3f}")
+    if after >= before:
+        print("cleaning helped (or was neutral) — as the paper's motivation predicts")
+    else:
+        print("cleaning hurt on this draw — try another seed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Calibrate the default (r, k) of each dataset suite.
+
+Bisects on r (exact brute-force neighbor counts) so that each suite's
+outlier ratio at its default cardinality lands near the paper's Table 2
+ratio.  The resulting values are pinned into repro/datasets/suites.py.
+
+Run:  python scripts/calibrate_suites.py [suite ...]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.datasets import (
+    SUITES,
+    calibrate_r,
+    load_suite,
+    outlier_ratio,
+    sample_distance_quantiles,
+)
+
+# Paper Table 2 outlier ratios (targets).
+TARGETS = {
+    "deep": 0.0062,
+    "glove": 0.0055,
+    "hepmass": 0.0065,
+    "mnist": 0.0034,
+    "pamap2": 0.0061,
+    "sift": 0.0104,
+    "words": 0.0416,
+}
+
+
+def main() -> None:
+    names = sys.argv[1:] or list(SUITES)
+    for name in names:
+        dataset, spec = load_suite(name, seed=0)
+        q = sample_distance_quantiles(dataset, [0.001, 0.01, 0.1, 0.5, 0.9])
+        print(f"\n=== {name} (n={dataset.n}, k={spec.default_k}) ===")
+        print("  distance quantiles 0.1%/1%/10%/50%/90%:",
+              " ".join(f"{v:.4g}" for v in q))
+        current = outlier_ratio(dataset, spec.default_r, spec.default_k)
+        print(f"  current r={spec.default_r:g} -> ratio {100 * current:.2f}%")
+        r, ratio = calibrate_r(
+            dataset,
+            spec.default_k,
+            TARGETS[name],
+            lo=float(q[0]) * 0.5,
+            hi=float(q[4]),
+            iters=14,
+        )
+        print(f"  calibrated r={r:.6g} -> ratio {100 * ratio:.2f}% "
+              f"(target {100 * TARGETS[name]:.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

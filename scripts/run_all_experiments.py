@@ -1,0 +1,50 @@
+"""Regenerate every experiment table in one go (CLI convenience).
+
+Equivalent to ``repro-dod experiment all --save-dir results`` but with
+per-experiment progress and timing, and continuing past failures.
+
+Run:  python scripts/run_all_experiments.py [--scale 0.5] [--save-dir results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=None)
+    parser.add_argument("--save-dir", default="results")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiment ids")
+    args = parser.parse_args()
+    if args.scale is not None:
+        os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+
+    from repro.harness import EXPERIMENTS, run_experiment
+
+    names = args.only if args.only else sorted(EXPERIMENTS)
+    failures = []
+    for name in names:
+        t0 = time.perf_counter()
+        print(f"=== {name} ===", flush=True)
+        try:
+            for table in run_experiment(name, save_dir=args.save_dir):
+                print(table.format())
+        except Exception as exc:  # keep going; report at the end
+            failures.append((name, exc))
+            print(f"FAILED: {exc}")
+        print(f"({time.perf_counter() - t0:.1f}s)\n", flush=True)
+    if failures:
+        print("failed experiments:")
+        for name, exc in failures:
+            print(f"  {name}: {exc}")
+        return 1
+    print(f"all {len(names)} experiments regenerated under {args.save_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Instrumentation: false-positive, connectivity and recall diagnostics."""
+
+from .evaluation import DetectionQuality, detection_quality, quality_over_r
+from .fp import FilterStats, filtering_stats
+from .graph_stats import (
+    aknn_recall,
+    connectivity_report,
+    degree_stats,
+    monotonic_path_coverage,
+    to_networkx,
+)
+from ..core.intrinsic import estimate_intrinsic_dim
+
+__all__ = [
+    "DetectionQuality",
+    "detection_quality",
+    "quality_over_r",
+    "FilterStats",
+    "filtering_stats",
+    "aknn_recall",
+    "connectivity_report",
+    "degree_stats",
+    "monotonic_path_coverage",
+    "to_networkx",
+    "estimate_intrinsic_dim",
+]

@@ -1,0 +1,120 @@
+"""Structural diagnostics for proximity graphs.
+
+Used by tests and the experiment write-ups to check the properties the
+paper claims: MRPG is connected after Connect-SubGraphs, its AKNN lists
+have high recall, degrees stay O(K), and monotonic-path coverage rises
+after Remove-Detours.
+
+networkx is used here (analysis only — the library core never depends
+on it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import Dataset
+from ..exceptions import ParameterError
+from ..graphs.adjacency import Graph
+from ..index.linear import brute_force_knn
+from ..rng import ensure_rng
+
+
+def to_networkx(graph: Graph, directed: bool = True):
+    """Export adjacency to a networkx graph (analysis convenience)."""
+    import networkx as nx
+
+    g = nx.DiGraph() if directed else nx.Graph()
+    g.add_nodes_from(range(graph.n))
+    for u in range(graph.n):
+        for v in graph.neighbors_list(u):
+            g.add_edge(u, v)
+    return g
+
+
+def connectivity_report(graph: Graph) -> dict:
+    """Weak/strong component counts and the largest component size."""
+    import networkx as nx
+
+    g = to_networkx(graph, directed=True)
+    weak = list(nx.weakly_connected_components(g))
+    strong = list(nx.strongly_connected_components(g))
+    return {
+        "n_weak_components": len(weak),
+        "n_strong_components": len(strong),
+        "largest_weak": max((len(c) for c in weak), default=0),
+        "largest_strong": max((len(c) for c in strong), default=0),
+    }
+
+
+def degree_stats(graph: Graph) -> dict:
+    """Out-degree distribution summary."""
+    degs = np.asarray([graph.degree(v) for v in range(graph.n)], dtype=np.int64)
+    return {
+        "min": int(degs.min()),
+        "mean": float(degs.mean()),
+        "max": int(degs.max()),
+        "total_links": int(degs.sum()),
+    }
+
+
+def aknn_recall(
+    dataset: Dataset,
+    graph: Graph,
+    K: int,
+    sample_size: int = 100,
+    rng: "int | np.random.Generator | None" = 0,
+) -> float:
+    """Recall of the graph's out-links against true K-NN, on a sample.
+
+    A vertex scores by how many of its true K nearest neighbors appear
+    among its out-links (Property 1 of MRPG).
+    """
+    if K < 1:
+        raise ParameterError(f"K must be >= 1, got {K}")
+    gen = ensure_rng(rng)
+    sample = gen.choice(dataset.n, size=min(sample_size, dataset.n), replace=False)
+    hits = 0
+    for p in sample:
+        p = int(p)
+        true_ids, _ = brute_force_knn(dataset, p, K)
+        links = set(graph.neighbors_list(p))
+        hits += sum(1 for t in true_ids if int(t) in links)
+    return hits / (K * sample.size)
+
+
+def monotonic_path_coverage(
+    dataset: Dataset,
+    graph: Graph,
+    r: float,
+    sample_size: int = 50,
+    rng: "int | np.random.Generator | None" = 0,
+) -> float:
+    """Fraction of (object, neighbor-within-r) pairs reachable by
+    Greedy-Counting-style traversal restricted to radius r.
+
+    A direct empirical read on the paper's "reachability of neighbors":
+    higher is better, and Remove-Detours should raise it.
+    """
+    from ..core.counting import VisitTracker, greedy_count
+    from ..index.linear import brute_force_range
+
+    gen = ensure_rng(rng)
+    sample = gen.choice(dataset.n, size=min(sample_size, dataset.n), replace=False)
+    tracker = VisitTracker(graph.n)
+    reached_total = 0
+    neighbor_total = 0
+    for p in sample:
+        p = int(p)
+        true_neighbors = brute_force_range(dataset, p, r)
+        if true_neighbors.size == 0:
+            continue
+        neighbor_total += true_neighbors.size
+        # A greedy count with k = #neighbors reaches what it can reach.
+        reached = greedy_count(
+            dataset, graph, p, r, k=int(true_neighbors.size), tracker=tracker
+        )
+        reached_total += min(reached, true_neighbors.size)
+    if neighbor_total == 0:
+        return 1.0
+    return reached_total / neighbor_total

@@ -1,0 +1,8 @@
+"""State-of-the-art DOD baselines the paper compares against (§3, §6)."""
+
+from .dolphin import dolphin_dod
+from .nested_loop import nested_loop_dod
+from .snif import snif_dod
+from .vptree_dod import vptree_dod
+
+__all__ = ["nested_loop_dod", "snif_dod", "dolphin_dod", "vptree_dod"]

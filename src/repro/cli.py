@@ -1,0 +1,211 @@
+"""Command-line interface.
+
+Installed as ``repro-dod``::
+
+    repro-dod suites                         # list the dataset suites
+    repro-dod detect --suite glove           # detect outliers on a suite
+    repro-dod detect --input pts.npy --r 0.5 --k 20
+    repro-dod experiment table5 --save-dir results
+    repro-dod calibrate --suite sift --k 20 --target 0.01
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from . import __version__
+from .core.dod import DODetector
+from .datasets import SUITES, calibrate_r, get_spec, load_suite, make_objects
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dod",
+        description=(
+            "Proximity graph-based exact distance-based outlier detection "
+            "(SIGMOD 2021 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_suites = sub.add_parser("suites", help="list the built-in dataset suites")
+    p_suites.set_defaults(func=_cmd_suites)
+
+    p_detect = sub.add_parser("detect", help="run outlier detection")
+    src = p_detect.add_mutually_exclusive_group(required=True)
+    src.add_argument("--suite", choices=sorted(SUITES), help="built-in suite")
+    src.add_argument("--input", help=".npy file of row vectors, or a text file "
+                                     "with one string per line (with --metric edit)")
+    p_detect.add_argument("--metric", default="l2", help="metric for --input data")
+    p_detect.add_argument("--n", type=int, default=None, help="suite cardinality")
+    p_detect.add_argument("--r", type=float, default=None, help="distance threshold")
+    p_detect.add_argument("--k", type=int, default=None, help="count threshold")
+    p_detect.add_argument("--graph", default="mrpg",
+                          choices=["mrpg", "mrpg-basic", "kgraph", "nsw"])
+    p_detect.add_argument("--K", type=int, default=16, help="graph degree")
+    p_detect.add_argument("--seed", type=int, default=0)
+    p_detect.add_argument("--n-jobs", type=int, default=1)
+    p_detect.add_argument("--output", help="write outlier ids to this file")
+    p_detect.set_defaults(func=_cmd_detect)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("name", help="experiment id (table1..table8, fig6..fig10, "
+                                    "ablation) or 'all'")
+    p_exp.add_argument("--save-dir", default=None, help="directory for .txt tables")
+    p_exp.add_argument("--scale", type=float, default=None,
+                       help="override REPRO_BENCH_SCALE")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_topn = sub.add_parser("topn", help="rank the top-n outliers by k-NN distance")
+    p_topn.add_argument("--suite", required=True, choices=sorted(SUITES))
+    p_topn.add_argument("--n-top", type=int, default=10)
+    p_topn.add_argument("--k", type=int, default=None)
+    p_topn.add_argument("--n", type=int, default=None)
+    p_topn.add_argument("--K", type=int, default=16, help="graph degree for seeding")
+    p_topn.add_argument("--no-graph", action="store_true",
+                        help="plain ORCA without graph seeding")
+    p_topn.add_argument("--seed", type=int, default=0)
+    p_topn.set_defaults(func=_cmd_topn)
+
+    p_stream = sub.add_parser("stream", help="sliding-window outlier monitoring")
+    p_stream.add_argument("--suite", required=True, choices=sorted(SUITES))
+    p_stream.add_argument("--n", type=int, default=None)
+    p_stream.add_argument("--r", type=float, default=None)
+    p_stream.add_argument("--k", type=int, default=None)
+    p_stream.add_argument("--window", type=int, default=None,
+                          help="window size (default n/4)")
+    p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.set_defaults(func=_cmd_stream)
+
+    p_cal = sub.add_parser("calibrate", help="calibrate r for a target outlier ratio")
+    p_cal.add_argument("--suite", required=True, choices=sorted(SUITES))
+    p_cal.add_argument("--k", type=int, required=True)
+    p_cal.add_argument("--target", type=float, required=True,
+                       help="target outlier ratio in (0, 1)")
+    p_cal.add_argument("--n", type=int, default=None)
+    p_cal.add_argument("--seed", type=int, default=0)
+    p_cal.set_defaults(func=_cmd_calibrate)
+    return parser
+
+
+def _cmd_suites(args: argparse.Namespace) -> int:
+    print(f"{'suite':9s} {'n':>6s} {'dim':>6s} {'metric':8s} "
+          f"{'r':>10s} {'k':>4s} {'ratio':>7s}  description")
+    for spec in SUITES.values():
+        print(
+            f"{spec.name:9s} {spec.default_n:6d} {spec.dim:>6s} "
+            f"{spec.metric:8s} {spec.default_r:10g} {spec.default_k:4d} "
+            f"{100 * spec.calibrated_ratio:6.2f}%  {spec.description}"
+        )
+    return 0
+
+
+def _load_input(path: str, metric: str):
+    if path.endswith(".npy"):
+        return np.load(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        return [line.rstrip("\n") for line in handle if line.strip()]
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    if args.suite:
+        objects = make_objects(args.suite, n=args.n, seed=args.seed)
+        spec = get_spec(args.suite)
+        metric = spec.metric
+        r = args.r if args.r is not None else spec.default_r
+        k = args.k if args.k is not None else spec.default_k
+    else:
+        objects = _load_input(args.input, args.metric)
+        metric = args.metric
+        if args.r is None or args.k is None:
+            print("detect: --r and --k are required with --input", file=sys.stderr)
+            return 2
+        r, k = args.r, args.k
+    detector = DODetector(metric=metric, graph=args.graph, K=args.K, seed=args.seed)
+    detector.fit(objects)
+    result = detector.detect(r, k, n_jobs=args.n_jobs)
+    print(result.summary())
+    print(f"index size: {detector.index_nbytes / 1024:.1f} KiB")
+    if args.output:
+        np.savetxt(args.output, result.outliers, fmt="%d")
+        print(f"outlier ids written to {args.output}")
+    else:
+        preview = ", ".join(str(int(p)) for p in result.outliers[:20])
+        more = "" if result.n_outliers <= 20 else f", ... (+{result.n_outliers - 20})"
+        print(f"outliers: [{preview}{more}]")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .harness import EXPERIMENTS, run_experiment
+
+    if args.scale is not None:
+        os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+    names = sorted(EXPERIMENTS) if args.name.lower() == "all" else [args.name]
+    for name in names:
+        for table in run_experiment(name, save_dir=args.save_dir):
+            print(table.format())
+            print()
+    return 0
+
+
+def _cmd_topn(args: argparse.Namespace) -> int:
+    from .extensions import top_n_outliers
+    from .graphs import build_graph
+
+    dataset, spec = load_suite(args.suite, n=args.n, seed=args.seed)
+    k = args.k if args.k is not None else spec.default_k
+    graph = None
+    if not args.no_graph:
+        graph = build_graph("mrpg", dataset, K=args.K, rng=args.seed)
+    result = top_n_outliers(dataset, args.n_top, k, graph=graph, rng=args.seed)
+    print(f"suite={args.suite} n={dataset.n} k={k} "
+          f"seeding={'mrpg' if graph is not None else 'none'}")
+    print(f"{result.seconds:.3f}s, {result.pairs:,} distance computations, "
+          f"{result.pruned_objects} objects pruned")
+    print(f"{'rank':>4s} {'id':>7s} {'kNN distance':>13s}")
+    for rank, (obj, score) in enumerate(zip(result.ids, result.scores), start=1):
+        print(f"{rank:4d} {int(obj):7d} {score:13.4f}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .streaming import SlidingWindowDOD
+
+    dataset, spec = load_suite(args.suite, n=args.n, seed=args.seed)
+    r = args.r if args.r is not None else spec.default_r
+    k = args.k if args.k is not None else spec.default_k
+    window = args.window if args.window is not None else max(8, dataset.n // 4)
+    stream = np.random.default_rng(args.seed).permutation(dataset.n)
+    monitor = SlidingWindowDOD(dataset, r, k, window)
+    print(f"suite={args.suite} n={dataset.n} r={r:g} k={k} window={window}")
+    reports = monitor.run(stream, report_every=max(1, window // 2))
+    for rep in reports:
+        print(f"t={rep.time:6d}  window outliers: {rep.n_outliers}")
+    print(f"{len(reports)} reports; {dataset.counter.pairs:,} distance computations")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    dataset, _ = load_suite(args.suite, n=args.n, seed=args.seed)
+    r, ratio = calibrate_r(dataset, args.k, args.target)
+    print(f"suite={args.suite} n={dataset.n} k={args.k}")
+    print(f"calibrated r={r:.6g} achieving outlier ratio {100 * ratio:.2f}% "
+          f"(target {100 * args.target:.2f}%)")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

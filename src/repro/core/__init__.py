@@ -1,0 +1,21 @@
+"""The paper's primary contribution: proximity graph-based exact DOD."""
+
+from .counting import FilterOutcome, VisitTracker, classify, greedy_count
+from .dod import DODetector, detect_outliers, graph_dod
+from .parallel import map_over_objects, partition_indices
+from .result import DODResult
+from .verify import Verifier
+
+__all__ = [
+    "greedy_count",
+    "classify",
+    "FilterOutcome",
+    "VisitTracker",
+    "graph_dod",
+    "DODetector",
+    "detect_outliers",
+    "DODResult",
+    "Verifier",
+    "map_over_objects",
+    "partition_indices",
+]

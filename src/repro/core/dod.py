@@ -1,0 +1,232 @@
+"""Proximity graph-based DOD (Algorithm 1) and the high-level API.
+
+:func:`graph_dod` is the paper's Algorithm 1: a filtering pass running
+``Greedy-Counting`` (plus the §5.5 exact-K'NN shortcut) over every
+object, followed by exact verification of the surviving candidates.
+Correctness: the filter never produces false negatives (Lemma 1) and the
+verifier is exact, so the returned set is exactly the outlier set.
+
+:class:`DODetector` wraps dataset preparation, offline graph building
+and verifier construction behind a scikit-learn-style ``fit`` /
+``detect`` interface — the form in which downstream users consume the
+library (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..data import Dataset
+from ..exceptions import GraphError, ParameterError
+from ..graphs.adjacency import Graph
+from ..graphs.base import build_graph
+from ..metrics import Metric
+from ..rng import ensure_rng
+from .counting import FilterOutcome, VisitTracker, classify
+from .parallel import map_over_objects
+from .result import DODResult
+from .verify import Verifier
+
+
+def graph_dod(
+    dataset: Dataset,
+    graph: Graph,
+    r: float,
+    k: int,
+    verifier: Verifier | None = None,
+    n_jobs: int = 1,
+    rng: "int | np.random.Generator | None" = 0,
+    max_visits: int | None = None,
+    follow_pivots: bool | None = None,
+) -> DODResult:
+    """Run Algorithm 1 and return the exact outlier set.
+
+    Parameters mirror the paper: ``r`` is the distance threshold, ``k``
+    the neighbor-count threshold, ``graph`` any metric proximity graph
+    built offline.  ``n_jobs`` partitions objects randomly over threads
+    (§4 "Multi-threading").
+    """
+    if r < 0:
+        raise ParameterError(f"radius must be non-negative, got {r}")
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    if graph.n != dataset.n:
+        raise GraphError(
+            f"graph has {graph.n} vertices but dataset has {dataset.n} objects"
+        )
+    if not graph.finalized:
+        graph.finalize()
+    if verifier is None:
+        verifier = Verifier(dataset)
+    gen = ensure_rng(rng)
+    everything = np.arange(dataset.n, dtype=np.int64)
+
+    # -- filtering phase ---------------------------------------------------
+    t0 = time.perf_counter()
+
+    def filter_worker(view: Dataset, chunk: np.ndarray):
+        tracker = VisitTracker(graph.n)
+        candidates: list[int] = []
+        direct: list[int] = []
+        for p in chunk:
+            p = int(p)
+            outcome = classify(
+                view,
+                graph,
+                p,
+                r,
+                k,
+                tracker=tracker,
+                follow_pivots=follow_pivots,
+                max_visits=max_visits,
+            )
+            if outcome is FilterOutcome.CANDIDATE:
+                candidates.append(p)
+            elif outcome is FilterOutcome.OUTLIER:
+                direct.append(p)
+        return candidates, direct
+
+    chunk_results, filter_pairs = map_over_objects(
+        dataset, everything, filter_worker, n_jobs=n_jobs, rng=gen
+    )
+    candidates = np.asarray(
+        sorted(p for cands, _ in chunk_results for p in cands), dtype=np.int64
+    )
+    direct = np.asarray(
+        sorted(p for _, outs in chunk_results for p in outs), dtype=np.int64
+    )
+    filter_seconds = time.perf_counter() - t0
+
+    # -- verification phase ---------------------------------------------------
+    t0 = time.perf_counter()
+
+    def verify_worker(view: Dataset, chunk: np.ndarray):
+        return [int(p) for p in chunk if verifier.is_outlier(int(p), r, k, dataset=view)]
+
+    verify_results, verify_pairs = map_over_objects(
+        dataset, candidates, verify_worker, n_jobs=n_jobs, rng=gen
+    )
+    verified = [p for chunk in verify_results for p in chunk]
+    verify_seconds = time.perf_counter() - t0
+
+    outliers = np.sort(np.concatenate((direct, np.asarray(verified, dtype=np.int64))))
+    method = str(graph.meta.get("builder", "graph"))
+    return DODResult(
+        outliers=outliers,
+        r=r,
+        k=k,
+        n=dataset.n,
+        method=method,
+        seconds=filter_seconds + verify_seconds,
+        pairs=filter_pairs + verify_pairs,
+        phases={"filter": filter_seconds, "verify": verify_seconds},
+        phase_pairs={"filter": filter_pairs, "verify": verify_pairs},
+        counts={
+            "candidates": int(candidates.size),
+            "direct_outliers": int(direct.size),
+            "false_positives": int(candidates.size) - len(verified),
+        },
+    )
+
+
+class DODetector:
+    """High-level detector: offline index building + online detection.
+
+    Example
+    -------
+    >>> det = DODetector(metric="l2", graph="mrpg", K=12, seed=0)
+    >>> det.fit(points)                      # offline: build MRPG + verifier
+    >>> result = det.detect(r=0.5, k=20)     # online: exact DOD
+    >>> result.outliers
+    """
+
+    def __init__(
+        self,
+        metric: "str | Metric" = "l2",
+        graph: str = "mrpg",
+        K: int = 16,
+        seed: "int | None" = 0,
+        verify: str = "auto",
+        max_visits: int | None = None,
+        **graph_params,
+    ):
+        self.metric = metric
+        self.graph_name = graph
+        self.K = K
+        self.seed = seed
+        self.verify = verify
+        self.max_visits = max_visits
+        self.graph_params = graph_params
+        self.dataset_: Dataset | None = None
+        self.graph_: Graph | None = None
+        self.verifier_: Verifier | None = None
+
+    def fit(self, objects) -> "DODetector":
+        """Prepare the dataset and build the proximity graph and verifier."""
+        gen = ensure_rng(self.seed)
+        self.dataset_ = Dataset(objects, self.metric)
+        self.graph_ = build_graph(
+            self.graph_name, self.dataset_, K=self.K, rng=gen, **self.graph_params
+        )
+        self.verifier_ = Verifier(self.dataset_, strategy=self.verify, rng=gen)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.graph_ is not None
+
+    def detect(self, r: float, k: int, n_jobs: int = 1) -> DODResult:
+        """Find all (r, k)-outliers; requires :meth:`fit` first."""
+        if not self.is_fitted:
+            raise ParameterError("DODetector.detect called before fit")
+        assert self.dataset_ is not None and self.graph_ is not None
+        return graph_dod(
+            self.dataset_,
+            self.graph_,
+            r,
+            k,
+            verifier=self.verifier_,
+            n_jobs=n_jobs,
+            rng=ensure_rng(self.seed),
+            max_visits=self.max_visits,
+        )
+
+    def fit_detect(self, objects, r: float, k: int, n_jobs: int = 1) -> DODResult:
+        """Convenience: :meth:`fit` then :meth:`detect`."""
+        return self.fit(objects).detect(r, k, n_jobs=n_jobs)
+
+    @property
+    def index_nbytes(self) -> int:
+        """Memory of the offline index (graph + verification structures)."""
+        if self.graph_ is None:
+            return 0
+        total = self.graph_.nbytes
+        if self.verifier_ is not None:
+            total += self.verifier_.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DODetector(metric={self.metric!r}, graph={self.graph_name!r}, "
+            f"K={self.K}, fitted={self.is_fitted})"
+        )
+
+
+def detect_outliers(
+    objects,
+    r: float,
+    k: int,
+    metric: "str | Metric" = "l2",
+    graph: str = "mrpg",
+    K: int = 16,
+    seed: "int | None" = 0,
+    n_jobs: int = 1,
+    **graph_params,
+) -> DODResult:
+    """One-call convenience wrapper around :class:`DODetector`."""
+    det = DODetector(
+        metric=metric, graph=graph, K=K, seed=seed, **graph_params
+    )
+    return det.fit_detect(objects, r, k, n_jobs=n_jobs)

@@ -1,0 +1,73 @@
+"""Multi-worker execution with random load balancing (§4).
+
+The paper parallelises Algorithm 1 by handing each thread a *random*
+partition of the objects: outliers cost far more than inliers (no early
+termination), and random assignment spreads them evenly without knowing
+where they are.
+
+Workers run in a thread pool.  Every distance kernel is a numpy call
+that releases the GIL, so the heavy part does scale; each worker gets a
+:meth:`Dataset.view` so distance accounting stays race-free, and the
+per-worker counters are merged afterwards.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from ..data import Dataset
+from ..exceptions import ParameterError
+from ..rng import ensure_rng
+
+T = TypeVar("T")
+
+
+def partition_indices(
+    n: int,
+    n_parts: int,
+    rng: "int | np.random.Generator | None" = None,
+) -> list[np.ndarray]:
+    """Split ``0..n-1`` into ``n_parts`` random, near-equal chunks."""
+    if n_parts < 1:
+        raise ParameterError(f"n_parts must be >= 1, got {n_parts}")
+    gen = ensure_rng(rng)
+    perm = gen.permutation(n)
+    return [chunk for chunk in np.array_split(perm, n_parts) if chunk.size]
+
+
+def map_over_objects(
+    dataset: Dataset,
+    items: Sequence[int] | np.ndarray,
+    worker: Callable[[Dataset, np.ndarray], T],
+    n_jobs: int = 1,
+    rng: "int | np.random.Generator | None" = None,
+) -> tuple[list[T], int]:
+    """Apply ``worker(view, chunk)`` over random chunks of ``items``.
+
+    Returns the per-chunk results plus the merged number of distance
+    computations performed by the workers.
+    """
+    if n_jobs < 1:
+        raise ParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+    items = np.asarray(items, dtype=np.int64)
+    if items.size == 0:
+        return [], 0
+    if n_jobs == 1:
+        view = dataset.view()
+        result = worker(view, items)
+        return [result], view.counter.pairs
+
+    gen = ensure_rng(rng)
+    perm = gen.permutation(items.size)
+    chunks = [c for c in np.array_split(items[perm], n_jobs) if c.size]
+    views = [dataset.view() for _ in chunks]
+    with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+        futures = [
+            pool.submit(worker, view, chunk) for view, chunk in zip(views, chunks)
+        ]
+        results = [f.result() for f in futures]
+    pairs = sum(v.counter.pairs for v in views)
+    return results, pairs

@@ -1,0 +1,64 @@
+"""Result object shared by every DOD algorithm in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class DODResult:
+    """Outcome of one distance-based outlier detection run.
+
+    ``phases``/``phase_pairs`` decompose wall-clock seconds and distance
+    computations by phase (``"filter"``/``"verify"`` for the graph
+    algorithm, ``"scan"`` for baselines, ...) — the decomposition behind
+    the paper's Table 8.  ``counts`` carries algorithm-specific tallies
+    such as ``"candidates"`` (the `f + t` of Theorem 1) and
+    ``"direct_outliers"`` (§5.5 shortcut verdicts).
+    """
+
+    outliers: np.ndarray
+    r: float
+    k: int
+    n: int
+    method: str
+    seconds: float = 0.0
+    pairs: int = 0
+    phases: dict[str, float] = field(default_factory=dict)
+    phase_pairs: dict[str, int] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_outliers(self) -> int:
+        return int(self.outliers.size)
+
+    @property
+    def outlier_ratio(self) -> float:
+        return self.n_outliers / self.n if self.n else 0.0
+
+    def same_outliers(self, other: "DODResult | np.ndarray") -> bool:
+        """True when both runs found the identical outlier set."""
+        mine = np.sort(np.asarray(self.outliers))
+        theirs = other.outliers if isinstance(other, DODResult) else other
+        theirs = np.sort(np.asarray(theirs))
+        return mine.shape == theirs.shape and bool(np.all(mine == theirs))
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        parts = [
+            f"{self.method}: {self.n_outliers} outliers "
+            f"({100 * self.outlier_ratio:.2f}%) in {self.seconds:.3f}s, "
+            f"{self.pairs:,} distance computations"
+        ]
+        if self.phases:
+            detail = ", ".join(f"{k}={v:.3f}s" for k, v in self.phases.items())
+            parts.append(f" [{detail}]")
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DODResult(method={self.method!r}, n={self.n}, r={self.r}, "
+            f"k={self.k}, outliers={self.n_outliers})"
+        )

@@ -1,0 +1,163 @@
+"""The :class:`Dataset` container.
+
+Every algorithm in the library sees data exclusively through a
+:class:`Dataset`: a prepared metric store plus a distance-evaluation
+counter.  The counter gives a machine-independent cost measure — the
+number of distance computations — which is what the paper's pruning
+arguments (Theorem 1, Table 7) are fundamentally about, and is far less
+noisy than wall-clock time in a Python reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .exceptions import ParameterError
+from .metrics import Metric, resolve_metric
+
+
+class DistanceCounter:
+    """Tallies distance evaluations.
+
+    ``calls`` counts kernel invocations; ``pairs`` counts object pairs
+    evaluated (the quantity reported in experiments).
+    """
+
+    __slots__ = ("calls", "pairs")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.pairs = 0
+
+    def add(self, pairs: int) -> None:
+        self.calls += 1
+        self.pairs += int(pairs)
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.pairs = 0
+
+    def snapshot(self) -> tuple[int, int]:
+        return self.calls, self.pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistanceCounter(calls={self.calls}, pairs={self.pairs})"
+
+
+class Dataset:
+    """A set of objects in a metric space, addressed by index ``0..n-1``.
+
+    Parameters
+    ----------
+    objects:
+        A 2-D array-like of vectors, or a sequence of strings for the
+        edit metric.
+    metric:
+        A :class:`~repro.metrics.base.Metric` instance or registry name
+        such as ``"l2"``, ``"angular"``, ``"edit"``.
+    """
+
+    def __init__(self, objects: Any, metric: "str | Metric" = "l2"):
+        self.metric = resolve_metric(metric)
+        self.store = self.metric.prepare(objects)
+        self.n = self.metric.n_objects(self.store)
+        self.counter = DistanceCounter()
+
+    # -- distance queries ---------------------------------------------------
+
+    def dist(self, i: int, j: int) -> float:
+        """Distance between objects ``i`` and ``j``."""
+        self.counter.add(1)
+        return self.metric.dist(self.store, i, j)
+
+    def dist_many(
+        self, i: int, idx: np.ndarray, bound: float | None = None
+    ) -> np.ndarray:
+        """Distances from object ``i`` to every index in ``idx``.
+
+        ``bound`` enables early abandon for metrics that support it (edit
+        distance): entries above ``bound`` may come back as ``bound + 1``.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        self.counter.add(idx.size)
+        return self.metric.dist_many(self.store, i, idx, bound=bound)
+
+    def pair_dist(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise distances ``dist(a[t], b[t])``."""
+        a = np.asarray(a, dtype=np.int64)
+        self.counter.add(a.size)
+        return self.metric.pair_dist(self.store, a, b)
+
+    # -- object access --------------------------------------------------------
+
+    def get(self, i: int) -> Any:
+        """Return the original object ``i`` (vector row or string)."""
+        getter = getattr(self.metric, "get", None)
+        if getter is not None:
+            return getter(self.store, i)
+        return self.store[int(i)]
+
+    def subset(self, idx: np.ndarray) -> "Dataset":
+        """A new dataset holding only the objects in ``idx`` (re-numbered).
+
+        Used by the sampling-rate experiments (Figures 6-7): the paper
+        varies ``n`` by random sampling of each dataset.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size == 0:
+            raise ParameterError("subset: empty index set")
+        sub = object.__new__(Dataset)
+        sub.metric = self.metric
+        taker = getattr(self.metric, "take", None)
+        if taker is not None:
+            sub.store = taker(self.store, idx)
+        else:
+            sub.store = np.ascontiguousarray(self.store[idx])
+        sub.n = self.metric.n_objects(sub.store)
+        sub.counter = DistanceCounter()
+        return sub
+
+    def view(self) -> "Dataset":
+        """A shallow copy sharing the store but owning a fresh counter.
+
+        Parallel workers each get a view so distance accounting needs no
+        locking; the per-worker counters are merged by the caller.
+        """
+        v = object.__new__(Dataset)
+        v.metric = self.metric
+        v.store = self.store
+        v.n = self.n
+        v.counter = DistanceCounter()
+        return v
+
+    def sample(self, rate: float, rng: "int | np.random.Generator | None" = None) -> "Dataset":
+        """Random subsample keeping ``rate`` of the objects."""
+        from .rng import ensure_rng
+
+        if not 0.0 < rate <= 1.0:
+            raise ParameterError(f"sample: rate must be in (0, 1], got {rate}")
+        if rate == 1.0:
+            return self
+        gen = ensure_rng(rng)
+        m = max(1, int(round(self.n * rate)))
+        idx = gen.choice(self.n, size=m, replace=False)
+        idx.sort()
+        return self.subset(idx)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory held by the prepared store."""
+        return self.metric.nbytes(self.store)
+
+    def reset_counter(self) -> None:
+        self.counter.reset()
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dataset(n={self.n}, metric={self.metric.name})"

@@ -1,0 +1,36 @@
+"""Synthetic workloads mirroring the paper's seven evaluation datasets."""
+
+from .calibrate import (
+    calibrate_r,
+    neighbor_counts,
+    outlier_ratio,
+    sample_distance_quantiles,
+)
+from .suites import SUITE_NAMES, SUITES, SuiteSpec, get_spec, load_suite, make_objects
+from .synthetic import (
+    blobs_with_outliers,
+    cluster_sizes,
+    image_blobs_with_outliers,
+    sphere_blobs_with_outliers,
+)
+from .words import mutate_word, random_word, words_with_outliers
+
+__all__ = [
+    "SUITES",
+    "SUITE_NAMES",
+    "SuiteSpec",
+    "get_spec",
+    "load_suite",
+    "make_objects",
+    "blobs_with_outliers",
+    "sphere_blobs_with_outliers",
+    "image_blobs_with_outliers",
+    "cluster_sizes",
+    "words_with_outliers",
+    "random_word",
+    "mutate_word",
+    "calibrate_r",
+    "neighbor_counts",
+    "outlier_ratio",
+    "sample_distance_quantiles",
+]

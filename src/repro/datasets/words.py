@@ -1,0 +1,91 @@
+"""Synthetic string data for the edit-distance suite.
+
+Mirrors the paper's Words dataset (English words, length 1-45, edit
+distance): clusters are families of words derived from a common stem by
+a few random single-character edits — within small edit distance of each
+other — while outliers are long random strings (the paper observes that
+"outliers in Words have large dimensionality", i.e. long strings, which
+is also why their verification is expensive).
+"""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..rng import ensure_rng
+from .synthetic import cluster_sizes
+
+_ALPHABET = string.ascii_lowercase
+
+
+def random_word(gen: np.random.Generator, length: int) -> str:
+    """Uniform random lowercase word of the given length."""
+    picks = gen.integers(0, len(_ALPHABET), size=length)
+    return "".join(_ALPHABET[int(t)] for t in picks)
+
+
+def mutate_word(gen: np.random.Generator, word: str, n_edits: int) -> str:
+    """Apply ``n_edits`` random single-character edits to ``word``."""
+    chars = list(word)
+    for _ in range(n_edits):
+        op = int(gen.integers(3)) if len(chars) > 1 else int(gen.integers(2))
+        if op == 0:  # substitute
+            pos = int(gen.integers(len(chars)))
+            chars[pos] = _ALPHABET[int(gen.integers(len(_ALPHABET)))]
+        elif op == 1:  # insert
+            pos = int(gen.integers(len(chars) + 1))
+            chars.insert(pos, _ALPHABET[int(gen.integers(len(_ALPHABET)))])
+        else:  # delete
+            pos = int(gen.integers(len(chars)))
+            del chars[pos]
+    return "".join(chars) if chars else _ALPHABET[int(gen.integers(len(_ALPHABET)))]
+
+
+def words_with_outliers(
+    n: int,
+    n_stems: int = 40,
+    stem_len_lo: int = 5,
+    stem_len_hi: int = 12,
+    max_edits: int = 2,
+    planted_frac: float = 0.01,
+    planted_len_lo: int = 25,
+    planted_len_hi: int = 45,
+    rng: "int | np.random.Generator | None" = None,
+    return_labels: bool = False,
+):
+    """Word families plus long random-string outliers.
+
+    Members of a family are within ``2 * max_edits`` edits of each other
+    (both within ``max_edits`` of the stem); distinct random stems of
+    length >= 5 are nearly always further apart than that, so families
+    are the dense regions.  ``return_labels`` also returns the planted
+    ground-truth mask.
+    """
+    if n < n_stems + 1:
+        raise ParameterError(f"n too small for {n_stems} stems: {n}")
+    gen = ensure_rng(rng)
+    n_planted = max(1, int(round(planted_frac * n))) if planted_frac > 0 else 0
+    n_family = n - n_planted
+
+    sizes = cluster_sizes(n_family, n_stems, gen)
+    words: list[str] = []
+    for c in range(n_stems):
+        stem = random_word(gen, int(gen.integers(stem_len_lo, stem_len_hi + 1)))
+        words.append(stem)
+        for _ in range(int(sizes[c]) - 1):
+            words.append(mutate_word(gen, stem, int(gen.integers(1, max_edits + 1))))
+    for _ in range(n_planted):
+        words.append(
+            random_word(gen, int(gen.integers(planted_len_lo, planted_len_hi + 1)))
+        )
+    labels = np.zeros(len(words), dtype=bool)
+    if n_planted:
+        labels[-n_planted:] = True
+    perm = gen.permutation(len(words))
+    shuffled = [words[int(t)] for t in perm]
+    if return_labels:
+        return shuffled, labels[perm]
+    return shuffled

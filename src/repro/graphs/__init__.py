@@ -1,0 +1,35 @@
+"""Proximity graphs: KGraph, NSW and the paper's MRPG / MRPG-basic."""
+
+from .adjacency import Graph
+from .ann import greedy_ann_search
+from .base import available_graphs, build_graph
+from .connect import connect_subgraphs
+from .detours import BFSScan, remove_detours, scan_monotonicity
+from .hnsw import build_hnsw
+from .kgraph import build_kgraph
+from .mrpg import MRPGConfig, build_mrpg
+from .nndescent import NNDescentResult, nndescent
+from .nndescent_plus import NNDescentPlusResult, nndescent_plus
+from .nsw import build_nsw
+from .prune import remove_links
+
+__all__ = [
+    "Graph",
+    "build_graph",
+    "available_graphs",
+    "build_kgraph",
+    "build_nsw",
+    "build_hnsw",
+    "build_mrpg",
+    "MRPGConfig",
+    "nndescent",
+    "NNDescentResult",
+    "nndescent_plus",
+    "NNDescentPlusResult",
+    "connect_subgraphs",
+    "remove_detours",
+    "scan_monotonicity",
+    "BFSScan",
+    "remove_links",
+    "greedy_ann_search",
+]

@@ -1,0 +1,174 @@
+"""The proximity-graph container.
+
+A :class:`Graph` is a passive structure produced by the builders in this
+package and consumed by the DOD algorithms: directed adjacency lists (a
+link ``u -> v`` means ``v in neighbors(u)``), a pivot flag per vertex
+(§5.1), and, for MRPG, per-vertex *exact K'-NN* lists (§5.5, Property 3).
+
+Adjacency is kept as Python lists plus membership sets while building
+(O(1) dedup, cheap edge removal) and finalised into numpy arrays for
+traversal, where ``Greedy-Counting`` feeds whole neighbor arrays into one
+vectorised distance kernel per visited vertex.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..exceptions import GraphError
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class Graph:
+    """Directed graph over vertices ``0..n-1`` with pivot/exact-NN labels."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise GraphError(f"graph needs at least one vertex, got n={n}")
+        self.n = int(n)
+        self._adj: list[list[int]] = [[] for _ in range(n)]
+        self._members: list[set[int]] = [set() for _ in range(n)]
+        self._arrays: list[np.ndarray] | None = None
+        #: pivot flags (Algorithm 3 vantage points whose left child is a leaf).
+        self.pivots = np.zeros(n, dtype=bool)
+        #: vertex id -> (ids, dists) of its *exact* K'-NN (MRPG Property 3).
+        self.exact_knn: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        #: free-form build metadata (phase timings, parameters, ...).
+        self.meta: dict = {}
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_link(self, u: int, v: int) -> bool:
+        """Add the directed link ``u -> v``; returns False if redundant."""
+        if u == v:
+            return False
+        if v in self._members[u]:
+            return False
+        self._members[u].add(v)
+        self._adj[u].append(v)
+        self._arrays = None
+        return True
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add links in both directions (undirected edge)."""
+        self.add_link(u, v)
+        self.add_link(v, u)
+
+    def remove_link(self, u: int, v: int) -> bool:
+        """Remove the directed link ``u -> v`` if present."""
+        if v not in self._members[u]:
+            return False
+        self._members[u].discard(v)
+        self._adj[u].remove(v)
+        self._arrays = None
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove both directions of an edge."""
+        self.remove_link(u, v)
+        self.remove_link(v, u)
+
+    def set_links(self, u: int, targets: Iterable[int]) -> None:
+        """Replace the out-links of ``u``."""
+        fresh: list[int] = []
+        seen: set[int] = set()
+        for v in targets:
+            v = int(v)
+            if v != u and v not in seen:
+                seen.add(v)
+                fresh.append(v)
+        self._adj[u] = fresh
+        self._members[u] = seen
+        self._arrays = None
+
+    # -- queries -----------------------------------------------------------
+
+    def has_link(self, u: int, v: int) -> bool:
+        return v in self._members[u]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbors of ``v`` as an int64 array (cached after finalize)."""
+        if self._arrays is not None:
+            return self._arrays[v]
+        lst = self._adj[v]
+        if not lst:
+            return _EMPTY
+        return np.asarray(lst, dtype=np.int64)
+
+    def neighbors_list(self, v: int) -> list[int]:
+        """Mutable-view-free copy of ``v``'s out-neighbor list."""
+        return list(self._adj[v])
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    @property
+    def n_links(self) -> int:
+        """Total number of directed links."""
+        return sum(len(lst) for lst in self._adj)
+
+    def is_pivot(self, v: int) -> bool:
+        return bool(self.pivots[v])
+
+    def has_exact_knn(self, v: int) -> bool:
+        return v in self.exact_knn
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finalize(self) -> "Graph":
+        """Freeze adjacency into numpy arrays for fast traversal."""
+        self._arrays = [
+            np.asarray(lst, dtype=np.int64) if lst else _EMPTY for lst in self._adj
+        ]
+        return self
+
+    @property
+    def finalized(self) -> bool:
+        return self._arrays is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory of the finalised index (Table 6 measure).
+
+        Counts adjacency as int64 ids plus per-vertex offsets, pivot flags,
+        and the exact-K'NN payloads — i.e. what a serialised MRPG carries.
+        """
+        total = 8 * self.n_links + 8 * (self.n + 1) + self.pivots.nbytes
+        for ids, dists in self.exact_knn.values():
+            total += ids.nbytes + dists.nbytes
+        return int(total)
+
+    def copy(self) -> "Graph":
+        """Deep copy (used by the MRPG ablation variants)."""
+        g = Graph(self.n)
+        g._adj = [list(lst) for lst in self._adj]
+        g._members = [set(s) for s in self._members]
+        g.pivots = self.pivots.copy()
+        g.exact_knn = {
+            v: (ids.copy(), dd.copy()) for v, (ids, dd) in self.exact_knn.items()
+        }
+        g.meta = dict(self.meta)
+        if self._arrays is not None:
+            g.finalize()
+        return g
+
+    def validate(self) -> None:
+        """Internal consistency check (tests and io round-trips)."""
+        for u in range(self.n):
+            lst = self._adj[u]
+            if len(lst) != len(self._members[u]):
+                raise GraphError(f"vertex {u}: duplicate links")
+            for v in lst:
+                if not 0 <= v < self.n:
+                    raise GraphError(f"vertex {u}: link target {v} out of range")
+                if v == u:
+                    raise GraphError(f"vertex {u}: self loop")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Graph(n={self.n}, links={self.n_links}, "
+            f"pivots={int(self.pivots.sum())}, exact={len(self.exact_knn)})"
+        )

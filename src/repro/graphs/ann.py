@@ -1,0 +1,46 @@
+"""Greedy approximate-NN search on a proximity graph [Malkov et al. 2014].
+
+Used by Connect-SubGraphs (Algorithm 4): given a query object and a
+starting vertex, repeatedly hop to the out-neighbor closest to the query
+until no neighbor improves, with a hop budget (the paper caps it at 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import Dataset
+from .adjacency import Graph
+
+
+def greedy_ann_search(
+    dataset: Dataset,
+    graph: Graph,
+    query: int,
+    start: int,
+    max_hops: int = 10,
+) -> tuple[int, float]:
+    """Greedy descent from ``start`` towards object ``query``.
+
+    Returns ``(vertex, distance)`` of the best vertex reached.  ``query``
+    itself is never returned even if the walk touches it.
+    """
+    current = int(start)
+    best = current
+    best_d = dataset.dist(query, current)
+    for _ in range(max_hops):
+        nbrs = graph.neighbors(current)
+        if nbrs.size == 0:
+            break
+        cand = nbrs[nbrs != query]
+        if cand.size == 0:
+            break
+        d = dataset.dist_many(query, cand)
+        j = int(np.argmin(d))
+        if d[j] < best_d:
+            best = int(cand[j])
+            best_d = float(d[j])
+            current = best
+        else:
+            break
+    return best, best_d

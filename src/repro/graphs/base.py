@@ -1,0 +1,75 @@
+"""Name-based proximity-graph builder registry.
+
+The DOD algorithm is orthogonal to the proximity graph (§4: "our
+algorithm is orthogonal to any metric proximity graphs"), so experiments
+select builders by name: ``"kgraph"``, ``"nsw"``, ``"mrpg"``,
+``"mrpg-basic"``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data import Dataset
+from ..exceptions import GraphError
+from .adjacency import Graph
+from .hnsw import build_hnsw
+from .kgraph import build_kgraph
+from .mrpg import MRPGConfig, build_mrpg
+from .nsw import build_nsw
+
+
+def _mrpg(dataset: Dataset, K: int, rng, **params) -> Graph:
+    cfg = MRPGConfig(K=K, **params)
+    return build_mrpg(dataset, K=K, rng=rng, basic=False, config=cfg)
+
+
+def _mrpg_basic(dataset: Dataset, K: int, rng, **params) -> Graph:
+    cfg = MRPGConfig(K=K, **params)
+    return build_mrpg(dataset, K=K, rng=rng, basic=True, config=cfg)
+
+
+def _kgraph(dataset: Dataset, K: int, rng, **params) -> Graph:
+    return build_kgraph(dataset, K=K, rng=rng, **params)
+
+
+def _nsw(dataset: Dataset, K: int, rng, **params) -> Graph:
+    # The paper sizes NSW so its memory matches KGraph's: K links/object.
+    params.setdefault("n_links", K)
+    return build_nsw(dataset, rng=rng, **params)
+
+
+def _hnsw(dataset: Dataset, K: int, rng, **params) -> Graph:
+    # Layer-0 degree cap is 2M, so M = K/2 matches the others' memory.
+    params.setdefault("M", max(2, K // 2))
+    return build_hnsw(dataset, rng=rng, **params)
+
+
+_BUILDERS: dict[str, Callable[..., Graph]] = {
+    "kgraph": _kgraph,
+    "nsw": _nsw,
+    "hnsw": _hnsw,
+    "mrpg": _mrpg,
+    "mrpg-basic": _mrpg_basic,
+}
+
+
+def available_graphs() -> list[str]:
+    """Builder names accepted by :func:`build_graph`."""
+    return sorted(_BUILDERS)
+
+
+def build_graph(
+    name: str,
+    dataset: Dataset,
+    K: int = 16,
+    rng: "int | np.random.Generator | None" = None,
+    **params,
+) -> Graph:
+    """Build the proximity graph ``name`` over ``dataset``."""
+    key = name.strip().lower().replace("_", "-")
+    if key not in _BUILDERS:
+        raise GraphError(f"unknown graph {name!r}; known: {available_graphs()}")
+    return _BUILDERS[key](dataset, K=K, rng=rng, **params)

@@ -1,0 +1,99 @@
+"""Connect-SubGraphs (Algorithm 4 of the paper, §5.2).
+
+An AKNN graph with ``K << n`` can fall apart into disjoint sub-graphs,
+which would make some neighbors unreachable for ``Greedy-Counting`` and
+inflate the false-positive count.  This pass makes the graph (weakly,
+and in practice strongly) connected in two phases:
+
+1. **Reverse-AKNN phase** — every directed link gains its reverse,
+   turning the graph undirected.  Vertices holding *exact K'-NN* lists
+   are exempt as targets: their link list must remain exactly their
+   K'-NNs so the O(k) outlier decision of §5.5 stays valid (see
+   DESIGN.md on this reading of Algorithm 4, line 2).
+2. **BFS + ANN phase** — BFS from a random vertex; whenever vertices
+   remain unvisited, a random *pivot* among them is connected to the
+   visited side by running greedy ANN searches (§5.2) from a few random
+   visited pivots and linking the best vertex found.  Pivots sit in
+   every subspace (ball partitioning), so the patch edges join objects
+   that are as close as the graph can cheaply find.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import numpy as np
+
+from ..data import Dataset
+from ..rng import ensure_rng
+from .adjacency import Graph
+from .ann import greedy_ann_search
+
+
+def _bfs_mark(graph: Graph, start: int, visited: np.ndarray) -> int:
+    """Mark everything out-reachable from ``start``; returns #newly marked."""
+    marked = 0
+    if not visited[start]:
+        visited[start] = True
+        marked += 1
+    queue: deque[int] = deque([start])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            w = int(w)
+            if not visited[w]:
+                visited[w] = True
+                marked += 1
+                queue.append(w)
+    return marked
+
+
+def connect_subgraphs(
+    dataset: Dataset,
+    graph: Graph,
+    rng: "int | np.random.Generator | None" = None,
+    n_probe_pivots: int = 3,
+    ann_max_hops: int = 10,
+) -> dict:
+    """Run both phases in place; returns ``{"patches": ..., "seconds": ...}``."""
+    gen = ensure_rng(rng)
+    t0 = time.perf_counter()
+    n = graph.n
+
+    # Phase 1: undirect, preserving exact-K'NN link lists.
+    for u in range(n):
+        for v in graph.neighbors_list(u):
+            if not graph.has_exact_knn(v):
+                graph.add_link(v, u)
+
+    # Phase 2: BFS with ANN patching.
+    visited = np.zeros(n, dtype=bool)
+    pivot_ids = np.flatnonzero(graph.pivots)
+    patches = 0
+    _bfs_mark(graph, int(gen.integers(n)), visited)
+    while not visited.all():
+        unvisited = np.flatnonzero(~visited)
+        unv_pivots = unvisited[graph.pivots[unvisited]]
+        v_piv = int(gen.choice(unv_pivots if unv_pivots.size else unvisited))
+
+        vis_pivots = pivot_ids[visited[pivot_ids]]
+        source_pool = vis_pivots if vis_pivots.size else np.flatnonzero(visited)
+        n_probe = min(n_probe_pivots, source_pool.size)
+        probes = gen.choice(source_pool, size=n_probe, replace=False)
+
+        best, best_d = -1, np.inf
+        for v in probes:
+            cand, d = greedy_ann_search(
+                dataset, graph, query=v_piv, start=int(v), max_hops=ann_max_hops
+            )
+            if d < best_d:
+                best, best_d = cand, d
+        graph.add_edge(v_piv, best)
+        patches += 1
+        # Resume BFS from the just-connected vertex; already-visited
+        # vertices are skipped, so each patch monotonically grows the
+        # visited set and the loop terminates.
+        _bfs_mark(graph, v_piv, visited)
+
+    return {"patches": patches, "seconds": time.perf_counter() - t0}

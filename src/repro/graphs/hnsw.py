@@ -1,0 +1,203 @@
+"""HNSW — Hierarchical Navigable Small World [Malkov & Yashunin, TPAMI'20].
+
+The paper discusses HNSW in §3 and deliberately *excludes* it from the
+evaluation: the hierarchy exists to reach a query's neighborhood
+quickly from a random entry point, but in DOD every query object is
+already a vertex, so traversal starts at the object itself and the
+"skipping structure" buys nothing.  We implement HNSW anyway, for two
+reasons:
+
+* it is part of the proximity-graph landscape the paper positions
+  itself in, and a downstream user will expect it;
+* it lets us *test* the paper's §3 claim instead of assuming it — the
+  ``ablation_hnsw`` bench runs DOD on HNSW's layer-0 graph and shows
+  its filter is no better than NSW's while construction costs more.
+
+Construction follows the original: each object draws a level from a
+geometric distribution with ``m_L = 1/ln(M)``; insertion descends
+greedily through upper layers and runs an ``ef_construction`` beam
+search on each layer at or below the object's level, linking to the
+``M`` closest candidates (``2M`` on layer 0) and shrinking overfull
+neighbor lists.
+
+For DOD, :func:`build_hnsw` exports the layer-0 graph as a standard
+:class:`~repro.graphs.adjacency.Graph`; the hierarchy is kept in
+``meta`` for inspection.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+
+import numpy as np
+
+from ..data import Dataset
+from ..exceptions import ParameterError
+from ..rng import ensure_rng
+from .adjacency import Graph
+
+
+class _Hierarchy:
+    """Mutable multi-layer adjacency used during construction."""
+
+    def __init__(self, n: int):
+        # layers[l][v] -> list of neighbors of v on layer l.
+        self.layers: list[dict[int, list[int]]] = []
+        self.levels = np.full(n, -1, dtype=np.int64)
+        self.entry: int = -1
+
+    def ensure_layer(self, level: int) -> None:
+        while len(self.layers) <= level:
+            self.layers.append({})
+
+    def neighbors(self, level: int, v: int) -> list[int]:
+        return self.layers[level].get(v, [])
+
+    def add_node(self, v: int, level: int) -> None:
+        self.ensure_layer(level)
+        self.levels[v] = level
+        for l in range(level + 1):
+            self.layers[l].setdefault(v, [])
+
+    def connect(self, level: int, u: int, v: int) -> None:
+        layer = self.layers[level]
+        if v not in layer[u]:
+            layer[u].append(v)
+        if u not in layer[v]:
+            layer[v].append(u)
+
+
+def _greedy_descend(
+    dataset: Dataset, h: _Hierarchy, query: int, entry: int, level: int
+) -> int:
+    """Single-step greedy walk on one layer; returns the local minimum."""
+    current = entry
+    current_d = dataset.dist(query, current)
+    improved = True
+    while improved:
+        improved = False
+        nbrs = [v for v in h.neighbors(level, current) if v != query]
+        if not nbrs:
+            break
+        d = dataset.dist_many(query, np.asarray(nbrs, dtype=np.int64))
+        j = int(np.argmin(d))
+        if d[j] < current_d:
+            current, current_d = nbrs[j], float(d[j])
+            improved = True
+    return current
+
+
+def _beam_search(
+    dataset: Dataset,
+    h: _Hierarchy,
+    query: int,
+    entry: int,
+    level: int,
+    ef: int,
+) -> list[tuple[float, int]]:
+    """ef-bounded best-first search; returns (dist, id) sorted ascending."""
+    entry_d = dataset.dist(query, entry)
+    visited = {entry, query}
+    candidates = [(entry_d, entry)]  # min-heap
+    results = [(-entry_d, entry)]  # max-heap of the ef best
+    while candidates:
+        d, v = heapq.heappop(candidates)
+        if d > -results[0][0] and len(results) >= ef:
+            break
+        fresh = [w for w in h.neighbors(level, v) if w not in visited]
+        if not fresh:
+            continue
+        visited.update(fresh)
+        dists = dataset.dist_many(query, np.asarray(fresh, dtype=np.int64))
+        for w, dw in zip(fresh, dists):
+            dw = float(dw)
+            if len(results) < ef:
+                heapq.heappush(results, (-dw, w))
+                heapq.heappush(candidates, (dw, w))
+            elif dw < -results[0][0]:
+                heapq.heapreplace(results, (-dw, w))
+                heapq.heappush(candidates, (dw, w))
+    return sorted((-nd, v) for nd, v in results)
+
+
+def _shrink(dataset: Dataset, h: _Hierarchy, level: int, v: int, cap: int) -> None:
+    """Keep only the ``cap`` closest neighbors of ``v`` on ``level``."""
+    nbrs = h.neighbors(level, v)
+    if len(nbrs) <= cap:
+        return
+    arr = np.asarray(nbrs, dtype=np.int64)
+    d = dataset.dist_many(v, arr)
+    order = np.argsort(d, kind="stable")[:cap]
+    kept = arr[order].tolist()
+    h.layers[level][v] = kept
+    # Drop the reverse links of evicted neighbors.
+    for w in set(nbrs) - set(kept):
+        lst = h.layers[level].get(w)
+        if lst and v in lst:
+            lst.remove(v)
+
+
+def build_hnsw(
+    dataset: Dataset,
+    M: int = 8,
+    ef_construction: int = 32,
+    rng: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """Build an HNSW and export its layer-0 graph for DOD.
+
+    ``M`` is the per-layer degree target (layer 0 allows ``2M``);
+    ``ef_construction`` the construction beam width.  The exported
+    graph carries ``meta["levels"]`` (per-object layer) and
+    ``meta["n_layers"]``.
+    """
+    n = dataset.n
+    if M < 1:
+        raise ParameterError(f"M must be >= 1, got {M}")
+    if ef_construction < 1:
+        raise ParameterError(f"ef_construction must be >= 1, got {ef_construction}")
+    gen = ensure_rng(rng)
+    m_l = 1.0 / math.log(max(M, 2))
+    t0 = time.perf_counter()
+
+    h = _Hierarchy(n)
+    order = gen.permutation(n)
+    for q in order:
+        q = int(q)
+        level = int(-math.log(max(gen.random(), 1e-12)) * m_l)
+        if h.entry < 0:
+            h.add_node(q, level)
+            h.entry = q
+            continue
+        h.add_node(q, level)
+        top = int(h.levels[h.entry])
+        entry = h.entry
+        # Phase 1: greedy descent through layers above the new level.
+        for l in range(top, level, -1):
+            if l < len(h.layers):
+                entry = _greedy_descend(dataset, h, q, entry, l)
+        # Phase 2: beam search and linking on each layer <= level.
+        for l in range(min(level, top), -1, -1):
+            found = _beam_search(dataset, h, q, entry, l, ef_construction)
+            cap = 2 * M if l == 0 else M
+            for _, v in found[:M]:
+                h.connect(l, q, v)
+                _shrink(dataset, h, l, v, cap)
+            _shrink(dataset, h, l, q, cap)
+            entry = found[0][1] if found else entry
+        if level > top:
+            h.entry = q
+
+    g = Graph(n)
+    for v in range(n):
+        g.set_links(v, h.layers[0].get(v, []))
+    g.finalize()
+    g.meta["builder"] = "hnsw"
+    g.meta["M"] = M
+    g.meta["ef_construction"] = ef_construction
+    g.meta["n_layers"] = len(h.layers)
+    g.meta["levels"] = h.levels.tolist()
+    g.meta["phase_seconds"] = {"insertion": time.perf_counter() - t0}
+    g.meta["build_seconds"] = time.perf_counter() - t0
+    return g

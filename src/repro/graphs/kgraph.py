@@ -1,0 +1,38 @@
+"""KGraph — the plain AKNN graph competitor (§3, §6).
+
+Each object links to its NNDescent-approximated K nearest neighbors.
+The graph is directed (out-links only), carries no pivots and no exact
+lists — exactly the structure Algorithm 1 uses "without lines 13-14 of
+Algorithm 2" in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..data import Dataset
+from .adjacency import Graph
+from .nndescent import nndescent
+
+
+def build_kgraph(
+    dataset: Dataset,
+    K: int = 16,
+    max_iters: int = 12,
+    rng: "int | np.random.Generator | None" = None,
+) -> Graph:
+    """Build a KGraph with plain NNDescent (random init, no skipping)."""
+    t0 = time.perf_counter()
+    result = nndescent(dataset, K, max_iters=max_iters, rng=rng)
+    g = Graph(dataset.n)
+    for p in range(dataset.n):
+        g.set_links(p, result.knn_ids[p])
+    g.finalize()
+    g.meta["builder"] = "kgraph"
+    g.meta["K"] = K
+    g.meta["iterations"] = result.iterations
+    g.meta["phase_seconds"] = {"nndescent": time.perf_counter() - t0}
+    g.meta["build_seconds"] = time.perf_counter() - t0
+    return g

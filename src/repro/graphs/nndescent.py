@@ -1,0 +1,251 @@
+"""NNDescent — approximate K-NN graph construction [Dong et al., WWW'11].
+
+This is the paper's baseline AKNN builder (a finished AKNN graph is the
+``KGraph`` competitor of §6) and the backbone that NNDescent+ extends.
+We implement the *basic* variant the paper targets (§5.1 footnote 3):
+
+1. every object starts with ``K`` random neighbors (or caller-provided
+   seeds),
+2. each round, an object ``p`` gathers its *similar object list* — its
+   AKNNs plus reverse AKNNs — and probes the similar lists of those
+   objects for anything closer than its current K-th neighbor,
+3. rounds repeat until no list changes (or ``max_iters``).
+
+The per-object probe is expressed as one candidate-id union plus a single
+vectorised distance kernel, followed by an argsort merge — no Python
+inner loop over candidates.
+
+The update-skipping optimisation of NNDescent+ (§5.1: only probe similar
+objects whose own list changed last round) is implemented here behind the
+``skip_unchanged`` flag so both builders share one engine and the
+ablation is a parameter flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data import Dataset
+from ..exceptions import ParameterError
+from ..rng import ensure_rng
+
+
+@dataclass
+class NNDescentResult:
+    """AKNN lists plus convergence diagnostics."""
+
+    knn_ids: np.ndarray
+    knn_dists: np.ndarray
+    iterations: int
+    updates_per_iter: list[int] = field(default_factory=list)
+
+    @property
+    def sum_dists(self) -> np.ndarray:
+        """Per-object sum of distances to its AKNNs.
+
+        NNDescent+ ranks objects by this to decide who gets exact K'-NNs:
+        a large sum flags a probably-inaccurate list *and* a likely
+        outlier (§5.1, §5.5).
+        """
+        return self.knn_dists.sum(axis=1)
+
+
+def _random_init(
+    dataset: Dataset, K: int, gen: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """K distinct random neighbors per object, with distances."""
+    n = dataset.n
+    ids = np.empty((n, K), dtype=np.int64)
+    for p in range(n):
+        picks = gen.choice(n - 1, size=K, replace=False)
+        picks[picks >= p] += 1  # skip self without rejection sampling
+        ids[p] = picks
+    dists = np.empty((n, K), dtype=np.float64)
+    for p in range(n):
+        dists[p] = dataset.dist_many(p, ids[p])
+    return ids, dists
+
+
+def _sort_rows(ids: np.ndarray, dists: np.ndarray) -> None:
+    """Sort each AKNN row ascending by distance, in place."""
+    order = np.argsort(dists, axis=1, kind="stable")
+    taken = np.take_along_axis(ids, order, axis=1)
+    ids[:] = taken
+    dists[:] = np.take_along_axis(dists, order, axis=1)
+
+
+def _reverse_lists(
+    knn_ids: np.ndarray, cap: int, gen: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Group owners by target: reverse AKNN lists in CSR form.
+
+    Returns ``(owners, starts, ends)`` with ``owners[starts[p]:ends[p]]``
+    the reverse AKNNs of ``p``.  Hub objects (huge reverse lists, common
+    in high dimensions) are down-sampled to ``cap`` to bound the join.
+    """
+    n, K = knn_ids.shape
+    targets = knn_ids.ravel()
+    owners = np.repeat(np.arange(n, dtype=np.int64), K)
+    order = np.argsort(targets, kind="stable")
+    targets = targets[order]
+    owners = owners[order]
+    starts = np.searchsorted(targets, np.arange(n), side="left")
+    ends = np.searchsorted(targets, np.arange(n), side="right")
+    if cap > 0:
+        lengths = ends - starts
+        over = np.flatnonzero(lengths > cap)
+        if over.size:
+            keep_owner_chunks = []
+            keep_bounds = np.stack([starts, ends], axis=1)
+            for p in over:
+                lo, hi = int(starts[p]), int(ends[p])
+                picks = gen.choice(hi - lo, size=cap, replace=False) + lo
+                picks.sort()
+                keep_owner_chunks.append((p, owners[picks]))
+            # Rebuild the owner array with capped chunks.
+            pieces = []
+            cursor = 0
+            new_starts = starts.copy()
+            new_ends = ends.copy()
+            capped = dict(keep_owner_chunks)
+            for p in range(n):
+                lo, hi = int(keep_bounds[p, 0]), int(keep_bounds[p, 1])
+                chunk = capped.get(p, owners[lo:hi])
+                new_starts[p] = cursor
+                cursor += len(chunk)
+                new_ends[p] = cursor
+                pieces.append(chunk)
+            owners = np.concatenate(pieces) if pieces else owners[:0]
+            starts, ends = new_starts, new_ends
+    return owners, starts, ends
+
+
+def nndescent(
+    dataset: Dataset,
+    K: int,
+    max_iters: int = 12,
+    rng: "int | np.random.Generator | None" = None,
+    init_ids: np.ndarray | None = None,
+    init_dists: np.ndarray | None = None,
+    skip_unchanged: bool = False,
+    reverse_cap: int | None = None,
+    max_candidates: int | None = None,
+) -> NNDescentResult:
+    """Build approximate K-NN lists for every object.
+
+    Parameters
+    ----------
+    init_ids, init_dists:
+        Optional ``(n, K)`` seeds with −1 / +inf padding (the VP-tree
+        partition seeds of NNDescent+).  Padded slots are topped up with
+        random distinct neighbors.
+    skip_unchanged:
+        NNDescent+ optimisation: drop similar objects whose AKNN list did
+        not change in the previous round.
+    reverse_cap:
+        Cap on reverse-AKNN list length (default ``3K``).
+    max_candidates:
+        Cap on the per-object candidate union (default ``8K``); beyond
+        it a random subset is probed.
+    """
+    n = dataset.n
+    if K < 1:
+        raise ParameterError(f"K must be >= 1, got {K}")
+    if K >= n:
+        raise ParameterError(f"K must be < n (K={K}, n={n})")
+    gen = ensure_rng(rng)
+    if reverse_cap is None:
+        reverse_cap = 3 * K
+    if max_candidates is None:
+        max_candidates = 8 * K
+
+    if init_ids is None:
+        knn_ids, knn_dists = _random_init(dataset, K, gen)
+    else:
+        knn_ids = np.array(init_ids, dtype=np.int64, copy=True)
+        knn_dists = np.array(init_dists, dtype=np.float64, copy=True)
+        if knn_ids.shape != (n, K):
+            raise ParameterError(
+                f"init_ids must have shape ({n}, {K}), got {knn_ids.shape}"
+            )
+        _fill_padding(dataset, knn_ids, knn_dists, gen)
+    _sort_rows(knn_ids, knn_dists)
+
+    changed_prev = np.ones(n, dtype=bool)
+    updates_per_iter: list[int] = []
+    iterations = 0
+    for _ in range(max_iters):
+        iterations += 1
+        rev_owners, rev_starts, rev_ends = _reverse_lists(knn_ids, reverse_cap, gen)
+        changed_now = np.zeros(n, dtype=bool)
+        total_updates = 0
+        for p in range(n):
+            similar = np.concatenate(
+                (knn_ids[p], rev_owners[rev_starts[p] : rev_ends[p]])
+            )
+            if skip_unchanged:
+                similar = similar[changed_prev[similar]]
+            if similar.size == 0:
+                continue
+            similar = np.unique(similar)
+            # Candidate pool: AKNNs and reverse AKNNs of similar objects.
+            pool = [knn_ids[similar].ravel()]
+            for s in similar:
+                pool.append(rev_owners[rev_starts[s] : rev_ends[s]])
+            cands = np.unique(np.concatenate(pool))
+            # Drop self and already-known neighbors.
+            cands = cands[cands != p]
+            known = np.isin(cands, knn_ids[p], assume_unique=True)
+            cands = cands[~known]
+            if cands.size == 0:
+                continue
+            if cands.size > max_candidates:
+                cands = gen.choice(cands, size=max_candidates, replace=False)
+            worst = knn_dists[p, -1]
+            d = dataset.dist_many(p, cands, bound=worst)
+            better = d < worst
+            if not np.any(better):
+                continue
+            merged_ids = np.concatenate((knn_ids[p], cands[better]))
+            merged_d = np.concatenate((knn_dists[p], d[better]))
+            order = np.argsort(merged_d, kind="stable")[:K]
+            new_ids = merged_ids[order]
+            n_new = K - int(np.isin(new_ids, knn_ids[p], assume_unique=False).sum())
+            knn_ids[p] = new_ids
+            knn_dists[p] = merged_d[order]
+            if n_new > 0:
+                changed_now[p] = True
+                total_updates += n_new
+        updates_per_iter.append(total_updates)
+        changed_prev = changed_now
+        if total_updates == 0:
+            break
+    return NNDescentResult(knn_ids, knn_dists, iterations, updates_per_iter)
+
+
+def _fill_padding(
+    dataset: Dataset,
+    knn_ids: np.ndarray,
+    knn_dists: np.ndarray,
+    gen: np.random.Generator,
+) -> None:
+    """Replace −1 padding slots with random distinct neighbors."""
+    n, K = knn_ids.shape
+    for p in range(n):
+        row = knn_ids[p]
+        missing = np.flatnonzero(row < 0)
+        if missing.size == 0:
+            continue
+        present = set(int(v) for v in row[row >= 0])
+        present.add(p)
+        fresh: list[int] = []
+        while len(fresh) < missing.size:
+            cand = int(gen.integers(n))
+            if cand not in present:
+                present.add(cand)
+                fresh.append(cand)
+        picks = np.asarray(fresh, dtype=np.int64)
+        knn_ids[p, missing] = picks
+        knn_dists[p, missing] = dataset.dist_many(p, picks)

@@ -1,0 +1,48 @@
+"""Remove-Links (§5.4 of the paper).
+
+After Connect-SubGraphs and Remove-Detours, objects one hop apart often
+share many common neighbors, which ``Greedy-Counting`` would touch twice
+(once per endpoint).  This pass prunes such triangles *through pivots*:
+when a non-pivot ``p`` links to a pivot ``p'``, links from ``p`` to
+objects they share are dropped — the shared object stays reachable via
+``p'``, because Algorithm 2 (lines 13-14) enqueues pivots even when they
+fall outside the query radius.
+
+Pruning never touches pivot link lists, exact-K'NN vertices, or the
+last two links of a vertex (a safety floor so no vertex is stranded);
+the paper notes this step does not change reachability and therefore
+does not affect false positives, only traversal cost and index size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .adjacency import Graph
+
+
+def remove_links(graph: Graph) -> dict:
+    """Prune pivot-shadowed redundant links in place.
+
+    Returns ``{"removed": #undirected edges removed, "seconds": ...}``.
+    """
+    t0 = time.perf_counter()
+    removed = 0
+    min_degree = 2
+    for p in range(graph.n):
+        if graph.is_pivot(p) or graph.has_exact_knn(p):
+            continue
+        pivot_nbrs = [v for v in graph.neighbors_list(p) if graph.is_pivot(v)]
+        if not pivot_nbrs:
+            continue
+        for piv in pivot_nbrs:
+            p_nbrs = set(graph.neighbors_list(p))
+            common = p_nbrs.intersection(graph.neighbors_list(piv))
+            for q in common:
+                if graph.is_pivot(q) or graph.has_exact_knn(q):
+                    continue
+                if graph.degree(p) <= min_degree or graph.degree(q) <= min_degree:
+                    continue
+                graph.remove_edge(p, q)
+                removed += 1
+    return {"removed": removed, "seconds": time.perf_counter() - t0}

@@ -1,0 +1,48 @@
+"""Experiment harness: workloads, runners and table formatting."""
+
+from .runner import (
+    EXPERIMENTS,
+    detect_with_baseline,
+    detect_with_graph,
+    run_experiment,
+)
+from .plots import ascii_chart, render_figure
+from .tables import NA, ExperimentTable, fmt_value
+from .workloads import (
+    BASELINE_NAMES,
+    DEFAULT_K,
+    GRAPH_NAMES,
+    Workload,
+    bench_scale,
+    bench_suites,
+    clear_caches,
+    default_workload,
+    get_dataset,
+    get_graph,
+    get_verifier,
+    suite_K,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "detect_with_graph",
+    "detect_with_baseline",
+    "ExperimentTable",
+    "fmt_value",
+    "NA",
+    "ascii_chart",
+    "render_figure",
+    "Workload",
+    "default_workload",
+    "get_dataset",
+    "get_graph",
+    "get_verifier",
+    "bench_scale",
+    "bench_suites",
+    "clear_caches",
+    "suite_K",
+    "GRAPH_NAMES",
+    "BASELINE_NAMES",
+    "DEFAULT_K",
+]

@@ -1,0 +1,117 @@
+"""ASCII line charts for the figure experiments.
+
+The paper's Figures 6-10 are line charts; the bench harness saves the
+underlying rows as tables (``results/fig*.txt``) and, through this
+module, renders them as terminal-friendly charts
+(``results/fig*_chart.txt``) so the shapes are eyeballable without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .tables import ExperimentTable
+
+#: per-series marker characters, assigned in column order.
+MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    xs: "list[float]",
+    series: "dict[str, list[float]]",
+    width: int = 64,
+    height: int = 16,
+    logy: bool = False,
+    title: str = "",
+    x_label: str = "x",
+) -> str:
+    """Render one chart: shared x axis, one marker per series."""
+    if not series:
+        raise ParameterError("ascii_chart: no series")
+    n_points = len(xs)
+    if n_points < 2:
+        raise ParameterError("ascii_chart: need at least two x positions")
+    for name, ys in series.items():
+        if len(ys) != n_points:
+            raise ParameterError(f"series {name!r} length mismatch")
+
+    def transform(v: float) -> float:
+        if logy:
+            return math.log10(max(v, 1e-12))
+        return v
+
+    all_vals = [transform(v) for ys in series.values() for v in ys]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, ys) in enumerate(series.items()):
+        marker = MARKERS[s_idx % len(MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((transform(y) - lo) / (hi - lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    def fmt_axis(v: float) -> str:
+        if logy:
+            return f"1e{v:.1f}"
+        return f"{v:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = fmt_axis(hi)
+        elif row_idx == height - 1:
+            label = fmt_axis(lo)
+        else:
+            label = ""
+        lines.append(f"{label:>10s} |{''.join(row)}")
+    lines.append(f"{'':>10s} +{'-' * width}")
+    lines.append(f"{'':>10s}  {min(xs):<10g}{x_label:^{max(width - 20, 4)}}{max(xs):>10g}")
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{'':>10s}  legend: {legend}")
+    return "\n".join(lines)
+
+
+def render_figure(
+    table: ExperimentTable,
+    x_col: str,
+    series_cols: "list[str]",
+    group_col: str = "dataset",
+    logy: bool = True,
+) -> str:
+    """Render a long-form figure table as one chart per group."""
+    groups: dict = {}
+    for row in table.rows:
+        groups.setdefault(row.get(group_col, ""), []).append(row)
+    charts = []
+    for group, rows in groups.items():
+        rows = sorted(rows, key=lambda r: r[x_col])
+        xs = [float(r[x_col]) for r in rows]
+        series = {
+            col: [float(r[col]) for r in rows]
+            for col in series_cols
+            if all(r.get(col) is not None for r in rows)
+        }
+        charts.append(
+            ascii_chart(
+                xs,
+                series,
+                logy=logy,
+                title=f"{table.exp_id} — {group}",
+                x_label=x_col,
+            )
+        )
+    return "\n\n".join(charts)

@@ -1,0 +1,76 @@
+"""Plain-text experiment tables.
+
+Each experiment produces an :class:`ExperimentTable`: a titled grid of
+rows that renders in the same orientation as the paper's table or
+figure, plus a machine-readable ``rows`` list the tests can assert on.
+``NA`` entries mirror the paper's over-budget markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+NA = "NA"
+
+
+def fmt_value(value: Any) -> str:
+    """Render one cell: floats get 3 significant decimals, NA passes."""
+    if value is None:
+        return NA
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table of experiment measurements."""
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **cells: Any) -> None:
+        self.rows.append(cells)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def format(self) -> str:
+        """Aligned text rendering."""
+        header = [*self.columns]
+        grid = [[fmt_value(row.get(c)) for c in header] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in grid)) if grid else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in grid:
+            lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(header))))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def save(self, directory: "str | Path") -> Path:
+        """Write the formatted table under ``directory`` and return the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.exp_id}.txt"
+        path.write_text(self.format() + "\n", encoding="utf-8")
+        return path
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.format()

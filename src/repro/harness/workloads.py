@@ -1,0 +1,128 @@
+"""Benchmark workloads and artifact caching.
+
+A :class:`Workload` pins one experiment input: suite, cardinality,
+``(r, k)`` and seed.  The module-level caches keep datasets, graphs and
+verifiers shared across benchmark files within one pytest session, so
+e.g. the graphs built for Table 3 (pre-processing time) are the same
+objects Table 5 (detection time) and Table 7 (false positives) measure
+— mirroring the paper's offline/online split.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — multiply every suite's default cardinality
+  (default 1.0; use e.g. 0.25 for a quick pass).
+* ``REPRO_BENCH_SUITES`` — comma-separated suite subset or ``all``
+  (figure sweeps default to a three-suite subset to bound wall time).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.verify import Verifier
+from ..data import Dataset
+from ..datasets import SUITE_NAMES, get_spec, load_suite
+from ..graphs.adjacency import Graph
+from ..graphs.base import build_graph
+
+#: graph builders compared in the paper's §6, in its display order.
+GRAPH_NAMES: tuple[str, ...] = ("nsw", "kgraph", "mrpg-basic", "mrpg")
+#: state-of-the-art baselines, paper display order.
+BASELINE_NAMES: tuple[str, ...] = ("nested-loop", "snif", "dolphin", "vptree")
+
+#: graph degree used by the experiments (paper: K=25, 40 for PAMAP2 at
+#: million scale; scaled down with the cardinalities).
+DEFAULT_K = 16
+_SUITE_K = {"pamap2": 20}
+
+
+def bench_scale() -> float:
+    """Global cardinality multiplier from ``REPRO_BENCH_SCALE``."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_suites(default: "tuple[str, ...] | None" = None) -> tuple[str, ...]:
+    """Suite subset from ``REPRO_BENCH_SUITES`` (or the given default)."""
+    raw = os.environ.get("REPRO_BENCH_SUITES", "")
+    if raw.strip().lower() in ("", "default"):
+        return tuple(default) if default is not None else tuple(SUITE_NAMES)
+    if raw.strip().lower() == "all":
+        return tuple(SUITE_NAMES)
+    return tuple(s.strip().lower() for s in raw.split(",") if s.strip())
+
+
+def suite_K(suite: str) -> int:
+    """Graph degree for a suite (paper uses a larger K for PAMAP2)."""
+    return _SUITE_K.get(suite, DEFAULT_K)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One experiment input (hashable: used as a cache key)."""
+
+    suite: str
+    n: int
+    r: float
+    k: int
+    seed: int = 0
+
+    def scaled(self, rate: float) -> "Workload":
+        """The same workload at a sampled-down cardinality (Figs. 6-7)."""
+        return replace(self, n=max(32, int(round(self.n * rate))))
+
+
+def default_workload(suite: str, scale: float | None = None) -> Workload:
+    """The suite's Table 2-style default workload, globally scaled."""
+    spec = get_spec(suite)
+    if scale is None:
+        scale = bench_scale()
+    n = max(64, int(round(spec.default_n * scale)))
+    return Workload(suite=suite, n=n, r=spec.default_r, k=spec.default_k)
+
+
+# -- caches -------------------------------------------------------------------
+
+_dataset_cache: dict[tuple[str, int, int], Dataset] = {}
+_graph_cache: dict[tuple[str, int, int, str, int, int], Graph] = {}
+_verifier_cache: dict[tuple[str, int, int], Verifier] = {}
+
+
+def get_dataset(w: Workload) -> Dataset:
+    """Dataset for a workload (cached per suite/n/seed)."""
+    key = (w.suite, w.n, w.seed)
+    if key not in _dataset_cache:
+        dataset, _ = load_suite(w.suite, n=w.n, seed=w.seed)
+        _dataset_cache[key] = dataset
+    return _dataset_cache[key]
+
+
+def get_graph(w: Workload, builder: str, K: int | None = None) -> Graph:
+    """Proximity graph for a workload (cached; build time in meta)."""
+    if K is None:
+        K = suite_K(w.suite)
+    key = (w.suite, w.n, w.seed, builder, K, w.seed)
+    if key not in _graph_cache:
+        dataset = get_dataset(w)
+        _graph_cache[key] = build_graph(builder, dataset, K=K, rng=w.seed)
+    return _graph_cache[key]
+
+
+def get_verifier(w: Workload) -> Verifier:
+    """Exact-Counting verifier per the suite's paper strategy (cached)."""
+    key = (w.suite, w.n, w.seed)
+    if key not in _verifier_cache:
+        spec = get_spec(w.suite)
+        _verifier_cache[key] = Verifier(
+            get_dataset(w), strategy=spec.verify, rng=w.seed
+        )
+    return _verifier_cache[key]
+
+
+def clear_caches() -> None:
+    """Drop all cached artifacts (tests use this to bound memory)."""
+    _dataset_cache.clear()
+    _graph_cache.clear()
+    _verifier_cache.clear()

@@ -1,0 +1,134 @@
+"""VP-tree ball partitioning (Algorithm 3 of the paper).
+
+This is the initialisation engine of NNDescent+ (§5.1).  The dataset is
+recursively split by random vantage objects and mean-distance radii.
+Whenever the recursion produces a *left-child leaf* — a ball of at most
+``capacity`` mutually-close objects — each member's K nearest neighbors
+*within the leaf* become its initial approximate K-NN.  The vantage whose
+left child became a leaf is recorded as a **pivot**; ball partitioning
+spreads pivots across every subspace of the data, which is exactly the
+property Connect-SubGraphs and Remove-Detours later rely on (§5).
+
+Objects that never land in a left leaf after ``repeats`` passes keep an
+empty initialisation and are topped up with random neighbors by the
+caller (NNDescent+).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import Dataset
+from ..exceptions import ParameterError
+from ..rng import ensure_rng
+
+
+@dataclass
+class PartitionResult:
+    """Output of the repeated ball partitioning.
+
+    ``init_ids``/``init_dists`` hold up to ``K`` seeded neighbors per
+    object (−1 / +inf padding); ``covered`` flags objects seeded by at
+    least one left leaf; ``pivots`` flags pivot objects.
+    """
+
+    init_ids: np.ndarray
+    init_dists: np.ndarray
+    covered: np.ndarray
+    pivots: np.ndarray
+
+    @property
+    def n_pivots(self) -> int:
+        return int(np.count_nonzero(self.pivots))
+
+
+def _seed_leaf(
+    dataset: Dataset,
+    leaf: np.ndarray,
+    K: int,
+    init_ids: np.ndarray,
+    init_dists: np.ndarray,
+    covered: np.ndarray,
+) -> None:
+    """Set each leaf member's within-leaf K-NN as its initial AKNN."""
+    for pos in range(leaf.size):
+        p = int(leaf[pos])
+        others = np.delete(leaf, pos)
+        if others.size == 0:
+            continue
+        d = dataset.dist_many(p, others)
+        take = min(K, others.size)
+        if take < others.size:
+            part = np.argpartition(d, take)[:take]
+            order = part[np.argsort(d[part], kind="stable")]
+        else:
+            order = np.argsort(d, kind="stable")
+        init_ids[p, :take] = others[order[:take]]
+        init_dists[p, :take] = d[order[:take]]
+        covered[p] = True
+
+
+def vp_partition(
+    dataset: Dataset,
+    K: int,
+    capacity: int | None = None,
+    repeats: int = 2,
+    rng: "int | np.random.Generator | None" = None,
+) -> PartitionResult:
+    """Run Algorithm 3 ``repeats`` times and collect seeds and pivots.
+
+    ``capacity`` defaults to ``2K`` (the paper sets ``c = O(K)``).
+    """
+    if K < 1:
+        raise ParameterError(f"K must be >= 1, got {K}")
+    if repeats < 1:
+        raise ParameterError(f"repeats must be >= 1, got {repeats}")
+    if capacity is None:
+        capacity = max(2 * K, 4)
+    if capacity < 2:
+        raise ParameterError(f"capacity must be >= 2, got {capacity}")
+    gen = ensure_rng(rng)
+    n = dataset.n
+
+    init_ids = np.full((n, K), -1, dtype=np.int64)
+    init_dists = np.full((n, K), np.inf, dtype=np.float64)
+    covered = np.zeros(n, dtype=bool)
+    pivots = np.zeros(n, dtype=bool)
+
+    targets = np.arange(n, dtype=np.int64)
+    for _ in range(repeats):
+        if targets.size == 0:
+            break
+        # Work stack of (subset, is_left_child).  The top-level set is
+        # treated as a left child so a tiny dataset still gets seeded.
+        stack: list[tuple[np.ndarray, bool]] = [(targets, True)]
+        while stack:
+            subset, is_left = stack.pop()
+            if subset.size <= capacity:
+                if is_left and subset.size > 1:
+                    _seed_leaf(dataset, subset, K, init_ids, init_dists, covered)
+                continue
+            pos = int(gen.integers(subset.size))
+            v = int(subset[pos])
+            rest = np.delete(subset, pos)
+            d = dataset.dist_many(v, rest)
+            mu = float(d.mean())
+            lmask = d <= mu
+            l_items = np.concatenate(([v], rest[lmask]))
+            r_items = rest[~lmask]
+            if l_items.size <= capacity:
+                pivots[v] = True
+            if r_items.size == 0:
+                # Degenerate split (all distances equal): fall back to a
+                # halving split so the recursion terminates.
+                half = subset.size // 2
+                l_items, r_items = subset[:half], subset[half:]
+                pivots[v] = l_items.size <= capacity
+            stack.append((l_items, True))
+            stack.append((r_items, False))
+        # Later passes only re-partition objects still lacking seeds.
+        targets = np.flatnonzero(~covered)
+
+    return PartitionResult(init_ids, init_dists, covered, pivots)

@@ -1,0 +1,90 @@
+"""Proximity-graph (de)serialisation.
+
+Graphs are the paper's offline pre-processing product; persisting them
+is what makes the offline/online split real for a user.  The format is
+a single ``.npz``: CSR-shaped adjacency, pivot flags, exact-K'NN
+payloads, and the build metadata as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .exceptions import GraphError
+from .graphs.adjacency import Graph
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: Graph, path: "str | Path") -> None:
+    """Write ``graph`` to ``path`` (.npz)."""
+    indptr = np.zeros(graph.n + 1, dtype=np.int64)
+    chunks = []
+    for v in range(graph.n):
+        nbrs = graph.neighbors(v)
+        indptr[v + 1] = indptr[v] + nbrs.size
+        chunks.append(nbrs)
+    indices = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+
+    exact_owners = np.asarray(sorted(graph.exact_knn), dtype=np.int64)
+    exact_ptr = np.zeros(exact_owners.size + 1, dtype=np.int64)
+    exact_ids_chunks = []
+    exact_dists_chunks = []
+    for t, p in enumerate(exact_owners):
+        ids, dists = graph.exact_knn[int(p)]
+        exact_ptr[t + 1] = exact_ptr[t] + ids.size
+        exact_ids_chunks.append(ids)
+        exact_dists_chunks.append(dists)
+    exact_ids = (
+        np.concatenate(exact_ids_chunks) if exact_ids_chunks else np.empty(0, np.int64)
+    )
+    exact_dists = (
+        np.concatenate(exact_dists_chunks)
+        if exact_dists_chunks
+        else np.empty(0, np.float64)
+    )
+
+    np.savez_compressed(
+        Path(path),
+        format_version=np.asarray(_FORMAT_VERSION),
+        n=np.asarray(graph.n),
+        indptr=indptr,
+        indices=indices,
+        pivots=graph.pivots,
+        exact_owners=exact_owners,
+        exact_ptr=exact_ptr,
+        exact_ids=exact_ids,
+        exact_dists=exact_dists,
+        meta=np.asarray(json.dumps(graph.meta, default=str)),
+    )
+
+
+def load_graph(path: "str | Path") -> Graph:
+    """Read a graph written by :func:`save_graph`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise GraphError(f"unsupported graph format version {version}")
+        n = int(data["n"])
+        graph = Graph(n)
+        indptr = data["indptr"]
+        indices = data["indices"]
+        for v in range(n):
+            graph.set_links(v, indices[indptr[v] : indptr[v + 1]])
+        graph.pivots = data["pivots"].astype(bool)
+        owners = data["exact_owners"]
+        exact_ptr = data["exact_ptr"]
+        exact_ids = data["exact_ids"]
+        exact_dists = data["exact_dists"]
+        for t, p in enumerate(owners):
+            lo, hi = int(exact_ptr[t]), int(exact_ptr[t + 1])
+            graph.exact_knn[int(p)] = (
+                exact_ids[lo:hi].copy(),
+                exact_dists[lo:hi].copy(),
+            )
+        graph.meta = json.loads(str(data["meta"]))
+    graph.finalize()
+    return graph

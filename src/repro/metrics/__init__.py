@@ -1,0 +1,36 @@
+"""Metric spaces supported by the reproduction.
+
+The paper evaluates on L1, L2 and L4 norms, angular distance and edit
+distance (Table 1); all are implemented here behind a uniform
+:class:`~repro.metrics.base.Metric` interface with vectorised one-to-many
+kernels.
+"""
+
+from .angular import ANGULAR, Angular
+from .base import Metric, VectorMetric
+from .discrete import HAMMING, JACCARD, Hamming, Jaccard, JaccardStore
+from .edit import EDIT, Edit, EditStore, levenshtein
+from .minkowski import L1, L2, L4, Minkowski
+from .registry import available_metrics, resolve_metric
+
+__all__ = [
+    "Metric",
+    "VectorMetric",
+    "Minkowski",
+    "Angular",
+    "Edit",
+    "EditStore",
+    "levenshtein",
+    "Hamming",
+    "Jaccard",
+    "JaccardStore",
+    "L1",
+    "L2",
+    "L4",
+    "ANGULAR",
+    "EDIT",
+    "HAMMING",
+    "JACCARD",
+    "resolve_metric",
+    "available_metrics",
+]

@@ -1,0 +1,52 @@
+"""Angular distance.
+
+Used by the paper for Glove word embeddings (Table 1).  The angular
+distance ``arccos(cos_sim(a, b))`` — the angle between two vectors, in
+radians — is a proper metric on the unit sphere (it is the geodesic
+distance), unlike raw cosine *similarity* or ``1 - cos``.
+
+Vectors are normalised once at :meth:`prepare` time, so each one-to-many
+evaluation is a single matrix-vector product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import MetricError
+from .base import VectorMetric
+
+
+class Angular(VectorMetric):
+    """Geodesic (angle) distance between non-zero vectors, in ``[0, pi]``."""
+
+    name = "angular"
+
+    def prepare(self, objects) -> np.ndarray:
+        arr = super().prepare(objects)
+        norms = np.linalg.norm(arr, axis=1)
+        if np.any(norms == 0.0):
+            raise MetricError("angular: zero vectors have no direction")
+        return arr / norms[:, None]
+
+    def dist_many(
+        self,
+        store: np.ndarray,
+        i: int,
+        idx: np.ndarray,
+        bound: float | None = None,
+    ) -> np.ndarray:
+        cos = store[idx] @ store[i]
+        np.clip(cos, -1.0, 1.0, out=cos)
+        return np.arccos(cos)
+
+    def pair_dist(self, store: np.ndarray, a, b) -> np.ndarray:
+        a_arr = np.asarray(a, dtype=np.int64)
+        b_arr = np.asarray(b, dtype=np.int64)
+        cos = np.einsum("ij,ij->i", store[a_arr], store[b_arr])
+        np.clip(cos, -1.0, 1.0, out=cos)
+        return np.arccos(cos)
+
+
+#: Shared instance used by registry and dataset suites.
+ANGULAR = Angular()

@@ -1,0 +1,113 @@
+"""Metric abstraction.
+
+A :class:`Metric` turns a raw collection of objects (a 2-D numpy array for
+vector data, a list of strings for edit distance) into a *store* — a
+prepared, immutable representation optimised for one-to-many distance
+evaluation — and then answers distance queries against that store by
+object index.
+
+Everything in the library accesses data through this interface, so adding
+a new metric space automatically makes every index, graph builder and
+detection algorithm available in it.  This mirrors the paper's claim that
+the approach applies to any metric space (§1, challenge iii).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+
+class Metric(ABC):
+    """A distance function satisfying the metric axioms.
+
+    Subclasses must guarantee non-negativity, identity of indiscernibles,
+    symmetry and the triangle inequality — the DOD algorithms (VP-tree
+    pruning, SNIF cluster pruning) rely on the triangle inequality for
+    correctness.
+    """
+
+    #: short registry name, e.g. ``"l2"``.
+    name: str = ""
+    #: True when objects are rows of a 2-D float array.
+    is_vector: bool = True
+
+    @abstractmethod
+    def prepare(self, objects: Any) -> Any:
+        """Validate ``objects`` and return the prepared store."""
+
+    @abstractmethod
+    def n_objects(self, store: Any) -> int:
+        """Number of objects held by ``store``."""
+
+    @abstractmethod
+    def nbytes(self, store: Any) -> int:
+        """Approximate memory footprint of ``store`` in bytes."""
+
+    @abstractmethod
+    def dist(self, store: Any, i: int, j: int) -> float:
+        """Distance between objects ``i`` and ``j``."""
+
+    @abstractmethod
+    def dist_many(
+        self,
+        store: Any,
+        i: int,
+        idx: np.ndarray,
+        bound: float | None = None,
+    ) -> np.ndarray:
+        """Distances from object ``i`` to each object in ``idx``.
+
+        When ``bound`` is given, entries whose true distance exceeds
+        ``bound`` may be reported as any value strictly greater than
+        ``bound`` (early abandon); callers that only compare against
+        ``bound`` (range counting with radius ``r``) can exploit this.
+        """
+
+    def pair_dist(self, store: Any, a: Sequence[int], b: Sequence[int]) -> np.ndarray:
+        """Element-wise distances ``dist(a[t], b[t])``.
+
+        Generic fallback; vector metrics override with a batched kernel.
+        """
+        a_arr = np.asarray(a, dtype=np.int64)
+        b_arr = np.asarray(b, dtype=np.int64)
+        out = np.empty(len(a_arr), dtype=np.float64)
+        for t in range(len(a_arr)):
+            out[t] = self.dist(store, int(a_arr[t]), int(b_arr[t]))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class VectorMetric(Metric):
+    """Common plumbing for metrics over rows of a 2-D float64 array."""
+
+    is_vector = True
+
+    def prepare(self, objects: Any) -> np.ndarray:
+        from ..exceptions import MetricError
+
+        arr = np.ascontiguousarray(objects, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr.reshape(-1, 1)
+        if arr.ndim != 2:
+            raise MetricError(
+                f"{self.name}: expected a 2-D array of vectors, got ndim={arr.ndim}"
+            )
+        if arr.shape[0] == 0:
+            raise MetricError(f"{self.name}: empty object collection")
+        if not np.all(np.isfinite(arr)):
+            raise MetricError(f"{self.name}: non-finite coordinates in input")
+        return arr
+
+    def n_objects(self, store: np.ndarray) -> int:
+        return int(store.shape[0])
+
+    def nbytes(self, store: np.ndarray) -> int:
+        return int(store.nbytes)
+
+    def dist(self, store: np.ndarray, i: int, j: int) -> float:
+        return float(self.dist_many(store, i, np.asarray([j], dtype=np.int64))[0])

@@ -1,0 +1,72 @@
+"""Minkowski (Lp-norm) metrics.
+
+The paper's evaluation uses the L2 norm (Deep, PAMAP2, SIFT), L1 norm
+(HEPMASS) and L4 norm (MNIST) — see Table 1.  :class:`Minkowski`
+implements the general case; :data:`L1`, :data:`L2` and :data:`L4` are the
+named instances used by the dataset suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from .base import VectorMetric
+
+
+class Minkowski(VectorMetric):
+    """The Lp norm ``(sum |a_i - b_i|^p)^(1/p)`` for ``p >= 1``.
+
+    ``p >= 1`` is required for the triangle inequality to hold.
+    """
+
+    def __init__(self, p: float):
+        if p < 1:
+            raise ParameterError(f"Minkowski p must be >= 1 (got {p})")
+        self.p = float(p)
+        if self.p == int(self.p):
+            self.name = f"l{int(self.p)}"
+        else:
+            self.name = f"l{self.p}"
+
+    def dist_many(
+        self,
+        store: np.ndarray,
+        i: int,
+        idx: np.ndarray,
+        bound: float | None = None,
+    ) -> np.ndarray:
+        diff = store[idx] - store[i]
+        if self.p == 2.0:
+            np.multiply(diff, diff, out=diff)
+            return np.sqrt(np.einsum("ij->i", diff))
+        if self.p == 1.0:
+            np.abs(diff, out=diff)
+            return np.einsum("ij->i", diff)
+        np.abs(diff, out=diff)
+        np.power(diff, self.p, out=diff)
+        return np.power(np.einsum("ij->i", diff), 1.0 / self.p)
+
+    def pair_dist(self, store: np.ndarray, a, b) -> np.ndarray:
+        a_arr = np.asarray(a, dtype=np.int64)
+        b_arr = np.asarray(b, dtype=np.int64)
+        diff = store[a_arr] - store[b_arr]
+        if self.p == 2.0:
+            np.multiply(diff, diff, out=diff)
+            return np.sqrt(np.einsum("ij->i", diff))
+        np.abs(diff, out=diff)
+        if self.p == 1.0:
+            return np.einsum("ij->i", diff)
+        np.power(diff, self.p, out=diff)
+        return np.power(np.einsum("ij->i", diff), 1.0 / self.p)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Minkowski(p={self.p:g})"
+
+
+#: Manhattan distance (HEPMASS in the paper).
+L1 = Minkowski(1.0)
+#: Euclidean distance (Deep, PAMAP2, SIFT in the paper).
+L2 = Minkowski(2.0)
+#: L4 norm (MNIST in the paper).
+L4 = Minkowski(4.0)

@@ -1,0 +1,71 @@
+"""Name-based metric lookup.
+
+Algorithms and the CLI accept metrics by short name (``"l2"``,
+``"angular"``, ``"edit"``, ``"lp:3"``), so experiment configuration stays
+plain data.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import MetricError
+from .angular import ANGULAR, Angular
+from .base import Metric
+from .discrete import HAMMING, JACCARD, Hamming, Jaccard
+from .edit import EDIT, Edit
+from .minkowski import L1, L2, L4, Minkowski
+
+_NAMED: dict[str, Metric] = {
+    "l1": L1,
+    "l2": L2,
+    "l4": L4,
+    "euclidean": L2,
+    "manhattan": L1,
+    "angular": ANGULAR,
+    "edit": EDIT,
+    "levenshtein": EDIT,
+    "hamming": HAMMING,
+    "jaccard": JACCARD,
+}
+
+
+def resolve_metric(metric: "str | Metric") -> Metric:
+    """Return a :class:`Metric` instance for ``metric``.
+
+    Accepts an instance (returned unchanged), a registered name, or the
+    ``"lp:<p>"`` form for an arbitrary Minkowski exponent.
+    """
+    if isinstance(metric, Metric):
+        return metric
+    if not isinstance(metric, str):
+        raise MetricError(f"cannot interpret {metric!r} as a metric")
+    key = metric.strip().lower()
+    if key in _NAMED:
+        return _NAMED[key]
+    if key.startswith("lp:"):
+        try:
+            return Minkowski(float(key[3:]))
+        except ValueError as exc:
+            raise MetricError(f"bad Minkowski exponent in {metric!r}") from exc
+    raise MetricError(
+        f"unknown metric {metric!r}; known: {sorted(_NAMED)} or 'lp:<p>'"
+    )
+
+
+def available_metrics() -> list[str]:
+    """Names accepted by :func:`resolve_metric`."""
+    return sorted(_NAMED)
+
+
+__all__ = [
+    "resolve_metric",
+    "available_metrics",
+    "Metric",
+    "Minkowski",
+    "Angular",
+    "Edit",
+    "L1",
+    "L2",
+    "L4",
+    "ANGULAR",
+    "EDIT",
+]

@@ -1,0 +1,36 @@
+"""Seeded randomness helpers.
+
+All stochastic components of the library (graph builders, dataset
+generators, sampling inside MRPG construction) accept either an integer
+seed or a :class:`numpy.random.Generator`.  Funnelling every call through
+:func:`ensure_rng` keeps experiments reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    ``None`` yields a fresh nondeterministic generator; an ``int`` seeds a
+    new generator; an existing generator is passed through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used to give each worker of a parallel phase its own stream so results
+    do not depend on scheduling order.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

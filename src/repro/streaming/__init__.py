@@ -1,0 +1,5 @@
+"""Sliding-window DOD — the dynamic-data substrate the paper defers to (§2)."""
+
+from .window import SlidingWindowDOD, WindowReport, window_outliers_bruteforce
+
+__all__ = ["SlidingWindowDOD", "WindowReport", "window_outliers_bruteforce"]

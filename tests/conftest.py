@@ -1,0 +1,109 @@
+"""Shared fixtures.
+
+Expensive artifacts (datasets, graphs, references) are session-scoped;
+tests must treat them as immutable (copy before mutating a graph).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Dataset, build_graph
+from repro.datasets import blobs_with_outliers, words_with_outliers
+from repro.index import brute_force_outliers
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+# -- vector data -------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def blob_points() -> np.ndarray:
+    return blobs_with_outliers(
+        260, dim=6, n_clusters=4, core_std=0.8, tail_std=2.5, tail_frac=0.06,
+        center_spread=12.0, planted_frac=0.015, planted_spread=60.0, rng=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def l2_dataset(blob_points) -> Dataset:
+    return Dataset(blob_points, "l2")
+
+
+@pytest.fixture(scope="session")
+def l1_dataset(blob_points) -> Dataset:
+    return Dataset(blob_points, "l1")
+
+
+@pytest.fixture(scope="session")
+def angular_dataset(blob_points) -> Dataset:
+    # Shift away from the origin so no vector is ~zero.
+    return Dataset(blob_points + 8.0, "angular")
+
+
+# -- string data -------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def word_list() -> list[str]:
+    return words_with_outliers(180, n_stems=12, planted_frac=0.02, rng=7)
+
+
+@pytest.fixture(scope="session")
+def edit_dataset(word_list) -> Dataset:
+    return Dataset(word_list, "edit")
+
+
+# -- detection parameters ------------------------------------------------------
+
+# Calibrated once for the session blob data: r is a low quantile of the
+# pairwise-distance distribution, which leaves a handful of outliers.
+
+
+@pytest.fixture(scope="session")
+def l2_params(l2_dataset) -> tuple[float, int]:
+    gen = np.random.default_rng(0)
+    a = gen.integers(0, l2_dataset.n, size=1500)
+    b = gen.integers(0, l2_dataset.n, size=1500)
+    keep = a != b
+    d = l2_dataset.pair_dist(a[keep], b[keep])
+    return float(np.quantile(d, 0.10)), 8
+
+
+@pytest.fixture(scope="session")
+def l2_reference(l2_dataset, l2_params) -> np.ndarray:
+    r, k = l2_params
+    return brute_force_outliers(l2_dataset.view(), r, k)
+
+
+# -- graphs -------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def mrpg_l2(l2_dataset):
+    return build_graph("mrpg", l2_dataset, K=8, rng=0)
+
+
+@pytest.fixture(scope="session")
+def mrpg_basic_l2(l2_dataset):
+    return build_graph("mrpg-basic", l2_dataset, K=8, rng=0)
+
+
+@pytest.fixture(scope="session")
+def kgraph_l2(l2_dataset):
+    return build_graph("kgraph", l2_dataset, K=8, rng=0)
+
+
+@pytest.fixture(scope="session")
+def nsw_l2(l2_dataset):
+    return build_graph("nsw", l2_dataset, K=8, rng=0)
+
+
+@pytest.fixture(scope="session")
+def mrpg_edit(edit_dataset):
+    return build_graph("mrpg", edit_dataset, K=6, rng=0)

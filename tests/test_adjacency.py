@@ -1,0 +1,139 @@
+"""Unit tests for the Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import Graph
+
+
+def test_add_link_directed():
+    g = Graph(5)
+    assert g.add_link(0, 1)
+    assert g.has_link(0, 1)
+    assert not g.has_link(1, 0)
+
+
+def test_add_link_dedupes():
+    g = Graph(5)
+    assert g.add_link(0, 1)
+    assert not g.add_link(0, 1)
+    assert g.degree(0) == 1
+
+
+def test_self_loop_refused():
+    g = Graph(5)
+    assert not g.add_link(2, 2)
+    assert g.degree(2) == 0
+
+
+def test_add_edge_both_directions():
+    g = Graph(5)
+    g.add_edge(1, 3)
+    assert g.has_link(1, 3) and g.has_link(3, 1)
+
+
+def test_remove_link():
+    g = Graph(5)
+    g.add_edge(0, 1)
+    assert g.remove_link(0, 1)
+    assert not g.has_link(0, 1)
+    assert g.has_link(1, 0)
+    assert not g.remove_link(0, 1)  # already gone
+
+
+def test_remove_edge():
+    g = Graph(5)
+    g.add_edge(0, 1)
+    g.remove_edge(0, 1)
+    assert g.degree(0) == 0 and g.degree(1) == 0
+
+
+def test_set_links_replaces_and_filters():
+    g = Graph(6)
+    g.add_link(0, 5)
+    g.set_links(0, [1, 2, 2, 0, 3])  # dups and self dropped
+    assert g.neighbors_list(0) == [1, 2, 3]
+    assert not g.has_link(0, 5)
+
+
+def test_neighbors_array_and_finalize():
+    g = Graph(4)
+    g.add_link(0, 2)
+    g.add_link(0, 3)
+    np.testing.assert_array_equal(g.neighbors(0), [2, 3])
+    g.finalize()
+    assert g.finalized
+    np.testing.assert_array_equal(g.neighbors(0), [2, 3])
+    # Mutation invalidates the frozen arrays.
+    g.add_link(0, 1)
+    assert not g.finalized
+    np.testing.assert_array_equal(np.sort(g.neighbors(0)), [1, 2, 3])
+
+
+def test_n_links_counts_directed():
+    g = Graph(4)
+    g.add_edge(0, 1)
+    g.add_link(2, 3)
+    assert g.n_links == 3
+
+
+def test_empty_neighbors_shared_array():
+    g = Graph(3)
+    assert g.neighbors(0).size == 0
+    g.finalize()
+    assert g.neighbors(0).size == 0
+
+
+def test_copy_is_deep():
+    g = Graph(4)
+    g.add_edge(0, 1)
+    g.pivots[2] = True
+    g.exact_knn[3] = (np.asarray([0, 1]), np.asarray([1.0, 2.0]))
+    g.meta["K"] = 9
+    c = g.copy()
+    c.add_link(0, 2)
+    c.pivots[2] = False
+    c.exact_knn[3][0][0] = 99
+    assert not g.has_link(0, 2)
+    assert g.pivots[2]
+    assert g.exact_knn[3][0][0] == 0
+    assert c.meta["K"] == 9
+
+
+def test_validate_detects_internal_corruption():
+    g = Graph(4)
+    g.add_link(0, 1)
+    g.validate()
+    g._adj[0].append(1)  # bypass the API: duplicate link
+    with pytest.raises(GraphError):
+        g.validate()
+
+
+def test_validate_detects_out_of_range():
+    g = Graph(3)
+    g._adj[0].append(7)
+    g._members[0].add(7)
+    with pytest.raises(GraphError):
+        g.validate()
+
+
+def test_nbytes_grows_with_links():
+    g1 = Graph(10)
+    g2 = Graph(10)
+    for v in range(1, 10):
+        g2.add_link(0, v)
+    assert g2.nbytes > g1.nbytes
+
+
+def test_zero_vertices_rejected():
+    with pytest.raises(GraphError):
+        Graph(0)
+
+
+def test_pivot_and_exact_flags():
+    g = Graph(5)
+    g.pivots[1] = True
+    g.exact_knn[2] = (np.asarray([0]), np.asarray([1.0]))
+    assert g.is_pivot(1) and not g.is_pivot(0)
+    assert g.has_exact_knn(2) and not g.has_exact_knn(1)

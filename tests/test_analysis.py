@@ -1,0 +1,86 @@
+"""Unit tests for the analysis/instrumentation helpers."""
+
+import numpy as np
+import pytest
+
+from repro import graph_dod
+from repro.analysis import (
+    aknn_recall,
+    connectivity_report,
+    degree_stats,
+    filtering_stats,
+    monotonic_path_coverage,
+    to_networkx,
+)
+from repro.graphs import Graph
+
+
+def test_filtering_stats_consistent_with_dod(
+    l2_dataset, mrpg_l2, l2_params, l2_reference
+):
+    r, k = l2_params
+    stats = filtering_stats(l2_dataset, mrpg_l2, r, k)
+    res = graph_dod(l2_dataset, mrpg_l2, r, k)
+    assert stats.candidates == res.counts["candidates"]
+    assert stats.direct_outliers == res.counts["direct_outliers"]
+    assert stats.outliers == l2_reference.size
+    assert stats.false_positives == res.counts["false_positives"]
+    assert 0.0 <= stats.fp_rate <= 1.0
+
+
+def test_mrpg_has_fewer_false_positives_than_nsw(
+    l2_dataset, mrpg_l2, nsw_l2, l2_params
+):
+    """Table 7's headline ordering at test scale."""
+    r, k = l2_params
+    f_mrpg = filtering_stats(l2_dataset, mrpg_l2, r, k).false_positives
+    f_nsw = filtering_stats(l2_dataset, nsw_l2, r, k).false_positives
+    assert f_mrpg <= f_nsw
+
+
+def test_connectivity_report_keys(mrpg_l2):
+    rep = connectivity_report(mrpg_l2)
+    assert rep["n_weak_components"] >= 1
+    assert rep["largest_weak"] <= mrpg_l2.n
+    assert rep["n_strong_components"] >= rep["n_weak_components"]
+
+
+def test_connectivity_on_disconnected_graph():
+    g = Graph(6)
+    g.add_edge(0, 1)
+    g.add_edge(2, 3)
+    rep = connectivity_report(g)
+    assert rep["n_weak_components"] == 4  # two pairs + two isolated
+
+
+def test_to_networkx_roundtrip(kgraph_l2):
+    nxg = to_networkx(kgraph_l2)
+    assert nxg.number_of_nodes() == kgraph_l2.n
+    assert nxg.number_of_edges() == kgraph_l2.n_links
+
+
+def test_degree_stats(kgraph_l2):
+    stats = degree_stats(kgraph_l2)
+    assert stats["min"] == 8  # KGraph: exactly K out-links each
+    assert stats["max"] == 8
+    assert stats["total_links"] == kgraph_l2.n_links
+
+
+def test_aknn_recall_bounds(l2_dataset, kgraph_l2):
+    rec = aknn_recall(l2_dataset, kgraph_l2, K=8, sample_size=40, rng=0)
+    assert 0.0 <= rec <= 1.0
+    assert rec > 0.9  # KGraph is a direct AKNN graph
+
+
+def test_monotonic_coverage_bounds(l2_dataset, mrpg_l2, l2_params):
+    r, _ = l2_params
+    cov = monotonic_path_coverage(l2_dataset, mrpg_l2, r, sample_size=30, rng=0)
+    assert 0.0 <= cov <= 1.0
+    assert cov > 0.5  # MRPG is built to make neighbors reachable
+
+
+def test_mrpg_coverage_at_least_kgraph(l2_dataset, mrpg_l2, kgraph_l2, l2_params):
+    r, _ = l2_params
+    cov_m = monotonic_path_coverage(l2_dataset, mrpg_l2, r, sample_size=40, rng=1)
+    cov_k = monotonic_path_coverage(l2_dataset, kgraph_l2, r, sample_size=40, rng=1)
+    assert cov_m >= cov_k - 0.05

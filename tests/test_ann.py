@@ -1,0 +1,47 @@
+"""Unit tests for greedy ANN search on a graph."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, greedy_ann_search
+
+
+def test_descends_towards_query(kgraph_l2, l2_dataset):
+    gen = np.random.default_rng(0)
+    for _ in range(10):
+        query = int(gen.integers(l2_dataset.n))
+        start = int(gen.integers(l2_dataset.n))
+        if start == query:
+            continue
+        best, best_d = greedy_ann_search(l2_dataset, kgraph_l2, query, start)
+        assert best_d <= l2_dataset.dist(query, start) + 1e-12
+        assert best != query
+        assert best_d == pytest.approx(l2_dataset.dist(query, best))
+
+
+def test_never_returns_query(kgraph_l2, l2_dataset):
+    # Start adjacent to the query: the walk must skip over it.
+    query = 0
+    start = int(kgraph_l2.neighbors(0)[0])
+    best, _ = greedy_ann_search(l2_dataset, kgraph_l2, query, start)
+    assert best != query
+
+
+def test_isolated_start_returns_start(l2_dataset):
+    g = Graph(l2_dataset.n)
+    g.finalize()
+    best, best_d = greedy_ann_search(l2_dataset, g, 1, 5)
+    assert best == 5
+    assert best_d == pytest.approx(l2_dataset.dist(1, 5))
+
+
+def test_max_hops_zero_no_walk(kgraph_l2, l2_dataset):
+    best, _ = greedy_ann_search(l2_dataset, kgraph_l2, 3, 200, max_hops=0)
+    assert best == 200
+
+
+def test_result_improves_with_hops(kgraph_l2, l2_dataset):
+    query, start = 7, 250
+    _, d1 = greedy_ann_search(l2_dataset, kgraph_l2, query, start, max_hops=1)
+    _, d10 = greedy_ann_search(l2_dataset, kgraph_l2, query, start, max_hops=10)
+    assert d10 <= d1 + 1e-12

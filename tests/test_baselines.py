@@ -1,0 +1,127 @@
+"""Unit tests for the four state-of-the-art baselines (§3/§6)."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset, VPTree
+from repro.baselines import dolphin_dod, nested_loop_dod, snif_dod, vptree_dod
+from repro.exceptions import ParameterError
+from repro.index import brute_force_outliers
+
+ALL_BASELINES = [nested_loop_dod, snif_dod, dolphin_dod, vptree_dod]
+
+
+@pytest.mark.parametrize("fn", ALL_BASELINES)
+def test_exact_on_l2(fn, l2_dataset, l2_params, l2_reference):
+    r, k = l2_params
+    res = fn(l2_dataset, r, k)
+    assert res.same_outliers(l2_reference)
+    assert res.n == l2_dataset.n
+
+
+@pytest.mark.parametrize("fn", ALL_BASELINES)
+def test_exact_on_edit(fn, edit_dataset):
+    r, k = 3.0, 4
+    ref = brute_force_outliers(edit_dataset.view(), r, k)
+    res = fn(edit_dataset, r, k)
+    assert res.same_outliers(ref)
+
+
+@pytest.mark.parametrize("fn", ALL_BASELINES)
+def test_parallel_equals_serial(fn, l2_dataset, l2_params):
+    r, k = l2_params
+    serial = fn(l2_dataset, r, k, rng=5)
+    parallel = fn(l2_dataset, r, k, rng=5, n_jobs=3)
+    assert serial.same_outliers(parallel)
+
+
+@pytest.mark.parametrize("fn", ALL_BASELINES)
+def test_deterministic(fn, l2_dataset, l2_params):
+    r, k = l2_params
+    a = fn(l2_dataset, r, k, rng=9)
+    b = fn(l2_dataset, r, k, rng=9)
+    assert a.same_outliers(b)
+
+
+@pytest.mark.parametrize("fn", ALL_BASELINES)
+def test_validation(fn, l2_dataset):
+    with pytest.raises(ParameterError):
+        fn(l2_dataset, -1.0, 3)
+    with pytest.raises(ParameterError):
+        fn(l2_dataset, 1.0, 0)
+
+
+@pytest.mark.parametrize("fn", ALL_BASELINES)
+def test_extreme_radii(fn, l2_dataset):
+    # r huge: nobody is an outlier.  r zero: everyone is (distinct points).
+    res_all_in = fn(l2_dataset, 1e9, 2)
+    assert res_all_in.n_outliers == 0
+    res_all_out = fn(l2_dataset, 0.0, 1)
+    assert res_all_out.n_outliers == l2_dataset.n
+
+
+def test_nested_loop_phase_accounting(l2_dataset, l2_params):
+    r, k = l2_params
+    res = nested_loop_dod(l2_dataset, r, k)
+    assert res.method == "nested-loop"
+    assert res.pairs > 0
+    assert "scan" in res.phases
+
+
+def test_nested_loop_chunk_sizes_agree(l2_dataset, l2_params):
+    r, k = l2_params
+    a = nested_loop_dod(l2_dataset, r, k, chunk=16, rng=0)
+    b = nested_loop_dod(l2_dataset, r, k, chunk=4096, rng=0)
+    assert a.same_outliers(b)
+
+
+def test_snif_cluster_accounting(l2_dataset, l2_params):
+    r, k = l2_params
+    res = snif_dod(l2_dataset, r, k)
+    assert res.method == "snif"
+    assert 1 <= res.counts["clusters"] <= l2_dataset.n
+    assert 0 <= res.counts["candidates"] <= l2_dataset.n
+    assert set(res.phases) == {"cluster", "verify"}
+
+
+def test_snif_prunes_work_vs_nested_loop(l2_dataset, l2_params):
+    """SNIF's cluster certificates must save distance computations.
+
+    The certificate (cluster size > k implies all members are inliers)
+    only bites when the radius is generous enough that clusters exceed
+    k — the low-outlier-ratio regime the paper targets — so the test
+    runs at 3x the base radius (sub-percent outliers).
+    """
+    r, k = l2_params
+    snif = snif_dod(l2_dataset, 3 * r, k)
+    nested = nested_loop_dod(l2_dataset, 3 * r, k)
+    assert snif.same_outliers(nested)
+    assert snif.pairs < nested.pairs
+
+
+def test_dolphin_candidate_shrinkage(l2_dataset, l2_params):
+    r, k = l2_params
+    res = dolphin_dod(l2_dataset, r, k)
+    assert res.method == "dolphin"
+    # The candidate index after scan 1 is a superset of the outliers but
+    # far smaller than the dataset on clustered data.
+    assert res.n_outliers <= res.counts["candidates"] < l2_dataset.n
+
+
+def test_vptree_prebuilt_tree(l2_dataset, l2_params, l2_reference):
+    r, k = l2_params
+    tree = VPTree(l2_dataset, capacity=8, rng=0)
+    res = vptree_dod(l2_dataset, r, k, tree=tree)
+    assert res.same_outliers(l2_reference)
+    assert "build" not in res.phases  # offline build excluded
+
+
+def test_vptree_prunes_work_vs_nested_loop_low_dim(rng):
+    pts = np.concatenate(
+        [rng.normal(size=(200, 2)), rng.normal(size=(5, 2)) + 40.0]
+    )
+    ds = Dataset(pts, "l2")
+    vp = vptree_dod(ds, 1.0, 5, rng=0)
+    nl = nested_loop_dod(ds, 1.0, 5, rng=0)
+    assert vp.same_outliers(nl)
+    assert vp.pairs < nl.pairs

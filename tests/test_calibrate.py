@@ -1,0 +1,56 @@
+"""Unit tests for parameter-calibration helpers."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.datasets import (
+    calibrate_r,
+    neighbor_counts,
+    outlier_ratio,
+    sample_distance_quantiles,
+)
+from repro.exceptions import ParameterError
+from repro.index import brute_force_outliers, linear_count
+
+
+def test_neighbor_counts_match_linear(l2_dataset):
+    counts = neighbor_counts(l2_dataset, 3.0)
+    for p in (0, 40, 111):
+        assert counts[p] == linear_count(l2_dataset, p, 3.0)
+
+
+def test_outlier_ratio_matches_brute_force(l2_dataset, l2_params):
+    r, k = l2_params
+    ratio = outlier_ratio(l2_dataset, r, k)
+    ref = brute_force_outliers(l2_dataset.view(), r, k)
+    assert ratio == pytest.approx(ref.size / l2_dataset.n)
+
+
+def test_ratio_monotone_in_r(l2_dataset):
+    r_small = outlier_ratio(l2_dataset, 0.5, 5)
+    r_large = outlier_ratio(l2_dataset, 50.0, 5)
+    assert r_large <= r_small
+
+
+def test_calibrate_r_achieves_target(l2_dataset):
+    r, ratio = calibrate_r(l2_dataset, k=5, target_ratio=0.05, iters=12)
+    assert ratio >= 0.05
+    # Slightly larger r must give a smaller-or-equal ratio.
+    assert outlier_ratio(l2_dataset, r * 1.5, 5) <= ratio
+
+
+def test_quantiles_ordered(l2_dataset):
+    q = sample_distance_quantiles(l2_dataset, [0.1, 0.5, 0.9])
+    assert q[0] <= q[1] <= q[2]
+
+
+def test_validation(l2_dataset):
+    with pytest.raises(ParameterError):
+        neighbor_counts(l2_dataset, -1.0)
+    with pytest.raises(ParameterError):
+        outlier_ratio(l2_dataset, 1.0, 0)
+    with pytest.raises(ParameterError):
+        calibrate_r(l2_dataset, 5, target_ratio=0.0)
+    with pytest.raises(ParameterError):
+        calibrate_r(l2_dataset, 5, target_ratio=0.1, lo=5.0, hi=1.0)

@@ -1,0 +1,119 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_suites_lists_all(capsys):
+    assert main(["suites"]) == 0
+    out = capsys.readouterr().out
+    for name in ("deep", "glove", "hepmass", "mnist", "pamap2", "sift", "words"):
+        assert name in out
+
+
+def test_detect_on_suite(capsys):
+    code = main(
+        ["detect", "--suite", "glove", "--n", "220", "--K", "8", "--k", "6"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "outliers" in out
+    assert "mrpg" in out
+
+
+def test_detect_on_npy_input(tmp_path, capsys, rng):
+    pts = np.concatenate(
+        [rng.normal(size=(150, 4)), rng.normal(size=(4, 4)) + 50.0]
+    )
+    path = tmp_path / "pts.npy"
+    np.save(path, pts)
+    out_path = tmp_path / "outliers.txt"
+    code = main(
+        ["detect", "--input", str(path), "--r", "2.0", "--k", "5",
+         "--K", "8", "--output", str(out_path)]
+    )
+    assert code == 0
+    ids = np.loadtxt(out_path, dtype=np.int64, ndmin=1)
+    assert ids.size >= 4  # at least the planted far points
+
+
+def test_detect_text_input_edit_metric(tmp_path, capsys):
+    from repro.datasets import words_with_outliers
+
+    words = words_with_outliers(160, n_stems=10, planted_frac=0.02, rng=0)
+    path = tmp_path / "words.txt"
+    path.write_text("\n".join(words), encoding="utf-8")
+    code = main(
+        ["detect", "--input", str(path), "--metric", "edit",
+         "--r", "4", "--k", "4", "--K", "6"]
+    )
+    assert code == 0
+    assert "edit" not in capsys.readouterr().err
+
+
+def test_detect_input_requires_r_and_k(tmp_path, capsys, rng):
+    path = tmp_path / "pts.npy"
+    np.save(path, rng.normal(size=(50, 3)))
+    assert main(["detect", "--input", str(path)]) == 2
+    assert "--r and --k" in capsys.readouterr().err
+
+
+def test_experiment_command(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SUITES", "words")
+    from repro.harness import clear_caches
+
+    clear_caches()
+    code = main(
+        ["experiment", "table1", "--save-dir", str(tmp_path), "--scale", "0.1"]
+    )
+    clear_caches()
+    assert code == 0
+    assert (tmp_path / "table1.txt").exists()
+    assert "table1" in capsys.readouterr().out
+
+
+def test_topn_command(capsys):
+    code = main(
+        ["topn", "--suite", "words", "--n-top", "5", "--n", "200",
+         "--K", "6", "--k", "4"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "kNN distance" in out
+    assert "seeding=mrpg" in out
+
+
+def test_topn_command_no_graph(capsys):
+    code = main(
+        ["topn", "--suite", "words", "--n-top", "3", "--n", "150",
+         "--no-graph", "--k", "3"]
+    )
+    assert code == 0
+    assert "seeding=none" in capsys.readouterr().out
+
+
+def test_stream_command(capsys):
+    code = main(
+        ["stream", "--suite", "words", "--n", "160", "--window", "40", "--k", "4"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "window outliers" in out
+    assert "reports" in out
+
+
+def test_calibrate_command(capsys):
+    code = main(
+        ["calibrate", "--suite", "words", "--k", "4", "--target", "0.05",
+         "--n", "150"]
+    )
+    assert code == 0
+    assert "calibrated r=" in capsys.readouterr().out
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0

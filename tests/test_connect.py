@@ -1,0 +1,82 @@
+"""Unit tests for Connect-SubGraphs (Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.analysis import connectivity_report
+from repro.graphs import Graph, connect_subgraphs, nndescent_plus
+
+
+def _disconnected_fixture(rng_seed=0):
+    """Two well-separated blobs whose AKNN graphs don't touch."""
+    gen = np.random.default_rng(rng_seed)
+    a = gen.normal(0.0, 1.0, size=(60, 4))
+    b = gen.normal(0.0, 1.0, size=(60, 4)) + 100.0
+    ds = Dataset(np.concatenate([a, b]), "l2")
+    ndp = nndescent_plus(ds, K=5, n_exact=4, rng=0)
+    g = Graph(ds.n)
+    g.meta["K"] = 5
+    g.pivots = ndp.pivots.copy()
+    g.exact_knn = ndp.exact_knn
+    for p in range(ds.n):
+        if p in ndp.exact_knn:
+            g.set_links(p, ndp.exact_knn[p][0])
+        else:
+            g.set_links(p, ndp.knn.knn_ids[p])
+    return ds, g
+
+
+def test_disconnected_graph_becomes_connected():
+    ds, g = _disconnected_fixture()
+    before = connectivity_report(g)
+    assert before["n_weak_components"] >= 2  # blobs are AKNN-disjoint
+    stats = connect_subgraphs(ds, g, rng=0)
+    after = connectivity_report(g)
+    assert after["n_weak_components"] == 1
+    assert stats["patches"] >= 1
+
+
+def test_everything_reachable_by_out_links():
+    ds, g = _disconnected_fixture(1)
+    connect_subgraphs(ds, g, rng=1)
+    # BFS over out-links from vertex 0 must reach every vertex.
+    seen = np.zeros(g.n, dtype=bool)
+    seen[0] = True
+    stack = [0]
+    while stack:
+        v = stack.pop()
+        for w in g.neighbors_list(v):
+            if not seen[w]:
+                seen[w] = True
+                stack.append(w)
+    assert seen.all()
+
+
+def test_reverse_edges_added_except_exact():
+    ds, g = _disconnected_fixture(2)
+    exact_nodes = set(g.exact_knn)
+    connect_subgraphs(ds, g, rng=2)
+    for u in range(g.n):
+        for v in g.neighbors_list(u):
+            if v not in exact_nodes:
+                assert g.has_link(v, u), (u, v)
+
+
+def test_exact_link_lists_untouched():
+    ds, g = _disconnected_fixture(3)
+    before = {p: list(g.neighbors_list(p)) for p in g.exact_knn}
+    connect_subgraphs(ds, g, rng=3)
+    for p, links in before.items():
+        assert g.neighbors_list(p) == links
+
+
+def test_already_connected_graph_needs_no_patch(l2_dataset, kgraph_l2):
+    g = kgraph_l2.copy()
+    report = connectivity_report(g)
+    stats = connect_subgraphs(l2_dataset, g, rng=0)
+    if report["n_weak_components"] == 1:
+        # KGraph on blob data is usually weakly connected already; then
+        # undirecting suffices and no ANN patch is needed.
+        assert stats["patches"] == 0
+    assert connectivity_report(g)["n_weak_components"] == 1

@@ -1,0 +1,83 @@
+"""Unit tests for the named dataset suites (Table 1/2 analogues)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SUITE_NAMES, SUITES, get_spec, load_suite, make_objects
+from repro.exceptions import ParameterError
+
+
+def test_all_seven_suites_present():
+    assert set(SUITE_NAMES) == {
+        "deep", "glove", "hepmass", "mnist", "pamap2", "sift", "words",
+    }
+
+
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_suite_loads_small(name):
+    ds, spec = load_suite(name, n=80, seed=0)
+    assert ds.n == 80
+    assert spec.name == name
+    assert spec.default_r > 0
+    assert spec.default_k >= 1
+    assert spec.verify in ("vptree", "linear")
+
+
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_suite_metric_matches_table1(name):
+    expected = {
+        "deep": "l2", "glove": "angular", "hepmass": "l1", "mnist": "l4",
+        "pamap2": "l2", "sift": "l2", "words": "edit",
+    }
+    assert SUITES[name].metric == expected[name]
+
+
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_suite_deterministic(name):
+    a = make_objects(name, n=60, seed=5)
+    b = make_objects(name, n=60, seed=5)
+    if name == "words":
+        assert a == b
+    else:
+        np.testing.assert_array_equal(a, b)
+
+
+def test_vector_suite_dimensions():
+    for name, dim in [("deep", 96), ("glove", 25), ("hepmass", 27),
+                      ("mnist", 784), ("pamap2", 51), ("sift", 128)]:
+        pts = make_objects(name, n=50, seed=0)
+        assert pts.shape == (50, dim), name
+
+
+def test_pamap2_domain():
+    pts = make_objects("pamap2", n=150, seed=0)
+    assert pts.min() >= 0.0
+    assert pts.max() <= 1e5 + 1e-6
+
+
+def test_sift_nonnegative():
+    pts = make_objects("sift", n=100, seed=0)
+    assert pts.min() >= 0.0
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(ParameterError):
+        get_spec("netflix")
+
+
+def test_calibrated_ratio_holds_at_default_scale():
+    """The pinned (r, k) must reproduce the recorded outlier ratio.
+
+    Run on the cheapest suite (hepmass: L1, n=2000) to keep the test
+    fast; scripts/calibrate_suites.py checks all seven.
+    """
+    from repro.datasets import outlier_ratio
+
+    ds, spec = load_suite("hepmass", seed=0)
+    ratio = outlier_ratio(ds, spec.default_r, spec.default_k)
+    assert ratio == pytest.approx(spec.calibrated_ratio, abs=0.002)
+
+
+def test_default_ratios_in_paper_band():
+    for spec in SUITES.values():
+        assert 0.001 <= spec.calibrated_ratio <= 0.08, spec.name

@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    blobs_with_outliers,
+    cluster_sizes,
+    image_blobs_with_outliers,
+    mutate_word,
+    random_word,
+    sphere_blobs_with_outliers,
+    words_with_outliers,
+)
+from repro.exceptions import ParameterError
+from repro.metrics import levenshtein
+
+
+def test_cluster_sizes_sum():
+    sizes = cluster_sizes(1000, 7, rng=0)
+    assert sizes.sum() == 1000
+    assert sizes.size == 7
+    assert (sizes >= 1).all()
+
+
+def test_cluster_sizes_are_skewed():
+    sizes = cluster_sizes(1000, 8, rng=0, alpha=1.2)
+    assert sizes.max() > 2 * sizes.min()
+
+
+def test_cluster_sizes_validation():
+    with pytest.raises(ParameterError):
+        cluster_sizes(5, 10)
+    with pytest.raises(ParameterError):
+        cluster_sizes(5, 0)
+
+
+def test_blobs_shape_and_determinism():
+    a = blobs_with_outliers(200, dim=5, rng=3)
+    b = blobs_with_outliers(200, dim=5, rng=3)
+    assert a.shape == (200, 5)
+    np.testing.assert_array_equal(a, b)
+    c = blobs_with_outliers(200, dim=5, rng=4)
+    assert not np.array_equal(a, c)
+
+
+def test_blobs_nonneg_flag():
+    pts = blobs_with_outliers(100, dim=4, rng=0, nonneg=True)
+    assert (pts >= 0).all()
+
+
+def test_blobs_planted_outliers_are_far():
+    pts = blobs_with_outliers(
+        300, dim=4, n_clusters=3, core_std=0.5, tail_frac=0.0,
+        center_spread=8.0, planted_frac=0.01, planted_spread=100.0, rng=0,
+    )
+    from repro import Dataset
+    from repro.index import brute_force_knn
+
+    ds = Dataset(pts, "l2")
+    # The planted points' nearest neighbor is far relative to core scale.
+    nn_dists = np.asarray(
+        [brute_force_knn(ds, p, 1)[1][0] for p in range(ds.n)]
+    )
+    assert np.sort(nn_dists)[-3:].min() > 5.0
+
+
+def test_sphere_blobs_normalised():
+    pts = sphere_blobs_with_outliers(150, dim=10, rng=0)
+    np.testing.assert_allclose(np.linalg.norm(pts, axis=1), 1.0, atol=1e-12)
+
+
+def test_image_blobs_pixel_range():
+    pts = image_blobs_with_outliers(80, side=12, rng=0)
+    assert pts.shape == (80, 144)
+    assert pts.min() >= 0.0
+    assert pts.max() <= 255.0
+
+
+def test_random_word_length_and_alphabet(rng):
+    w = random_word(rng, 12)
+    assert len(w) == 12
+    assert w.islower() and w.isalpha()
+
+
+def test_mutate_word_bounded_edit_distance(rng):
+    for _ in range(30):
+        base = random_word(rng, int(rng.integers(4, 12)))
+        n_edits = int(rng.integers(1, 3))
+        mutated = mutate_word(rng, base, n_edits)
+        assert levenshtein(base, mutated) <= n_edits
+
+
+def test_words_with_outliers_structure():
+    words = words_with_outliers(300, n_stems=15, planted_frac=0.02, rng=0)
+    assert len(words) == 300
+    lengths = [len(w) for w in words]
+    assert max(lengths) >= 25  # long planted outliers present
+    assert min(lengths) >= 1
+
+
+def test_words_deterministic():
+    a = words_with_outliers(100, rng=6, n_stems=8)
+    b = words_with_outliers(100, rng=6, n_stems=8)
+    assert a == b
+
+
+def test_generators_validate_small_n():
+    with pytest.raises(ParameterError):
+        blobs_with_outliers(3, dim=2, n_clusters=8)
+    with pytest.raises(ParameterError):
+        words_with_outliers(4, n_stems=10)

@@ -1,0 +1,95 @@
+"""Unit tests for Remove-Detours and Get-Non-Monotonic (Algorithm 5)."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.analysis import monotonic_path_coverage
+from repro.graphs import Graph, remove_detours, scan_monotonicity
+from repro.exceptions import ParameterError
+
+
+def _detour_fixture():
+    """A 1-D path graph with a known detour.
+
+    Points: p0=0, p1=10, p2=1.  Edges: 0-1, 1-2.  The only path from p0
+    to p2 goes through p1 which is *farther* from p0 than p2 — a detour.
+    """
+    ds = Dataset(np.asarray([[0.0], [10.0], [1.0]]), "l2")
+    g = Graph(3)
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    g.meta["K"] = 2
+    g.finalize()
+    return ds, g
+
+
+def test_scan_flags_detour():
+    ds, g = _detour_fixture()
+    scan = scan_monotonicity(ds, g, reference=0, start=0, max_hops=3)
+    flagged = {int(v): bool(m) for v, m in zip(scan.nodes, scan.monotonic)}
+    assert flagged[1] is True  # direct neighbor: trivially monotonic
+    assert flagged[2] is False  # reached via the farther vertex: detour
+
+
+def test_scan_distances_and_hops():
+    ds, g = _detour_fixture()
+    scan = scan_monotonicity(ds, g, reference=0, start=0, max_hops=3)
+    by_node = {int(v): t for t, v in enumerate(scan.nodes)}
+    assert scan.dists[by_node[1]] == pytest.approx(10.0)
+    assert scan.dists[by_node[2]] == pytest.approx(1.0)
+    assert scan.hops[by_node[1]] == 1
+    assert scan.hops[by_node[2]] == 2
+
+
+def test_scan_respects_hop_budget():
+    ds, g = _detour_fixture()
+    scan = scan_monotonicity(ds, g, reference=0, start=0, max_hops=1)
+    assert set(scan.nodes.tolist()) == {1}
+
+
+def test_scan_from_pivot_start():
+    ds, g = _detour_fixture()
+    # Start at vertex 1, but measure distances to reference 0.
+    scan = scan_monotonicity(ds, g, reference=0, start=1, max_hops=2)
+    by_node = {int(v): t for t, v in enumerate(scan.nodes)}
+    assert 2 in by_node
+    assert scan.dists[by_node[2]] == pytest.approx(1.0)
+
+
+def test_scan_validation():
+    ds, g = _detour_fixture()
+    with pytest.raises(ParameterError):
+        scan_monotonicity(ds, g, reference=0, start=0, max_hops=0)
+
+
+def test_remove_detours_adds_links(l2_dataset, kgraph_l2):
+    g = kgraph_l2.copy()
+    # Give the copy pivots so pivot-weighted sampling has targets.
+    gen = np.random.default_rng(0)
+    g.pivots[gen.choice(g.n, size=20, replace=False)] = True
+    links_before = g.n_links
+    stats = remove_detours(l2_dataset, g, rng=0)
+    assert stats["targets"] >= 1
+    assert g.n_links >= links_before
+    assert stats["links_added"] == g.n_links - links_before
+
+
+def test_remove_detours_improves_reachability(l2_dataset, l2_params, kgraph_l2):
+    r, _ = l2_params
+    g = kgraph_l2.copy()
+    gen = np.random.default_rng(1)
+    g.pivots[gen.choice(g.n, size=20, replace=False)] = True
+    before = monotonic_path_coverage(l2_dataset, g, r, sample_size=40, rng=5)
+    remove_detours(l2_dataset, g, rng=0, n_targets=g.n // 2)
+    g.finalize()
+    after = monotonic_path_coverage(l2_dataset, g, r, sample_size=40, rng=5)
+    assert after >= before - 1e-9
+
+
+def test_exact_knn_vertices_never_get_new_links(l2_dataset, mrpg_basic_l2):
+    g = mrpg_basic_l2.copy()
+    before = {p: list(g.neighbors_list(p)) for p in g.exact_knn}
+    remove_detours(l2_dataset, g, rng=9, n_targets=50)
+    for p, links in before.items():
+        assert g.neighbors_list(p) == links

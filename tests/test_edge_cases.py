@@ -1,0 +1,119 @@
+"""Edge cases and degenerate inputs across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset, DODetector, build_graph, graph_dod
+from repro.baselines import dolphin_dod, nested_loop_dod, snif_dod, vptree_dod
+from repro.index import brute_force_outliers
+
+
+def test_two_objects():
+    ds = Dataset(np.asarray([[0.0], [5.0]]), "l2")
+    g = build_graph("mrpg", ds, K=1, rng=0)
+    near = graph_dod(ds, g, r=10.0, k=1)
+    assert near.n_outliers == 0
+    far = graph_dod(ds, g, r=1.0, k=1)
+    assert far.n_outliers == 2
+
+
+def test_identical_objects():
+    ds = Dataset(np.zeros((60, 3)), "l2")
+    g = build_graph("mrpg", ds, K=5, rng=0)
+    res = graph_dod(ds, g, r=0.0, k=10)
+    # Everyone has 59 zero-distance neighbors: nobody is an outlier.
+    assert res.n_outliers == 0
+    res2 = graph_dod(ds, g, r=0.0, k=60)
+    # k exceeds n-1: everyone is an outlier.
+    assert res2.n_outliers == 60
+
+
+def test_k_larger_than_n(l2_dataset, mrpg_l2):
+    res = graph_dod(l2_dataset, mrpg_l2, r=1e9, k=l2_dataset.n + 5)
+    assert res.n_outliers == l2_dataset.n
+
+
+def test_r_zero_distinct_points(l2_dataset, mrpg_l2):
+    res = graph_dod(l2_dataset, mrpg_l2, r=0.0, k=1)
+    ref = brute_force_outliers(l2_dataset.view(), 0.0, 1)
+    assert res.same_outliers(ref)
+
+
+def test_duplicate_points_ties():
+    # 30 copies of one point + 5 distinct singles: the copies certify
+    # each other, the singles are outliers for k > their neighbor count.
+    pts = np.concatenate([np.zeros((30, 2)), np.arange(10).reshape(5, 2) + 100.0])
+    ds = Dataset(pts, "l2")
+    g = build_graph("mrpg", ds, K=4, rng=0)
+    res = graph_dod(ds, g, r=0.5, k=3)
+    ref = brute_force_outliers(ds.view(), 0.5, 3)
+    assert res.same_outliers(ref)
+
+
+def test_baselines_on_duplicates():
+    pts = np.concatenate([np.zeros((25, 2)), np.ones((3, 2)) * 99.0])
+    ds = Dataset(pts, "l2")
+    ref = brute_force_outliers(ds.view(), 0.5, 5)
+    for fn in (nested_loop_dod, snif_dod, dolphin_dod, vptree_dod):
+        assert fn(ds, 0.5, 5).same_outliers(ref), fn.__name__
+
+
+def test_single_character_strings():
+    words = ["a", "b", "c", "a", "b", "zzzzzzzzzz"]
+    ds = Dataset(words, "edit")
+    g = build_graph("kgraph", ds, K=2, rng=0)
+    res = graph_dod(ds, g, r=1.0, k=3)
+    ref = brute_force_outliers(ds.view(), 1.0, 3)
+    assert res.same_outliers(ref)
+
+
+def test_one_dimensional_vectors():
+    pts = np.concatenate([np.linspace(0, 1, 50), [500.0, 501.0]]).reshape(-1, 1)
+    ds = Dataset(pts, "l2")
+    g = build_graph("mrpg", ds, K=4, rng=0)
+    res = graph_dod(ds, g, r=0.3, k=5)
+    ref = brute_force_outliers(ds.view(), 0.3, 5)
+    assert res.same_outliers(ref)
+
+
+def test_detector_with_tiny_K():
+    pts = np.random.default_rng(0).normal(size=(80, 3))
+    det = DODetector(metric="l2", graph="mrpg", K=2, seed=0)
+    res = det.fit_detect(pts, r=1.0, k=4)
+    ref = brute_force_outliers(Dataset(pts, "l2"), 1.0, 4)
+    assert res.same_outliers(ref)
+
+
+def test_detector_K_equal_n_minus_one():
+    pts = np.random.default_rng(1).normal(size=(20, 3))
+    det = DODetector(metric="l2", graph="kgraph", K=19, seed=0)
+    res = det.fit_detect(pts, r=2.0, k=3)
+    ref = brute_force_outliers(Dataset(pts, "l2"), 2.0, 3)
+    assert res.same_outliers(ref)
+
+
+def test_huge_k_with_exact_lists(l2_dataset, mrpg_l2):
+    """k above K' must bypass the exact-list shortcut and stay exact."""
+    k = mrpg_l2.meta["K_prime"] + 3
+    r = 3.0
+    res = graph_dod(l2_dataset, mrpg_l2, r, k)
+    ref = brute_force_outliers(l2_dataset.view(), r, k)
+    assert res.same_outliers(ref)
+
+
+def test_angular_antipodal_points():
+    pts = np.concatenate([np.ones((20, 4)), -np.ones((3, 4))])
+    ds = Dataset(pts, "angular")
+    g = build_graph("kgraph", ds, K=3, rng=0)
+    res = graph_dod(ds, g, r=0.1, k=5)
+    ref = brute_force_outliers(ds.view(), 0.1, 5)
+    assert res.same_outliers(ref)
+
+
+def test_very_long_strings():
+    words = ["x" * 200, "x" * 199, "y" * 200, "ab"]
+    ds = Dataset(words, "edit")
+    assert ds.dist(0, 1) == 1.0
+    assert ds.dist(0, 2) == 200.0
+    ref = brute_force_outliers(ds, 2.0, 1)
+    np.testing.assert_array_equal(ref, [2, 3])

@@ -1,0 +1,98 @@
+"""Unit tests for detection-quality evaluation and labelled generators."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset, detect_outliers
+from repro.analysis import DetectionQuality, detection_quality, quality_over_r
+from repro.datasets import (
+    blobs_with_outliers,
+    image_blobs_with_outliers,
+    sphere_blobs_with_outliers,
+    words_with_outliers,
+)
+from repro.exceptions import ParameterError
+
+
+def test_quality_arithmetic():
+    q = DetectionQuality(n=100, n_detected=10, n_true=8, true_positives=6)
+    assert q.precision == pytest.approx(0.6)
+    assert q.recall == pytest.approx(0.75)
+    assert q.f1 == pytest.approx(2 * 0.6 * 0.75 / 1.35)
+
+
+def test_quality_degenerate_cases():
+    nothing = DetectionQuality(n=10, n_detected=0, n_true=0, true_positives=0)
+    assert nothing.precision == 1.0 and nothing.recall == 1.0
+    assert DetectionQuality(10, 0, 5, 0).f1 == 0.0
+
+
+def test_detection_quality_from_ids():
+    truth = np.zeros(20, dtype=bool)
+    truth[[3, 7, 11]] = True
+    q = detection_quality(np.asarray([3, 7, 15]), truth)
+    assert q.true_positives == 2
+    assert q.n_detected == 3
+    assert q.n_true == 3
+
+
+def test_detection_quality_from_result():
+    pts, truth = blobs_with_outliers(
+        300, dim=6, n_clusters=4, planted_frac=0.02, planted_spread=90.0,
+        tail_frac=0.0, rng=0, return_labels=True,
+    )
+    result = detect_outliers(pts, r=4.0, k=6, K=8, seed=0)
+    q = detection_quality(result, truth)
+    # Planted points are far from everything: all of them are caught.
+    assert q.recall == 1.0
+    assert q.precision > 0.2
+
+
+def test_labels_consistent_across_generators(rng):
+    for maker, kwargs in [
+        (blobs_with_outliers, {"dim": 4}),
+        (sphere_blobs_with_outliers, {"dim": 6}),
+        (image_blobs_with_outliers, {"side": 8}),
+    ]:
+        pts, labels = maker(150, planted_frac=0.03, rng=1, return_labels=True, **kwargs)
+        assert labels.shape[0] == 150
+        assert labels.sum() == round(0.03 * 150)
+        # Without the flag, the same seed yields the same points.
+        pts2 = maker(150, planted_frac=0.03, rng=1, **kwargs)
+        np.testing.assert_array_equal(np.asarray(pts), np.asarray(pts2))
+
+
+def test_words_labels():
+    words, labels = words_with_outliers(
+        200, n_stems=10, planted_frac=0.02, rng=0, return_labels=True
+    )
+    assert len(words) == 200
+    assert labels.sum() == 4
+    # Labelled words are the long random strings.
+    flagged_lengths = [len(w) for w, flag in zip(words, labels) if flag]
+    assert min(flagged_lengths) >= 25
+
+
+def test_quality_over_r_tradeoff():
+    pts, truth = blobs_with_outliers(
+        250, dim=5, n_clusters=3, planted_frac=0.02, planted_spread=80.0,
+        tail_frac=0.05, rng=2, return_labels=True,
+    )
+    ds = Dataset(pts, "l2")
+    sweep = quality_over_r(ds, truth, k=6, r_values=[0.5, 3.0, 20.0])
+    # Tiny r flags almost everyone (low precision, full recall); huge r
+    # flags almost no one.
+    assert sweep[0][1].recall == 1.0
+    assert sweep[0][1].precision <= sweep[1][1].precision + 1e-9
+    assert sweep[2][1].n_detected <= sweep[0][1].n_detected
+
+
+def test_validation():
+    truth = np.zeros(10, dtype=bool)
+    with pytest.raises(ParameterError):
+        detection_quality(np.asarray([11]), truth)
+    ds = Dataset(np.zeros((10, 2)), "l2")
+    with pytest.raises(ParameterError):
+        quality_over_r(ds, truth[:5], 2, [1.0])
+    with pytest.raises(ParameterError):
+        quality_over_r(ds, truth, 0, [1.0])

@@ -1,0 +1,34 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples honour ``REPRO_EXAMPLE_N`` so the smoke run stays fast.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    env = dict(os.environ, REPRO_EXAMPLE_N="260")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert proc.returncode == 0, f"{script}\n{proc.stdout}\n{proc.stderr}"
+    assert proc.stdout.strip(), script

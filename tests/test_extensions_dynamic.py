@@ -1,0 +1,135 @@
+"""Unit tests for the dynamic (insert/remove) DOD extension."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.exceptions import ParameterError
+from repro.extensions import DynamicDODetector
+from repro.index import brute_force_outliers
+
+
+def _reference(objects, metric, r, k, active_ids):
+    """Brute-force outliers of the live collection, as external ids."""
+    ds = Dataset(objects, metric)
+    local = brute_force_outliers(ds, r, k)
+    return np.asarray(sorted(int(active_ids[t]) for t in local), dtype=np.int64)
+
+
+@pytest.fixture()
+def clustered_points(rng):
+    return np.concatenate(
+        [rng.normal(size=(120, 4)), rng.normal(size=(6, 4)) * 0.3 + 25.0]
+    )
+
+
+def test_detect_after_bulk_add(clustered_points):
+    det = DynamicDODetector(metric="l2", K=6, seed=0)
+    det.add(clustered_points)
+    res = det.detect(r=2.0, k=5)
+    active = det.active_ids()
+    ref = _reference(clustered_points, "l2", 2.0, 5, active)
+    np.testing.assert_array_equal(res.outliers, ref)
+
+
+def test_incremental_adds_match_bulk(clustered_points):
+    inc = DynamicDODetector(metric="l2", K=6, seed=0)
+    for lo in range(0, clustered_points.shape[0], 25):
+        inc.add(clustered_points[lo : lo + 25])
+    bulk = DynamicDODetector(metric="l2", K=6, seed=0)
+    bulk.add(clustered_points)
+    a = inc.detect(r=2.0, k=5)
+    b = bulk.detect(r=2.0, k=5)
+    np.testing.assert_array_equal(a.outliers, b.outliers)
+
+
+def test_remove_changes_answer_exactly(clustered_points, rng):
+    det = DynamicDODetector(metric="l2", K=6, seed=0)
+    det.add(clustered_points)
+    victims = rng.choice(120, size=30, replace=False)
+    det.remove(victims.tolist())
+    assert det.n_active == clustered_points.shape[0] - 30
+    active = det.active_ids()
+    live_objects = clustered_points[active]
+    ref = _reference(live_objects, "l2", 2.0, 5, active)
+    res = det.detect(r=2.0, k=5)
+    np.testing.assert_array_equal(res.outliers, ref)
+
+
+def test_interleaved_churn_stays_exact(rng):
+    det = DynamicDODetector(metric="l2", K=5, seed=0)
+    pool = rng.normal(size=(300, 3))
+    det.add(pool[:80])
+    det.remove(range(0, 20))
+    det.add(pool[80:140])
+    det.remove(range(50, 70))
+    det.add(pool[140:170])
+    active = det.active_ids()
+    objects = pool[: det.n_total][active]
+    ref = _reference(objects, "l2", 1.5, 4, active)
+    res = det.detect(r=1.5, k=4)
+    np.testing.assert_array_equal(res.outliers, ref)
+
+
+def test_rebuild_preserves_answers(clustered_points, rng):
+    det = DynamicDODetector(metric="l2", K=6, seed=0)
+    det.add(clustered_points)
+    det.remove(rng.choice(120, size=40, replace=False).tolist())
+    before_objects = clustered_points[det.active_ids()]
+    before = det.detect(r=2.0, k=5)
+    n_before = before.n_outliers
+    det.rebuild()  # renumbers: compare by object values via counts
+    after = det.detect(r=2.0, k=5)
+    assert after.n_outliers == n_before
+    assert det.n_total == det.n_active == before_objects.shape[0]
+
+
+def test_exact_lists_dropped_when_member_removed(clustered_points):
+    det = DynamicDODetector(metric="l2", K=6, seed=0)
+    det.add(clustered_points)
+    det.rebuild()  # builds a real MRPG with exact lists
+    holders = list(det._graph.exact_knn)
+    if holders:
+        victim_list = det._graph.exact_knn[holders[0]][0]
+        det.remove([int(victim_list[0])])
+        res = det.detect(r=2.0, k=5)
+        active = det.active_ids()
+        objects = [det._objects[int(v)] for v in active]
+        ref = _reference(np.asarray(objects), "l2", 2.0, 5, active)
+        np.testing.assert_array_equal(res.outliers, ref)
+
+
+def test_string_objects():
+    from repro.datasets import words_with_outliers
+
+    words = words_with_outliers(120, n_stems=8, planted_frac=0.03, rng=2)
+    det = DynamicDODetector(metric="edit", K=5, seed=0)
+    det.add(words)
+    det.remove([0, 5, 9])
+    res = det.detect(r=4.0, k=3)
+    active = det.active_ids()
+    live = [words[int(v)] for v in active]
+    ref = _reference(live, "edit", 4.0, 3, active)
+    np.testing.assert_array_equal(res.outliers, ref)
+
+
+def test_validation(clustered_points):
+    det = DynamicDODetector(metric="l2", K=4, seed=0)
+    with pytest.raises(ParameterError):
+        det.detect(1.0, 2)
+    with pytest.raises(ParameterError):
+        det.remove([0])
+    det.add(clustered_points[:10])
+    with pytest.raises(ParameterError):
+        det.remove([99])
+    det.remove([3])
+    with pytest.raises(ParameterError):
+        det.remove([3])  # already dead
+    with pytest.raises(ParameterError):
+        DynamicDODetector(K=0)
+
+
+def test_add_nothing_is_noop():
+    det = DynamicDODetector(metric="l2", K=4, seed=0)
+    ids = det.add([])
+    assert ids.size == 0

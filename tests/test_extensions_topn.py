@@ -1,0 +1,87 @@
+"""Unit tests for the top-n DOD extension."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, ParameterError
+from repro.extensions import knn_distance_scores, top_n_outliers
+
+
+def test_scores_match_brute_force(l2_dataset):
+    scores = knn_distance_scores(l2_dataset, k=5)
+    from repro.index import brute_force_knn
+
+    for p in (0, 33, 140):
+        _, d = brute_force_knn(l2_dataset, p, 5)
+        assert scores[p] == pytest.approx(d[-1])
+
+
+def test_topn_matches_score_ranking(l2_dataset):
+    k, n_top = 6, 12
+    scores = knn_distance_scores(l2_dataset, k)
+    expected = set(np.argsort(-scores, kind="stable")[:n_top].tolist())
+    result = top_n_outliers(l2_dataset, n_top, k, rng=0)
+    # Ties can swap marginal members; compare scores instead of ids.
+    expected_scores = np.sort(scores[list(expected)])[::-1]
+    np.testing.assert_allclose(np.sort(result.scores)[::-1], expected_scores)
+    assert result.ids.size == n_top
+
+
+def test_topn_scores_sorted_descending(l2_dataset):
+    result = top_n_outliers(l2_dataset, 10, 5, rng=1)
+    assert np.all(np.diff(result.scores) <= 1e-12)
+
+
+def test_graph_seeding_same_answer_fewer_pairs(l2_dataset, mrpg_l2):
+    k, n_top = 6, 10
+    plain = top_n_outliers(l2_dataset, n_top, k, rng=0)
+    seeded = top_n_outliers(l2_dataset, n_top, k, graph=mrpg_l2, rng=0)
+    np.testing.assert_allclose(
+        np.sort(plain.scores), np.sort(seeded.scores), rtol=1e-12
+    )
+    assert seeded.pruned_objects >= plain.pruned_objects
+
+
+def test_topn_on_edit_metric(edit_dataset):
+    result = top_n_outliers(edit_dataset, 5, 3, rng=0)
+    scores = knn_distance_scores(edit_dataset, 3)
+    np.testing.assert_allclose(
+        np.sort(result.scores)[::-1],
+        np.sort(scores)[::-1][:5],
+    )
+
+
+def test_topn_whole_dataset(l2_dataset):
+    result = top_n_outliers(l2_dataset, l2_dataset.n, 4, rng=0)
+    scores = knn_distance_scores(l2_dataset, 4)
+    np.testing.assert_allclose(np.sort(result.scores), np.sort(scores))
+
+
+def test_planted_outliers_rank_first():
+    from repro import Dataset
+
+    pts = np.concatenate(
+        [np.random.default_rng(0).normal(size=(120, 3)), [[80.0] * 3, [90.0] * 3]]
+    )
+    ds = Dataset(pts, "l2")
+    result = top_n_outliers(ds, 2, 3, rng=0)
+    assert set(result.ids.tolist()) == {120, 121}
+
+
+def test_validation(l2_dataset, mrpg_edit):
+    with pytest.raises(ParameterError):
+        top_n_outliers(l2_dataset, 0, 3)
+    with pytest.raises(ParameterError):
+        top_n_outliers(l2_dataset, 5, 0)
+    with pytest.raises(ParameterError):
+        top_n_outliers(l2_dataset, 5, l2_dataset.n)
+    with pytest.raises(ParameterError):
+        knn_distance_scores(l2_dataset, 0)
+    with pytest.raises(GraphError):
+        top_n_outliers(l2_dataset, 5, 3, graph=mrpg_edit)
+
+
+def test_chunking_irrelevant(l2_dataset):
+    a = top_n_outliers(l2_dataset, 8, 4, chunk=17, rng=3)
+    b = top_n_outliers(l2_dataset, 8, 4, chunk=4096, rng=3)
+    np.testing.assert_allclose(np.sort(a.scores), np.sort(b.scores))

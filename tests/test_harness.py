@@ -1,0 +1,151 @@
+"""Unit tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.harness import (
+    BASELINE_NAMES,
+    GRAPH_NAMES,
+    ExperimentTable,
+    Workload,
+    bench_suites,
+    clear_caches,
+    default_workload,
+    detect_with_baseline,
+    detect_with_graph,
+    fmt_value,
+    get_dataset,
+    get_graph,
+    get_verifier,
+    run_experiment,
+    suite_K,
+)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def small_scale(tmp_path_factory):
+    """Run the whole module at a tiny scale and drop caches afterwards."""
+    import os
+
+    old_scale = os.environ.get("REPRO_BENCH_SCALE")
+    old_suites = os.environ.get("REPRO_BENCH_SUITES")
+    os.environ["REPRO_BENCH_SCALE"] = "0.08"
+    os.environ["REPRO_BENCH_SUITES"] = "glove,words"
+    yield
+    clear_caches()
+    for key, old in (("REPRO_BENCH_SCALE", old_scale),
+                     ("REPRO_BENCH_SUITES", old_suites)):
+        if old is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = old
+
+
+def test_default_workload_scales():
+    w = default_workload("glove")
+    assert w.suite == "glove"
+    assert w.n == max(64, int(round(2000 * 0.08)))
+    assert w.r > 0 and w.k >= 1
+
+
+def test_workload_scaled():
+    w = Workload("glove", 1000, 1.0, 10)
+    assert w.scaled(0.5).n == 500
+    assert w.scaled(0.0001).n == 32  # floor
+
+
+def test_bench_suites_env():
+    assert bench_suites() == ("glove", "words")
+    assert bench_suites(("sift",)) == ("glove", "words")  # env wins
+
+
+def test_suite_K():
+    assert suite_K("pamap2") > suite_K("glove")
+
+
+def test_dataset_and_graph_caching():
+    w = default_workload("glove")
+    assert get_dataset(w) is get_dataset(w)
+    assert get_graph(w, "kgraph") is get_graph(w, "kgraph")
+    assert get_graph(w, "kgraph") is not get_graph(w, "nsw")
+
+
+def test_detect_helpers_agree():
+    w = default_workload("glove")
+    results = [detect_with_graph(w, b) for b in GRAPH_NAMES]
+    results += [detect_with_baseline(w, b) for b in BASELINE_NAMES]
+    first = results[0]
+    for res in results[1:]:
+        assert res.same_outliers(first), res.method
+
+
+def test_detect_with_unknown_baseline():
+    w = default_workload("glove")
+    with pytest.raises(ParameterError):
+        detect_with_baseline(w, "orca")
+
+
+def test_verifier_cached_and_matches_spec():
+    w = default_workload("words")
+    v = get_verifier(w)
+    assert v is get_verifier(w)
+    assert v.strategy == "vptree"  # the paper uses a VP-tree on Words
+
+
+def test_run_experiment_unknown():
+    with pytest.raises(ParameterError):
+        run_experiment("table99")
+
+
+def test_run_experiment_saves(tmp_path):
+    tables = run_experiment("table1", save_dir=str(tmp_path))
+    assert (tmp_path / "table1.txt").exists()
+    assert tables[0].rows
+
+
+def test_table2_measures_ratio():
+    (table,) = run_experiment("table2")
+    assert {row["dataset"] for row in table.rows} == {"glove", "words"}
+    for row in table.rows:
+        assert row["outlier_ratio_pct"] > 0
+
+
+def test_table7_ordering_invariant():
+    (table,) = run_experiment("table7")
+    for row in table.rows:
+        assert row["mrpg"] <= row["kgraph"]
+
+
+def test_budget_marks_na(monkeypatch):
+    """REPRO_BENCH_BUDGET below any runtime turns Table 5 cells to NA."""
+    monkeypatch.setenv("REPRO_BENCH_BUDGET", "0.0000001")
+    (time_table, _) = run_experiment("table5", suites=("words",))
+    row = time_table.rows[0]
+    assert row["nested-loop"] is None
+    assert "NA" in time_table.format()
+
+
+def test_budget_unset_keeps_numbers(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_BUDGET", raising=False)
+    (time_table, _) = run_experiment("table5", suites=("words",))
+    assert time_table.rows[0]["nested-loop"] is not None
+
+
+def test_experiment_table_formatting():
+    t = ExperimentTable("x", "demo", ["a", "b"])
+    t.add_row(a="hello", b=1.23456)
+    t.add_row(a="world", b=None)
+    text = t.format()
+    assert "demo" in text
+    assert "1.235" in text
+    assert "NA" in text
+    assert t.column("a") == ["hello", "world"]
+
+
+def test_fmt_value():
+    assert fmt_value(None) == "NA"
+    assert fmt_value(0.0) == "0"
+    assert fmt_value(1234.5) == "1,234"
+    assert fmt_value(0.5) == "0.5000"
+    assert fmt_value(3) == "3"

@@ -1,0 +1,105 @@
+"""Unit tests for the HNSW builder and its use in DOD."""
+
+import numpy as np
+import pytest
+
+from repro import build_graph, graph_dod
+from repro.analysis import connectivity_report
+from repro.exceptions import ParameterError
+from repro.graphs import build_hnsw
+from repro.index import brute_force_outliers
+
+
+@pytest.fixture(scope="module")
+def hnsw(l2_dataset):
+    return build_hnsw(l2_dataset, M=5, ef_construction=24, rng=0)
+
+
+def test_layer0_undirected(hnsw):
+    for u in range(hnsw.n):
+        for v in hnsw.neighbors_list(u):
+            assert hnsw.has_link(v, u), (u, v)
+
+
+def test_degree_cap(hnsw):
+    # Layer 0 allows at most 2M links per vertex.
+    assert max(hnsw.degree(v) for v in range(hnsw.n)) <= 2 * 5
+
+
+def test_mostly_connected(hnsw):
+    # Layer 0 may fragment along well-separated clusters: neighbor-list
+    # shrinking evicts the longest (inter-cluster) links.  This is the
+    # disconnection problem §5.2's Connect-SubGraphs exists to fix —
+    # HNSW has no such repair pass.  The dominant component must still
+    # cover a cluster-scale fraction of the data.
+    report = connectivity_report(hnsw)
+    assert report["n_weak_components"] <= 6  # data has 4 planted clusters
+    assert report["largest_weak"] > hnsw.n * 0.3
+
+
+def test_hierarchy_metadata(hnsw, l2_dataset):
+    levels = np.asarray(hnsw.meta["levels"])
+    assert levels.shape == (l2_dataset.n,)
+    assert (levels >= 0).all()
+    assert hnsw.meta["n_layers"] >= 1
+    # Level counts decay roughly geometrically: layer 1 holds a strict
+    # minority of the objects.
+    assert (levels >= 1).sum() < l2_dataset.n / 2
+
+
+def test_links_are_local(hnsw, l2_dataset):
+    gen = np.random.default_rng(0)
+    link_d = []
+    for u in range(0, hnsw.n, 10):
+        for v in hnsw.neighbors_list(u)[:4]:
+            link_d.append(l2_dataset.dist(u, v))
+    a = gen.integers(0, l2_dataset.n, 300)
+    b = gen.integers(0, l2_dataset.n, 300)
+    rand_d = l2_dataset.pair_dist(a[a != b], b[a != b])
+    assert np.mean(link_d) < np.mean(rand_d) * 0.8
+
+
+def test_dod_exact_on_hnsw(hnsw, l2_dataset, l2_params, l2_reference):
+    r, k = l2_params
+    res = graph_dod(l2_dataset, hnsw, r, k)
+    assert res.same_outliers(l2_reference)
+    assert res.method == "hnsw"
+
+
+def test_registry_dispatch(l2_dataset, l2_params, l2_reference):
+    r, k = l2_params
+    g = build_graph("hnsw", l2_dataset, K=10, rng=0)
+    assert g.meta["M"] == 5  # K/2 for memory parity with KGraph
+    res = graph_dod(l2_dataset, g, r, k)
+    assert res.same_outliers(l2_reference)
+
+
+def test_deterministic(l2_dataset):
+    a = build_hnsw(l2_dataset, M=4, ef_construction=16, rng=9)
+    b = build_hnsw(l2_dataset, M=4, ef_construction=16, rng=9)
+    for v in range(a.n):
+        assert a.neighbors_list(v) == b.neighbors_list(v)
+    assert a.meta["levels"] == b.meta["levels"]
+
+
+def test_edit_metric(edit_dataset):
+    g = build_hnsw(edit_dataset, M=4, ef_construction=16, rng=0)
+    ref = brute_force_outliers(edit_dataset.view(), 3.0, 4)
+    res = graph_dod(edit_dataset, g, 3.0, 4)
+    assert res.same_outliers(ref)
+
+
+def test_validation(l2_dataset):
+    with pytest.raises(ParameterError):
+        build_hnsw(l2_dataset, M=0)
+    with pytest.raises(ParameterError):
+        build_hnsw(l2_dataset, ef_construction=0)
+
+
+def test_tiny_dataset():
+    from repro import Dataset
+
+    ds = Dataset(np.random.default_rng(0).normal(size=(5, 2)), "l2")
+    g = build_hnsw(ds, M=2, ef_construction=4, rng=0)
+    assert g.n == 5
+    assert connectivity_report(g)["n_weak_components"] == 1

@@ -1,0 +1,67 @@
+"""Unit tests for graph (de)serialisation."""
+
+import numpy as np
+import pytest
+
+from repro import graph_dod, load_graph, save_graph
+from repro.exceptions import GraphError
+
+
+def test_roundtrip_adjacency(mrpg_l2, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(mrpg_l2, path)
+    loaded = load_graph(path)
+    assert loaded.n == mrpg_l2.n
+    for v in range(mrpg_l2.n):
+        assert loaded.neighbors_list(v) == mrpg_l2.neighbors_list(v)
+
+
+def test_roundtrip_pivots_and_exact(mrpg_l2, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(mrpg_l2, path)
+    loaded = load_graph(path)
+    np.testing.assert_array_equal(loaded.pivots, mrpg_l2.pivots)
+    assert sorted(loaded.exact_knn) == sorted(mrpg_l2.exact_knn)
+    for p, (ids, dists) in mrpg_l2.exact_knn.items():
+        lids, ldists = loaded.exact_knn[p]
+        np.testing.assert_array_equal(lids, ids)
+        np.testing.assert_allclose(ldists, dists)
+
+
+def test_roundtrip_meta(mrpg_l2, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(mrpg_l2, path)
+    loaded = load_graph(path)
+    assert loaded.meta["builder"] == "mrpg"
+    assert loaded.meta["K"] == mrpg_l2.meta["K"]
+
+
+def test_loaded_graph_detects_identically(
+    mrpg_l2, l2_dataset, l2_params, tmp_path
+):
+    r, k = l2_params
+    path = tmp_path / "g.npz"
+    save_graph(mrpg_l2, path)
+    loaded = load_graph(path)
+    a = graph_dod(l2_dataset, mrpg_l2, r, k)
+    b = graph_dod(l2_dataset, loaded, r, k)
+    assert a.same_outliers(b)
+
+
+def test_loaded_graph_is_finalized(kgraph_l2, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(kgraph_l2, path)
+    assert load_graph(path).finalized
+
+
+def test_version_check(tmp_path, kgraph_l2):
+    path = tmp_path / "g.npz"
+    save_graph(kgraph_l2, path)
+    import numpy as np
+
+    with np.load(path) as data:
+        payload = dict(data)
+    payload["format_version"] = np.asarray(99)
+    np.savez(path, **payload)
+    with pytest.raises(GraphError):
+        load_graph(path)

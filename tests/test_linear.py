@@ -1,0 +1,77 @@
+"""Unit tests for linear-scan search and the brute-force oracles."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.exceptions import ParameterError
+from repro.index import (
+    brute_force_knn,
+    brute_force_outliers,
+    brute_force_range,
+    linear_count,
+)
+
+
+def test_linear_count_matches_range(l2_dataset):
+    for q, r in [(0, 1.0), (50, 3.0), (120, 8.0)]:
+        assert linear_count(l2_dataset, q, r) == brute_force_range(
+            l2_dataset, q, r
+        ).size
+
+
+def test_linear_count_chunking_irrelevant(l2_dataset):
+    for chunk in (1, 7, 64, 10_000):
+        assert linear_count(l2_dataset, 5, 4.0, chunk=chunk) == linear_count(
+            l2_dataset, 5, 4.0
+        )
+
+
+def test_linear_count_stop_at(l2_dataset):
+    full = linear_count(l2_dataset, 10, 10.0)
+    assert full >= 5
+    stopped = linear_count(l2_dataset, 10, 10.0, stop_at=5)
+    assert 5 <= stopped <= full
+
+
+def test_linear_count_include_self(l2_dataset):
+    r = 2.0
+    assert (
+        linear_count(l2_dataset, 7, r, exclude_self=False)
+        == linear_count(l2_dataset, 7, r) + 1
+    )
+
+
+def test_brute_force_knn_order(l2_dataset):
+    ids, dists = brute_force_knn(l2_dataset, 3, 12)
+    assert np.all(np.diff(dists) >= 0)
+    assert 3 not in ids
+    # Verify against a full argsort.
+    all_idx = np.arange(l2_dataset.n)
+    d = l2_dataset.dist_many(3, all_idx)
+    d[3] = np.inf
+    expected = np.sort(d)[:12]
+    np.testing.assert_allclose(dists, expected, rtol=1e-12)
+
+
+def test_brute_force_outliers_tiny_hand_case():
+    # Three tight points and one far away: the far one is the only
+    # object with 0 neighbors at r=1.
+    pts = np.asarray([[0.0], [0.1], [0.2], [100.0]])
+    ds = Dataset(pts, "l2")
+    out = brute_force_outliers(ds, r=1.0, k=1)
+    np.testing.assert_array_equal(out, [3])
+    out2 = brute_force_outliers(ds, r=1.0, k=3)
+    np.testing.assert_array_equal(out2, [0, 1, 2, 3])  # nobody has 3 neighbors
+
+
+def test_validation():
+    ds = Dataset(np.zeros((5, 2)), "l2")
+    with pytest.raises(ParameterError):
+        linear_count(ds, 0, -1.0)
+    with pytest.raises(ParameterError):
+        linear_count(ds, 0, 1.0, chunk=0)
+    with pytest.raises(ParameterError):
+        brute_force_knn(ds, 0, 0)
+    with pytest.raises(ParameterError):
+        brute_force_outliers(ds, 1.0, 0)

@@ -1,0 +1,65 @@
+"""Unit tests for the angular (geodesic) metric."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics import ANGULAR
+
+
+@pytest.fixture()
+def vectors(rng):
+    return rng.normal(size=(30, 5)) + 0.1
+
+
+def test_range(vectors):
+    store = ANGULAR.prepare(vectors)
+    d = ANGULAR.dist_many(store, 0, np.arange(30))
+    assert np.all(d >= 0.0)
+    assert np.all(d <= np.pi + 1e-12)
+
+
+def test_matches_manual_formula(vectors):
+    store = ANGULAR.prepare(vectors)
+    a, b = vectors[2], vectors[9]
+    cos = a @ b / (np.linalg.norm(a) * np.linalg.norm(b))
+    assert ANGULAR.dist(store, 2, 9) == pytest.approx(np.arccos(cos), abs=1e-10)
+
+
+def test_scale_invariance(rng):
+    base = rng.normal(size=(10, 4)) + 0.2
+    scaled = base * rng.uniform(0.5, 20.0, size=(10, 1))
+    s1 = ANGULAR.prepare(base)
+    s2 = ANGULAR.prepare(scaled)
+    d1 = ANGULAR.dist_many(s1, 0, np.arange(10))
+    d2 = ANGULAR.dist_many(s2, 0, np.arange(10))
+    np.testing.assert_allclose(d1, d2, atol=1e-10)
+
+
+def test_identity(vectors):
+    store = ANGULAR.prepare(vectors)
+    assert ANGULAR.dist(store, 4, 4) == pytest.approx(0.0, abs=1e-7)
+
+
+def test_opposite_vectors_give_pi():
+    store = ANGULAR.prepare(np.asarray([[1.0, 0.0], [-1.0, 0.0]]))
+    assert ANGULAR.dist(store, 0, 1) == pytest.approx(np.pi)
+
+
+def test_zero_vector_rejected():
+    with pytest.raises(MetricError):
+        ANGULAR.prepare(np.asarray([[0.0, 0.0], [1.0, 1.0]]))
+
+
+def test_pair_dist(vectors):
+    store = ANGULAR.prepare(vectors)
+    a = np.asarray([0, 5])
+    b = np.asarray([7, 3])
+    got = ANGULAR.pair_dist(store, a, b)
+    for t in range(2):
+        assert got[t] == pytest.approx(ANGULAR.dist(store, int(a[t]), int(b[t])))
+
+
+def test_store_rows_are_normalised(vectors):
+    store = ANGULAR.prepare(vectors)
+    np.testing.assert_allclose(np.linalg.norm(store, axis=1), 1.0, atol=1e-12)

@@ -1,0 +1,100 @@
+"""Unit tests for the vectorised edit-distance kernel."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metrics import EDIT, levenshtein
+
+
+WORDS = [
+    "", "a", "ab", "kitten", "sitting", "flaw", "lawn", "gumbo", "gambol",
+    "saturday", "sunday", "identical", "identical", "xyzzy",
+]
+
+
+@pytest.fixture(scope="module")
+def store():
+    return EDIT.prepare(WORDS)
+
+
+def test_matches_reference_on_known_pairs(store):
+    n = len(WORDS)
+    for i in range(n):
+        got = EDIT.dist_many(store, i, np.arange(n))
+        for j in range(n):
+            assert got[j] == levenshtein(WORDS[i], WORDS[j]), (i, j)
+
+
+def test_random_strings_match_reference(rng):
+    alphabet = "abcde"
+    words = [
+        "".join(rng.choice(list(alphabet), size=rng.integers(0, 12)))
+        for _ in range(25)
+    ]
+    words = [w if w else "a" * int(rng.integers(1, 3)) for w in words]
+    st = EDIT.prepare(words)
+    for i in range(0, 25, 5):
+        got = EDIT.dist_many(st, i, np.arange(25))
+        for j in range(25):
+            assert got[j] == levenshtein(words[i], words[j])
+
+
+def test_identical_strings_distance_zero(store):
+    i = WORDS.index("identical")
+    assert EDIT.dist(store, i, i + 1) == 0.0
+
+
+def test_empty_string_distance_is_length(store):
+    for j, w in enumerate(WORDS):
+        assert EDIT.dist(store, 0, j) == len(w)
+
+
+def test_bound_early_abandon_is_conservative(store):
+    n = len(WORDS)
+    exact = EDIT.dist_many(store, WORDS.index("saturday"), np.arange(n))
+    bounded = EDIT.dist_many(store, WORDS.index("saturday"), np.arange(n), bound=2.0)
+    for e, b in zip(exact, bounded):
+        if e <= 2.0:
+            assert b == e  # within bound must be exact
+        else:
+            assert b > 2.0  # beyond bound may be approximate but stays above
+
+
+def test_unicode(rng):
+    words = ["naïve", "naive", "café", "cafe", "日本語", "日本"]
+    st = EDIT.prepare(words)
+    assert EDIT.dist(st, 0, 1) == 1
+    assert EDIT.dist(st, 2, 3) == 1
+    assert EDIT.dist(st, 4, 5) == 1
+
+
+def test_non_string_rejected():
+    with pytest.raises(MetricError):
+        EDIT.prepare(["ok", 42])
+
+
+def test_empty_collection_rejected():
+    with pytest.raises(MetricError):
+        EDIT.prepare([])
+
+
+def test_take_subset(store):
+    idx = np.asarray([3, 5, 8])
+    sub = EDIT.take(store, idx)
+    assert EDIT.n_objects(sub) == 3
+    assert EDIT.get(sub, 0) == WORDS[3]
+    assert EDIT.dist(sub, 0, 2) == levenshtein(WORDS[3], WORDS[8])
+
+
+def test_get_returns_original(store):
+    assert EDIT.get(store, 3) == "kitten"
+
+
+def test_nbytes_positive(store):
+    assert EDIT.nbytes(store) > 0
+
+
+def test_dist_many_empty_idx(store):
+    out = EDIT.dist_many(store, 0, np.empty(0, dtype=np.int64))
+    assert out.size == 0

@@ -1,0 +1,93 @@
+"""Unit tests for Minkowski metrics (L1, L2, L4, general Lp)."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.exceptions import MetricError, ParameterError
+from repro.metrics import L1, L2, L4, Minkowski
+
+
+@pytest.fixture()
+def points(rng):
+    return rng.normal(size=(40, 7))
+
+
+@pytest.mark.parametrize(
+    "metric,p", [(L1, 1), (L2, 2), (L4, 4), (Minkowski(3), 3)]
+)
+def test_matches_scipy(metric, p, points):
+    store = metric.prepare(points)
+    idx = np.arange(points.shape[0])
+    got = metric.dist_many(store, 0, idx)
+    expected = cdist(points[:1], points, metric="minkowski", p=p)[0]
+    np.testing.assert_allclose(got, expected, rtol=1e-10)
+
+
+def test_dist_scalar_matches_many(points):
+    store = L2.prepare(points)
+    for j in (0, 3, 17):
+        single = L2.dist(store, 5, j)
+        batch = L2.dist_many(store, 5, np.asarray([j]))[0]
+        assert single == pytest.approx(batch)
+
+
+def test_identity(points):
+    store = L2.prepare(points)
+    for i in range(points.shape[0]):
+        assert L2.dist(store, i, i) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_symmetry(points):
+    store = L1.prepare(points)
+    for i, j in [(0, 1), (4, 20), (7, 39)]:
+        assert L1.dist(store, i, j) == pytest.approx(L1.dist(store, j, i))
+
+
+def test_pair_dist(points):
+    store = L4.prepare(points)
+    a = np.asarray([0, 2, 4])
+    b = np.asarray([1, 3, 5])
+    got = L4.pair_dist(store, a, b)
+    for t in range(3):
+        assert got[t] == pytest.approx(L4.dist(store, int(a[t]), int(b[t])))
+
+
+def test_p_below_one_rejected():
+    with pytest.raises(ParameterError):
+        Minkowski(0.5)
+
+
+def test_names():
+    assert L1.name == "l1"
+    assert L2.name == "l2"
+    assert L4.name == "l4"
+    assert Minkowski(2.5).name == "l2.5"
+
+
+def test_one_dimensional_input_reshaped():
+    store = L2.prepare(np.asarray([0.0, 3.0, 7.0]))
+    assert store.shape == (3, 1)
+    assert L2.dist(store, 0, 1) == pytest.approx(3.0)
+
+
+def test_non_finite_rejected():
+    with pytest.raises(MetricError):
+        L2.prepare(np.asarray([[0.0, np.nan]]))
+
+
+def test_empty_rejected():
+    with pytest.raises(MetricError):
+        L2.prepare(np.empty((0, 3)))
+
+
+def test_nbytes_and_count(points):
+    store = L2.prepare(points)
+    assert L2.n_objects(store) == 40
+    assert L2.nbytes(store) == points.astype(np.float64).nbytes
+
+
+def test_prepare_is_contiguous_float64(points):
+    store = L1.prepare(points[::2])  # non-contiguous view input
+    assert store.flags["C_CONTIGUOUS"]
+    assert store.dtype == np.float64

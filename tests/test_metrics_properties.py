@@ -1,0 +1,105 @@
+"""Property-based tests: the metric axioms the algorithms rely on.
+
+VP-tree pruning, SNIF's cluster pruning and the exactness arguments all
+assume ``dist`` is a true metric — these are the invariants hypothesis
+hammers on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.metrics import ANGULAR, EDIT, L1, L2, L4, Minkowski, levenshtein
+
+VECTOR_METRICS = [L1, L2, L4, Minkowski(3)]
+
+finite_floats = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+
+
+def triple_arrays(dim: int = 4):
+    return hnp.arrays(np.float64, (3, dim), elements=finite_floats)
+
+
+@pytest.mark.parametrize("metric", VECTOR_METRICS, ids=lambda m: m.name)
+@given(pts=triple_arrays())
+@settings(max_examples=60, deadline=None)
+def test_vector_metric_axioms(metric, pts):
+    store = metric.prepare(pts)
+    d01 = metric.dist(store, 0, 1)
+    d10 = metric.dist(store, 1, 0)
+    d02 = metric.dist(store, 0, 2)
+    d12 = metric.dist(store, 1, 2)
+    assert d01 >= 0.0
+    assert d01 == pytest.approx(d10, rel=1e-9, abs=1e-9)
+    assert metric.dist(store, 0, 0) == pytest.approx(0.0, abs=1e-9)
+    # Triangle inequality with numerical slack.
+    assert d02 <= d01 + d12 + 1e-7 * (1.0 + d01 + d12)
+
+
+@given(pts=triple_arrays(dim=5))
+@settings(max_examples=60, deadline=None)
+def test_angular_metric_axioms(pts):
+    # Shift away from zero so every vector has a direction.
+    pts = pts + 100.0
+    store = ANGULAR.prepare(pts)
+    d01 = ANGULAR.dist(store, 0, 1)
+    d02 = ANGULAR.dist(store, 0, 2)
+    d12 = ANGULAR.dist(store, 1, 2)
+    assert 0.0 <= d01 <= np.pi + 1e-9
+    assert d01 == pytest.approx(ANGULAR.dist(store, 1, 0), abs=1e-9)
+    assert d02 <= d01 + d12 + 1e-7
+
+
+words = st.text(alphabet="abcdef", min_size=0, max_size=14)
+
+
+@given(a=words, b=words, c=words)
+@settings(max_examples=150, deadline=None)
+def test_edit_metric_axioms(a, b, c):
+    strings = [a or "x", b or "y", c or "z"]
+    store = EDIT.prepare(strings)
+    d01 = EDIT.dist(store, 0, 1)
+    d02 = EDIT.dist(store, 0, 2)
+    d12 = EDIT.dist(store, 1, 2)
+    assert d01 == EDIT.dist(store, 1, 0)
+    assert d02 <= d01 + d12
+    assert EDIT.dist(store, 0, 0) == 0.0
+
+
+@given(a=words, b=words)
+@settings(max_examples=150, deadline=None)
+def test_edit_kernel_matches_reference(a, b):
+    strings = [a or "x", b or "y"]
+    store = EDIT.prepare(strings)
+    assert EDIT.dist(store, 0, 1) == levenshtein(strings[0], strings[1])
+
+
+@given(a=words, b=words, bound=st.integers(min_value=0, max_value=6))
+@settings(max_examples=100, deadline=None)
+def test_edit_bound_never_underreports(a, b, bound):
+    strings = [a or "x", b or "y"]
+    store = EDIT.prepare(strings)
+    exact = levenshtein(strings[0], strings[1])
+    got = float(EDIT.dist_many(store, 0, np.asarray([1]), bound=float(bound))[0])
+    if exact <= bound:
+        assert got == exact
+    else:
+        assert got > bound
+
+
+@given(
+    pts=hnp.arrays(np.float64, (4, 3), elements=finite_floats),
+    scale=st.floats(min_value=0.1, max_value=10.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_minkowski_homogeneity(pts, scale):
+    """Lp norms are absolutely homogeneous: d(sx, sy) = s d(x, y)."""
+    s1 = L2.prepare(pts)
+    s2 = L2.prepare(pts * scale)
+    d1 = L2.dist(s1, 0, 1)
+    d2 = L2.dist(s2, 0, 1)
+    assert d2 == pytest.approx(scale * d1, rel=1e-9, abs=1e-9)

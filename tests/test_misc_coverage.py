@@ -1,0 +1,100 @@
+"""Targeted tests for paths not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset, DODResult, load_graph, save_graph
+from repro.graphs import build_hnsw
+from repro.metrics import EDIT, levenshtein
+
+
+def test_edit_pair_dist_fallback():
+    """Edit uses the generic per-pair fallback; it must match dist."""
+    words = ["alpha", "beta", "gamma", "delta"]
+    store = EDIT.prepare(words)
+    a = np.asarray([0, 1, 2])
+    b = np.asarray([3, 2, 0])
+    got = EDIT.pair_dist(store, a, b)
+    for t in range(3):
+        assert got[t] == levenshtein(words[int(a[t])], words[int(b[t])])
+
+
+def test_edit_empty_query_with_bound():
+    store = EDIT.prepare(["", "abc", "de"])
+    d = EDIT.dist_many(store, 0, np.asarray([1, 2]), bound=1.0)
+    np.testing.assert_array_equal(d, [3.0, 2.0])  # lengths, exact
+
+
+def test_dataset_pair_dist_counts():
+    ds = Dataset(["ab", "cd", "ef"], "edit")
+    ds.reset_counter()
+    ds.pair_dist(np.asarray([0, 1]), np.asarray([1, 2]))
+    assert ds.counter.pairs == 2
+
+
+def test_hnsw_io_roundtrip(l2_dataset, tmp_path):
+    g = build_hnsw(l2_dataset, M=4, ef_construction=12, rng=0)
+    path = tmp_path / "hnsw.npz"
+    save_graph(g, path)
+    loaded = load_graph(path)
+    for v in range(g.n):
+        assert loaded.neighbors_list(v) == g.neighbors_list(v)
+    assert loaded.meta["builder"] == "hnsw"
+    assert loaded.meta["n_layers"] == g.meta["n_layers"]
+
+
+def test_same_outliers_against_raw_array():
+    res = DODResult(
+        outliers=np.asarray([3, 1, 2]), r=1.0, k=2, n=10, method="x"
+    )
+    assert res.same_outliers(np.asarray([1, 2, 3]))
+    assert not res.same_outliers(np.asarray([1, 2]))
+    assert not res.same_outliers(np.asarray([1, 2, 4]))
+
+
+def test_result_ratio_and_counts():
+    res = DODResult(
+        outliers=np.asarray([0, 5]), r=1.0, k=2, n=20, method="x"
+    )
+    assert res.n_outliers == 2
+    assert res.outlier_ratio == pytest.approx(0.1)
+
+
+def test_vptree_knn_on_subset(l2_dataset):
+    from repro.index import VPTree, brute_force_knn
+
+    subset = np.arange(0, l2_dataset.n, 3, dtype=np.int64)
+    tree = VPTree(l2_dataset, capacity=6, rng=0, indices=subset)
+    ids, dists = tree.knn(0, 5)
+    # Every returned id is a subset member, distances ascending.
+    assert all(int(v) in set(subset.tolist()) for v in ids)
+    assert np.all(np.diff(dists) >= 0)
+    # The best subset member matches a brute scan restricted to subset.
+    d_all = l2_dataset.dist_many(0, subset)
+    d_all[subset == 0] = np.inf
+    assert dists[0] == pytest.approx(d_all.min())
+
+
+def test_graph_set_links_accepts_numpy(l2_dataset):
+    from repro.graphs import Graph
+
+    g = Graph(10)
+    g.set_links(0, np.asarray([1, 2, 3], dtype=np.int64))
+    assert g.neighbors_list(0) == [1, 2, 3]
+
+
+def test_minkowski_fractional_p_metric_axioms(rng):
+    from repro.metrics import Minkowski
+
+    m = Minkowski(1.5)
+    pts = rng.normal(size=(3, 4))
+    store = m.prepare(pts)
+    d01, d12, d02 = m.dist(store, 0, 1), m.dist(store, 1, 2), m.dist(store, 0, 2)
+    assert d02 <= d01 + d12 + 1e-9
+
+
+def test_counter_snapshot():
+    ds = Dataset(np.zeros((4, 2)), "l2")
+    ds.dist(0, 1)
+    calls, pairs = ds.counter.snapshot()
+    assert calls == 1 and pairs == 1

@@ -1,0 +1,107 @@
+"""Unit tests for MRPG construction and the builder registry."""
+
+import numpy as np
+import pytest
+
+from repro import build_graph, build_mrpg, MRPGConfig
+from repro.analysis import aknn_recall, connectivity_report
+from repro.exceptions import GraphError
+from repro.graphs import available_graphs
+from repro.index import brute_force_knn
+
+
+def test_meta_phases(mrpg_l2):
+    phases = mrpg_l2.meta["phase_seconds"]
+    assert set(phases) == {
+        "nndescent+", "connect_subgraphs", "remove_detours", "remove_links",
+    }
+    assert mrpg_l2.meta["builder"] == "mrpg"
+    assert mrpg_l2.meta["K"] == 8
+    assert mrpg_l2.meta["K_prime"] == 32
+
+
+def test_basic_uses_k_prime_equals_k(mrpg_basic_l2):
+    assert mrpg_basic_l2.meta["builder"] == "mrpg-basic"
+    assert mrpg_basic_l2.meta["K_prime"] == 8
+    for ids, _ in mrpg_basic_l2.exact_knn.values():
+        assert ids.size == 8
+
+
+def test_exact_lists_are_exact(mrpg_l2, l2_dataset):
+    for p, (ids, dists) in list(mrpg_l2.exact_knn.items())[:4]:
+        _, ref_dists = brute_force_knn(l2_dataset, p, ids.size)
+        np.testing.assert_allclose(dists, ref_dists, rtol=1e-10)
+
+
+def test_connected(mrpg_l2):
+    assert connectivity_report(mrpg_l2)["n_weak_components"] == 1
+
+
+def test_pivots_flagged(mrpg_l2):
+    assert mrpg_l2.pivots.any()
+
+
+def test_high_aknn_recall_before_pruning(l2_dataset):
+    # Property 1 holds for the un-pruned graph; Remove-Links then trades
+    # direct links for pivot-mediated reachability (§5.4), so the full
+    # MRPG's raw out-link recall is legitimately lower.
+    cfg = MRPGConfig(K=8, prune=False)
+    unpruned = build_mrpg(l2_dataset, K=8, rng=0, config=cfg)
+    assert aknn_recall(l2_dataset, unpruned, K=8, sample_size=80, rng=0) > 0.9
+
+
+def test_pruning_reduces_links_not_below_floor(mrpg_l2, l2_dataset):
+    cfg = MRPGConfig(K=8, prune=False)
+    unpruned = build_mrpg(l2_dataset, K=8, rng=0, config=cfg)
+    assert mrpg_l2.n_links < unpruned.n_links
+    assert min(mrpg_l2.degree(v) for v in range(mrpg_l2.n)) >= 1
+
+
+def test_deterministic(l2_dataset):
+    a = build_mrpg(l2_dataset, K=6, rng=77)
+    b = build_mrpg(l2_dataset, K=6, rng=77)
+    for v in range(a.n):
+        assert a.neighbors_list(v) == b.neighbors_list(v)
+    np.testing.assert_array_equal(a.pivots, b.pivots)
+    assert sorted(a.exact_knn) == sorted(b.exact_knn)
+
+
+def test_ablation_flags(l2_dataset):
+    cfg = MRPGConfig(K=6, connect=False, detours=False, prune=False)
+    bare = build_mrpg(l2_dataset, K=6, rng=0, config=cfg)
+    assert "connect_subgraphs" not in bare.meta["phase_seconds"]
+    assert "remove_detours" not in bare.meta["phase_seconds"]
+    assert "remove_links" not in bare.meta["phase_seconds"]
+    full = build_mrpg(l2_dataset, K=6, rng=0)
+    # Detour links exist in the full build only.
+    assert full.meta.get("detour_links_added", 0) >= 0
+    assert "connect_subgraphs" in full.meta["phase_seconds"]
+
+
+def test_registry_dispatch(l2_dataset):
+    for name in available_graphs():
+        g = build_graph(name, l2_dataset, K=6, rng=0)
+        assert g.n == l2_dataset.n
+        assert g.finalized
+
+
+def test_registry_name_normalisation(l2_dataset):
+    g = build_graph("MRPG_BASIC", l2_dataset, K=6, rng=0)
+    assert g.meta["builder"] == "mrpg-basic"
+
+
+def test_unknown_graph_rejected(l2_dataset):
+    with pytest.raises(GraphError):
+        build_graph("no-such-graph", l2_dataset)
+
+
+def test_available_graphs():
+    assert set(available_graphs()) == {
+        "kgraph", "nsw", "hnsw", "mrpg", "mrpg-basic",
+    }
+
+
+def test_edit_metric_mrpg(mrpg_edit, edit_dataset):
+    assert mrpg_edit.n == edit_dataset.n
+    assert connectivity_report(mrpg_edit)["n_weak_components"] == 1
+    assert mrpg_edit.exact_knn

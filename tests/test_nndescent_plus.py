@@ -1,0 +1,76 @@
+"""Unit tests for NNDescent+ (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.graphs import nndescent_plus
+from repro.index import brute_force_knn
+
+
+@pytest.fixture(scope="module")
+def result(l2_dataset):
+    return nndescent_plus(l2_dataset, K=8, n_exact=12, rng=0)
+
+
+def test_pivots_present(result, l2_dataset):
+    assert result.pivots.any()
+    assert result.pivots.sum() < l2_dataset.n / 2
+
+
+def test_exact_lists_count(result):
+    assert len(result.exact_knn) == 12
+
+
+def test_exact_lists_are_truly_exact(result, l2_dataset):
+    for p, (ids, dists) in list(result.exact_knn.items())[:5]:
+        ref_ids, ref_dists = brute_force_knn(l2_dataset, p, ids.size)
+        np.testing.assert_allclose(dists, ref_dists, rtol=1e-10)
+
+
+def test_k_prime_default_is_4k(result):
+    for ids, _ in result.exact_knn.values():
+        assert ids.size == 4 * 8
+
+
+def test_k_prime_override(l2_dataset):
+    res = nndescent_plus(l2_dataset, K=6, K_prime=6, n_exact=5, rng=0)
+    for ids, _ in res.exact_knn.values():
+        assert ids.size == 6
+
+
+def test_exact_targets_have_largest_knn_sums(result, l2_dataset):
+    # Exact lists go to the objects with the largest sum of AKNN
+    # distances — the probable outliers.
+    sums = result.knn.sum_dists
+    chosen = np.asarray(sorted(result.exact_knn))
+    threshold = np.sort(sums)[-12 * 3]  # allow approximation slack
+    assert (sums[chosen] >= threshold).mean() > 0.5
+
+
+def test_seeded_fraction(result):
+    assert 0.0 < result.seeded_fraction <= 1.0
+
+
+def test_timing_keys(result):
+    assert set(result.timings) == {"partition", "descent", "exact_knn"}
+    assert all(v >= 0 for v in result.timings.values())
+
+
+def test_k_prime_below_k_rejected(l2_dataset):
+    with pytest.raises(ParameterError):
+        nndescent_plus(l2_dataset, K=8, K_prime=4)
+
+
+def test_n_exact_zero(l2_dataset):
+    res = nndescent_plus(l2_dataset, K=6, n_exact=0, rng=0)
+    assert res.exact_knn == {}
+
+
+def test_k_prime_capped_at_n_minus_one():
+    from repro import Dataset
+
+    ds = Dataset(np.random.default_rng(0).normal(size=(30, 3)), "l2")
+    res = nndescent_plus(ds, K=5, K_prime=100, n_exact=3, rng=0)
+    for ids, _ in res.exact_knn.values():
+        assert ids.size == 29

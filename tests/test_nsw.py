@@ -1,0 +1,75 @@
+"""Unit tests for the NSW builder."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import connectivity_report
+from repro.exceptions import ParameterError
+from repro.graphs import build_nsw
+
+
+@pytest.fixture(scope="module")
+def nsw(l2_dataset):
+    return build_nsw(l2_dataset, n_links=8, attempts=2, rng=0)
+
+
+def test_undirected(nsw):
+    for u in range(nsw.n):
+        for v in nsw.neighbors_list(u):
+            assert nsw.has_link(v, u), (u, v)
+
+
+def test_minimum_degree(nsw):
+    # Every vertex links to at least n_links others (insertion adds
+    # n_links undirected edges; early vertices accumulate more).
+    degrees = [nsw.degree(v) for v in range(nsw.n)]
+    assert min(degrees) >= 1
+    assert np.mean(degrees) >= 8
+
+
+def test_connected(nsw):
+    report = connectivity_report(nsw)
+    assert report["n_weak_components"] == 1
+
+
+def test_no_pivots_no_exact(nsw):
+    assert not nsw.pivots.any()
+    assert nsw.exact_knn == {}
+
+
+def test_meta(nsw):
+    assert nsw.meta["builder"] == "nsw"
+    assert nsw.meta["n_links"] == 8
+    assert nsw.meta["build_seconds"] > 0
+
+
+def test_deterministic(l2_dataset):
+    a = build_nsw(l2_dataset, n_links=6, attempts=1, rng=3)
+    b = build_nsw(l2_dataset, n_links=6, attempts=1, rng=3)
+    for v in range(a.n):
+        assert a.neighbors_list(v) == b.neighbors_list(v)
+
+
+def test_links_are_mostly_local(nsw, l2_dataset):
+    # NSW links should be much shorter than random pairs on average.
+    gen = np.random.default_rng(0)
+    link_d = []
+    for u in range(0, nsw.n, 10):
+        for v in nsw.neighbors_list(u)[:4]:
+            link_d.append(l2_dataset.dist(u, v))
+    a = gen.integers(0, l2_dataset.n, 300)
+    b = gen.integers(0, l2_dataset.n, 300)
+    rand_d = l2_dataset.pair_dist(a[a != b], b[a != b])
+    assert np.mean(link_d) < np.mean(rand_d) * 0.8
+
+
+def test_validation(l2_dataset):
+    with pytest.raises(ParameterError):
+        build_nsw(l2_dataset, n_links=0)
+    with pytest.raises(ParameterError):
+        build_nsw(l2_dataset, attempts=0)
+
+
+def test_edit_metric(edit_dataset):
+    g = build_nsw(edit_dataset, n_links=5, attempts=1, rng=0)
+    assert connectivity_report(g)["n_weak_components"] == 1

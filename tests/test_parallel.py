@@ -1,0 +1,83 @@
+"""Unit tests for random-partition parallel execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import map_over_objects, partition_indices
+from repro.exceptions import ParameterError
+
+
+def test_partition_covers_everything_once():
+    chunks = partition_indices(100, 7, rng=0)
+    merged = np.sort(np.concatenate(chunks))
+    np.testing.assert_array_equal(merged, np.arange(100))
+
+
+def test_partition_is_random(l2_dataset):
+    chunks = partition_indices(100, 4, rng=1)
+    # A random partition should not be four contiguous runs.
+    assert any(np.any(np.diff(np.sort(c)) > 1) for c in chunks)
+
+
+def test_partition_more_parts_than_items():
+    chunks = partition_indices(3, 10, rng=0)
+    assert sum(c.size for c in chunks) == 3
+    assert all(c.size for c in chunks)
+
+
+def test_partition_validation():
+    with pytest.raises(ParameterError):
+        partition_indices(10, 0)
+
+
+def test_map_over_objects_merges_results(l2_dataset):
+    def worker(view, chunk):
+        return [int(p) for p in chunk if p % 2 == 0]
+
+    results, pairs = map_over_objects(
+        l2_dataset, np.arange(50), worker, n_jobs=4, rng=0
+    )
+    merged = sorted(p for part in results for p in part)
+    assert merged == list(range(0, 50, 2))
+    assert pairs == 0  # worker did no distance work
+
+
+def test_map_over_objects_counts_pairs(l2_dataset):
+    def worker(view, chunk):
+        for p in chunk:
+            view.dist_many(int(p), np.arange(10))
+        return None
+
+    _, pairs = map_over_objects(l2_dataset, np.arange(20), worker, n_jobs=3, rng=0)
+    assert pairs == 20 * 10
+
+
+def test_map_over_objects_serial_path(l2_dataset):
+    def worker(view, chunk):
+        view.dist(0, 1)
+        return chunk.size
+
+    results, pairs = map_over_objects(l2_dataset, np.arange(9), worker, n_jobs=1)
+    assert results == [9]
+    assert pairs == 1
+
+
+def test_map_over_objects_empty_items(l2_dataset):
+    results, pairs = map_over_objects(
+        l2_dataset, np.empty(0, dtype=np.int64), lambda v, c: 1, n_jobs=2
+    )
+    assert results == []
+    assert pairs == 0
+
+
+def test_worker_exception_propagates(l2_dataset):
+    def worker(view, chunk):
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        map_over_objects(l2_dataset, np.arange(5), worker, n_jobs=2)
+
+
+def test_n_jobs_validation(l2_dataset):
+    with pytest.raises(ParameterError):
+        map_over_objects(l2_dataset, np.arange(5), lambda v, c: 1, n_jobs=0)

@@ -1,0 +1,89 @@
+"""Unit tests for VP-tree ball partitioning (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.index import vp_partition
+
+
+@pytest.fixture(scope="module")
+def result(l2_dataset):
+    return vp_partition(l2_dataset, K=8, rng=0)
+
+
+def test_shapes(result, l2_dataset):
+    n = l2_dataset.n
+    assert result.init_ids.shape == (n, 8)
+    assert result.init_dists.shape == (n, 8)
+    assert result.covered.shape == (n,)
+    assert result.pivots.shape == (n,)
+
+
+def test_most_objects_covered(result, l2_dataset):
+    # Two passes of ball partitioning seed the overwhelming majority.
+    assert result.covered.mean() > 0.6
+
+
+def test_pivots_exist_and_sublinear(result, l2_dataset):
+    assert result.n_pivots > 0
+    assert result.n_pivots < l2_dataset.n / 2
+
+
+def test_seeded_neighbors_are_real(result, l2_dataset):
+    # Every seeded (id, dist) pair must be a true distance.
+    for p in np.flatnonzero(result.covered)[:40]:
+        row = result.init_ids[p]
+        valid = row >= 0
+        if not valid.any():
+            continue
+        d = l2_dataset.dist_many(int(p), row[valid])
+        np.testing.assert_allclose(result.init_dists[p][valid], d, rtol=1e-10)
+
+
+def test_no_self_in_seeds(result):
+    for p in range(result.init_ids.shape[0]):
+        assert p not in result.init_ids[p][result.init_ids[p] >= 0]
+
+
+def test_uncovered_have_padding(result):
+    uncovered = np.flatnonzero(~result.covered)
+    for p in uncovered:
+        assert np.all(result.init_ids[p] == -1)
+        assert np.all(np.isinf(result.init_dists[p]))
+
+
+def test_repeats_increase_coverage(l2_dataset):
+    one = vp_partition(l2_dataset, K=8, repeats=1, rng=3)
+    three = vp_partition(l2_dataset, K=8, repeats=3, rng=3)
+    assert three.covered.sum() >= one.covered.sum()
+
+
+def test_deterministic(l2_dataset):
+    a = vp_partition(l2_dataset, K=6, rng=11)
+    b = vp_partition(l2_dataset, K=6, rng=11)
+    np.testing.assert_array_equal(a.init_ids, b.init_ids)
+    np.testing.assert_array_equal(a.pivots, b.pivots)
+
+
+def test_edit_metric_partition(edit_dataset):
+    res = vp_partition(edit_dataset, K=5, rng=0)
+    assert res.covered.any()
+    assert res.n_pivots > 0
+
+
+def test_validation(l2_dataset):
+    with pytest.raises(ParameterError):
+        vp_partition(l2_dataset, K=0)
+    with pytest.raises(ParameterError):
+        vp_partition(l2_dataset, K=5, repeats=0)
+    with pytest.raises(ParameterError):
+        vp_partition(l2_dataset, K=5, capacity=1)
+
+
+def test_identical_points_terminate():
+    from repro import Dataset
+
+    ds = Dataset(np.zeros((60, 2)), "l2")
+    res = vp_partition(ds, K=4, rng=0)
+    assert res.covered.any()

@@ -1,0 +1,69 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.harness import ExperimentTable, ascii_chart, render_figure
+
+
+def test_basic_chart_contains_markers_and_legend():
+    text = ascii_chart(
+        [1, 2, 3, 4],
+        {"alpha": [1.0, 2.0, 3.0, 4.0], "beta": [4.0, 3.0, 2.0, 1.0]},
+        width=32,
+        height=8,
+        title="demo",
+    )
+    assert "demo" in text
+    assert "o alpha" in text
+    assert "x beta" in text
+    assert "o" in text.splitlines()[1]  # markers plotted somewhere
+
+
+def test_monotone_series_orientation():
+    text = ascii_chart([0, 1], {"up": [0.0, 10.0]}, width=16, height=5)
+    lines = [l for l in text.splitlines() if "|" in l]
+    # Rising series: marker in the top row at the right, bottom at left.
+    assert lines[0].rstrip().endswith("o")
+    assert lines[-1].split("|")[1].startswith("o")
+
+
+def test_log_scale():
+    text = ascii_chart(
+        [1, 2, 3], {"s": [0.001, 1.0, 1000.0]}, logy=True, width=16, height=5
+    )
+    assert "1e" in text
+
+
+def test_flat_series_does_not_crash():
+    text = ascii_chart([1, 2], {"s": [5.0, 5.0]}, width=8, height=4)
+    assert "s" in text
+
+
+def test_validation():
+    with pytest.raises(ParameterError):
+        ascii_chart([1, 2], {})
+    with pytest.raises(ParameterError):
+        ascii_chart([1], {"s": [1.0]})
+    with pytest.raises(ParameterError):
+        ascii_chart([1, 2], {"s": [1.0]})
+
+
+def test_render_figure_groups():
+    t = ExperimentTable("figX", "demo", ["dataset", "rate", "mrpg", "kgraph"])
+    for suite in ("a", "b"):
+        for rate, v in [(0.5, 1.0), (1.0, 2.0)]:
+            t.add_row(dataset=suite, rate=rate, mrpg=v, kgraph=v * 2)
+    text = render_figure(t, "rate", ["mrpg", "kgraph"])
+    assert "figX — a" in text
+    assert "figX — b" in text
+    assert "legend" in text
+
+
+def test_render_figure_skips_missing_series():
+    t = ExperimentTable("figY", "demo", ["dataset", "rate", "mrpg", "nsw"])
+    t.add_row(dataset="a", rate=0.5, mrpg=1.0, nsw=None)
+    t.add_row(dataset="a", rate=1.0, mrpg=2.0, nsw=None)
+    text = render_figure(t, "rate", ["mrpg", "nsw"])
+    assert "mrpg" in text
+    assert "nsw" not in text.split("legend:")[1]

@@ -1,0 +1,80 @@
+"""Unit tests for Remove-Links (§5.4)."""
+
+import numpy as np
+
+from repro import Dataset
+from repro.core import VisitTracker, greedy_count
+from repro.graphs import Graph, remove_links
+
+
+def _triangle_fixture():
+    """p0, p1 non-pivots both linked to pivot p2; p0-p1 also linked.
+
+    Remove-Links must drop the redundant p0-p1 edge: p1 stays reachable
+    from p0 through the pivot.
+    """
+    g = Graph(4)
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(1, 2)
+    g.add_edge(2, 3)  # keep degrees above the safety floor
+    g.add_edge(0, 3)
+    g.add_edge(1, 3)
+    g.pivots[2] = True
+    return g
+
+
+def test_removes_pivot_shadowed_edge():
+    g = _triangle_fixture()
+    stats = remove_links(g)
+    assert stats["removed"] >= 1
+    assert not g.has_link(0, 1)
+    assert not g.has_link(1, 0)
+    # Links to the pivot survive.
+    assert g.has_link(0, 2) and g.has_link(1, 2)
+
+
+def test_no_pivot_no_removal():
+    g = _triangle_fixture()
+    g.pivots[2] = False
+    stats = remove_links(g)
+    assert stats["removed"] == 0
+    assert g.has_link(0, 1)
+
+
+def test_degree_floor_respected():
+    g = Graph(3)
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(1, 2)
+    g.pivots[2] = True
+    remove_links(g)
+    # Degrees are exactly 2 everywhere: nothing may be removed.
+    assert g.has_link(0, 1)
+
+
+def test_exact_knn_vertices_untouched():
+    g = _triangle_fixture()
+    g.exact_knn[1] = (np.asarray([0, 2]), np.asarray([1.0, 1.0]))
+    remove_links(g)
+    assert g.has_link(0, 1)  # q=1 holds an exact list: edge kept
+
+
+def test_reachability_preserved_through_pivot():
+    # Points on a line; 0 and 1 are within r of each other; after the
+    # 0-1 edge is pruned, greedy counting from 0 must still find 1 via
+    # the out-of-range pivot 2 (Algorithm 2 lines 13-14).
+    pts = np.asarray([[0.0], [1.0], [50.0], [51.0]])
+    ds = Dataset(pts, "l2")
+    g = _triangle_fixture()
+    remove_links(g)
+    g.finalize()
+    assert not g.has_link(0, 1)
+    count = greedy_count(ds, g, 0, r=2.0, k=1, tracker=VisitTracker(4))
+    assert count >= 1  # found vertex 1 through pivot 2
+
+
+def test_mrpg_fixture_pruning_stats(mrpg_l2):
+    # The session MRPG recorded its pruning phase.
+    assert "links_removed" in mrpg_l2.meta
+    assert mrpg_l2.meta["links_removed"] >= 0

@@ -1,0 +1,133 @@
+"""Tiny-scale smoke tests for every experiment runner.
+
+The benches exercise the runners at full scale; these tests run each
+one at a fraction of that size so a broken runner fails in seconds
+inside ``pytest tests/`` rather than minutes into a bench session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import EXPERIMENTS, clear_caches, run_experiment
+
+
+@pytest.fixture(autouse=True, scope="module")
+def tiny_scale():
+    import os
+
+    old = {
+        key: os.environ.get(key)
+        for key in ("REPRO_BENCH_SCALE", "REPRO_BENCH_SUITES")
+    }
+    os.environ["REPRO_BENCH_SCALE"] = "0.08"
+    os.environ["REPRO_BENCH_SUITES"] = "glove,words"
+    clear_caches()
+    yield
+    clear_caches()
+    for key, val in old.items():
+        if val is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = val
+
+
+def _run(name, **kwargs):
+    tables = run_experiment(name, **kwargs)
+    assert tables, name
+    for table in tables:
+        assert table.rows, (name, table.exp_id)
+        text = table.format()
+        assert table.exp_id in text
+    return tables
+
+
+def test_registry_is_complete():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "table3", "table4", "table5", "table6",
+        "table7", "table8", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "ablation", "ablation_nndescent", "ablation_k", "ablation_hnsw",
+        "ext_topn", "ext_dynamic", "ext_streaming",
+    }
+
+
+def test_table3_runner():
+    (table,) = _run("table3")
+    assert set(table.columns) == {"dataset", "nsw", "kgraph", "mrpg-basic", "mrpg"}
+
+
+def test_table4_runner():
+    (table,) = _run("table4", suite="glove")
+    assert [row["phase"] for row in table.rows] == [
+        "NNDescent(+)", "Connect-SubGraphs", "Remove-Detours", "Remove-Links",
+    ]
+
+
+def test_table5_runner():
+    time_table, pairs_table = _run("table5")
+    assert len(time_table.rows) == 2  # glove, words
+    for row in pairs_table.rows:
+        assert row["mrpg"] < row["nested-loop"]
+
+
+def test_table6_runner():
+    (table,) = _run("table6")
+    for row in table.rows:
+        assert row["nested-loop"] == 0.0
+        assert row["mrpg"] > 0
+
+
+def test_table8_runner():
+    (table,) = _run("table8", suite="glove")
+    assert {row["phase"] for row in table.rows} == {"filter", "verify"}
+
+
+def test_fig_runners():
+    for name, x_col in [("fig6", "rate"), ("fig7", "rate"), ("fig8", "k"),
+                        ("fig9", "r")]:
+        (table,) = _run(name, rates=(0.5, 1.0)) if name in ("fig6", "fig7") \
+            else _run(name)
+        assert x_col in table.columns, name
+
+
+def test_fig10_runner():
+    (table,) = _run("fig10", jobs=(1, 2))
+    assert {row["n_jobs"] for row in table.rows} == {1, 2}
+
+
+def test_ablation_runner():
+    (table,) = _run("ablation", suite="glove", K=4, k_factor=2.0)
+    fp = {row["variant"]: row["false_positives"] for row in table.rows}
+    assert fp["mrpg (full)"] <= fp["w/o both"]
+
+
+def test_ablation_nndescent_runner():
+    (table,) = _run("ablation_nndescent", suite="glove")
+    assert {row["builder"] for row in table.rows} == {"nndescent", "nndescent+"}
+
+
+def test_ablation_k_runner():
+    (table,) = _run("ablation_k", suite="glove", Ks=(4, 8))
+    rows = sorted(table.rows, key=lambda r: r["K"])
+    assert rows[1]["index_mb"] > rows[0]["index_mb"]
+
+
+def test_ablation_hnsw_runner():
+    (table,) = _run("ablation_hnsw", suite="glove")
+    assert {row["graph"] for row in table.rows} == {"nsw", "hnsw"}
+
+
+def test_ext_topn_runner():
+    (table,) = _run("ext_topn", suite="glove", n_top=5)
+    rows = {row["variant"]: row for row in table.rows}
+    assert rows["orca + mrpg seeding"]["pairs"] <= rows["orca (no graph)"]["pairs"] * 1.5
+
+
+def test_ext_dynamic_runner():
+    (table,) = _run("ext_dynamic", suite="glove", batches=3)
+    rows = {row["strategy"]: row for row in table.rows}
+    assert rows["incremental"]["outliers"] == rows["rebuild"]["outliers"]
+
+
+def test_ext_streaming_runner():
+    (table,) = _run("ext_streaming", suite="glove")
+    assert len(table.rows) == 2

@@ -1,0 +1,78 @@
+"""Unit tests for the Exact-Counting verifier."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset, Verifier
+from repro.core.intrinsic import estimate_intrinsic_dim
+from repro.exceptions import ParameterError
+from repro.index import brute_force_range
+
+
+def test_strategies_agree(l2_dataset, l2_params):
+    r, k = l2_params
+    vp = Verifier(l2_dataset, strategy="vptree", rng=0)
+    lin = Verifier(l2_dataset, strategy="linear")
+    for p in range(0, l2_dataset.n, 17):
+        assert vp.is_outlier(p, r, k) == lin.is_outlier(p, r, k)
+
+
+def test_count_exact_without_stop(l2_dataset):
+    v = Verifier(l2_dataset, strategy="vptree", rng=0)
+    for p in (0, 31, 200):
+        assert v.count(p, 5.0) == brute_force_range(l2_dataset, p, 5.0).size
+
+
+def test_auto_picks_vptree_for_low_intrinsic_dim(rng):
+    pts = rng.normal(size=(300, 2))  # genuinely 2-dimensional
+    ds = Dataset(pts, "l2")
+    v = Verifier(ds, strategy="auto", rng=0)
+    assert v.strategy == "vptree"
+    assert v.intrinsic_dim is not None and v.intrinsic_dim <= 8.0
+
+
+def test_auto_picks_linear_for_high_intrinsic_dim(rng):
+    pts = rng.normal(size=(300, 64))  # i.i.d. 64-dim gaussian
+    ds = Dataset(pts, "l2")
+    v = Verifier(ds, strategy="auto", rng=0)
+    assert v.strategy == "linear"
+    assert v.nbytes == 0
+
+
+def test_prebuilt_tree_reused(l2_dataset):
+    from repro import VPTree
+
+    tree = VPTree(l2_dataset, capacity=8, rng=0)
+    v = Verifier(l2_dataset, strategy="vptree", vptree=tree)
+    assert v.vptree is tree
+
+
+def test_dataset_override_counts_on_view(l2_dataset):
+    v = Verifier(l2_dataset, strategy="linear")
+    view = l2_dataset.view()
+    v.count(0, 3.0, dataset=view)
+    assert view.counter.pairs > 0
+
+
+def test_unknown_strategy_rejected(l2_dataset):
+    with pytest.raises(ParameterError):
+        Verifier(l2_dataset, strategy="quantum")
+
+
+def test_k_validation(l2_dataset):
+    v = Verifier(l2_dataset, strategy="linear")
+    with pytest.raises(ParameterError):
+        v.is_outlier(0, 1.0, 0)
+
+
+def test_intrinsic_dim_estimator_orders_correctly(rng):
+    low = Dataset(rng.normal(size=(400, 2)), "l2")
+    high = Dataset(rng.normal(size=(400, 50)), "l2")
+    assert estimate_intrinsic_dim(low, rng=0) < estimate_intrinsic_dim(high, rng=0)
+
+
+def test_intrinsic_dim_degenerate_cases():
+    same = Dataset(np.ones((50, 3)), "l2")
+    assert estimate_intrinsic_dim(same, rng=0) == 0.0
+    with pytest.raises(ParameterError):
+        estimate_intrinsic_dim(same, n_pairs=1)

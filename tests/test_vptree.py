@@ -1,0 +1,128 @@
+"""Unit tests for the VP-tree index."""
+
+import numpy as np
+import pytest
+
+from repro import Dataset, VPTree
+from repro.exceptions import ParameterError
+from repro.index import brute_force_knn, brute_force_range
+
+
+@pytest.fixture(scope="module")
+def tree(l2_dataset):
+    return VPTree(l2_dataset, capacity=8, rng=0)
+
+
+def _radii(dataset):
+    gen = np.random.default_rng(9)
+    a = gen.integers(0, dataset.n, size=400)
+    b = gen.integers(0, dataset.n, size=400)
+    d = dataset.pair_dist(a[a != b], b[a != b])
+    return [float(np.quantile(d, q)) for q in (0.02, 0.15, 0.6)]
+
+
+def test_range_search_matches_brute_force(tree, l2_dataset):
+    for r in _radii(l2_dataset):
+        for q in (0, 17, 100, 259):
+            got = tree.range_search(q, r)
+            expected = brute_force_range(l2_dataset, q, r)
+            np.testing.assert_array_equal(got, expected)
+
+
+def test_count_within_matches_brute_force(tree, l2_dataset):
+    for r in _radii(l2_dataset):
+        for q in (3, 77, 200):
+            got = tree.count_within(q, r)
+            expected = brute_force_range(l2_dataset, q, r).size
+            assert got == expected
+
+
+def test_count_within_early_termination(tree, l2_dataset):
+    r = _radii(l2_dataset)[2]  # generous radius: everyone has neighbors
+    q = 5
+    full = tree.count_within(q, r)
+    assert full > 4
+    stopped = tree.count_within(q, r, stop_at=3)
+    assert 3 <= stopped <= full
+
+
+def test_count_excludes_self_by_default(tree, l2_dataset):
+    r = _radii(l2_dataset)[0]
+    q = 42
+    with_self = tree.count_within(q, r, exclude_self=False)
+    without = tree.count_within(q, r)
+    assert with_self == without + 1
+
+
+def test_knn_matches_brute_force(tree, l2_dataset):
+    for q in (0, 99, 255):
+        ids, dists = tree.knn(q, 10)
+        ref_ids, ref_dists = brute_force_knn(l2_dataset, q, 10)
+        # Ties can permute ids; distances must agree exactly.
+        np.testing.assert_allclose(dists, ref_dists, rtol=1e-10)
+        assert q not in ids
+
+
+def test_knn_sorted_ascending(tree):
+    _, dists = tree.knn(11, 15)
+    assert np.all(np.diff(dists) >= 0)
+
+
+def test_knn_larger_than_dataset(l2_dataset):
+    tree = VPTree(l2_dataset, capacity=8, rng=1)
+    ids, dists = tree.knn(0, l2_dataset.n + 50)
+    assert ids.size == l2_dataset.n - 1  # everyone but the query
+
+
+def test_subset_index(l2_dataset):
+    subset = np.arange(0, l2_dataset.n, 2, dtype=np.int64)
+    tree = VPTree(l2_dataset, capacity=4, rng=0, indices=subset)
+    assert tree.size == subset.size
+    r = _radii(l2_dataset)[1]
+    got = tree.range_search(0, r)
+    full = brute_force_range(l2_dataset, 0, r)
+    expected = np.asarray(sorted(set(full.tolist()) & set(subset.tolist())))
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_edit_metric_tree(edit_dataset):
+    tree = VPTree(edit_dataset, capacity=8, rng=0)
+    got = tree.range_search(0, 3.0)
+    expected = brute_force_range(edit_dataset, 0, 3.0)
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_degenerate_identical_points():
+    ds = Dataset(np.zeros((40, 3)), "l2")
+    tree = VPTree(ds, capacity=4, rng=0)
+    assert tree.count_within(0, 0.0) == 39
+    ids, dists = tree.knn(0, 5)
+    assert np.all(dists == 0.0)
+
+
+def test_capacity_validation(l2_dataset):
+    with pytest.raises(ParameterError):
+        VPTree(l2_dataset, capacity=0)
+
+
+def test_negative_radius_rejected(tree):
+    with pytest.raises(ParameterError):
+        tree.count_within(0, -1.0)
+    with pytest.raises(ParameterError):
+        tree.range_search(0, -0.1)
+
+
+def test_knn_k_validation(tree):
+    with pytest.raises(ParameterError):
+        tree.knn(0, 0)
+
+
+def test_nbytes_positive(tree):
+    assert tree.nbytes > 0
+
+
+def test_deterministic_given_seed(l2_dataset):
+    t1 = VPTree(l2_dataset, capacity=8, rng=5)
+    t2 = VPTree(l2_dataset, capacity=8, rng=5)
+    np.testing.assert_array_equal(t1._vantage, t2._vantage)
+    assert t1.node_count == t2.node_count
