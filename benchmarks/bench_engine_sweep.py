@@ -1,0 +1,26 @@
+"""Engine extension: cross-query reuse vs per-query reruns.
+
+One 5-point ``r`` sweep (fixed ``k``) answered two ways over the same
+prebuilt MRPG: five independent ``graph_dod`` calls vs one
+``DetectionEngine.sweep``.  The runner verifies the outlier sets are
+identical point-by-point; here we assert the headline — the engine must
+be at least 2x faster on at least one suite, and never slower than the
+naive path by more than noise on any.
+"""
+
+
+def test_engine_sweep_speedup(benchmark, run_and_save):
+    tables = benchmark.pedantic(
+        lambda: run_and_save("engine_sweep"), rounds=1, iterations=1
+    )
+    table = tables[0]
+    assert table.rows, "engine_sweep produced no rows"
+    speedups = {row["dataset"]: row["speedup"] for row in table.rows}
+    # Headline: cross-query reuse wins at least 2x somewhere.
+    assert max(speedups.values()) >= 2.0, speedups
+    # And reuse never makes a sweep slower than rerunning from scratch
+    # (0.8 tolerates timer noise on near-equal runs).
+    assert all(s >= 0.8 for s in speedups.values()), speedups
+    # The cache must be doing the deciding, not the graph.
+    for row in table.rows:
+        assert 0.0 < row["cache_decided_pct"] <= 100.0, row

@@ -1,8 +1,11 @@
-"""Figure 8: impact of the count threshold k.
+"""Figure 8: impact of the count threshold k, served from one engine.
 
-Paper shape: larger k means more traversal and more outliers, so every
-method slows down; MRPG(-basic) stays the most robust thanks to
-connectivity and monotonic paths.
+Paper shape: larger k means more traversal and more outliers.  The
+serving rewrite answers the whole k-grid from one ``DetectionEngine``
+per graph, so per-point times are marginal costs under cross-query
+reuse; the invariants worth asserting are the exactness-derived ones:
+the outlier set only grows with k, and every builder agrees (checked
+inside the runner).
 """
 
 
@@ -12,11 +15,16 @@ def test_fig8_vary_k(benchmark, run_and_save):
     )
     table = tables[0]
     suites = sorted({row["dataset"] for row in table.rows})
+    assert suites
     for suite in suites:
         rows = sorted(
             (r for r in table.rows if r["dataset"] == suite),
             key=lambda r: r["k"],
         )
-        # Growing k cannot make the largest-k run faster than the
-        # smallest-k run by more than noise (cost grows with k).
-        assert rows[-1]["mrpg"] >= 0.3 * rows[0]["mrpg"], (suite, rows)
+        assert len(rows) >= 3, (suite, rows)
+        # Outlier-set monotonicity: raising k can only add outliers.
+        counts = [row["outliers"] for row in rows]
+        assert counts == sorted(counts), (suite, counts)
+        # Every grid point was actually served.
+        for row in rows:
+            assert row["mrpg"] > 0 and row["nsw"] > 0, row

@@ -18,8 +18,12 @@ for the reproduction methodology.
 from .core import (
     DODetector,
     DODResult,
+    FilterEvidence,
+    ObjectEvidence,
     Verifier,
+    WorkerPool,
     classify,
+    classify_evidence,
     detect_outliers,
     graph_dod,
     greedy_count,
@@ -32,6 +36,7 @@ from .exceptions import (
     ParameterError,
     ReproError,
 )
+from .engine import DetectionEngine, EvidenceCache, SweepResult
 from .extensions import DynamicDODetector, top_n_outliers
 from .graphs import (
     Graph,
@@ -44,7 +49,7 @@ from .graphs import (
     build_nsw,
 )
 from .index import VPTree, brute_force_outliers
-from .io import load_graph, save_graph
+from .io import load_engine, load_graph, save_engine, save_graph
 from .metrics import available_metrics, resolve_metric
 from .streaming import SlidingWindowDOD
 
@@ -56,11 +61,18 @@ __all__ = [
     "DistanceCounter",
     "DODetector",
     "DODResult",
+    "ObjectEvidence",
     "detect_outliers",
     "graph_dod",
     "greedy_count",
     "classify",
+    "classify_evidence",
+    "FilterEvidence",
     "Verifier",
+    "WorkerPool",
+    "DetectionEngine",
+    "EvidenceCache",
+    "SweepResult",
     "Graph",
     "build_graph",
     "available_graphs",
@@ -76,6 +88,8 @@ __all__ = [
     "SlidingWindowDOD",
     "save_graph",
     "load_graph",
+    "save_engine",
+    "load_engine",
     "resolve_metric",
     "available_metrics",
     "ReproError",

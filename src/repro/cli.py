@@ -5,6 +5,7 @@ Installed as ``repro-dod``::
     repro-dod suites                         # list the dataset suites
     repro-dod detect --suite glove           # detect outliers on a suite
     repro-dod detect --input pts.npy --r 0.5 --k 20
+    repro-dod sweep --suite glove --k-grid 15,20,25   # engine-served grid
     repro-dod experiment table5 --save-dir results
     repro-dod calibrate --suite sift --k 20 --target 0.01
 """
@@ -52,6 +53,36 @@ def _build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("--n-jobs", type=int, default=1)
     p_detect.add_argument("--output", help="write outlier ids to this file")
     p_detect.set_defaults(func=_cmd_detect)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="serve an (r, k) grid from one DetectionEngine"
+    )
+    src = p_sweep.add_mutually_exclusive_group(required=True)
+    src.add_argument("--suite", choices=sorted(SUITES), help="built-in suite")
+    src.add_argument("--input", help=".npy file of row vectors, or a text file "
+                                     "with one string per line (with --metric edit)")
+    p_sweep.add_argument("--metric", default="l2", help="metric for --input data")
+    p_sweep.add_argument("--n", type=int, default=None, help="suite cardinality")
+    p_sweep.add_argument("--r", type=float, default=None,
+                         help="base distance threshold (default: suite default)")
+    p_sweep.add_argument("--k", type=int, default=None,
+                         help="base count threshold (default: suite default)")
+    p_sweep.add_argument("--r-grid", default=None,
+                         help="comma-separated radii (default: 0.9..1.1 x base r)")
+    p_sweep.add_argument("--k-grid", default=None,
+                         help="comma-separated k values (default: base k)")
+    p_sweep.add_argument("--graph", default="mrpg",
+                         choices=["mrpg", "mrpg-basic", "kgraph", "nsw"])
+    p_sweep.add_argument("--K", type=int, default=16, help="graph degree")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--n-jobs", type=int, default=1)
+    p_sweep.add_argument("--check", action="store_true",
+                         help="verify every grid point against a fresh graph_dod "
+                              "run and report the reuse speedup")
+    p_sweep.add_argument("--snapshot", default=None,
+                         help="engine snapshot path: loaded warm when it exists, "
+                              "written after the sweep")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", help="experiment id (table1..table8, fig6..fig10, "
@@ -141,6 +172,127 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_grid(raw: "str | None", cast):
+    if raw is None:
+        return None
+    from .exceptions import ParameterError
+
+    values = []
+    for tok in raw.split(","):
+        tok = tok.strip()
+        if not tok:
+            continue
+        try:
+            values.append(cast(tok))
+        except ValueError:
+            raise ParameterError(
+                f"invalid grid value {tok!r} (expected comma-separated "
+                f"{cast.__name__}s)"
+            ) from None
+    return values
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from .core.dod import graph_dod
+    from .engine import DetectionEngine
+    from .exceptions import GraphError
+
+    if args.suite:
+        objects = make_objects(args.suite, n=args.n, seed=args.seed)
+        spec = get_spec(args.suite)
+        metric = spec.metric
+        base_r = args.r if args.r is not None else spec.default_r
+        base_k = args.k if args.k is not None else spec.default_k
+    else:
+        objects = _load_input(args.input, args.metric)
+        metric = args.metric
+        if (args.r is None and args.r_grid is None) or (
+            args.k is None and args.k_grid is None
+        ):
+            print("sweep: --r/--r-grid and --k/--k-grid are required with --input",
+                  file=sys.stderr)
+            return 2
+        base_r, base_k = args.r, args.k
+
+    r_grid = _parse_grid(args.r_grid, float)
+    if r_grid is None:
+        r_grid = [base_r * f for f in (0.9, 0.95, 1.0, 1.05, 1.1)]
+    k_grid = _parse_grid(args.k_grid, int)
+    if k_grid is None:
+        k_grid = [base_k]
+    if not r_grid or not k_grid:
+        print("sweep: --r-grid/--k-grid must name at least one value",
+              file=sys.stderr)
+        return 2
+
+    from .data import Dataset
+    from .rng import ensure_rng
+
+    dataset = Dataset(objects, metric)
+    engine = None
+    if args.snapshot is not None and os.path.exists(args.snapshot):
+        try:
+            engine = DetectionEngine.load(
+                args.snapshot, dataset, n_jobs=args.n_jobs, rng=args.seed
+            )
+            print(f"loaded warm engine snapshot from {args.snapshot} "
+                  f"({engine.stats['queries']} queries served before restart)")
+            built_graph_name = str(engine.graph.meta.get("builder", "?"))
+            built_K = engine.graph.meta.get("K")
+            if built_graph_name != args.graph or built_K != args.K:
+                print(
+                    f"sweep: note: snapshot was built with "
+                    f"graph={built_graph_name} K={built_K}; the --graph/--K "
+                    f"arguments are ignored on a warm load",
+                    file=sys.stderr,
+                )
+        except GraphError as exc:
+            print(f"sweep: cannot load snapshot: {exc}", file=sys.stderr)
+            return 2
+    if engine is None:
+        from .graphs.base import build_graph
+
+        gen = ensure_rng(args.seed)
+        graph = build_graph(args.graph, dataset, K=args.K, rng=gen)
+        engine = DetectionEngine(dataset, graph, n_jobs=args.n_jobs, rng=gen)
+
+    t0 = time.perf_counter()
+    sweep = engine.sweep(r_grid, k_grid=k_grid)
+    engine_s = time.perf_counter() - t0
+
+    print(f"{'r':>10s} {'k':>5s} {'outliers':>9s} {'seconds':>9s} "
+          f"{'cache_decided':>14s}")
+    for r, k in sweep.queries:
+        res = sweep.result(r, k)
+        print(f"{r:10.4g} {k:5d} {res.n_outliers:9d} {res.seconds:9.4f} "
+              f"{res.counts['cache_decided']:14d}")
+    print(f"{len(sweep.queries)} queries in {engine_s:.3f}s, "
+          f"{sweep.pairs:,} distance computations")
+
+    if args.check:
+        t0 = time.perf_counter()
+        for r, k in sweep.queries:
+            fresh = graph_dod(
+                dataset.view(), engine.graph, r, k,
+                verifier=engine.verifier, rng=args.seed, n_jobs=args.n_jobs,
+            )
+            if not fresh.same_outliers(sweep.result(r, k)):
+                print(f"sweep: MISMATCH vs graph_dod at r={r} k={k}",
+                      file=sys.stderr)
+                return 1
+        naive_s = time.perf_counter() - t0
+        print(f"check passed: all {len(sweep.queries)} grid points identical to "
+              f"fresh graph_dod runs ({naive_s:.3f}s naive, "
+              f"{naive_s / engine_s:.2f}x speedup from reuse)")
+
+    if args.snapshot is not None:
+        engine.save(args.snapshot)
+        print(f"engine snapshot written to {args.snapshot}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .harness import EXPERIMENTS, run_experiment
 
@@ -202,9 +354,17 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 def main(argv: "list[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from .exceptions import ReproError
+
     parser = _build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Library validation errors (bad parameters, malformed files)
+        # surface as clean CLI errors, not tracebacks.
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,21 +1,36 @@
 """The paper's primary contribution: proximity graph-based exact DOD."""
 
-from .counting import FilterOutcome, VisitTracker, classify, greedy_count
+from .counting import (
+    FilterEvidence,
+    FilterOutcome,
+    VisitTracker,
+    classify,
+    classify_chunk,
+    classify_evidence,
+    greedy_count,
+    split_outcomes,
+)
 from .dod import DODetector, detect_outliers, graph_dod
-from .parallel import map_over_objects, partition_indices
-from .result import DODResult
+from .parallel import WorkerPool, map_over_objects, partition_indices
+from .result import DODResult, ObjectEvidence
 from .verify import Verifier
 
 __all__ = [
     "greedy_count",
     "classify",
+    "classify_chunk",
+    "classify_evidence",
+    "split_outcomes",
+    "FilterEvidence",
     "FilterOutcome",
     "VisitTracker",
     "graph_dod",
     "DODetector",
     "detect_outliers",
     "DODResult",
+    "ObjectEvidence",
     "Verifier",
+    "WorkerPool",
     "map_over_objects",
     "partition_indices",
 ]

@@ -23,6 +23,7 @@ vertex, over all its unvisited neighbors.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np
@@ -59,6 +60,24 @@ class FilterOutcome(Enum):
     INLIER = "inlier"
     CANDIDATE = "candidate"
     OUTLIER = "outlier"  # definitive, via the exact-K'NN shortcut (§5.5)
+
+
+@dataclass(frozen=True)
+class FilterEvidence:
+    """Everything the filtering phase learned about one object.
+
+    ``count`` is a *lower bound* on the object's true neighbor count at
+    the query radius (Lemma 1); when ``exact`` is set it is the true
+    count (the exact-K'NN shortcut saw every neighbor).  Because
+    neighbor counts are monotone in ``r``, a lower bound stays valid at
+    any larger radius and an exact count caps the count at any smaller
+    radius — the facts the multi-query :class:`~repro.engine.DetectionEngine`
+    caches to decide later queries without re-traversal.
+    """
+
+    outcome: FilterOutcome
+    count: int
+    exact: bool
 
 
 def greedy_count(
@@ -118,7 +137,7 @@ def greedy_count(
     return count
 
 
-def classify(
+def classify_evidence(
     dataset: Dataset,
     graph: Graph,
     p: int,
@@ -127,18 +146,22 @@ def classify(
     tracker: VisitTracker | None = None,
     follow_pivots: bool | None = None,
     max_visits: int | None = None,
-) -> FilterOutcome:
-    """Filtering-phase verdict for object ``p`` (Algorithm 1, lines 3-5,
-    with the §5.5 replacement for exact-K'NN holders)."""
+) -> FilterEvidence:
+    """Filtering-phase verdict for object ``p`` plus the count evidence
+    backing it (Algorithm 1, lines 3-5, with the §5.5 replacement for
+    exact-K'NN holders)."""
     exact = graph.exact_knn.get(p)
     if exact is not None:
         ids, dists = exact
         if k <= ids.size:
             # The K' nearest neighbors are exact, so when fewer than k of
             # them fall within r, *no* unseen object can: the verdict is
-            # final in O(k) with zero distance computations.
+            # final in O(k) with zero distance computations.  The count
+            # is exact unless all K' fall inside r (then it is the lower
+            # bound K').
             within = int(np.count_nonzero(dists <= r))
-            return FilterOutcome.INLIER if within >= k else FilterOutcome.OUTLIER
+            outcome = FilterOutcome.INLIER if within >= k else FilterOutcome.OUTLIER
+            return FilterEvidence(outcome, within, exact=within < ids.size)
         # k > K': fall through to the generic traversal (generality, §5.5).
     count = greedy_count(
         dataset,
@@ -150,4 +173,74 @@ def classify(
         follow_pivots=follow_pivots,
         max_visits=max_visits,
     )
-    return FilterOutcome.INLIER if count >= k else FilterOutcome.CANDIDATE
+    outcome = FilterOutcome.INLIER if count >= k else FilterOutcome.CANDIDATE
+    return FilterEvidence(outcome, count, exact=False)
+
+
+def classify(
+    dataset: Dataset,
+    graph: Graph,
+    p: int,
+    r: float,
+    k: int,
+    tracker: VisitTracker | None = None,
+    follow_pivots: bool | None = None,
+    max_visits: int | None = None,
+) -> FilterOutcome:
+    """Filtering-phase verdict for object ``p`` (evidence discarded)."""
+    return classify_evidence(
+        dataset,
+        graph,
+        p,
+        r,
+        k,
+        tracker=tracker,
+        follow_pivots=follow_pivots,
+        max_visits=max_visits,
+    ).outcome
+
+
+def classify_chunk(
+    dataset: Dataset,
+    graph: Graph,
+    chunk: np.ndarray,
+    r: float,
+    k: int,
+    tracker: VisitTracker | None = None,
+    follow_pivots: bool | None = None,
+    max_visits: int | None = None,
+) -> list[tuple[int, FilterEvidence]]:
+    """The shared per-chunk body of Algorithm 1's filtering loop.
+
+    Both :func:`~repro.core.dod.graph_dod` and the multi-query engine
+    run exactly this over their worker chunks, so the filter semantics
+    cannot drift between the one-shot and the serving path.
+    """
+    if tracker is None:
+        tracker = VisitTracker(graph.n)
+    return [
+        (
+            int(p),
+            classify_evidence(
+                dataset,
+                graph,
+                int(p),
+                r,
+                k,
+                tracker=tracker,
+                follow_pivots=follow_pivots,
+                max_visits=max_visits,
+            ),
+        )
+        for p in chunk
+    ]
+
+
+def split_outcomes(
+    results: "list[tuple[int, FilterEvidence]]",
+) -> tuple[list[int], list[int]]:
+    """Partition :func:`classify_chunk` output into Algorithm 1's two
+    follow-up sets: verification candidates and direct outliers."""
+    candidates = [p for p, ev in results if ev.outcome is FilterOutcome.CANDIDATE]
+    direct = [p for p, ev in results if ev.outcome is FilterOutcome.OUTLIER]
+    return candidates, direct

@@ -24,9 +24,9 @@ from ..graphs.adjacency import Graph
 from ..graphs.base import build_graph
 from ..metrics import Metric
 from ..rng import ensure_rng
-from .counting import FilterOutcome, VisitTracker, classify
+from .counting import classify_chunk, split_outcomes
 from .parallel import map_over_objects
-from .result import DODResult
+from .result import DODResult, ObjectEvidence
 from .verify import Verifier
 
 
@@ -40,13 +40,16 @@ def graph_dod(
     rng: "int | np.random.Generator | None" = 0,
     max_visits: int | None = None,
     follow_pivots: bool | None = None,
+    collect_evidence: bool = False,
 ) -> DODResult:
     """Run Algorithm 1 and return the exact outlier set.
 
     Parameters mirror the paper: ``r`` is the distance threshold, ``k``
     the neighbor-count threshold, ``graph`` any metric proximity graph
     built offline.  ``n_jobs`` partitions objects randomly over threads
-    (§4 "Multi-threading").
+    (§4 "Multi-threading").  With ``collect_evidence`` the result also
+    carries per-object count bounds (:class:`ObjectEvidence`) that a
+    :class:`~repro.engine.DetectionEngine` can ingest to warm its cache.
     """
     if r < 0:
         raise ParameterError(f"radius must be non-negative, got {r}")
@@ -67,49 +70,44 @@ def graph_dod(
     t0 = time.perf_counter()
 
     def filter_worker(view: Dataset, chunk: np.ndarray):
-        tracker = VisitTracker(graph.n)
-        candidates: list[int] = []
-        direct: list[int] = []
-        for p in chunk:
-            p = int(p)
-            outcome = classify(
-                view,
-                graph,
-                p,
-                r,
-                k,
-                tracker=tracker,
-                follow_pivots=follow_pivots,
-                max_visits=max_visits,
-            )
-            if outcome is FilterOutcome.CANDIDATE:
-                candidates.append(p)
-            elif outcome is FilterOutcome.OUTLIER:
-                direct.append(p)
-        return candidates, direct
+        return classify_chunk(
+            view, graph, chunk, r, k,
+            follow_pivots=follow_pivots, max_visits=max_visits,
+        )
 
     chunk_results, filter_pairs = map_over_objects(
         dataset, everything, filter_worker, n_jobs=n_jobs, rng=gen
     )
-    candidates = np.asarray(
-        sorted(p for cands, _ in chunk_results for p in cands), dtype=np.int64
-    )
-    direct = np.asarray(
-        sorted(p for _, outs in chunk_results for p in outs), dtype=np.int64
-    )
+    filter_evidence = [pe for chunk in chunk_results for pe in chunk]
+    cand_list, direct_list = split_outcomes(filter_evidence)
+    candidates = np.asarray(sorted(cand_list), dtype=np.int64)
+    direct = np.asarray(sorted(direct_list), dtype=np.int64)
     filter_seconds = time.perf_counter() - t0
 
     # -- verification phase ---------------------------------------------------
     t0 = time.perf_counter()
 
     def verify_worker(view: Dataset, chunk: np.ndarray):
-        return [int(p) for p in chunk if verifier.is_outlier(int(p), r, k, dataset=view)]
+        return verifier.verify_chunk(chunk, r, k, dataset=view)
 
     verify_results, verify_pairs = map_over_objects(
         dataset, candidates, verify_worker, n_jobs=n_jobs, rng=gen
     )
-    verified = [p for chunk in verify_results for p in chunk]
+    verify_counts = [pce for chunk in verify_results for pce in chunk]
+    verified = [p for p, _, exact in verify_counts if exact]
     verify_seconds = time.perf_counter() - t0
+
+    evidence = None
+    if collect_evidence:
+        lower_bounds = np.zeros(dataset.n, dtype=np.int64)
+        exact_mask = np.zeros(dataset.n, dtype=bool)
+        for p, ev in filter_evidence:
+            lower_bounds[p] = ev.count
+            exact_mask[p] = ev.exact
+        for p, count, exact in verify_counts:
+            lower_bounds[p] = count
+            exact_mask[p] = exact
+        evidence = ObjectEvidence(r=r, lower_bounds=lower_bounds, exact_mask=exact_mask)
 
     outliers = np.sort(np.concatenate((direct, np.asarray(verified, dtype=np.int64))))
     method = str(graph.meta.get("builder", "graph"))
@@ -128,6 +126,7 @@ def graph_dod(
             "direct_outliers": int(direct.size),
             "false_positives": int(candidates.size) - len(verified),
         },
+        evidence=evidence,
     )
 
 
@@ -196,6 +195,26 @@ class DODetector:
     def fit_detect(self, objects, r: float, k: int, n_jobs: int = 1) -> DODResult:
         """Convenience: :meth:`fit` then :meth:`detect`."""
         return self.fit(objects).detect(r, k, n_jobs=n_jobs)
+
+    def engine(self, n_jobs: int = 1):
+        """A :class:`~repro.engine.DetectionEngine` over the fitted index.
+
+        The serving-path upgrade of :meth:`detect`: answers streams of
+        ``(r, k)`` queries with cross-query evidence reuse instead of a
+        from-scratch run per call.
+        """
+        if not self.is_fitted:
+            raise ParameterError("DODetector.engine called before fit")
+        from ..engine import DetectionEngine
+
+        return DetectionEngine(
+            self.dataset_,
+            self.graph_,
+            verifier=self.verifier_,
+            n_jobs=n_jobs,
+            rng=ensure_rng(self.seed),
+            max_visits=self.max_visits,
+        )
 
     @property
     def index_nbytes(self) -> int:

@@ -8,6 +8,29 @@ import numpy as np
 
 
 @dataclass
+class ObjectEvidence:
+    """Per-object count evidence gathered by one ``(r, k)`` detection run.
+
+    ``lower_bounds[p]`` is a proven lower bound on object ``p``'s true
+    neighbor count at radius ``r`` (Lemma 1 for filter counts, early
+    termination for verifier counts); where ``exact_mask[p]`` is set the
+    bound is the true count.  Neighbor counts are monotone in ``r``, so a
+    lower bound at ``r`` holds at any larger radius and an exact count
+    upper-bounds the count at any smaller radius — this is the raw
+    material the :class:`~repro.engine.DetectionEngine` evidence cache
+    consumes to answer later queries without touching the graph.
+    """
+
+    r: float
+    lower_bounds: np.ndarray  # int64[n]
+    exact_mask: np.ndarray  # bool[n]
+
+    @property
+    def n(self) -> int:
+        return int(self.lower_bounds.size)
+
+
+@dataclass
 class DODResult:
     """Outcome of one distance-based outlier detection run.
 
@@ -29,6 +52,8 @@ class DODResult:
     phases: dict[str, float] = field(default_factory=dict)
     phase_pairs: dict[str, int] = field(default_factory=dict)
     counts: dict[str, int] = field(default_factory=dict)
+    #: per-object count evidence, populated on request (``collect_evidence``).
+    evidence: "ObjectEvidence | None" = None
 
     @property
     def n_outliers(self) -> int:

@@ -83,6 +83,30 @@ class Verifier:
             raise ParameterError(f"k must be >= 1, got {k}")
         return self.count(p, r, stop_at=k, dataset=dataset) < k
 
+    def count_evidence(
+        self, p: int, r: float, k: int, dataset: Dataset | None = None
+    ) -> tuple[int, bool]:
+        """Early-terminated count plus its exactness flag.
+
+        The soundness rule both ``graph_dod`` and the engine rely on
+        lives here, once: termination fires only at ``>= k`` confirmed
+        neighbors, so a returned count *below* ``k`` means the scan ran
+        to completion and is the true neighbor count.
+        """
+        count = self.count(p, r, stop_at=k, dataset=dataset)
+        return count, count < k
+
+    def verify_chunk(
+        self, chunk, r: float, k: int, dataset: Dataset | None = None
+    ) -> list[tuple[int, int, bool]]:
+        """The shared per-chunk body of Algorithm 1's verification loop:
+        ``(object, count, exact)`` triples for every candidate in
+        ``chunk``.  Used identically by ``graph_dod`` and the engine."""
+        return [
+            (int(p), *self.count_evidence(int(p), r, k, dataset=dataset))
+            for p in chunk
+        ]
+
     @property
     def nbytes(self) -> int:
         """Memory held by verification structures (0 for linear scan)."""

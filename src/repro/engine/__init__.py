@@ -1,0 +1,18 @@
+"""Multi-query serving: fit one index, answer streams of ``(r, k)`` queries.
+
+The subsystem the paper's offline/online split implies but a one-shot
+``graph_dod`` call never delivers: :class:`DetectionEngine` keeps the
+fitted graph, the verifier and an :class:`EvidenceCache` of proven
+per-object count bounds alive across queries, so each new ``(r, k)``
+touches only the objects no earlier query already decided.
+"""
+
+from .engine import DetectionEngine, SweepResult
+from .evidence import NO_BOUND, EvidenceCache
+
+__all__ = [
+    "DetectionEngine",
+    "SweepResult",
+    "EvidenceCache",
+    "NO_BOUND",
+]

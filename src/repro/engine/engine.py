@@ -1,0 +1,401 @@
+"""Multi-query detection engine: fit once, answer ``(r, k)`` streams.
+
+The paper's offline/online split builds one proximity graph to serve
+many online queries, but each :func:`~repro.core.dod.graph_dod` call
+still starts from zero.  :class:`DetectionEngine` makes the graph (plus
+the verifier and a :class:`~repro.engine.evidence.EvidenceCache`) a
+long-lived serving asset:
+
+* every query deposits proven count bounds per object;
+* later queries decide most objects straight from those bounds via the
+  monotonicity of neighbor counts in ``r`` and of the outlier predicate
+  in ``(r, k)`` — only the undecided residue touches the graph;
+* filter/verify work for the residue runs on one persistent
+  :class:`~repro.core.parallel.WorkerPool` with per-worker
+  :class:`~repro.core.counting.VisitTracker` scratch, shared across the
+  whole query stream.
+
+Answers are **exactly** the :func:`graph_dod` outlier sets: the cache
+only ever stores proven bounds, and the residue path is Algorithm 1
+itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.counting import VisitTracker, classify_chunk, split_outcomes
+from ..core.parallel import WorkerPool
+from ..core.result import DODResult, ObjectEvidence
+from ..core.verify import Verifier
+from ..data import Dataset
+from ..exceptions import GraphError, ParameterError
+from ..graphs.adjacency import Graph
+from ..graphs.base import build_graph
+from ..metrics import Metric
+from ..rng import ensure_rng
+from .evidence import NO_BOUND, EvidenceCache
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :meth:`DetectionEngine.sweep` over an ``(r, k)`` grid."""
+
+    queries: list[tuple[float, int]]
+    results: dict[tuple[float, int], DODResult] = field(default_factory=dict)
+
+    def result(self, r: float, k: int) -> DODResult:
+        return self.results[(float(r), int(k))]
+
+    @property
+    def seconds(self) -> float:
+        return sum(res.seconds for res in self.results.values())
+
+    @property
+    def pairs(self) -> int:
+        return sum(res.pairs for res in self.results.values())
+
+    def summary(self) -> str:
+        lines = [
+            f"sweep over {len(self.queries)} queries: "
+            f"{self.seconds:.3f}s, {self.pairs:,} distance computations"
+        ]
+        for r, k in self.queries:
+            res = self.results[(r, k)]
+            lines.append(
+                f"  r={r:g} k={k}: {res.n_outliers} outliers in "
+                f"{res.seconds:.3f}s ({res.counts.get('cache_decided', 0)} "
+                f"cache-decided)"
+            )
+        return "\n".join(lines)
+
+
+def _sweep_order(queries: list[tuple[float, int]]) -> list[tuple[float, int]]:
+    """Reuse-maximising processing order: ``r`` ascending, ``k`` descending.
+
+    Inlier lower bounds (the bulk of every dataset) transfer from small
+    radii to large ones, and a bound of ``k`` proved at the largest ``k``
+    settles every smaller ``k`` at the same radius for free.
+    """
+    return sorted(queries, key=lambda q: (q[0], -q[1]))
+
+
+class DetectionEngine:
+    """Serve streams of exact ``(r, k)`` DOD queries over one fitted index.
+
+    Example
+    -------
+    >>> engine = DetectionEngine.fit(points, metric="l2", graph="mrpg", K=12)
+    >>> first = engine.query(r=0.5, k=20)        # cold: full Algorithm 1
+    >>> again = engine.query(r=0.55, k=20)       # warm: mostly cache-decided
+    >>> grid = engine.sweep([0.4, 0.5, 0.6], [10, 20])
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        graph: Graph,
+        verifier: Verifier | None = None,
+        n_jobs: int = 1,
+        rng: "int | np.random.Generator | None" = 0,
+        max_visits: int | None = None,
+        follow_pivots: bool | None = None,
+    ):
+        if graph.n != dataset.n:
+            raise GraphError(
+                f"graph has {graph.n} vertices but dataset has {dataset.n} objects"
+            )
+        if not graph.finalized:
+            graph.finalize()
+        self.dataset = dataset
+        self.graph = graph
+        self.verifier = verifier if verifier is not None else Verifier(dataset)
+        self.max_visits = max_visits
+        self.follow_pivots = follow_pivots
+        self.cache = EvidenceCache(dataset.n)
+        self.stats: dict[str, int] = {
+            "queries": 0,
+            "cache_decided": 0,
+            "filtered": 0,
+            "verified": 0,
+        }
+        self._pool = WorkerPool(dataset, n_jobs=n_jobs, rng=ensure_rng(rng))
+        self._trackers = [VisitTracker(graph.n) for _ in range(self._pool.n_jobs)]
+        # Exact-K'NN payloads as CSR so one vectorised pass per new radius
+        # turns them into count evidence for every holder at once.  Empty
+        # lists are dropped: np.add.reduceat fabricates values for
+        # zero-length segments.
+        owners = sorted(p for p in graph.exact_knn if graph.exact_knn[p][1].size)
+        self._knn_owners = np.asarray(owners, dtype=np.int64)
+        if owners:
+            sizes = np.asarray(
+                [graph.exact_knn[p][1].size for p in owners], dtype=np.int64
+            )
+            self._knn_ptr = np.concatenate(([0], np.cumsum(sizes)))
+            self._knn_dists = np.concatenate(
+                [graph.exact_knn[p][1] for p in owners]
+            ).astype(np.float64)
+            self._knn_sizes = sizes
+        else:
+            self._knn_ptr = np.zeros(1, dtype=np.int64)
+            self._knn_dists = np.empty(0, dtype=np.float64)
+            self._knn_sizes = np.empty(0, dtype=np.int64)
+        self._knn_radii: set[float] = set()
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        objects,
+        metric: "str | Metric" = "l2",
+        graph: str = "mrpg",
+        K: int = 16,
+        seed: "int | None" = 0,
+        verify: str = "auto",
+        n_jobs: int = 1,
+        max_visits: int | None = None,
+        **graph_params,
+    ) -> "DetectionEngine":
+        """Offline phase in one call: dataset + graph + verifier + engine."""
+        gen = ensure_rng(seed)
+        dataset = Dataset(objects, metric)
+        built = build_graph(graph, dataset, K=K, rng=gen, **graph_params)
+        verifier = Verifier(dataset, strategy=verify, rng=gen)
+        return cls(
+            dataset,
+            built,
+            verifier=verifier,
+            n_jobs=n_jobs,
+            rng=gen,
+            max_visits=max_visits,
+        )
+
+    @property
+    def n(self) -> int:
+        return self.dataset.n
+
+    @property
+    def n_jobs(self) -> int:
+        return self._pool.n_jobs
+
+    # -- evidence ----------------------------------------------------------
+
+    def _ensure_knn_evidence(self, r: float) -> None:
+        """Turn stored exact-K'NN distances into count evidence at ``r``.
+
+        A holder whose within-``r`` prefix stops before the end of its
+        list has an *exact* count (the next nearest neighbor is already
+        beyond ``r``); a fully-within list yields the lower bound K'.
+        """
+        r = float(r)
+        if r in self._knn_radii or self._knn_owners.size == 0:
+            return
+        self._knn_radii.add(r)
+        within = np.add.reduceat(
+            (self._knn_dists <= r).astype(np.int64), self._knn_ptr[:-1]
+        )
+        self.cache.record(
+            r, self._knn_owners, within, exact_mask=within < self._knn_sizes
+        )
+
+    def ingest(self, evidence: ObjectEvidence) -> None:
+        """Warm the cache with evidence from an external ``graph_dod`` run
+        (``collect_evidence=True``) over the *same* dataset."""
+        if evidence.n != self.n:
+            raise ParameterError(
+                f"evidence covers {evidence.n} objects, engine holds {self.n}"
+            )
+        self.cache.ingest(evidence)
+
+    # -- the online path ------------------------------------------------------
+
+    def query(
+        self, r: float, k: int, collect_evidence: bool = False
+    ) -> DODResult:
+        """Exact ``(r, k)`` outliers, reusing everything prior queries proved."""
+        if r < 0:
+            raise ParameterError(f"radius must be non-negative, got {r}")
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        r = float(r)
+        k = int(k)
+        graph, verifier = self.graph, self.verifier
+
+        # -- cache phase: decide objects from proven bounds ------------------
+        t0 = time.perf_counter()
+        self._ensure_knn_evidence(r)
+        lb = self.cache.lower_bounds(r)
+        ub = self.cache.upper_bounds(r)
+        inlier_mask = lb >= k
+        outlier_mask = ub < k
+        undecided = np.flatnonzero(~inlier_mask & ~outlier_mask)
+        cache_outliers = np.flatnonzero(outlier_mask)
+        cache_decided = self.n - int(undecided.size)
+        cache_seconds = time.perf_counter() - t0
+
+        # -- filter phase: Greedy-Counting over the residue -------------------
+        # Runs the same shared chunk bodies as graph_dod (classify_chunk /
+        # Verifier.verify_chunk), so the serving path cannot drift from
+        # the reference path it must stay bit-identical to.
+        t0 = time.perf_counter()
+
+        def filter_worker(view: Dataset, chunk: np.ndarray, slot: int):
+            return classify_chunk(
+                view, graph, chunk, r, k,
+                tracker=self._trackers[slot],
+                follow_pivots=self.follow_pivots,
+                max_visits=self.max_visits,
+            )
+
+        filter_results, filter_pairs = self._pool.map(undecided, filter_worker)
+        flat = [pe for chunk in filter_results for pe in chunk]
+        if flat:
+            f_ids = np.asarray([p for p, _ in flat], dtype=np.int64)
+            f_counts = np.asarray([ev.count for _, ev in flat], dtype=np.int64)
+            f_exact = np.asarray([ev.exact for _, ev in flat], dtype=bool)
+            self.cache.record(r, f_ids, f_counts, exact_mask=f_exact)
+        cand_list, direct_list = split_outcomes(flat)
+        candidates = np.asarray(sorted(cand_list), dtype=np.int64)
+        direct = np.asarray(sorted(direct_list), dtype=np.int64)
+        filter_seconds = time.perf_counter() - t0
+
+        # -- verify phase: Exact-Counting over the candidates ------------------
+        t0 = time.perf_counter()
+
+        def verify_worker(view: Dataset, chunk: np.ndarray, slot: int):
+            return verifier.verify_chunk(chunk, r, k, dataset=view)
+
+        verify_results, verify_pairs = self._pool.map(candidates, verify_worker)
+        verify_counts = [pce for chunk in verify_results for pce in chunk]
+        if verify_counts:
+            v_ids = np.asarray([p for p, _, _ in verify_counts], dtype=np.int64)
+            v_cnt = np.asarray([c for _, c, _ in verify_counts], dtype=np.int64)
+            v_exact = np.asarray([e for _, _, e in verify_counts], dtype=bool)
+            self.cache.record(r, v_ids, v_cnt, exact_mask=v_exact)
+        verified = [p for p, _, exact in verify_counts if exact]
+        verify_seconds = time.perf_counter() - t0
+
+        outliers = np.sort(
+            np.concatenate(
+                (cache_outliers, direct, np.asarray(verified, dtype=np.int64))
+            )
+        )
+        self.stats["queries"] += 1
+        self.stats["cache_decided"] += cache_decided
+        self.stats["filtered"] += int(undecided.size)
+        self.stats["verified"] += int(candidates.size)
+
+        evidence = None
+        if collect_evidence:
+            lb_now = self.cache.lower_bounds(r)
+            evidence = ObjectEvidence(
+                r=r,
+                lower_bounds=lb_now,
+                exact_mask=self.cache.upper_bounds(r) == lb_now,
+            )
+        method = str(graph.meta.get("builder", "graph"))
+        return DODResult(
+            outliers=outliers,
+            r=r,
+            k=k,
+            n=self.n,
+            method=f"engine:{method}",
+            seconds=cache_seconds + filter_seconds + verify_seconds,
+            pairs=filter_pairs + verify_pairs,
+            phases={
+                "cache": cache_seconds,
+                "filter": filter_seconds,
+                "verify": verify_seconds,
+            },
+            phase_pairs={"cache": 0, "filter": filter_pairs, "verify": verify_pairs},
+            counts={
+                "candidates": int(candidates.size),
+                "direct_outliers": int(direct.size),
+                "false_positives": int(candidates.size) - len(verified),
+                "cache_decided": cache_decided,
+                "cache_outliers": int(cache_outliers.size),
+                "filtered": int(undecided.size),
+            },
+            evidence=evidence,
+        )
+
+    def batch(self, queries) -> list[DODResult]:
+        """Answer ``(r, k)`` queries in the given order (serving semantics).
+
+        Each query still reuses everything every earlier query proved.
+        """
+        return [self.query(float(r), int(k)) for r, k in queries]
+
+    def sweep(
+        self,
+        r_grid,
+        k_grid=None,
+        k: "int | None" = None,
+    ) -> SweepResult:
+        """Answer the full ``r_grid x k_grid`` in a reuse-maximising order.
+
+        ``k`` is shorthand for a single-point ``k_grid``.  Results are
+        keyed by ``(r, k)`` regardless of processing order.
+        """
+        if k_grid is None:
+            if k is None:
+                raise ParameterError("sweep needs k_grid or k")
+            k_grid = [k]
+        queries = [
+            (float(rv), int(kv)) for rv in np.asarray(r_grid, dtype=np.float64)
+            for kv in k_grid
+        ]
+        if len(set(queries)) != len(queries):
+            raise ParameterError("sweep grid contains duplicate (r, k) points")
+        sweep = SweepResult(queries=queries)
+        for rv, kv in _sweep_order(queries):
+            sweep.results[(rv, kv)] = self.query(rv, kv)
+        return sweep
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Snapshot graph + evidence cache so a restart serves warm."""
+        from ..io import save_engine
+
+        save_engine(self, path)
+
+    @classmethod
+    def load(cls, path, dataset: Dataset, **kwargs) -> "DetectionEngine":
+        """Rebuild a saved engine against its (re-supplied) dataset."""
+        from ..io import load_engine
+
+        return load_engine(path, dataset, **kwargs)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def index_nbytes(self) -> int:
+        """Memory of the serving state (graph + verifier + cache)."""
+        return self.graph.nbytes + self.verifier.nbytes + self.cache.nbytes
+
+    def reset_cache(self) -> None:
+        """Drop all accumulated evidence (keeps graph and verifier)."""
+        self.cache.clear()
+        self._knn_radii.clear()
+
+    def close(self) -> None:
+        """Shut down the shared worker pool."""
+        self._pool.close()
+
+    def __enter__(self) -> "DetectionEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DetectionEngine(n={self.n}, graph="
+            f"{self.graph.meta.get('builder', 'graph')!r}, "
+            f"queries={self.stats['queries']}, n_jobs={self.n_jobs})"
+        )

@@ -1,0 +1,179 @@
+"""The per-object evidence cache behind cross-query reuse.
+
+Every detection query proves count facts about every object: the filter
+proves *lower bounds* (Lemma 1 — Greedy-Counting never overstates), the
+verifier proves lower bounds that are *exact* whenever early termination
+did not fire, and MRPG's stored exact-K'NN lists (§5.5, Property 3)
+yield exact counts at any radius.  All of these are monotone in ``r``:
+
+* a lower bound proved at radius ``r`` holds at every ``r' >= r``
+  (the neighbor ball only grows), and
+* an exact count at radius ``r`` upper-bounds the count at every
+  ``r' <= r`` (the ball only shrinks).
+
+:class:`EvidenceCache` stores these facts as dense per-radius bound
+arrays, so deciding a whole dataset against a new ``(r, k)`` query is a
+handful of vectorised max/min/compare passes — no graph traversal, no
+distance computation.  Objects whose interval ``[lb, ub]`` still
+straddles ``k`` are the only ones the engine has to touch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import ObjectEvidence
+from ..exceptions import ParameterError
+
+#: sentinel upper bound: "nothing known" (any count fits below it).
+NO_BOUND = np.iinfo(np.int64).max
+
+
+class EvidenceCache:
+    """Accumulated per-object neighbor-count bounds, indexed by radius.
+
+    ``lower_bounds(r)`` / ``upper_bounds(r)`` fold every stored radius
+    through the monotonicity rules above, returning the tightest bounds
+    provable at ``r`` from everything any past query learned.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ParameterError(f"cache needs at least one object, got n={n}")
+        self.n = int(n)
+        self._lb: dict[float, np.ndarray] = {}
+        self._ub: dict[float, np.ndarray] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def radii(self) -> list[float]:
+        """Every radius with recorded evidence, ascending."""
+        return sorted(set(self._lb) | set(self._ub))
+
+    def lower_bounds(self, r: float) -> np.ndarray:
+        """Tightest provable lower bound per object at radius ``r``."""
+        lb = np.zeros(self.n, dtype=np.int64)
+        for r0, arr in self._lb.items():
+            if r0 <= r:
+                np.maximum(lb, arr, out=lb)
+        return lb
+
+    def upper_bounds(self, r: float) -> np.ndarray:
+        """Tightest provable upper bound per object at radius ``r``.
+
+        Entries without evidence are :data:`NO_BOUND`.
+        """
+        ub = np.full(self.n, NO_BOUND, dtype=np.int64)
+        for r0, arr in self._ub.items():
+            if r0 >= r:
+                np.minimum(ub, arr, out=ub)
+        return ub
+
+    # -- updates -----------------------------------------------------------
+
+    def record(
+        self,
+        r: float,
+        ids: np.ndarray,
+        counts: np.ndarray,
+        exact_mask: np.ndarray | None = None,
+    ) -> None:
+        """Record proven counts for ``ids`` at radius ``r``.
+
+        ``counts`` are lower bounds; where ``exact_mask`` is set they are
+        true counts and double as upper bounds.
+        """
+        r = float(r)
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        counts = np.asarray(counts, dtype=np.int64)
+        lb = self._lb.get(r)
+        if lb is None:
+            lb = self._lb[r] = np.zeros(self.n, dtype=np.int64)
+        np.maximum.at(lb, ids, counts)
+        if exact_mask is None:
+            return
+        exact_mask = np.asarray(exact_mask, dtype=bool)
+        if not exact_mask.any():
+            return
+        ub = self._ub.get(r)
+        if ub is None:
+            ub = self._ub[r] = np.full(self.n, NO_BOUND, dtype=np.int64)
+        np.minimum.at(ub, ids[exact_mask], counts[exact_mask])
+
+    def ingest(self, evidence: ObjectEvidence) -> None:
+        """Absorb the per-object evidence of a finished detection run."""
+        if evidence.n != self.n:
+            raise ParameterError(
+                f"evidence covers {evidence.n} objects, cache holds {self.n}"
+            )
+        self.record(
+            evidence.r,
+            np.arange(self.n, dtype=np.int64),
+            evidence.lower_bounds,
+            evidence.exact_mask,
+        )
+
+    def clear(self) -> None:
+        self._lb.clear()
+        self._ub.clear()
+
+    # -- (de)serialisation --------------------------------------------------
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Dense snapshot of the cache (for :func:`repro.io.save_engine`)."""
+        lb_radii = sorted(self._lb)
+        ub_radii = sorted(self._ub)
+        return {
+            "cache_lb_radii": np.asarray(lb_radii, dtype=np.float64),
+            "cache_lb": (
+                np.stack([self._lb[r] for r in lb_radii])
+                if lb_radii
+                else np.empty((0, self.n), dtype=np.int64)
+            ),
+            "cache_ub_radii": np.asarray(ub_radii, dtype=np.float64),
+            "cache_ub": (
+                np.stack([self._ub[r] for r in ub_radii])
+                if ub_radii
+                else np.empty((0, self.n), dtype=np.int64)
+            ),
+        }
+
+    @classmethod
+    def from_state_arrays(
+        cls, n: int, arrays: dict[str, np.ndarray]
+    ) -> "EvidenceCache":
+        """Rebuild a cache from :meth:`state_arrays` output.
+
+        The radius list and bound matrix of each kind must pair up
+        exactly — a silent zip would attribute bounds to radii they were
+        never proven at, which breaks exactness.
+        """
+        cache = cls(n)
+        for kind, store in (("lb", cache._lb), ("ub", cache._ub)):
+            radii = arrays[f"cache_{kind}_radii"]
+            rows = arrays[f"cache_{kind}"]
+            if len(radii) != len(rows):
+                raise ParameterError(
+                    f"cache_{kind}_radii lists {len(radii)} radii but "
+                    f"cache_{kind} has {len(rows)} bound rows"
+                )
+            for r, row in zip(radii, rows):
+                store[float(r)] = np.asarray(row, dtype=np.int64).copy()
+        return cache
+
+    @property
+    def nbytes(self) -> int:
+        """Memory held by the bound arrays."""
+        total = 0
+        for arr in (*self._lb.values(), *self._ub.values()):
+            total += arr.nbytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EvidenceCache(n={self.n}, lb_radii={len(self._lb)}, "
+            f"ub_radii={len(self._ub)})"
+        )

@@ -4,6 +4,7 @@ from .runner import (
     EXPERIMENTS,
     detect_with_baseline,
     detect_with_graph,
+    engine_for,
     run_experiment,
 )
 from .plots import ascii_chart, render_figure
@@ -28,6 +29,7 @@ __all__ = [
     "run_experiment",
     "detect_with_graph",
     "detect_with_baseline",
+    "engine_for",
     "ExperimentTable",
     "fmt_value",
     "NA",

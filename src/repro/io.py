@@ -1,14 +1,25 @@
-"""Proximity-graph (de)serialisation.
+"""Proximity-graph and engine-snapshot (de)serialisation.
 
 Graphs are the paper's offline pre-processing product; persisting them
 is what makes the offline/online split real for a user.  The format is
 a single ``.npz``: CSR-shaped adjacency, pivot flags, exact-K'NN
 payloads, and the build metadata as JSON.
+
+Engine snapshots (:func:`save_engine` / :func:`load_engine`) extend the
+same container with the :class:`~repro.engine.EvidenceCache` bound
+arrays and serving statistics, so a restarted serving process answers
+its first queries warm instead of re-proving everything.
+
+Every malformed input — truncated or corrupted archives, missing
+arrays, unsupported format versions, payloads inconsistent with
+themselves or with the dataset they are loaded against — raises
+:class:`~repro.exceptions.GraphError` with a message naming the file.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -17,10 +28,25 @@ from .exceptions import GraphError
 from .graphs.adjacency import Graph
 
 _FORMAT_VERSION = 1
+_ENGINE_FORMAT_VERSION = 1
+
+#: arrays every graph .npz must carry.
+_GRAPH_KEYS = (
+    "format_version",
+    "n",
+    "indptr",
+    "indices",
+    "pivots",
+    "exact_owners",
+    "exact_ptr",
+    "exact_ids",
+    "exact_dists",
+    "meta",
+)
 
 
-def save_graph(graph: Graph, path: "str | Path") -> None:
-    """Write ``graph`` to ``path`` (.npz)."""
+def _graph_arrays(graph: Graph) -> dict[str, np.ndarray]:
+    """Flatten a graph into the named arrays of the .npz container."""
     indptr = np.zeros(graph.n + 1, dtype=np.int64)
     chunks = []
     for v in range(graph.n):
@@ -46,45 +72,253 @@ def save_graph(graph: Graph, path: "str | Path") -> None:
         if exact_dists_chunks
         else np.empty(0, np.float64)
     )
+    return {
+        "format_version": np.asarray(_FORMAT_VERSION),
+        "n": np.asarray(graph.n),
+        "indptr": indptr,
+        "indices": indices,
+        "pivots": graph.pivots,
+        "exact_owners": exact_owners,
+        "exact_ptr": exact_ptr,
+        "exact_ids": exact_ids,
+        "exact_dists": exact_dists,
+        "meta": np.asarray(json.dumps(graph.meta, default=str)),
+    }
 
-    np.savez_compressed(
-        Path(path),
-        format_version=np.asarray(_FORMAT_VERSION),
-        n=np.asarray(graph.n),
-        indptr=indptr,
-        indices=indices,
-        pivots=graph.pivots,
-        exact_owners=exact_owners,
-        exact_ptr=exact_ptr,
-        exact_ids=exact_ids,
-        exact_dists=exact_dists,
-        meta=np.asarray(json.dumps(graph.meta, default=str)),
-    )
+
+def _graph_from_arrays(data, path: Path) -> Graph:
+    """Rebuild and sanity-check a graph from loaded .npz arrays."""
+    version = int(data["format_version"])
+    if version != _FORMAT_VERSION:
+        raise GraphError(
+            f"{path}: unsupported graph format version {version} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    n = int(data["n"])
+    if n < 1:
+        raise GraphError(f"{path}: invalid vertex count {n}")
+    indptr = data["indptr"]
+    indices = data["indices"]
+    if indptr.shape != (n + 1,) or int(indptr[0]) != 0:
+        raise GraphError(f"{path}: adjacency offsets do not match n={n}")
+    if np.any(np.diff(indptr) < 0) or int(indptr[-1]) != indices.size:
+        raise GraphError(f"{path}: adjacency offsets are inconsistent")
+    if indices.size and (indices.min() < 0 or indices.max() >= n):
+        raise GraphError(f"{path}: adjacency targets out of range for n={n}")
+    graph = Graph(n)
+    for v in range(n):
+        graph.set_links(v, indices[indptr[v] : indptr[v + 1]])
+    pivots = data["pivots"]
+    if pivots.shape != (n,):
+        raise GraphError(f"{path}: pivot flags do not match n={n}")
+    graph.pivots = pivots.astype(bool)
+    owners = data["exact_owners"]
+    exact_ptr = data["exact_ptr"]
+    exact_ids = data["exact_ids"]
+    exact_dists = data["exact_dists"]
+    if exact_ptr.shape != (owners.size + 1,) or (
+        owners.size and int(exact_ptr[-1]) != exact_ids.size
+    ) or np.any(np.diff(exact_ptr) < 0):
+        raise GraphError(f"{path}: exact-K'NN offsets are inconsistent")
+    if exact_ids.size != exact_dists.size:
+        raise GraphError(f"{path}: exact-K'NN ids/distances length mismatch")
+    if owners.size and (owners.min() < 0 or owners.max() >= n):
+        raise GraphError(f"{path}: exact-K'NN owners out of range for n={n}")
+    for t, p in enumerate(owners):
+        lo, hi = int(exact_ptr[t]), int(exact_ptr[t + 1])
+        graph.exact_knn[int(p)] = (
+            exact_ids[lo:hi].copy(),
+            exact_dists[lo:hi].copy(),
+        )
+    graph.meta = json.loads(str(data["meta"]))
+    graph.finalize()
+    return graph
+
+
+class _NpzReader:
+    """np.load wrapper turning every decode failure into GraphError."""
+
+    def __init__(self, path: Path, what: str):
+        self.path = path
+        self.what = what
+        try:
+            self._data = np.load(path, allow_pickle=False)
+        except FileNotFoundError:
+            raise GraphError(f"{path}: no such {self.what} file")
+        except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+            raise GraphError(
+                f"{path}: not a readable {self.what} .npz "
+                f"(corrupted or truncated: {exc})"
+            ) from exc
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        try:
+            return self._data[key]
+        except KeyError as exc:
+            raise GraphError(
+                f"{self.path}: {self.what} archive is missing array {key!r}"
+            ) from exc
+        except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+            raise GraphError(
+                f"{self.path}: array {key!r} is unreadable "
+                f"(corrupted or truncated: {exc})"
+            ) from exc
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __enter__(self) -> "_NpzReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._data.close()
+
+
+def save_graph(graph: Graph, path: "str | Path") -> None:
+    """Write ``graph`` to ``path`` (.npz)."""
+    np.savez_compressed(Path(path), **_graph_arrays(graph))
 
 
 def load_graph(path: "str | Path") -> Graph:
-    """Read a graph written by :func:`save_graph`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        version = int(data["format_version"])
-        if version != _FORMAT_VERSION:
-            raise GraphError(f"unsupported graph format version {version}")
-        n = int(data["n"])
-        graph = Graph(n)
-        indptr = data["indptr"]
-        indices = data["indices"]
-        for v in range(n):
-            graph.set_links(v, indices[indptr[v] : indptr[v + 1]])
-        graph.pivots = data["pivots"].astype(bool)
-        owners = data["exact_owners"]
-        exact_ptr = data["exact_ptr"]
-        exact_ids = data["exact_ids"]
-        exact_dists = data["exact_dists"]
-        for t, p in enumerate(owners):
-            lo, hi = int(exact_ptr[t]), int(exact_ptr[t + 1])
-            graph.exact_knn[int(p)] = (
-                exact_ids[lo:hi].copy(),
-                exact_dists[lo:hi].copy(),
+    """Read a graph written by :func:`save_graph` (or an engine snapshot)."""
+    path = Path(path)
+    with _NpzReader(path, "graph") as data:
+        try:
+            return _graph_from_arrays(data, path)
+        except json.JSONDecodeError as exc:
+            raise GraphError(f"{path}: graph metadata is not valid JSON") from exc
+
+
+def _dataset_fingerprint(dataset) -> dict:
+    """Cheap, metric-agnostic dataset identity probe.
+
+    The snapshot stores cached bounds *about specific objects*; loading
+    it against different data of the same cardinality would silently
+    serve wrong answers.  Distances between a fixed seeded sample of
+    index pairs pin the identity without persisting the data itself.
+    """
+    gen = np.random.default_rng(0xD15C0)
+    n = dataset.n
+    a = gen.integers(0, n, size=32)
+    b = gen.integers(0, n, size=32)
+    probes = dataset.view().pair_dist(a, b)
+    return {
+        "n": n,
+        "metric": dataset.metric.name,
+        "probes": [float(d) for d in probes],
+    }
+
+
+def save_engine(engine, path: "str | Path") -> None:
+    """Snapshot a :class:`~repro.engine.DetectionEngine` to one ``.npz``.
+
+    Persists the graph plus the evidence-cache bound arrays and serving
+    statistics — everything needed for a restarted process to keep
+    serving warm.  The dataset itself is *not* stored; the caller
+    re-supplies it to :func:`load_engine`, which verifies it against a
+    stored fingerprint.
+    """
+    payload = _graph_arrays(engine.graph)
+    payload.update(engine.cache.state_arrays())
+    payload["engine_format_version"] = np.asarray(_ENGINE_FORMAT_VERSION)
+    payload["engine_meta"] = np.asarray(
+        json.dumps(
+            {
+                "stats": engine.stats,
+                "n": engine.n,
+                "knn_radii": sorted(engine._knn_radii),
+                "fingerprint": _dataset_fingerprint(engine.dataset),
+            }
+        )
+    )
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_engine(
+    path: "str | Path",
+    dataset,
+    verifier=None,
+    n_jobs: int = 1,
+    rng: "int | np.random.Generator | None" = 0,
+    max_visits: int | None = None,
+):
+    """Rebuild a saved engine against its (re-supplied) dataset.
+
+    Raises :class:`GraphError` when the snapshot is unreadable, was not
+    written by :func:`save_engine`, or does not match ``dataset``.
+    """
+    from .engine import DetectionEngine
+    from .engine.evidence import EvidenceCache
+
+    path = Path(path)
+    with _NpzReader(path, "engine snapshot") as data:
+        if "engine_format_version" not in data:
+            raise GraphError(
+                f"{path}: not an engine snapshot (a bare graph .npz? "
+                f"use load_graph instead)"
             )
-        graph.meta = json.loads(str(data["meta"]))
-    graph.finalize()
-    return graph
+        engine_version = int(data["engine_format_version"])
+        if engine_version != _ENGINE_FORMAT_VERSION:
+            raise GraphError(
+                f"{path}: unsupported engine snapshot version {engine_version} "
+                f"(this build reads version {_ENGINE_FORMAT_VERSION})"
+            )
+        try:
+            graph = _graph_from_arrays(data, path)
+            meta = json.loads(str(data["engine_meta"]))
+        except json.JSONDecodeError as exc:
+            raise GraphError(f"{path}: engine metadata is not valid JSON") from exc
+        if graph.n != dataset.n:
+            raise GraphError(
+                f"{path}: snapshot indexes {graph.n} objects but the supplied "
+                f"dataset has {dataset.n} — wrong dataset for this snapshot"
+            )
+        stored = meta.get("fingerprint")
+        if stored is not None:
+            if stored.get("metric") != dataset.metric.name:
+                raise GraphError(
+                    f"{path}: snapshot was built on metric "
+                    f"{stored.get('metric')!r} but the supplied dataset uses "
+                    f"{dataset.metric.name!r}"
+                )
+            fresh = _dataset_fingerprint(dataset)
+            probes = stored.get("probes", [])
+            if len(probes) != len(fresh["probes"]) or not np.allclose(
+                probes, fresh["probes"], rtol=1e-9, atol=1e-12
+            ):
+                raise GraphError(
+                    f"{path}: dataset fingerprint mismatch — the supplied "
+                    f"objects are not the data this snapshot was built from"
+                )
+        cache_arrays = {
+            key: data[key]
+            for key in ("cache_lb_radii", "cache_lb", "cache_ub_radii", "cache_ub")
+        }
+        for key in ("cache_lb", "cache_ub"):
+            if cache_arrays[key].ndim != 2 or (
+                cache_arrays[key].shape[0] > 0
+                and cache_arrays[key].shape[1] != graph.n
+            ):
+                raise GraphError(
+                    f"{path}: evidence cache array {key!r} does not match n={graph.n}"
+                )
+            n_radii = cache_arrays[f"{key}_radii"].size
+            if cache_arrays[key].shape[0] != n_radii:
+                raise GraphError(
+                    f"{path}: {key!r} holds {cache_arrays[key].shape[0]} bound "
+                    f"rows but {key}_radii lists {n_radii} radii"
+                )
+    engine = DetectionEngine(
+        dataset,
+        graph,
+        verifier=verifier,
+        n_jobs=n_jobs,
+        rng=rng,
+        max_visits=max_visits,
+    )
+    engine.cache = EvidenceCache.from_state_arrays(graph.n, cache_arrays)
+    engine._knn_radii = set(float(r) for r in meta.get("knn_radii", ()))
+    stats = meta.get("stats", {})
+    for key in engine.stats:
+        engine.stats[key] = int(stats.get(key, 0))
+    return engine

@@ -60,6 +60,72 @@ def test_detect_input_requires_r_and_k(tmp_path, capsys, rng):
     assert "--r and --k" in capsys.readouterr().err
 
 
+def test_sweep_on_suite_with_check(capsys):
+    code = main(
+        ["sweep", "--suite", "glove", "--n", "300", "--K", "8",
+         "--k-grid", "5,8", "--check"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "check passed" in out
+    assert "cache_decided" in out
+    assert "speedup from reuse" in out
+
+
+def test_sweep_snapshot_restart_serves_warm(tmp_path, capsys):
+    snap = tmp_path / "engine.npz"
+    args = ["sweep", "--suite", "glove", "--n", "250", "--K", "8",
+            "--k", "6", "--snapshot", str(snap)]
+    assert main(args) == 0
+    assert snap.exists()
+    first = capsys.readouterr().out
+    assert "snapshot written" in first
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "loaded warm engine snapshot" in second
+    # The ", 0" anchor matters: "10 distance computations" would still
+    # contain the bare substring "0 distance computations".
+    assert ", 0 distance computations" in second
+
+
+def test_sweep_rejects_bad_grids_cleanly(capsys):
+    # Library ParameterErrors must surface as CLI errors, not tracebacks.
+    code = main(["sweep", "--suite", "glove", "--n", "150", "--K", "6",
+                 "--k-grid", "0"])
+    assert code == 2
+    assert "k must be >= 1" in capsys.readouterr().err
+    code = main(["sweep", "--suite", "glove", "--n", "150", "--K", "6",
+                 "--r-grid", ""])
+    assert code == 2
+    assert "at least one value" in capsys.readouterr().err
+    # Malformed tokens are a clean CLI error too, not a ValueError traceback.
+    code = main(["sweep", "--suite", "glove", "--n", "150", "--K", "6",
+                 "--k-grid", "5a"])
+    assert code == 2
+    assert "invalid grid value '5a'" in capsys.readouterr().err
+
+
+def test_sweep_input_requires_parameters(tmp_path, capsys, rng):
+    path = tmp_path / "pts.npy"
+    np.save(path, rng.normal(size=(60, 3)))
+    assert main(["sweep", "--input", str(path)]) == 2
+    assert "--r/--r-grid" in capsys.readouterr().err
+
+
+def test_sweep_on_npy_input(tmp_path, capsys, rng):
+    pts = np.concatenate(
+        [rng.normal(size=(120, 4)), rng.normal(size=(4, 4)) + 40.0]
+    )
+    path = tmp_path / "pts.npy"
+    np.save(path, pts)
+    code = main(
+        ["sweep", "--input", str(path), "--r-grid", "1.5,2.0,2.5",
+         "--k-grid", "4", "--K", "8", "--check"]
+    )
+    assert code == 0
+    assert "check passed" in capsys.readouterr().out
+
+
 def test_experiment_command(tmp_path, capsys, monkeypatch):
     monkeypatch.setenv("REPRO_BENCH_SUITES", "words")
     from repro.harness import clear_caches

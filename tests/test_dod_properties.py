@@ -12,7 +12,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro import Dataset, build_graph, graph_dod, greedy_count
+from repro import Dataset, DetectionEngine, build_graph, graph_dod, greedy_count
 from repro.core import VisitTracker
 from repro.index import brute_force_outliers, brute_force_range
 
@@ -97,3 +97,55 @@ def test_parallel_matches_serial_on_random_clouds(pts):
     serial = graph_dod(ds, graph, 4.0, 3, n_jobs=1)
     parallel = graph_dod(ds, graph, 4.0, 3, n_jobs=2)
     assert serial.same_outliers(parallel)
+
+
+@given(pts=clouds, k=st.integers(min_value=1, max_value=6), seed=st.integers(0, 3))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_engine_stream_is_exact_on_random_clouds(pts, k, seed):
+    """A warm DetectionEngine serves every point of a mixed (r, k) stream
+    bit-identically to brute force, whatever its cache has accumulated."""
+    ds = Dataset(pts, "l2")
+    graph = build_graph("mrpg", ds, K=min(5, ds.n - 2), rng=seed)
+    gen = np.random.default_rng(0)
+    a = gen.integers(0, ds.n, 60)
+    b = gen.integers(0, ds.n, 60)
+    keep = a != b
+    d = ds.pair_dist(a[keep], b[keep])
+    r = float(np.quantile(d, 0.3)) if d.size else 1.0
+    engine = DetectionEngine(ds, graph, rng=seed)
+    stream = [
+        (r, k),
+        (r * 1.2, k),
+        (r * 0.8, max(1, k - 1)),
+        (r, k + 2),
+        (r * 1.2, k),  # revisit: must still be exact from pure cache
+    ]
+    for rv, kv in stream:
+        ref = brute_force_outliers(ds.view(), rv, kv)
+        res = engine.query(rv, kv)
+        assert res.same_outliers(ref), (rv, kv)
+        assert res.outliers.dtype == ref.dtype
+
+
+@given(pts=clouds, k=st.integers(min_value=1, max_value=8))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_collected_evidence_bounds_are_sound(pts, k):
+    """graph_dod(collect_evidence=True) may only claim provable facts:
+    lower bounds never exceed the true neighbor count, and exact-flagged
+    entries equal it."""
+    ds = Dataset(pts, "l2")
+    graph = build_graph("mrpg", ds, K=min(5, ds.n - 2), rng=0)
+    gen = np.random.default_rng(0)
+    a = gen.integers(0, ds.n, 60)
+    b = gen.integers(0, ds.n, 60)
+    keep = a != b
+    d = ds.pair_dist(a[keep], b[keep])
+    r = float(np.quantile(d, 0.3)) if d.size else 1.0
+    res = graph_dod(ds, graph, r, k, collect_evidence=True)
+    ev = res.evidence
+    assert ev is not None and ev.n == ds.n and ev.r == r
+    for p in range(ds.n):
+        true_count = brute_force_range(ds, p, r).size
+        assert int(ev.lower_bounds[p]) <= true_count, p
+        if ev.exact_mask[p]:
+            assert int(ev.lower_bounds[p]) == true_count, p

@@ -23,6 +23,12 @@ def test_examples_present():
 @pytest.mark.parametrize("script", EXAMPLES)
 def test_example_runs(script):
     env = dict(os.environ, REPRO_EXAMPLE_N="260")
+    # Examples import repro; make the subprocess see src/ whether or not
+    # the package is installed or PYTHONPATH is exported.
+    src = str(EXAMPLES_DIR.parent / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script)],
         capture_output=True,

@@ -1,0 +1,270 @@
+"""Round-trip and error-path coverage for graph/engine (de)serialisation.
+
+Every way a persisted index can be wrong — truncated or corrupted
+archives, unsupported format versions, missing arrays, payloads
+inconsistent with themselves or with the dataset they are loaded
+against — must surface as a :class:`GraphError` with a message naming
+the offending file, never as a silent half-loaded index or a raw
+``zipfile``/``KeyError`` traceback.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Dataset, DetectionEngine, load_engine, load_graph, save_engine, save_graph
+from repro.exceptions import GraphError
+
+
+@pytest.fixture()
+def engine(l2_dataset, mrpg_l2, l2_params):
+    r, k = l2_params
+    eng = DetectionEngine(l2_dataset, mrpg_l2, rng=0)
+    eng.sweep([r * 0.95, r, r * 1.05], k=k)
+    return eng
+
+
+# -- engine snapshot round-trip --------------------------------------------------
+
+
+def test_engine_snapshot_roundtrip_serves_warm(engine, l2_dataset, l2_params, tmp_path):
+    r, k = l2_params
+    path = tmp_path / "engine.npz"
+    save_engine(engine, path)
+    loaded = load_engine(path, l2_dataset)
+    assert loaded.stats == engine.stats
+    assert loaded.cache.radii == engine.cache.radii
+    for radius in engine.cache.radii:
+        np.testing.assert_array_equal(
+            loaded.cache.lower_bounds(radius), engine.cache.lower_bounds(radius)
+        )
+        np.testing.assert_array_equal(
+            loaded.cache.upper_bounds(radius), engine.cache.upper_bounds(radius)
+        )
+    # A radius already served must be a pure cache hit after restart.
+    res = loaded.query(r, k)
+    assert res.pairs == 0
+    assert np.array_equal(res.outliers, engine.query(r, k).outliers)
+
+
+def test_engine_snapshot_is_a_loadable_graph(engine, mrpg_l2, tmp_path):
+    path = tmp_path / "engine.npz"
+    save_engine(engine, path)
+    graph = load_graph(path)  # snapshot is a superset of the graph format
+    assert graph.n == mrpg_l2.n
+    for v in range(0, graph.n, 17):
+        assert graph.neighbors_list(v) == mrpg_l2.neighbors_list(v)
+
+
+def test_engine_save_method_matches_module_function(engine, l2_dataset, tmp_path):
+    a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+    engine.save(a)
+    save_engine(engine, b)
+    ea = DetectionEngine.load(a, l2_dataset)
+    eb = load_engine(b, l2_dataset)
+    assert ea.stats == eb.stats == engine.stats
+
+
+# -- corrupted / truncated archives ---------------------------------------------
+
+
+def test_load_graph_rejects_garbage_bytes(tmp_path):
+    path = tmp_path / "garbage.npz"
+    path.write_bytes(b"this is definitely not a zip archive" * 10)
+    with pytest.raises(GraphError, match="corrupted or truncated"):
+        load_graph(path)
+
+
+def test_load_graph_rejects_truncated_archive(kgraph_l2, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(kgraph_l2, path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(GraphError, match=str(path.name)):
+        load_graph(path)
+
+
+def test_load_engine_rejects_truncated_archive(engine, l2_dataset, tmp_path):
+    path = tmp_path / "e.npz"
+    save_engine(engine, path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: int(len(blob) * 0.6)])
+    with pytest.raises(GraphError):
+        load_engine(path, l2_dataset)
+
+
+def test_load_graph_missing_file_is_graph_error(tmp_path):
+    with pytest.raises(GraphError, match="no such"):
+        load_graph(tmp_path / "never_written.npz")
+
+
+def test_load_graph_rejects_missing_arrays(kgraph_l2, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(kgraph_l2, path)
+    with np.load(path) as data:
+        payload = {k: data[k] for k in data.files if k != "indices"}
+    np.savez(path, **payload)
+    with pytest.raises(GraphError, match="missing array 'indices'"):
+        load_graph(path)
+
+
+# -- format versions -------------------------------------------------------------
+
+
+def _rewrite(path, **overrides):
+    with np.load(path) as data:
+        payload = {k: data[k] for k in data.files}
+    payload.update(overrides)
+    np.savez(path, **payload)
+
+
+def test_load_graph_rejects_wrong_version(kgraph_l2, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(kgraph_l2, path)
+    _rewrite(path, format_version=np.asarray(99))
+    with pytest.raises(GraphError, match="version 99"):
+        load_graph(path)
+
+
+def test_load_engine_rejects_wrong_engine_version(engine, l2_dataset, tmp_path):
+    path = tmp_path / "e.npz"
+    save_engine(engine, path)
+    _rewrite(path, engine_format_version=np.asarray(42))
+    with pytest.raises(GraphError, match="snapshot version 42"):
+        load_engine(path, l2_dataset)
+
+
+def test_load_engine_rejects_bare_graph_file(kgraph_l2, l2_dataset, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(kgraph_l2, path)
+    with pytest.raises(GraphError, match="not an engine snapshot"):
+        load_engine(path, l2_dataset)
+
+
+# -- payload consistency ----------------------------------------------------------
+
+
+def test_load_graph_rejects_out_of_range_targets(kgraph_l2, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(kgraph_l2, path)
+    with np.load(path) as data:
+        indices = data["indices"].copy()
+    indices[0] = kgraph_l2.n + 5
+    _rewrite(path, indices=indices)
+    with pytest.raises(GraphError, match="out of range"):
+        load_graph(path)
+
+
+def test_load_graph_rejects_inconsistent_offsets(kgraph_l2, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(kgraph_l2, path)
+    with np.load(path) as data:
+        indptr = data["indptr"].copy()
+    indptr[-1] += 3
+    _rewrite(path, indptr=indptr)
+    with pytest.raises(GraphError, match="inconsistent"):
+        load_graph(path)
+
+
+def test_load_graph_rejects_decreasing_exact_ptr(mrpg_l2, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(mrpg_l2, path)
+    with np.load(path) as data:
+        exact_ptr = data["exact_ptr"].copy()
+    assert exact_ptr.size >= 3, "MRPG fixture must carry exact-K'NN lists"
+    # Swap two offsets: sizes still sum correctly but a segment inverts.
+    exact_ptr[1], exact_ptr[2] = exact_ptr[2], exact_ptr[1]
+    _rewrite(path, exact_ptr=exact_ptr)
+    with pytest.raises(GraphError, match="inconsistent"):
+        load_graph(path)
+
+
+def test_load_engine_rejects_zero_width_cache_rows(engine, l2_dataset, tmp_path):
+    path = tmp_path / "e.npz"
+    save_engine(engine, path)
+    _rewrite(
+        path,
+        cache_lb=np.empty((1, 0), dtype=np.int64),
+        cache_lb_radii=np.asarray([1.0]),
+    )
+    with pytest.raises(GraphError, match="cache"):
+        load_engine(path, l2_dataset)
+
+
+def test_load_graph_rejects_bad_metadata_json(kgraph_l2, tmp_path):
+    path = tmp_path / "g.npz"
+    save_graph(kgraph_l2, path)
+    _rewrite(path, meta=np.asarray("{not json"))
+    with pytest.raises(GraphError, match="JSON"):
+        load_graph(path)
+
+
+def test_load_engine_rejects_dataset_size_mismatch(engine, tmp_path, rng):
+    path = tmp_path / "e.npz"
+    save_engine(engine, path)
+    other = Dataset(rng.normal(size=(engine.n + 7, 6)), "l2")
+    with pytest.raises(GraphError, match="wrong dataset"):
+        load_engine(path, other)
+
+
+def test_load_engine_rejects_different_data_of_same_size(engine, tmp_path, rng):
+    # Same cardinality, different objects: the cached bounds would be
+    # about the wrong points, so the fingerprint must catch it.
+    path = tmp_path / "e.npz"
+    save_engine(engine, path)
+    other = Dataset(rng.normal(size=(engine.n, 6)), "l2")
+    with pytest.raises(GraphError, match="fingerprint"):
+        load_engine(path, other)
+
+
+def test_load_engine_rejects_different_metric_on_same_data(
+    engine, blob_points, tmp_path
+):
+    path = tmp_path / "e.npz"
+    save_engine(engine, path)
+    other = Dataset(blob_points, "l1")  # identical objects, different metric
+    with pytest.raises(GraphError, match="metric"):
+        load_engine(path, other)
+
+
+def test_load_engine_rejects_mismatched_cache_arrays(engine, l2_dataset, tmp_path):
+    path = tmp_path / "e.npz"
+    save_engine(engine, path)
+    _rewrite(
+        path,
+        cache_lb=np.zeros((1, engine.n + 2), dtype=np.int64),
+        cache_lb_radii=np.asarray([1.0]),
+    )
+    with pytest.raises(GraphError, match="cache"):
+        load_engine(path, l2_dataset)
+
+
+def test_load_engine_rejects_radii_row_count_mismatch(engine, l2_dataset, tmp_path):
+    # A zip would silently attribute bounds to the wrong radius — this
+    # must be a load-time error, never a mis-paired cache.
+    path = tmp_path / "e.npz"
+    save_engine(engine, path)
+    with np.load(path) as data:
+        radii = data["cache_lb_radii"]
+    assert radii.size >= 2, "fixture engine must have served several radii"
+    _rewrite(path, cache_lb_radii=radii[1:])
+    with pytest.raises(GraphError, match="radii"):
+        load_engine(path, l2_dataset)
+
+
+def test_load_engine_rejects_bad_engine_metadata(engine, l2_dataset, tmp_path):
+    path = tmp_path / "e.npz"
+    save_engine(engine, path)
+    _rewrite(path, engine_meta=np.asarray("[broken"))
+    with pytest.raises(GraphError, match="JSON"):
+        load_engine(path, l2_dataset)
+
+
+def test_engine_meta_is_plain_json(engine, tmp_path):
+    path = tmp_path / "e.npz"
+    save_engine(engine, path)
+    with np.load(path) as data:
+        meta = json.loads(str(data["engine_meta"]))
+    assert meta["n"] == engine.n
+    assert meta["stats"]["queries"] == engine.stats["queries"]

@@ -46,7 +46,7 @@ def test_registry_is_complete():
         "table1", "table2", "table3", "table4", "table5", "table6",
         "table7", "table8", "fig6", "fig7", "fig8", "fig9", "fig10",
         "ablation", "ablation_nndescent", "ablation_k", "ablation_hnsw",
-        "ext_topn", "ext_dynamic", "ext_streaming",
+        "ext_topn", "ext_dynamic", "ext_streaming", "engine_sweep",
     }
 
 
