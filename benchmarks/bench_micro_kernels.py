@@ -9,7 +9,7 @@ single object, one VP-tree range count, one verification.
 import numpy as np
 import pytest
 
-from repro.core import Verifier, VisitTracker, greedy_count
+from repro.core import BlockTracker, Verifier, VisitTracker, greedy_count, greedy_count_block
 from repro.harness import default_workload, get_dataset, get_graph
 from repro.index import VPTree
 
@@ -43,6 +43,20 @@ def test_greedy_count_single_object(benchmark, workload, dataset, graph):
     )
 
 
+def test_greedy_count_block_64_sources(benchmark, workload, dataset, graph):
+    """The batched counterpart of the single-object walk: one block of
+    64 sources through the level-synchronous kernel.  Compare per-source
+    cost against ``test_greedy_count_single_object``."""
+    tracker = BlockTracker(graph.n, 64)
+    sources = np.arange(64, dtype=np.int64)
+    view = dataset.view()
+    benchmark(
+        lambda: greedy_count_block(
+            view, graph, sources, workload.r, workload.k, tracker=tracker
+        )
+    )
+
+
 def test_vptree_range_count(benchmark, workload, dataset):
     tree = VPTree(dataset, capacity=16, rng=0)
     view = dataset.view()
@@ -55,6 +69,18 @@ def test_linear_verification(benchmark, workload, dataset):
     verifier = Verifier(dataset, strategy="linear")
     view = dataset.view()
     benchmark(lambda: verifier.count(3, workload.r, stop_at=workload.k, dataset=view))
+
+
+def test_linear_verification_block_64_candidates(benchmark, workload, dataset):
+    """Batched Exact-Counting: one store sweep deciding 64 candidates at
+    once with early retirement.  Compare per-candidate cost against
+    ``test_linear_verification``."""
+    verifier = Verifier(dataset, strategy="linear")
+    cands = np.arange(64, dtype=np.int64)
+    view = dataset.view()
+    benchmark(
+        lambda: verifier.verify_block(cands, workload.r, workload.k, dataset=view)
+    )
 
 
 def test_edit_distance_batch(benchmark):

@@ -20,6 +20,7 @@ import numpy as np
 
 from . import __version__
 from .core.dod import DODetector
+from .core.traversal import DEFAULT_BLOCK
 from .datasets import SUITES, calibrate_r, get_spec, load_suite, make_objects
 
 
@@ -51,6 +52,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("--K", type=int, default=16, help="graph degree")
     p_detect.add_argument("--seed", type=int, default=0)
     p_detect.add_argument("--n-jobs", type=int, default=1)
+    p_detect.add_argument("--mode", default="auto",
+                          choices=["auto", "scalar", "batched"],
+                          help="filter/verify execution: batched multi-source "
+                               "kernels or the scalar oracle path (same answer)")
+    p_detect.add_argument("--batch-size", type=int, default=DEFAULT_BLOCK,
+                          help="query objects per batched traversal block")
     p_detect.add_argument("--output", help="write outlier ids to this file")
     p_detect.set_defaults(func=_cmd_detect)
 
@@ -76,6 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--K", type=int, default=16, help="graph degree")
     p_sweep.add_argument("--seed", type=int, default=0)
     p_sweep.add_argument("--n-jobs", type=int, default=1)
+    p_sweep.add_argument("--mode", default="auto",
+                         choices=["auto", "scalar", "batched"],
+                         help="filter/verify execution: batched multi-source "
+                              "kernels or the scalar oracle path (same answer)")
+    p_sweep.add_argument("--batch-size", type=int, default=DEFAULT_BLOCK,
+                         help="query objects per batched traversal block")
     p_sweep.add_argument("--check", action="store_true",
                          help="verify every grid point against a fresh graph_dod "
                               "run and report the reuse speedup")
@@ -157,7 +170,10 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             print("detect: --r and --k are required with --input", file=sys.stderr)
             return 2
         r, k = args.r, args.k
-    detector = DODetector(metric=metric, graph=args.graph, K=args.K, seed=args.seed)
+    detector = DODetector(
+        metric=metric, graph=args.graph, K=args.K, seed=args.seed,
+        mode=args.mode, batch_size=args.batch_size,
+    )
     detector.fit(objects)
     result = detector.detect(r, k, n_jobs=args.n_jobs)
     print(result.summary())
@@ -235,7 +251,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.snapshot is not None and os.path.exists(args.snapshot):
         try:
             engine = DetectionEngine.load(
-                args.snapshot, dataset, n_jobs=args.n_jobs, rng=args.seed
+                args.snapshot, dataset, n_jobs=args.n_jobs, rng=args.seed,
+                mode=args.mode, batch_size=args.batch_size,
             )
             print(f"loaded warm engine snapshot from {args.snapshot} "
                   f"({engine.stats['queries']} queries served before restart)")
@@ -256,7 +273,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         gen = ensure_rng(args.seed)
         graph = build_graph(args.graph, dataset, K=args.K, rng=gen)
-        engine = DetectionEngine(dataset, graph, n_jobs=args.n_jobs, rng=gen)
+        engine = DetectionEngine(
+            dataset, graph, n_jobs=args.n_jobs, rng=gen,
+            mode=args.mode, batch_size=args.batch_size,
+        )
 
     t0 = time.perf_counter()
     sweep = engine.sweep(r_grid, k_grid=k_grid)
@@ -274,9 +294,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.check:
         t0 = time.perf_counter()
         for r, k in sweep.queries:
+            # The check runs the scalar oracle path, so it also cross-checks
+            # the batched kernels against the one-object-at-a-time walk.
             fresh = graph_dod(
                 dataset.view(), engine.graph, r, k,
                 verifier=engine.verifier, rng=args.seed, n_jobs=args.n_jobs,
+                mode="scalar",
             )
             if not fresh.same_outliers(sweep.result(r, k)):
                 print(f"sweep: MISMATCH vs graph_dod at r={r} k={k}",

@@ -1,24 +1,40 @@
 """The paper's primary contribution: proximity graph-based exact DOD."""
 
 from .counting import (
+    CANDIDATE_CODE,
+    INLIER_CODE,
+    OUTLIER_CODE,
     FilterEvidence,
     FilterOutcome,
     VisitTracker,
     classify,
+    classify_block,
     classify_chunk,
+    classify_chunk_arrays,
     classify_evidence,
     greedy_count,
+    resolve_filter_mode,
     split_outcomes,
 )
 from .dod import DODetector, detect_outliers, graph_dod
 from .parallel import WorkerPool, map_over_objects, partition_indices
 from .result import DODResult, ObjectEvidence
+from .traversal import DEFAULT_BLOCK, BlockTracker, greedy_count_block
 from .verify import Verifier
 
 __all__ = [
     "greedy_count",
+    "greedy_count_block",
+    "BlockTracker",
+    "DEFAULT_BLOCK",
     "classify",
+    "classify_block",
     "classify_chunk",
+    "classify_chunk_arrays",
+    "resolve_filter_mode",
+    "INLIER_CODE",
+    "CANDIDATE_CODE",
+    "OUTLIER_CODE",
     "classify_evidence",
     "split_outcomes",
     "FilterEvidence",

@@ -17,7 +17,11 @@ including a *definitive outlier* verdict that skips verification
 entirely (the main reason MRPG beats MRPG-basic in Table 5).
 
 Frontier expansion is batched: one vectorised distance kernel per popped
-vertex, over all its unvisited neighbors.
+vertex, over all its unvisited neighbors.  This scalar walk is the
+exactness oracle; the production path is the multi-source
+level-synchronous kernel in :mod:`repro.core.traversal`, reached through
+``classify_chunk(_arrays)``'s ``mode`` knob and bit-identical on every
+verdict and sub-``k`` count.
 """
 
 from __future__ import annotations
@@ -128,13 +132,39 @@ def greedy_count(
         count += int(np.count_nonzero(within))
         if count >= k:
             return count
-        queue.extend(int(w) for w in fresh[within])
+        queue.extend(fresh[within].tolist())
         if follow_pivots:
-            out_of_range_pivots = fresh[~within & pivots[fresh]]
-            queue.extend(int(w) for w in out_of_range_pivots)
+            queue.extend(fresh[~within & pivots[fresh]].tolist())
         if max_visits is not None and visits >= max_visits:
             break
     return count
+
+
+def exact_knn_shortcut(
+    graph: Graph, p: int, r: float, k: int
+) -> FilterEvidence | None:
+    """The §5.5 exact-K'NN replacement for the traversal, when it applies.
+
+    Returns ``None`` when ``p`` holds no exact list or ``k`` exceeds its
+    length (the caller then falls through to the generic traversal).
+    Shared by the scalar and batched filtering paths so the shortcut
+    semantics cannot drift between them.
+    """
+    exact = graph.exact_knn.get(p)
+    if exact is None:
+        return None
+    ids, dists = exact
+    if k > ids.size:
+        # k > K': fall through to the generic traversal (generality, §5.5).
+        return None
+    # The K' nearest neighbors are exact, so when fewer than k of
+    # them fall within r, *no* unseen object can: the verdict is
+    # final in O(k) with zero distance computations.  The count
+    # is exact unless all K' fall inside r (then it is the lower
+    # bound K').
+    within = int(np.count_nonzero(dists <= r))
+    outcome = FilterOutcome.INLIER if within >= k else FilterOutcome.OUTLIER
+    return FilterEvidence(outcome, within, exact=within < ids.size)
 
 
 def classify_evidence(
@@ -150,19 +180,9 @@ def classify_evidence(
     """Filtering-phase verdict for object ``p`` plus the count evidence
     backing it (Algorithm 1, lines 3-5, with the §5.5 replacement for
     exact-K'NN holders)."""
-    exact = graph.exact_knn.get(p)
-    if exact is not None:
-        ids, dists = exact
-        if k <= ids.size:
-            # The K' nearest neighbors are exact, so when fewer than k of
-            # them fall within r, *no* unseen object can: the verdict is
-            # final in O(k) with zero distance computations.  The count
-            # is exact unless all K' fall inside r (then it is the lower
-            # bound K').
-            within = int(np.count_nonzero(dists <= r))
-            outcome = FilterOutcome.INLIER if within >= k else FilterOutcome.OUTLIER
-            return FilterEvidence(outcome, within, exact=within < ids.size)
-        # k > K': fall through to the generic traversal (generality, §5.5).
+    shortcut = exact_knn_shortcut(graph, p, r, k)
+    if shortcut is not None:
+        return shortcut
     count = greedy_count(
         dataset,
         graph,
@@ -200,6 +220,158 @@ def classify(
     ).outcome
 
 
+#: recognised filtering execution modes.
+FILTER_MODES = ("auto", "scalar", "batched")
+
+
+def resolve_filter_mode(mode: str, max_visits: int | None) -> str:
+    """Pick the concrete filtering mode for a request.
+
+    ``auto`` prefers the batched level-synchronous kernel and falls back
+    to the scalar walk when ``max_visits`` is set (the visit cap is
+    visit-order-dependent, which a level-synchronous walk cannot
+    reproduce).  Asking for ``batched`` *with* a cap is a contradiction
+    and raises.
+    """
+    if mode not in FILTER_MODES:
+        raise ParameterError(f"unknown filter mode {mode!r}; known: {FILTER_MODES}")
+    if mode == "auto":
+        return "scalar" if max_visits is not None else "batched"
+    if mode == "batched" and max_visits is not None:
+        raise ParameterError(
+            "batched filtering cannot honor max_visits (order-dependent); "
+            "use mode='scalar' or mode='auto'"
+        )
+    return mode
+
+
+#: integer outcome codes used by the array-returning filter API.
+INLIER_CODE, CANDIDATE_CODE, OUTLIER_CODE = 0, 1, 2
+_CODE_TO_OUTCOME = (FilterOutcome.INLIER, FilterOutcome.CANDIDATE, FilterOutcome.OUTLIER)
+
+
+def classify_chunk_arrays(
+    dataset: Dataset,
+    graph: Graph,
+    chunk: np.ndarray,
+    r: float,
+    k: int,
+    tracker: VisitTracker | None = None,
+    follow_pivots: bool | None = None,
+    max_visits: int | None = None,
+    mode: str = "auto",
+    batch_size: int = 64,
+    block_tracker: "BlockTracker | None" = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Array-form filtering verdicts: ``(ids, counts, codes, exact)``.
+
+    The flat-array counterpart of :func:`classify_chunk` (same order as
+    ``chunk``; ``codes`` holds :data:`INLIER_CODE` /
+    :data:`CANDIDATE_CODE` / :data:`OUTLIER_CODE`).  This is the form
+    the hot paths (``graph_dod``, the engine) consume — no per-object
+    Python objects.
+
+    ``mode`` selects the execution strategy — ``"scalar"`` walks one
+    object at a time (the exactness oracle), ``"batched"`` runs the
+    level-synchronous multi-source kernel over ``batch_size`` objects
+    per block with the §5.5 exact-K'NN shortcut applied vectorised,
+    ``"auto"`` picks batched unless ``max_visits`` forces the scalar
+    walk.  Verdicts and sub-``k`` counts are identical in every mode.
+    """
+    if batch_size < 1:
+        raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
+    concrete = resolve_filter_mode(mode, max_visits)
+    chunk = np.asarray(chunk, dtype=np.int64)
+    counts = np.zeros(chunk.size, dtype=np.int64)
+    codes = np.empty(chunk.size, dtype=np.int8)
+    exact = np.zeros(chunk.size, dtype=bool)
+
+    if concrete == "scalar":
+        if tracker is None:
+            tracker = VisitTracker(graph.n)
+        for t, p in enumerate(chunk):
+            ev = classify_evidence(
+                dataset, graph, int(p), r, k,
+                tracker=tracker, follow_pivots=follow_pivots,
+                max_visits=max_visits,
+            )
+            counts[t] = ev.count
+            codes[t] = _CODE_TO_OUTCOME.index(ev.outcome)
+            exact[t] = ev.exact
+        return chunk, counts, codes, exact
+
+    from .traversal import BlockTracker, greedy_count_block
+
+    # -- §5.5 exact-K'NN shortcut, vectorised over every holder ------------
+    # A holder with k <= K' is decided straight from its stored sorted
+    # distances: gather exactly the eligible holders' payload segments
+    # and sum "how many lie within r" per segment in one reduceat.
+    walk_mask = np.ones(chunk.size, dtype=bool)
+    owners, sizes, ptr, knn_dists = graph.exact_knn_arrays()
+    if owners.size and chunk.size:
+        pos = np.searchsorted(owners, chunk)
+        pos_safe = np.minimum(pos, owners.size - 1)
+        eligible = (owners[pos_safe] == chunk) & (sizes[pos_safe] >= k)
+        if eligible.any():
+            h = pos_safe[eligible]
+            seg_sizes = sizes[h]
+            offsets = np.cumsum(seg_sizes) - seg_sizes
+            flat = np.arange(int(seg_sizes.sum()), dtype=np.int64) - np.repeat(
+                offsets, seg_sizes
+            )
+            vals = knn_dists[np.repeat(ptr[h], seg_sizes) + flat]
+            # no zero-length segments: eligibility requires sizes >= k >= 1
+            within = np.add.reduceat((vals <= r).astype(np.int64), offsets)
+            counts[eligible] = within
+            codes[eligible] = np.where(within >= k, INLIER_CODE, OUTLIER_CODE)
+            exact[eligible] = within < seg_sizes
+            walk_mask = ~eligible
+
+    # -- everyone else: multi-source level-synchronous traversal -----------
+    walk_pos = np.flatnonzero(walk_mask)
+    if walk_pos.size:
+        if block_tracker is None:
+            block_tracker = BlockTracker(graph.n, min(batch_size, walk_pos.size))
+        for lo in range(0, walk_pos.size, batch_size):
+            pos_blk = walk_pos[lo:lo + batch_size]
+            counts[pos_blk] = greedy_count_block(
+                dataset, graph, chunk[pos_blk], r, k,
+                tracker=block_tracker, follow_pivots=follow_pivots,
+            )
+        codes[walk_pos] = np.where(
+            counts[walk_pos] >= k, INLIER_CODE, CANDIDATE_CODE
+        )
+    return chunk, counts, codes, exact
+
+
+def classify_block(
+    dataset: Dataset,
+    graph: Graph,
+    block: np.ndarray,
+    r: float,
+    k: int,
+    tracker: "BlockTracker | None" = None,
+    follow_pivots: bool | None = None,
+) -> list[tuple[int, FilterEvidence]]:
+    """Batched filtering verdicts for one block of objects.
+
+    Exact-K'NN holders are decided by the shared §5.5 shortcut (O(k),
+    no distances); the rest traverse together through one
+    :func:`~repro.core.traversal.greedy_count_block` call.  Verdicts and
+    sub-``k`` counts are identical to :func:`classify_evidence`'s.
+    """
+    block = np.asarray(block, dtype=np.int64)
+    ids, counts, codes, exact = classify_chunk_arrays(
+        dataset, graph, block, r, k,
+        follow_pivots=follow_pivots, mode="batched",
+        batch_size=max(1, block.size), block_tracker=tracker,
+    )
+    return [
+        (int(p), FilterEvidence(_CODE_TO_OUTCOME[c], int(cnt), bool(e)))
+        for p, cnt, c, e in zip(ids, counts, codes, exact)
+    ]
+
+
 def classify_chunk(
     dataset: Dataset,
     graph: Graph,
@@ -209,30 +381,28 @@ def classify_chunk(
     tracker: VisitTracker | None = None,
     follow_pivots: bool | None = None,
     max_visits: int | None = None,
+    mode: str = "auto",
+    batch_size: int = 64,
+    block_tracker: "BlockTracker | None" = None,
 ) -> list[tuple[int, FilterEvidence]]:
     """The shared per-chunk body of Algorithm 1's filtering loop.
 
     Both :func:`~repro.core.dod.graph_dod` and the multi-query engine
-    run exactly this over their worker chunks, so the filter semantics
-    cannot drift between the one-shot and the serving path.
+    run exactly this (via the array form,
+    :func:`classify_chunk_arrays`) over their worker chunks, so the
+    filter semantics cannot drift between the one-shot and the serving
+    path.  See :func:`classify_chunk_arrays` for the ``mode`` /
+    ``batch_size`` knobs; verdicts and sub-``k`` counts are identical
+    in every mode.
     """
-    if tracker is None:
-        tracker = VisitTracker(graph.n)
+    ids, counts, codes, exact = classify_chunk_arrays(
+        dataset, graph, chunk, r, k,
+        tracker=tracker, follow_pivots=follow_pivots, max_visits=max_visits,
+        mode=mode, batch_size=batch_size, block_tracker=block_tracker,
+    )
     return [
-        (
-            int(p),
-            classify_evidence(
-                dataset,
-                graph,
-                int(p),
-                r,
-                k,
-                tracker=tracker,
-                follow_pivots=follow_pivots,
-                max_visits=max_visits,
-            ),
-        )
-        for p in chunk
+        (int(p), FilterEvidence(_CODE_TO_OUTCOME[c], int(cnt), bool(e)))
+        for p, cnt, c, e in zip(ids, counts, codes, exact)
     ]
 
 
@@ -240,7 +410,12 @@ def split_outcomes(
     results: "list[tuple[int, FilterEvidence]]",
 ) -> tuple[list[int], list[int]]:
     """Partition :func:`classify_chunk` output into Algorithm 1's two
-    follow-up sets: verification candidates and direct outliers."""
+    follow-up sets: verification candidates and direct outliers.
+
+    Part of the list-based compatibility API around
+    :func:`classify_chunk`; the production paths (``graph_dod``, the
+    engine) split the code arrays of :func:`classify_chunk_arrays`
+    directly instead."""
     candidates = [p for p, ev in results if ev.outcome is FilterOutcome.CANDIDATE]
     direct = [p for p, ev in results if ev.outcome is FilterOutcome.OUTLIER]
     return candidates, direct

@@ -24,8 +24,9 @@ from ..graphs.adjacency import Graph
 from ..graphs.base import build_graph
 from ..metrics import Metric
 from ..rng import ensure_rng
-from .counting import classify_chunk, split_outcomes
+from .counting import CANDIDATE_CODE, OUTLIER_CODE, classify_chunk_arrays
 from .parallel import map_over_objects
+from .traversal import DEFAULT_BLOCK
 from .result import DODResult, ObjectEvidence
 from .verify import Verifier
 
@@ -41,6 +42,8 @@ def graph_dod(
     max_visits: int | None = None,
     follow_pivots: bool | None = None,
     collect_evidence: bool = False,
+    mode: str = "auto",
+    batch_size: int = DEFAULT_BLOCK,
 ) -> DODResult:
     """Run Algorithm 1 and return the exact outlier set.
 
@@ -50,6 +53,13 @@ def graph_dod(
     (§4 "Multi-threading").  With ``collect_evidence`` the result also
     carries per-object count bounds (:class:`ObjectEvidence`) that a
     :class:`~repro.engine.DetectionEngine` can ingest to warm its cache.
+
+    ``mode`` selects the execution strategy for both phases:
+    ``"batched"`` runs the multi-source level-synchronous filter kernel
+    (``batch_size`` query objects per block) and the store-sweep
+    verifier; ``"scalar"`` runs the one-object-at-a-time oracle path;
+    ``"auto"`` (default) picks batched unless ``max_visits`` requires
+    the scalar walk.  The outlier set is identical in every mode.
     """
     if r < 0:
         raise ParameterError(f"radius must be non-negative, got {r}")
@@ -70,25 +80,28 @@ def graph_dod(
     t0 = time.perf_counter()
 
     def filter_worker(view: Dataset, chunk: np.ndarray):
-        return classify_chunk(
+        return classify_chunk_arrays(
             view, graph, chunk, r, k,
             follow_pivots=follow_pivots, max_visits=max_visits,
+            mode=mode, batch_size=batch_size,
         )
 
     chunk_results, filter_pairs = map_over_objects(
         dataset, everything, filter_worker, n_jobs=n_jobs, rng=gen
     )
-    filter_evidence = [pe for chunk in chunk_results for pe in chunk]
-    cand_list, direct_list = split_outcomes(filter_evidence)
-    candidates = np.asarray(sorted(cand_list), dtype=np.int64)
-    direct = np.asarray(sorted(direct_list), dtype=np.int64)
+    f_ids = np.concatenate([res[0] for res in chunk_results])
+    f_counts = np.concatenate([res[1] for res in chunk_results])
+    f_codes = np.concatenate([res[2] for res in chunk_results])
+    f_exact = np.concatenate([res[3] for res in chunk_results])
+    candidates = np.sort(f_ids[f_codes == CANDIDATE_CODE])
+    direct = np.sort(f_ids[f_codes == OUTLIER_CODE])
     filter_seconds = time.perf_counter() - t0
 
     # -- verification phase ---------------------------------------------------
     t0 = time.perf_counter()
 
     def verify_worker(view: Dataset, chunk: np.ndarray):
-        return verifier.verify_chunk(chunk, r, k, dataset=view)
+        return verifier.verify_chunk(chunk, r, k, dataset=view, mode=mode)
 
     verify_results, verify_pairs = map_over_objects(
         dataset, candidates, verify_worker, n_jobs=n_jobs, rng=gen
@@ -101,9 +114,8 @@ def graph_dod(
     if collect_evidence:
         lower_bounds = np.zeros(dataset.n, dtype=np.int64)
         exact_mask = np.zeros(dataset.n, dtype=bool)
-        for p, ev in filter_evidence:
-            lower_bounds[p] = ev.count
-            exact_mask[p] = ev.exact
+        lower_bounds[f_ids] = f_counts
+        exact_mask[f_ids] = f_exact
         for p, count, exact in verify_counts:
             lower_bounds[p] = count
             exact_mask[p] = exact
@@ -149,6 +161,8 @@ class DODetector:
         seed: "int | None" = 0,
         verify: str = "auto",
         max_visits: int | None = None,
+        mode: str = "auto",
+        batch_size: int = DEFAULT_BLOCK,
         **graph_params,
     ):
         self.metric = metric
@@ -157,6 +171,8 @@ class DODetector:
         self.seed = seed
         self.verify = verify
         self.max_visits = max_visits
+        self.mode = mode
+        self.batch_size = batch_size
         self.graph_params = graph_params
         self.dataset_: Dataset | None = None
         self.graph_: Graph | None = None
@@ -190,6 +206,8 @@ class DODetector:
             n_jobs=n_jobs,
             rng=ensure_rng(self.seed),
             max_visits=self.max_visits,
+            mode=self.mode,
+            batch_size=self.batch_size,
         )
 
     def fit_detect(self, objects, r: float, k: int, n_jobs: int = 1) -> DODResult:
@@ -214,6 +232,8 @@ class DODetector:
             n_jobs=n_jobs,
             rng=ensure_rng(self.seed),
             max_visits=self.max_visits,
+            mode=self.mode,
+            batch_size=self.batch_size,
         )
 
     @property

@@ -84,11 +84,27 @@ class Dataset:
         self.counter.add(idx.size)
         return self.metric.dist_many(self.store, i, idx, bound=bound)
 
-    def pair_dist(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Element-wise distances ``dist(a[t], b[t])``."""
+    def pair_dist(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        bound: float | None = None,
+        consistent: bool = False,
+    ) -> np.ndarray:
+        """Element-wise distances ``dist(a[t], b[t])``.
+
+        ``bound`` follows the :meth:`dist_many` early-abandon contract.
+        ``consistent=True`` demands values bitwise row-consistent with
+        :meth:`dist_many` (the batched detection paths need this to stay
+        bit-identical to the scalar ones); metrics whose pair kernel
+        cannot guarantee it then evaluate via one ``dist_many`` call per
+        distinct source instead.
+        """
         a = np.asarray(a, dtype=np.int64)
         self.counter.add(a.size)
-        return self.metric.pair_dist(self.store, a, b)
+        if consistent and not self.metric.pair_rowwise_consistent:
+            return self.metric.pair_dist_grouped(self.store, a, b, bound=bound)
+        return self.metric.pair_dist(self.store, a, b, bound=bound)
 
     # -- object access --------------------------------------------------------
 

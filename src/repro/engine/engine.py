@@ -27,8 +27,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.counting import VisitTracker, classify_chunk, split_outcomes
+from ..core.counting import (
+    CANDIDATE_CODE,
+    OUTLIER_CODE,
+    VisitTracker,
+    classify_chunk_arrays,
+    resolve_filter_mode,
+)
 from ..core.parallel import WorkerPool
+from ..core.traversal import DEFAULT_BLOCK, BlockTracker
 from ..core.result import DODResult, ObjectEvidence
 from ..core.verify import Verifier
 from ..data import Dataset
@@ -103,6 +110,8 @@ class DetectionEngine:
         rng: "int | np.random.Generator | None" = 0,
         max_visits: int | None = None,
         follow_pivots: bool | None = None,
+        mode: str = "auto",
+        batch_size: int = DEFAULT_BLOCK,
     ):
         if graph.n != dataset.n:
             raise GraphError(
@@ -115,6 +124,9 @@ class DetectionEngine:
         self.verifier = verifier if verifier is not None else Verifier(dataset)
         self.max_visits = max_visits
         self.follow_pivots = follow_pivots
+        resolve_filter_mode(mode, max_visits)  # fail fast on bad combinations
+        self.mode = mode
+        self.batch_size = int(batch_size)
         self.cache = EvidenceCache(dataset.n)
         self.stats: dict[str, int] = {
             "queries": 0,
@@ -124,25 +136,20 @@ class DetectionEngine:
         }
         self._pool = WorkerPool(dataset, n_jobs=n_jobs, rng=ensure_rng(rng))
         self._trackers = [VisitTracker(graph.n) for _ in range(self._pool.n_jobs)]
-        # Exact-K'NN payloads as CSR so one vectorised pass per new radius
-        # turns them into count evidence for every holder at once.  Empty
-        # lists are dropped: np.add.reduceat fabricates values for
-        # zero-length segments.
-        owners = sorted(p for p in graph.exact_knn if graph.exact_knn[p][1].size)
-        self._knn_owners = np.asarray(owners, dtype=np.int64)
-        if owners:
-            sizes = np.asarray(
-                [graph.exact_knn[p][1].size for p in owners], dtype=np.int64
-            )
-            self._knn_ptr = np.concatenate(([0], np.cumsum(sizes)))
-            self._knn_dists = np.concatenate(
-                [graph.exact_knn[p][1] for p in owners]
-            ).astype(np.float64)
-            self._knn_sizes = sizes
-        else:
-            self._knn_ptr = np.zeros(1, dtype=np.int64)
-            self._knn_dists = np.empty(0, dtype=np.float64)
-            self._knn_sizes = np.empty(0, dtype=np.int64)
+        # Batched-mode scratch, one per worker slot, allocated on first use
+        # (a slot's stamp matrix is batch_size x n).
+        self._block_trackers: list[BlockTracker | None] = [
+            None for _ in range(self._pool.n_jobs)
+        ]
+        # Exact-K'NN payloads as flat arrays (shared with the batched
+        # filter) so one vectorised pass per new radius turns them into
+        # count evidence for every holder at once.
+        (
+            self._knn_owners,
+            self._knn_sizes,
+            self._knn_ptr,
+            self._knn_dists,
+        ) = graph.exact_knn_arrays()
         self._knn_radii: set[float] = set()
 
     # -- construction helpers ------------------------------------------------
@@ -158,6 +165,8 @@ class DetectionEngine:
         verify: str = "auto",
         n_jobs: int = 1,
         max_visits: int | None = None,
+        mode: str = "auto",
+        batch_size: int = DEFAULT_BLOCK,
         **graph_params,
     ) -> "DetectionEngine":
         """Offline phase in one call: dataset + graph + verifier + engine."""
@@ -172,6 +181,8 @@ class DetectionEngine:
             n_jobs=n_jobs,
             rng=gen,
             max_visits=max_visits,
+            mode=mode,
+            batch_size=batch_size,
         )
 
     @property
@@ -244,30 +255,42 @@ class DetectionEngine:
         t0 = time.perf_counter()
 
         def filter_worker(view: Dataset, chunk: np.ndarray, slot: int):
-            return classify_chunk(
+            if chunk.size and self.mode != "scalar" and self.max_visits is None:
+                if self._block_trackers[slot] is None:
+                    self._block_trackers[slot] = BlockTracker(
+                        graph.n, self.batch_size
+                    )
+            return classify_chunk_arrays(
                 view, graph, chunk, r, k,
                 tracker=self._trackers[slot],
                 follow_pivots=self.follow_pivots,
                 max_visits=self.max_visits,
+                mode=self.mode,
+                batch_size=self.batch_size,
+                block_tracker=self._block_trackers[slot],
             )
 
         filter_results, filter_pairs = self._pool.map(undecided, filter_worker)
-        flat = [pe for chunk in filter_results for pe in chunk]
-        if flat:
-            f_ids = np.asarray([p for p, _ in flat], dtype=np.int64)
-            f_counts = np.asarray([ev.count for _, ev in flat], dtype=np.int64)
-            f_exact = np.asarray([ev.exact for _, ev in flat], dtype=bool)
+        if filter_results:
+            f_ids = np.concatenate([res[0] for res in filter_results])
+            f_counts = np.concatenate([res[1] for res in filter_results])
+            f_codes = np.concatenate([res[2] for res in filter_results])
+            f_exact = np.concatenate([res[3] for res in filter_results])
+        else:
+            f_ids = f_counts = np.empty(0, dtype=np.int64)
+            f_codes = np.empty(0, dtype=np.int8)
+            f_exact = np.empty(0, dtype=bool)
+        if f_ids.size:
             self.cache.record(r, f_ids, f_counts, exact_mask=f_exact)
-        cand_list, direct_list = split_outcomes(flat)
-        candidates = np.asarray(sorted(cand_list), dtype=np.int64)
-        direct = np.asarray(sorted(direct_list), dtype=np.int64)
+        candidates = np.sort(f_ids[f_codes == CANDIDATE_CODE])
+        direct = np.sort(f_ids[f_codes == OUTLIER_CODE])
         filter_seconds = time.perf_counter() - t0
 
         # -- verify phase: Exact-Counting over the candidates ------------------
         t0 = time.perf_counter()
 
         def verify_worker(view: Dataset, chunk: np.ndarray, slot: int):
-            return verifier.verify_chunk(chunk, r, k, dataset=view)
+            return verifier.verify_chunk(chunk, r, k, dataset=view, mode=self.mode)
 
         verify_results, verify_pairs = self._pool.map(candidates, verify_worker)
         verify_counts = [pce for chunk in verify_results for pce in chunk]

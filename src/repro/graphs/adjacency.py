@@ -6,9 +6,11 @@ link ``u -> v`` means ``v in neighbors(u)``), a pivot flag per vertex
 (§5.1), and, for MRPG, per-vertex *exact K'-NN* lists (§5.5, Property 3).
 
 Adjacency is kept as Python lists plus membership sets while building
-(O(1) dedup, cheap edge removal) and finalised into numpy arrays for
-traversal, where ``Greedy-Counting`` feeds whole neighbor arrays into one
-vectorised distance kernel per visited vertex.
+(O(1) dedup, cheap edge removal) and finalised into a CSR representation
+(``indptr``/``indices``) for traversal: ``neighbors(v)`` is a constant
+-time slice, and the multi-source level-synchronous kernel in
+:mod:`repro.core.traversal` gathers whole frontier levels straight from
+the two flat arrays without touching per-vertex Python objects.
 """
 
 from __future__ import annotations
@@ -31,11 +33,12 @@ class Graph:
         self.n = int(n)
         self._adj: list[list[int]] = [[] for _ in range(n)]
         self._members: list[set[int]] = [set() for _ in range(n)]
-        self._arrays: list[np.ndarray] | None = None
+        self._csr: tuple[np.ndarray, np.ndarray] | None = None
         #: pivot flags (Algorithm 3 vantage points whose left child is a leaf).
         self.pivots = np.zeros(n, dtype=bool)
         #: vertex id -> (ids, dists) of its *exact* K'-NN (MRPG Property 3).
         self.exact_knn: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._knn_arrays: tuple | None = None
         #: free-form build metadata (phase timings, parameters, ...).
         self.meta: dict = {}
 
@@ -49,7 +52,7 @@ class Graph:
             return False
         self._members[u].add(v)
         self._adj[u].append(v)
-        self._arrays = None
+        self._csr = None
         return True
 
     def add_edge(self, u: int, v: int) -> None:
@@ -63,7 +66,7 @@ class Graph:
             return False
         self._members[u].discard(v)
         self._adj[u].remove(v)
-        self._arrays = None
+        self._csr = None
         return True
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -82,7 +85,7 @@ class Graph:
                 fresh.append(v)
         self._adj[u] = fresh
         self._members[u] = seen
-        self._arrays = None
+        self._csr = None
 
     # -- queries -----------------------------------------------------------
 
@@ -90,9 +93,14 @@ class Graph:
         return v in self._members[u]
 
     def neighbors(self, v: int) -> np.ndarray:
-        """Out-neighbors of ``v`` as an int64 array (cached after finalize)."""
-        if self._arrays is not None:
-            return self._arrays[v]
+        """Out-neighbors of ``v`` as an int64 array.
+
+        After :meth:`finalize` this is a read-only view into the CSR
+        ``indices`` array — do not mutate it in place.
+        """
+        if self._csr is not None:
+            indptr, indices = self._csr
+            return indices[indptr[v]:indptr[v + 1]]
         lst = self._adj[v]
         if not lst:
             return _EMPTY
@@ -119,15 +127,73 @@ class Graph:
     # -- lifecycle -----------------------------------------------------------
 
     def finalize(self) -> "Graph":
-        """Freeze adjacency into numpy arrays for fast traversal."""
-        self._arrays = [
-            np.asarray(lst, dtype=np.int64) if lst else _EMPTY for lst in self._adj
-        ]
+        """Freeze adjacency into CSR arrays for fast traversal."""
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum([len(lst) for lst in self._adj])
+        if indptr[-1]:
+            indices = np.concatenate(
+                [np.asarray(lst, dtype=np.int64) for lst in self._adj if lst]
+            )
+        else:
+            indices = _EMPTY
+        self._csr = (indptr, indices)
         return self
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The finalised ``(indptr, indices)`` adjacency (finalizing if needed).
+
+        ``indices[indptr[v]:indptr[v + 1]]`` are the out-neighbors of
+        ``v``; both arrays are int64 and must be treated as immutable.
+        The level-synchronous traversal kernel gathers whole frontiers
+        from these with ``np.repeat`` instead of per-vertex lookups.
+        """
+        if self._csr is None:
+            self.finalize()
+        assert self._csr is not None
+        return self._csr
+
+    def exact_knn_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Exact-K'NN payloads as flat arrays: ``(owners, sizes, ptr, dists)``.
+
+        ``owners`` is sorted and holds every vertex with a *non-empty*
+        list; ``dists[ptr[t]:ptr[t + 1]]`` are owner ``t``'s sorted K'NN
+        distances (``sizes[t]`` of them).  The batched filter and the
+        engine's evidence warm-up both consume this instead of the
+        per-vertex dict.  Cached; the cache is invalidated when the
+        number of holders or the total payload size changes (builders
+        only ever add whole lists, so that fingerprint is sufficient).
+        """
+        fingerprint = (
+            len(self.exact_knn),
+            sum(dd.size for _, dd in self.exact_knn.values()),
+        )
+        if self._knn_arrays is not None and self._knn_arrays[0] == fingerprint:
+            return self._knn_arrays[1]
+        owners = np.asarray(
+            sorted(p for p, (_, dd) in self.exact_knn.items() if dd.size),
+            dtype=np.int64,
+        )
+        if owners.size:
+            sizes = np.asarray(
+                [self.exact_knn[int(p)][1].size for p in owners], dtype=np.int64
+            )
+            ptr = np.concatenate(([0], np.cumsum(sizes)))
+            dists = np.concatenate(
+                [self.exact_knn[int(p)][1] for p in owners]
+            ).astype(np.float64)
+        else:
+            sizes = np.empty(0, dtype=np.int64)
+            ptr = np.zeros(1, dtype=np.int64)
+            dists = np.empty(0, dtype=np.float64)
+        arrays = (owners, sizes, ptr, dists)
+        self._knn_arrays = (fingerprint, arrays)
+        return arrays
 
     @property
     def finalized(self) -> bool:
-        return self._arrays is not None
+        return self._csr is not None
 
     @property
     def nbytes(self) -> int:
@@ -151,7 +217,7 @@ class Graph:
             v: (ids.copy(), dd.copy()) for v, (ids, dd) in self.exact_knn.items()
         }
         g.meta = dict(self.meta)
-        if self._arrays is not None:
+        if self._csr is not None:
             g.finalize()
         return g
 

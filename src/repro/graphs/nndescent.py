@@ -52,10 +52,19 @@ class NNDescentResult:
         return self.knn_dists.sum(axis=1)
 
 
+#: pairs per distance kernel when scoring the random initial lists.
+_INIT_PAIR_CHUNK = 1 << 16
+
+
 def _random_init(
     dataset: Dataset, K: int, gen: np.random.Generator
 ) -> tuple[np.ndarray, np.ndarray]:
-    """K distinct random neighbors per object, with distances."""
+    """K distinct random neighbors per object, with distances.
+
+    Distances are evaluated in chunked ``pair_dist`` kernels over many
+    objects' rows at once instead of one tiny ``dist_many`` call per
+    object.
+    """
     n = dataset.n
     ids = np.empty((n, K), dtype=np.int64)
     for p in range(n):
@@ -63,8 +72,13 @@ def _random_init(
         picks[picks >= p] += 1  # skip self without rejection sampling
         ids[p] = picks
     dists = np.empty((n, K), dtype=np.float64)
-    for p in range(n):
-        dists[p] = dataset.dist_many(p, ids[p])
+    rows = max(1, _INIT_PAIR_CHUNK // K)
+    for lo in range(0, n, rows):
+        hi = min(lo + rows, n)
+        left = np.repeat(np.arange(lo, hi, dtype=np.int64), K)
+        dists[lo:hi] = dataset.pair_dist(
+            left, ids[lo:hi].ravel(), consistent=True
+        ).reshape(hi - lo, K)
     return ids, dists
 
 

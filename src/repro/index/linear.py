@@ -4,7 +4,10 @@ For high intrinsic-dimensional data the paper's ``Exact-Counting`` falls
 back to a sequential scan "because this is more efficient than any
 indexing methods for high-dimensional data" (§4).  The scan is chunked so
 each step is one vectorised distance kernel, and it stops as soon as the
-count reaches ``stop_at``.
+count reaches ``stop_at``.  :func:`linear_count_block` is the batched
+form: one sweep of the store decides many queries at once with early
+retirement, handing retirement-stalled stragglers back to broadcast
+per-query scans.
 
 :func:`brute_force_knn` and :func:`brute_force_range` are also the
 reference oracles used throughout the test suite.
@@ -19,6 +22,17 @@ from ..exceptions import ParameterError
 
 #: default number of objects per distance kernel call.
 DEFAULT_CHUNK = 2048
+
+#: target number of array elements (pairs x dimensionality) per batched
+#: verification kernel — bounds the materialised difference block.
+BLOCK_ELEM_BUDGET = 1 << 21
+
+
+def _pairs_per_kernel(dataset: Dataset) -> int:
+    """Pair budget per kernel, scaled by the store's row width."""
+    shape = getattr(dataset.store, "shape", None)
+    dim = int(shape[1]) if shape is not None and len(shape) == 2 else 64
+    return max(256, BLOCK_ELEM_BUDGET // max(1, dim))
 
 
 def linear_count(
@@ -50,6 +64,78 @@ def linear_count(
         if stop_at is not None and count >= stop_at:
             return count
     return count
+
+
+def linear_count_block(
+    dataset: Dataset,
+    qs: np.ndarray,
+    r: float,
+    stop_at: int | None = None,
+    exclude_self: bool = True,
+) -> np.ndarray:
+    """Neighbor counts for *all* of ``qs`` in one chunked sweep.
+
+    The batched counterpart of :func:`linear_count`: instead of one full
+    early-terminated scan per query, the store is swept in chunks and
+    every still-pending query is evaluated against each chunk with a
+    single ``pair_dist`` kernel; queries retire from the sweep the
+    moment their count reaches ``stop_at``.  A returned count below
+    ``stop_at`` saw the entire store and is the true neighbor count —
+    identical to :func:`linear_count`'s (counts at or above ``stop_at``
+    may overshoot differently).
+
+    The pair-sweep wins while each step retires a healthy share of the
+    pending set (quick-deciding false positives, the common case); once
+    retirement stalls the survivors are slow full-scanners, for which
+    the broadcast one-to-many kernel moves less memory than pair
+    gathers — so the sweep hands the stragglers to per-query scans that
+    resume from the current offset.  The chunk span adapts to the
+    number of pending queries so each kernel stays near a fixed element
+    budget regardless of how many candidates remain.
+    """
+    if r < 0:
+        raise ParameterError(f"radius must be non-negative, got {r}")
+    qs = np.asarray(qs, dtype=np.int64)
+    counts = np.zeros(qs.size, dtype=np.int64)
+    if qs.size == 0:
+        return counts
+    n = dataset.n
+    budget = _pairs_per_kernel(dataset)
+    pending = np.arange(qs.size, dtype=np.int64)
+    lo = 0
+    while lo < n and pending.size:
+        if stop_at is None or pending.size < 8:
+            break  # nothing can retire / too few left: broadcast scans win
+        span = min(n - lo, max(64, budget // pending.size))
+        idx = np.arange(lo, lo + span, dtype=np.int64)
+        left = np.repeat(qs[pending], span)
+        d = dataset.pair_dist(
+            left, np.tile(idx, pending.size), bound=r, consistent=True
+        )
+        within = (d <= r).reshape(pending.size, span)
+        add = within.sum(axis=1).astype(np.int64)
+        if exclude_self:
+            add[(qs[pending] >= lo) & (qs[pending] < lo + span)] -= 1
+        counts[pending] += add
+        before = pending.size
+        pending = pending[counts[pending] < stop_at]
+        lo += span
+        if pending.size > 0.75 * before:
+            break  # retirement stalled: survivors are full-scanners
+    # -- straggler tail: per-query broadcast scans from the current offset
+    for j in pending:
+        q = int(qs[j])
+        c = int(counts[j])
+        for tail_lo in range(lo, n, DEFAULT_CHUNK):
+            idx = np.arange(tail_lo, min(tail_lo + DEFAULT_CHUNK, n), dtype=np.int64)
+            d = dataset.dist_many(q, idx, bound=r)
+            c += int(np.count_nonzero(d <= r))
+            if exclude_self and tail_lo <= q < tail_lo + DEFAULT_CHUNK:
+                c -= 1
+            if stop_at is not None and c >= stop_at:
+                break
+        counts[j] = c
+    return counts
 
 
 def brute_force_range(

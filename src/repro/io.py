@@ -241,15 +241,20 @@ def load_engine(
     n_jobs: int = 1,
     rng: "int | np.random.Generator | None" = 0,
     max_visits: int | None = None,
+    mode: str = "auto",
+    batch_size: int | None = None,
 ):
     """Rebuild a saved engine against its (re-supplied) dataset.
 
     Raises :class:`GraphError` when the snapshot is unreadable, was not
     written by :func:`save_engine`, or does not match ``dataset``.
     """
+    from .core.traversal import DEFAULT_BLOCK
     from .engine import DetectionEngine
     from .engine.evidence import EvidenceCache
 
+    if batch_size is None:
+        batch_size = DEFAULT_BLOCK
     path = Path(path)
     with _NpzReader(path, "engine snapshot") as data:
         if "engine_format_version" not in data:
@@ -315,6 +320,8 @@ def load_engine(
         n_jobs=n_jobs,
         rng=rng,
         max_visits=max_visits,
+        mode=mode,
+        batch_size=batch_size,
     )
     engine.cache = EvidenceCache.from_state_arrays(graph.n, cache_arrays)
     engine._knn_radii = set(float(r) for r in meta.get("knn_radii", ()))

@@ -21,6 +21,10 @@ class Angular(VectorMetric):
     """Geodesic (angle) distance between non-zero vectors, in ``[0, pi]``."""
 
     name = "angular"
+    # dist_many reduces via a BLAS matvec, pair_dist via einsum: the two
+    # can disagree in the last ulp, so batched exact paths must use the
+    # grouped fallback (see Metric.pair_rowwise_consistent).
+    pair_rowwise_consistent = False
 
     def prepare(self, objects) -> np.ndarray:
         arr = super().prepare(objects)
@@ -40,7 +44,9 @@ class Angular(VectorMetric):
         np.clip(cos, -1.0, 1.0, out=cos)
         return np.arccos(cos)
 
-    def pair_dist(self, store: np.ndarray, a, b) -> np.ndarray:
+    def pair_dist(
+        self, store: np.ndarray, a, b, bound: float | None = None
+    ) -> np.ndarray:
         a_arr = np.asarray(a, dtype=np.int64)
         b_arr = np.asarray(b, dtype=np.int64)
         cos = np.einsum("ij,ij->i", store[a_arr], store[b_arr])

@@ -33,6 +33,16 @@ class Metric(ABC):
     name: str = ""
     #: True when objects are rows of a 2-D float array.
     is_vector: bool = True
+    #: True when :meth:`pair_dist` is bitwise row-consistent with
+    #: :meth:`dist_many`: for every pair ``(a[t], b[t])`` it returns the
+    #: exact float ``dist_many(store, a[t], [b[t]])`` would (clipped
+    #: entries above ``bound`` may differ in value but not in whether
+    #: they exceed ``bound``).  The batched traversal/verification paths
+    #: rely on this to stay bit-identical to the scalar paths; metrics
+    #: whose pair kernel uses a different reduction order (e.g. BLAS
+    #: matvec vs einsum) must leave it False, and batched callers then
+    #: fall back to :meth:`pair_dist_grouped`.
+    pair_rowwise_consistent: bool = True
 
     @abstractmethod
     def prepare(self, objects: Any) -> Any:
@@ -66,16 +76,49 @@ class Metric(ABC):
         ``bound`` (range counting with radius ``r``) can exploit this.
         """
 
-    def pair_dist(self, store: Any, a: Sequence[int], b: Sequence[int]) -> np.ndarray:
+    def pair_dist(
+        self,
+        store: Any,
+        a: Sequence[int],
+        b: Sequence[int],
+        bound: float | None = None,
+    ) -> np.ndarray:
         """Element-wise distances ``dist(a[t], b[t])``.
 
-        Generic fallback; vector metrics override with a batched kernel.
+        ``bound`` follows the :meth:`dist_many` contract: entries whose
+        true distance exceeds ``bound`` may be reported as any value
+        strictly greater than ``bound``.  Generic fallback delegates to
+        :meth:`pair_dist_grouped`; vector metrics override with a single
+        batched kernel.
+        """
+        return self.pair_dist_grouped(store, a, b, bound=bound)
+
+    def pair_dist_grouped(
+        self,
+        store: Any,
+        a: Sequence[int],
+        b: Sequence[int],
+        bound: float | None = None,
+    ) -> np.ndarray:
+        """:meth:`pair_dist` via one :meth:`dist_many` call per distinct
+        left-hand object.
+
+        Row-consistent with :meth:`dist_many` by construction, so batched
+        callers that must match the scalar path bit-for-bit can always
+        use this, at the cost of one kernel per distinct source in ``a``.
         """
         a_arr = np.asarray(a, dtype=np.int64)
         b_arr = np.asarray(b, dtype=np.int64)
-        out = np.empty(len(a_arr), dtype=np.float64)
-        for t in range(len(a_arr)):
-            out[t] = self.dist(store, int(a_arr[t]), int(b_arr[t]))
+        out = np.empty(a_arr.size, dtype=np.float64)
+        if a_arr.size == 0:
+            return out
+        order = np.argsort(a_arr, kind="stable")
+        sorted_a = a_arr[order]
+        starts = np.flatnonzero(np.diff(sorted_a)) + 1
+        for seg in np.split(order, starts):
+            out[seg] = self.dist_many(
+                store, int(a_arr[seg[0]]), b_arr[seg], bound=bound
+            )
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -49,7 +49,9 @@ class Hamming(Metric):
         diff = store[idx] != store[i]
         return diff.sum(axis=1).astype(np.float64)
 
-    def pair_dist(self, store: np.ndarray, a, b) -> np.ndarray:
+    def pair_dist(
+        self, store: np.ndarray, a, b, bound: float | None = None
+    ) -> np.ndarray:
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
         return (store[a] != store[b]).sum(axis=1).astype(np.float64)

@@ -1,0 +1,250 @@
+"""Batched-vs-scalar equivalence: the level-synchronous kernels must be
+bit-identical to the scalar oracle path wherever exactness depends on it.
+
+The contract under test (see ``core/traversal.py``):
+
+* identical ``FilterOutcome`` per object,
+* identical sub-``k`` counts (counts at or above ``k`` may overshoot
+  differently — no caller relies on them),
+* identical final outlier sets through ``graph_dod``/the engine,
+* across L1/L2/edit, every graph type, and adversarial block sizes
+  (1, a prime that splits outlier runs mid-block, and one whole-chunk
+  block).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockTracker, VisitTracker, greedy_count, greedy_count_block
+from repro.core.counting import classify_chunk, classify_chunk_arrays
+from repro.core.dod import graph_dod
+from repro.core.verify import Verifier
+from repro.engine import DetectionEngine
+from repro.exceptions import ParameterError
+
+BLOCK_SIZES = (1, 7, None)  # None -> the whole chunk as one block
+
+
+def _block_sizes(n):
+    return [bs if bs is not None else n for bs in BLOCK_SIZES]
+
+
+def _assert_filter_equivalent(dataset, graph, chunk, r, k, batch_size):
+    ids_s, cnt_s, code_s, ex_s = classify_chunk_arrays(
+        dataset.view(), graph, chunk, r, k, mode="scalar"
+    )
+    ids_b, cnt_b, code_b, ex_b = classify_chunk_arrays(
+        dataset.view(), graph, chunk, r, k, mode="batched", batch_size=batch_size
+    )
+    np.testing.assert_array_equal(ids_s, ids_b)
+    np.testing.assert_array_equal(code_s, code_b)
+    np.testing.assert_array_equal(ex_s, ex_b)
+    sub_k = (cnt_s < k) | (cnt_b < k)
+    np.testing.assert_array_equal(cnt_s[sub_k], cnt_b[sub_k])
+
+
+@pytest.mark.parametrize("graph_name", ["mrpg_l2", "mrpg_basic_l2", "kgraph_l2", "nsw_l2"])
+def test_batched_filter_matches_scalar_l2(request, l2_dataset, l2_params, graph_name):
+    graph = request.getfixturevalue(graph_name)
+    r, k = l2_params
+    chunk = np.arange(l2_dataset.n, dtype=np.int64)
+    for bs in _block_sizes(l2_dataset.n):
+        _assert_filter_equivalent(l2_dataset, graph, chunk, r, k, bs)
+
+
+def test_batched_filter_matches_scalar_l1(l1_dataset, l2_params):
+    from repro import build_graph
+
+    graph = build_graph("mrpg", l1_dataset, K=8, rng=0)
+    gen = np.random.default_rng(0)
+    a = gen.integers(0, l1_dataset.n, size=1500)
+    b = gen.integers(0, l1_dataset.n, size=1500)
+    keep = a != b
+    r = float(np.quantile(l1_dataset.pair_dist(a[keep], b[keep]), 0.10))
+    chunk = np.arange(l1_dataset.n, dtype=np.int64)
+    for bs in _block_sizes(l1_dataset.n):
+        _assert_filter_equivalent(l1_dataset, graph, chunk, r, 8, bs)
+
+
+def test_batched_filter_matches_scalar_edit(edit_dataset, mrpg_edit):
+    chunk = np.arange(edit_dataset.n, dtype=np.int64)
+    for r, k in ((2.0, 4), (3.0, 6)):
+        for bs in _block_sizes(edit_dataset.n):
+            _assert_filter_equivalent(edit_dataset, mrpg_edit, chunk, r, k, bs)
+
+
+def test_batched_filter_adversarial_blocks(l2_dataset, mrpg_l2, l2_params, l2_reference):
+    """Block boundaries that split runs of adjacent outliers must not
+    change any verdict: order the chunk so all true outliers are
+    contiguous, then use a prime block size that cuts the run."""
+    r, k = l2_params
+    outliers = l2_reference
+    inliers = np.setdiff1d(np.arange(l2_dataset.n), outliers)
+    mid = inliers.size // 2
+    chunk = np.concatenate((inliers[:mid], outliers, inliers[mid:]))
+    for bs in (1, 7, l2_dataset.n):
+        _assert_filter_equivalent(l2_dataset, mrpg_l2, chunk, r, k, bs)
+
+
+@pytest.mark.parametrize("k", [1, 3, 8, 40])
+def test_greedy_count_block_matches_scalar_over_k(l2_dataset, kgraph_l2, l2_params, k):
+    r, _ = l2_params
+    tracker = VisitTracker(kgraph_l2.n)
+    sources = np.arange(0, l2_dataset.n, 3, dtype=np.int64)
+    batched = greedy_count_block(l2_dataset.view(), kgraph_l2, sources, r, k)
+    for p, got in zip(sources, batched):
+        ref = greedy_count(l2_dataset.view(), kgraph_l2, int(p), r, k, tracker=tracker)
+        if ref < k or got < k:
+            assert got == ref, f"p={p}: batched {got} != scalar {ref}"
+        else:
+            assert got >= k and ref >= k
+
+
+def test_block_tracker_reuse_is_clean(l2_dataset, mrpg_l2, l2_params):
+    """A reused tracker (stale stamps from previous blocks) must not
+    leak visits into later epochs."""
+    r, k = l2_params
+    tracker = BlockTracker(mrpg_l2.n, 16)
+    sources = np.arange(16, dtype=np.int64)
+    first = greedy_count_block(l2_dataset.view(), mrpg_l2, sources, r, k, tracker=tracker)
+    for _ in range(3):
+        again = greedy_count_block(
+            l2_dataset.view(), mrpg_l2, sources, r, k, tracker=tracker
+        )
+        np.testing.assert_array_equal(first, again)
+
+
+def test_block_tracker_too_small_rejected(l2_dataset, mrpg_l2, l2_params):
+    r, k = l2_params
+    tracker = BlockTracker(mrpg_l2.n, 4)
+    with pytest.raises(ParameterError):
+        greedy_count_block(
+            l2_dataset.view(), mrpg_l2, np.arange(8), r, k, tracker=tracker
+        )
+
+
+def test_batched_mode_rejects_max_visits(l2_dataset, mrpg_l2, l2_params):
+    r, k = l2_params
+    with pytest.raises(ParameterError):
+        classify_chunk(
+            l2_dataset.view(), mrpg_l2, np.arange(8), r, k,
+            mode="batched", max_visits=50,
+        )
+    # auto falls back to the scalar walk instead
+    out = classify_chunk(
+        l2_dataset.view(), mrpg_l2, np.arange(8), r, k, mode="auto", max_visits=50,
+    )
+    assert len(out) == 8
+
+
+def test_verify_block_matches_scalar(l2_dataset, l2_params):
+    r, k = l2_params
+    verifier = Verifier(l2_dataset, strategy="linear")
+    gen = np.random.default_rng(5)
+    cands = gen.choice(l2_dataset.n, size=60, replace=False)
+    scalar = verifier.verify_chunk(cands, r, k, dataset=l2_dataset.view(), mode="scalar")
+    batched = verifier.verify_chunk(cands, r, k, dataset=l2_dataset.view(), mode="batched")
+    for (p1, c1, e1), (p2, c2, e2) in zip(scalar, batched):
+        assert p1 == p2 and e1 == e2
+        if c1 < k or c2 < k:
+            assert c1 == c2
+
+
+def test_verify_block_edit_metric(edit_dataset):
+    verifier = Verifier(edit_dataset, strategy="linear")
+    cands = np.arange(0, edit_dataset.n, 2, dtype=np.int64)
+    scalar = verifier.verify_chunk(cands, 2.0, 4, dataset=edit_dataset.view(), mode="scalar")
+    batched = verifier.verify_chunk(cands, 2.0, 4, dataset=edit_dataset.view(), mode="batched")
+    for (p1, c1, e1), (p2, c2, e2) in zip(scalar, batched):
+        assert p1 == p2 and e1 == e2
+        if c1 < 4 or c2 < 4:
+            assert c1 == c2
+
+
+@pytest.mark.parametrize("mode,batch_size", [("batched", 1), ("batched", 7), ("batched", 999)])
+def test_graph_dod_outliers_identical(l2_dataset, mrpg_l2, l2_params, l2_reference, mode, batch_size):
+    r, k = l2_params
+    res = graph_dod(
+        l2_dataset.view(), mrpg_l2, r, k, mode=mode, batch_size=batch_size
+    )
+    np.testing.assert_array_equal(res.outliers, l2_reference)
+
+
+def test_graph_dod_candidate_sets_identical(l2_dataset, nsw_l2, l2_params):
+    r, k = l2_params
+    scalar = graph_dod(l2_dataset.view(), nsw_l2, r, k, mode="scalar")
+    batched = graph_dod(l2_dataset.view(), nsw_l2, r, k, mode="batched", batch_size=7)
+    np.testing.assert_array_equal(scalar.outliers, batched.outliers)
+    assert scalar.counts["candidates"] == batched.counts["candidates"]
+    assert scalar.counts["direct_outliers"] == batched.counts["direct_outliers"]
+    assert scalar.counts["false_positives"] == batched.counts["false_positives"]
+
+
+def test_graph_dod_evidence_identical_sub_k(l2_dataset, mrpg_l2, l2_params):
+    r, k = l2_params
+    scalar = graph_dod(l2_dataset.view(), mrpg_l2, r, k, mode="scalar", collect_evidence=True)
+    batched = graph_dod(l2_dataset.view(), mrpg_l2, r, k, mode="batched", collect_evidence=True)
+    lb_s, lb_b = scalar.evidence.lower_bounds, batched.evidence.lower_bounds
+    sub_k = (lb_s < k) | (lb_b < k)
+    np.testing.assert_array_equal(lb_s[sub_k], lb_b[sub_k])
+    np.testing.assert_array_equal(scalar.evidence.exact_mask, batched.evidence.exact_mask)
+
+
+def test_engine_modes_agree_across_sweep(l2_dataset, mrpg_l2, l2_params):
+    r, k = l2_params
+    r_grid = [r * f for f in (0.9, 1.0, 1.1)]
+    with DetectionEngine(l2_dataset.view(), mrpg_l2, mode="scalar", rng=0) as scalar_eng, \
+         DetectionEngine(l2_dataset.view(), mrpg_l2, mode="batched", batch_size=7, rng=0) as batched_eng:
+        sweep_s = scalar_eng.sweep(r_grid, k_grid=[k, max(1, k - 3)])
+        sweep_b = batched_eng.sweep(r_grid, k_grid=[k, max(1, k - 3)])
+        for key in sweep_s.results:
+            np.testing.assert_array_equal(
+                sweep_s.results[key].outliers, sweep_b.results[key].outliers
+            )
+
+
+def test_minkowski_bound_abandonment_consistent():
+    """The chunked-axis early-abandon path must agree with the plain
+    kernel on every value at or below the bound (bit-identical), and
+    only ever report values above the bound for the rest."""
+    from repro.metrics.minkowski import ABANDON_MIN_ROWS, L1, L2, Minkowski
+
+    gen = np.random.default_rng(11)
+    store = gen.normal(size=(ABANDON_MIN_ROWS + 200, 96))
+    idx = np.arange(store.shape[0], dtype=np.int64)
+    for metric in (L2, L1, Minkowski(4.0)):
+        plain = metric.dist_many(store, 0, idx)
+        bound = float(np.quantile(plain, 0.3))
+        bounded = metric.dist_many(store, 0, idx, bound=bound)
+        keep = plain <= bound
+        np.testing.assert_array_equal(bounded[keep], plain[keep])
+        assert np.all(bounded[~keep] > bound)
+        # pair kernel: same contract, same kept values
+        b_ids = np.roll(idx, 1)
+        plain_p = metric.pair_dist(store, idx, b_ids)
+        bounded_p = metric.pair_dist(store, idx, b_ids, bound=bound)
+        keep_p = plain_p <= bound
+        np.testing.assert_array_equal(bounded_p[keep_p], plain_p[keep_p])
+        assert np.all(bounded_p[~keep_p] > bound)
+
+
+def test_pair_dist_grouped_matches_dist_many(edit_dataset):
+    """The grouped fallback must be row-consistent with dist_many."""
+    gen = np.random.default_rng(3)
+    a = gen.integers(0, edit_dataset.n, size=120)
+    b = gen.integers(0, edit_dataset.n, size=120)
+    grouped = edit_dataset.pair_dist(a, b, consistent=True)
+    reference = np.array([
+        edit_dataset.metric.dist(edit_dataset.store, int(x), int(y))
+        for x, y in zip(a, b)
+    ])
+    np.testing.assert_array_equal(grouped, reference)
+
+
+def test_csr_matches_neighbors(mrpg_l2):
+    indptr, indices = mrpg_l2.csr()
+    assert indptr[0] == 0 and indptr[-1] == indices.size
+    for v in range(0, mrpg_l2.n, 17):
+        np.testing.assert_array_equal(
+            indices[indptr[v]:indptr[v + 1]], mrpg_l2.neighbors(v)
+        )
