@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Docs gate: every internal link, anchor and code reference must resolve.
+
+Plain-markdown replacement for ``mkdocs build --strict``: walks
+``docs/*.md`` plus the README, and fails (exit 1) when
+
+* a relative markdown link points at a file that does not exist,
+* a ``#fragment`` names a heading the target file does not contain
+  (GitHub-style slugs, duplicate-suffix aware),
+* a backticked repository path (``src/repro/...py``, ``benchmarks/...``,
+  ``scripts/...``, ``tests/...``, ``docs/...md``) names a file that
+  does not exist, or
+* ``docs/paper_map.md`` stops covering a paper item the codebase
+  implements (algorithms 1-5, sections 4-6, Lemma 1, Properties 1-3,
+  the table/figure experiment drivers).
+
+Usage: python scripts/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+
+_LINK = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_PATH = re.compile(
+    r"`((?:src/repro|benchmarks|scripts|tests|docs)/[\w/.-]+\.(?:py|md|json))`"
+)
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp:")
+
+#: items docs/paper_map.md must keep covering (regex -> description).
+PAPER_MAP_REQUIRED = [
+    (r"Algorithm 1", "Algorithm 1 (filter + verify)"),
+    (r"Algorithm 2", "Algorithm 2 (Greedy-Counting)"),
+    (r"Algorithm 3", "Algorithm 3 (VP-tree partitioning)"),
+    (r"Algorithm 4", "Algorithm 4 (Connect-SubGraphs)"),
+    (r"Algorithm 5", "Algorithm 5 (Remove-Detours)"),
+    (r"§4", "section 4 (detection algorithm)"),
+    (r"§5\.1", "section 5.1 (NNDescent+)"),
+    (r"§5\.2", "section 5.2 (Connect-SubGraphs)"),
+    (r"§5\.3", "section 5.3 (Remove-Detours)"),
+    (r"§5\.4", "section 5.4 (Remove-Links)"),
+    (r"§5\.5", "section 5.5 (verification shortcut)"),
+    (r"§6", "section 6 (evaluation / parallelisation)"),
+    (r"Lemma 1", "Lemma 1 (no false negatives)"),
+    (r"Property 1", "Property 1 (connectivity)"),
+    (r"Property 2", "Property 2 (monotonic paths)"),
+    (r"Property 3", "Property 3 (exact K'-NN lists)"),
+    (r"greedy_count_block", "batched traversal kernel mapping"),
+    (r"classify_chunk_arrays", "vectorised §5.5 shortcut mapping"),
+    (r"ShardedDetectionEngine", "shard-per-worker engine mapping"),
+] + [
+    (rf"bench_table{t}_", f"Table {t} driver") for t in (1, 3, 4, 5, 6, 7, 8)
+] + [
+    (rf"bench_fig{f}_", f"Figure {f} driver") for f in (6, 7, 8, 9, 10)
+]
+
+
+def github_slugs(text: str) -> set[str]:
+    """Anchor slugs GitHub generates for every heading in ``text``."""
+    seen: dict[str, int] = {}
+    slugs: set[str] = set()
+    for match in _HEADING.finditer(text):
+        title = re.sub(r"`([^`]*)`", r"\1", match.group(2))
+        slug = re.sub(r"[^\w\- ]", "", title.lower(), flags=re.UNICODE)
+        slug = slug.replace(" ", "-")
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def check_file(path: Path) -> list[str]:
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    rel = path.relative_to(ROOT)
+
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL):
+            continue
+        name, _, fragment = target.partition("#")
+        dest = path if not name else (path.parent / name).resolve()
+        if not dest.exists():
+            problems.append(f"{rel}: broken link -> {target}")
+            continue
+        if fragment and dest.suffix == ".md":
+            if fragment not in github_slugs(dest.read_text(encoding="utf-8")):
+                problems.append(f"{rel}: broken anchor -> {target}")
+
+    for match in _CODE_PATH.finditer(text):
+        if not (ROOT / match.group(1)).exists():
+            problems.append(f"{rel}: code reference to missing file -> `{match.group(1)}`")
+    return problems
+
+
+def check_paper_map() -> list[str]:
+    path = ROOT / "docs" / "paper_map.md"
+    if not path.exists():
+        return ["docs/paper_map.md is missing"]
+    text = path.read_text(encoding="utf-8")
+    return [
+        f"docs/paper_map.md: no longer covers {label}"
+        for pattern, label in PAPER_MAP_REQUIRED
+        if not re.search(pattern, text)
+    ]
+
+
+def main() -> int:
+    problems: list[str] = []
+    for path in DOC_FILES:
+        problems += check_file(path)
+    problems += check_paper_map()
+    if problems:
+        for line in problems:
+            print(f"DOCS: {line}", file=sys.stderr)
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    n_links = sum(
+        len(_LINK.findall(p.read_text(encoding="utf-8"))) for p in DOC_FILES
+    )
+    print(
+        f"docs ok: {len(DOC_FILES)} files, {n_links} links checked, "
+        f"{len(PAPER_MAP_REQUIRED)} paper-map items covered"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

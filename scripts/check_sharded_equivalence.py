@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Exactness gate: sharded engine vs single-process engine vs brute force.
+
+Runs :class:`ShardedDetectionEngine` over small L2/L1/edit datasets x
+graph builders x shard counts x partition strategies x execution modes
+and fails (exit 1) on any outlier set that differs from the scalar
+``graph_dod`` oracle (itself cross-checked against brute force), or on
+warm re-queries that stop being pure cache hits.  One configuration
+additionally runs the multi-process backend and demands bit-identical
+answers *and* identical distance-computation counts to the in-process
+backend.  This is a correctness gate, not a timing gate — deliberately
+small and deterministic so CI can run it on every push.
+
+Usage: python scripts/check_sharded_equivalence.py [--n N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import Dataset, build_graph, graph_dod
+from repro.core.verify import Verifier
+from repro.datasets import blobs_with_outliers, words_with_outliers
+from repro.engine.sharded import ShardedDetectionEngine
+from repro.index import brute_force_outliers
+
+GRAPHS = ("mrpg", "kgraph")
+SHARD_PLANS = ((2, "contiguous"), (3, "permuted"))
+MODES = ("scalar", "batched")
+
+
+def check_config(dataset, graph_name, r_grid, k, label: str) -> list[str]:
+    """All shard-plan/mode equivalence checks for one configuration."""
+    failures: list[str] = []
+    graph = build_graph(graph_name, dataset, K=8, rng=0)
+    verifier = Verifier(dataset, strategy="linear")
+    references = {}
+    for r in r_grid:
+        oracle = graph_dod(
+            dataset.view(), graph, r, k, verifier=verifier, mode="scalar"
+        )
+        brute = brute_force_outliers(dataset.view(), r, k)
+        if not np.array_equal(oracle.outliers, brute):
+            failures.append(f"{label}: scalar oracle differs from brute force")
+        references[r] = oracle.outliers
+    for n_shards, strategy in SHARD_PLANS:
+        for mode in MODES:
+            tag = f"{label} S={n_shards}/{strategy}/{mode}"
+            engine = ShardedDetectionEngine(
+                dataset, n_shards=n_shards, workers=1, strategy=strategy,
+                graph=graph_name, K=8, rng=0, mode=mode,
+            )
+            for r in r_grid:
+                served = engine.query(r, k)
+                if not np.array_equal(served.outliers, references[r]):
+                    failures.append(f"{tag}: outlier set differs at r={r:g}")
+                warm = engine.query(r, k)
+                if warm.pairs != 0:
+                    failures.append(
+                        f"{tag}: warm re-query cost {warm.pairs} pairs at r={r:g}"
+                    )
+                if not np.array_equal(warm.outliers, references[r]):
+                    failures.append(f"{tag}: warm outlier set differs at r={r:g}")
+            engine.close()
+    return failures
+
+
+def check_process_backend(dataset, r, k, label: str) -> list[str]:
+    """The multi-process backend must match the in-process one exactly."""
+    failures: list[str] = []
+    serial = ShardedDetectionEngine(
+        dataset, n_shards=4, workers=1, graph="mrpg", K=8, rng=0
+    )
+    procs = ShardedDetectionEngine(
+        dataset, n_shards=4, workers=2, graph="mrpg", K=8, rng=0
+    )
+    for factor in (0.9, 1.0, 1.1):
+        a = serial.query(r * factor, k)
+        b = procs.query(r * factor, k)
+        if not np.array_equal(a.outliers, b.outliers):
+            failures.append(f"{label}: process backend outliers differ x{factor}")
+        if a.pairs != b.pairs:
+            failures.append(
+                f"{label}: process backend work differs x{factor} "
+                f"({a.pairs} vs {b.pairs} pairs)"
+            )
+    serial.close()
+    procs.close()
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=380, help="vector dataset size")
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    failures: list[str] = []
+    checks = 0
+
+    points = blobs_with_outliers(
+        args.n, dim=6, n_clusters=4, core_std=0.8, tail_std=2.5, tail_frac=0.06,
+        center_spread=12.0, planted_frac=0.015, planted_spread=60.0, rng=42,
+    )
+    for metric in ("l2", "l1"):
+        dataset = Dataset(points, metric)
+        gen = np.random.default_rng(0)
+        a = gen.integers(0, dataset.n, size=1500)
+        b = gen.integers(0, dataset.n, size=1500)
+        keep = a != b
+        r = float(np.quantile(dataset.pair_dist(a[keep], b[keep]), 0.10))
+        for graph_name in GRAPHS:
+            failures += check_config(
+                dataset, graph_name, (r * 0.9, r), 8, f"{metric}/{graph_name}"
+            )
+            checks += 1
+
+    words = words_with_outliers(160, n_stems=12, planted_frac=0.02, rng=7)
+    dataset = Dataset(words, "edit")
+    for graph_name in GRAPHS:
+        failures += check_config(dataset, graph_name, (2.0,), 4, f"edit/{graph_name}")
+        checks += 1
+
+    dataset = Dataset(points, "l2")
+    gen = np.random.default_rng(0)
+    a = gen.integers(0, dataset.n, size=1500)
+    b = gen.integers(0, dataset.n, size=1500)
+    keep = a != b
+    r = float(np.quantile(dataset.pair_dist(a[keep], b[keep]), 0.10))
+    failures += check_process_backend(dataset, r, 8, "l2/process-backend")
+    checks += 1
+
+    elapsed = time.perf_counter() - t0
+    if failures:
+        for line in failures:
+            print(f"MISMATCH: {line}", file=sys.stderr)
+        print(f"{len(failures)} equivalence failure(s) in {checks} configs "
+              f"({elapsed:.1f}s)", file=sys.stderr)
+        return 1
+    print(f"sharded == single-process == brute force on all {checks} configs "
+          f"({elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,7 +36,13 @@ from .exceptions import (
     ParameterError,
     ReproError,
 )
-from .engine import DetectionEngine, EvidenceCache, SweepResult
+from .engine import (
+    DetectionEngine,
+    EvidenceCache,
+    ShardedDetectionEngine,
+    SweepResult,
+    plan_shards,
+)
 from .extensions import DynamicDODetector, top_n_outliers
 from .graphs import (
     Graph,
@@ -49,7 +55,14 @@ from .graphs import (
     build_nsw,
 )
 from .index import VPTree, brute_force_outliers
-from .io import load_engine, load_graph, save_engine, save_graph
+from .io import (
+    load_engine,
+    load_graph,
+    load_sharded_engine,
+    save_engine,
+    save_graph,
+    save_sharded_engine,
+)
 from .metrics import available_metrics, resolve_metric
 from .streaming import SlidingWindowDOD
 
@@ -71,8 +84,10 @@ __all__ = [
     "Verifier",
     "WorkerPool",
     "DetectionEngine",
+    "ShardedDetectionEngine",
     "EvidenceCache",
     "SweepResult",
+    "plan_shards",
     "Graph",
     "build_graph",
     "available_graphs",
@@ -90,6 +105,8 @@ __all__ = [
     "load_graph",
     "save_engine",
     "load_engine",
+    "save_sharded_engine",
+    "load_sharded_engine",
     "resolve_metric",
     "available_metrics",
     "ReproError",

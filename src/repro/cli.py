@@ -58,6 +58,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                "kernels or the scalar oracle path (same answer)")
     p_detect.add_argument("--batch-size", type=int, default=DEFAULT_BLOCK,
                           help="query objects per batched traversal block")
+    p_detect.add_argument("--shards", type=int, default=1,
+                          help="partition the dataset into this many shards, "
+                               "each owning a shard-local graph (exact merge)")
+    p_detect.add_argument("--workers", type=int, default=None,
+                          help="worker processes hosting the shards "
+                               "(default: min(shards, cpu count); 1 = in-process)")
     p_detect.add_argument("--output", help="write outlier ids to this file")
     p_detect.set_defaults(func=_cmd_detect)
 
@@ -89,12 +95,18 @@ def _build_parser() -> argparse.ArgumentParser:
                               "kernels or the scalar oracle path (same answer)")
     p_sweep.add_argument("--batch-size", type=int, default=DEFAULT_BLOCK,
                          help="query objects per batched traversal block")
+    p_sweep.add_argument("--shards", type=int, default=1,
+                         help="partition the dataset into this many shards, "
+                              "each owning a shard-local graph (exact merge)")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="worker processes hosting the shards "
+                              "(default: min(shards, cpu count); 1 = in-process)")
     p_sweep.add_argument("--check", action="store_true",
                          help="verify every grid point against a fresh graph_dod "
                               "run and report the reuse speedup")
     p_sweep.add_argument("--snapshot", default=None,
-                         help="engine snapshot path: loaded warm when it exists, "
-                              "written after the sweep")
+                         help="engine snapshot path (a directory with --shards): "
+                              "loaded warm when it exists, written after the sweep")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
@@ -170,14 +182,27 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             print("detect: --r and --k are required with --input", file=sys.stderr)
             return 2
         r, k = args.r, args.k
-    detector = DODetector(
-        metric=metric, graph=args.graph, K=args.K, seed=args.seed,
-        mode=args.mode, batch_size=args.batch_size,
-    )
-    detector.fit(objects)
-    result = detector.detect(r, k, n_jobs=args.n_jobs)
-    print(result.summary())
-    print(f"index size: {detector.index_nbytes / 1024:.1f} KiB")
+    if args.shards > 1:
+        from .engine import ShardedDetectionEngine
+
+        with ShardedDetectionEngine.fit(
+            objects, metric=metric, graph=args.graph, K=args.K,
+            n_shards=args.shards, workers=args.workers, seed=args.seed,
+            mode=args.mode, batch_size=args.batch_size,
+        ) as engine:
+            result = engine.query(r, k)
+            print(result.summary())
+            print(f"index size: {engine.index_nbytes / 1024:.1f} KiB "
+                  f"({engine.n_shards} shards on {engine.workers} workers)")
+    else:
+        detector = DODetector(
+            metric=metric, graph=args.graph, K=args.K, seed=args.seed,
+            mode=args.mode, batch_size=args.batch_size,
+        )
+        detector.fit(objects)
+        result = detector.detect(r, k, n_jobs=args.n_jobs)
+        print(result.summary())
+        print(f"index size: {detector.index_nbytes / 1024:.1f} KiB")
     if args.output:
         np.savetxt(args.output, result.outliers, fmt="%d")
         print(f"outlier ids written to {args.output}")
@@ -247,17 +272,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .rng import ensure_rng
 
     dataset = Dataset(objects, metric)
+    sharded = args.shards > 1
     engine = None
     if args.snapshot is not None and os.path.exists(args.snapshot):
         try:
-            engine = DetectionEngine.load(
-                args.snapshot, dataset, n_jobs=args.n_jobs, rng=args.seed,
-                mode=args.mode, batch_size=args.batch_size,
-            )
+            if sharded:
+                from .io import load_sharded_engine
+
+                engine = load_sharded_engine(
+                    args.snapshot, dataset, workers=args.workers,
+                    rng=args.seed, mode=args.mode, batch_size=args.batch_size,
+                )
+            else:
+                engine = DetectionEngine.load(
+                    args.snapshot, dataset, n_jobs=args.n_jobs, rng=args.seed,
+                    mode=args.mode, batch_size=args.batch_size,
+                )
             print(f"loaded warm engine snapshot from {args.snapshot} "
                   f"({engine.stats['queries']} queries served before restart)")
-            built_graph_name = str(engine.graph.meta.get("builder", "?"))
-            built_K = engine.graph.meta.get("K")
+            if sharded:
+                built_graph_name = engine.graph_name
+                built_K = engine.K
+            else:
+                built_graph_name = str(engine.graph.meta.get("builder", "?"))
+                built_K = engine.graph.meta.get("K")
             if built_graph_name != args.graph or built_K != args.K:
                 print(
                     f"sweep: note: snapshot was built with "
@@ -269,51 +307,78 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"sweep: cannot load snapshot: {exc}", file=sys.stderr)
             return 2
     if engine is None:
-        from .graphs.base import build_graph
+        if sharded:
+            from .engine import ShardedDetectionEngine
 
-        gen = ensure_rng(args.seed)
-        graph = build_graph(args.graph, dataset, K=args.K, rng=gen)
-        engine = DetectionEngine(
-            dataset, graph, n_jobs=args.n_jobs, rng=gen,
-            mode=args.mode, batch_size=args.batch_size,
-        )
-
-    t0 = time.perf_counter()
-    sweep = engine.sweep(r_grid, k_grid=k_grid)
-    engine_s = time.perf_counter() - t0
-
-    print(f"{'r':>10s} {'k':>5s} {'outliers':>9s} {'seconds':>9s} "
-          f"{'cache_decided':>14s}")
-    for r, k in sweep.queries:
-        res = sweep.result(r, k)
-        print(f"{r:10.4g} {k:5d} {res.n_outliers:9d} {res.seconds:9.4f} "
-              f"{res.counts['cache_decided']:14d}")
-    print(f"{len(sweep.queries)} queries in {engine_s:.3f}s, "
-          f"{sweep.pairs:,} distance computations")
-
-    if args.check:
-        t0 = time.perf_counter()
-        for r, k in sweep.queries:
-            # The check runs the scalar oracle path, so it also cross-checks
-            # the batched kernels against the one-object-at-a-time walk.
-            fresh = graph_dod(
-                dataset.view(), engine.graph, r, k,
-                verifier=engine.verifier, rng=args.seed, n_jobs=args.n_jobs,
-                mode="scalar",
+            engine = ShardedDetectionEngine(
+                dataset, n_shards=args.shards, workers=args.workers,
+                graph=args.graph, K=args.K, rng=args.seed,
+                mode=args.mode, batch_size=args.batch_size,
             )
-            if not fresh.same_outliers(sweep.result(r, k)):
-                print(f"sweep: MISMATCH vs graph_dod at r={r} k={k}",
-                      file=sys.stderr)
-                return 1
-        naive_s = time.perf_counter() - t0
-        print(f"check passed: all {len(sweep.queries)} grid points identical to "
-              f"fresh graph_dod runs ({naive_s:.3f}s naive, "
-              f"{naive_s / engine_s:.2f}x speedup from reuse)")
+        else:
+            from .graphs.base import build_graph
 
-    if args.snapshot is not None:
-        engine.save(args.snapshot)
-        print(f"engine snapshot written to {args.snapshot}")
-    return 0
+            gen = ensure_rng(args.seed)
+            graph = build_graph(args.graph, dataset, K=args.K, rng=gen)
+            engine = DetectionEngine(
+                dataset, graph, n_jobs=args.n_jobs, rng=gen,
+                mode=args.mode, batch_size=args.batch_size,
+            )
+
+    try:
+        t0 = time.perf_counter()
+        sweep = engine.sweep(r_grid, k_grid=k_grid)
+        engine_s = time.perf_counter() - t0
+
+        print(f"{'r':>10s} {'k':>5s} {'outliers':>9s} {'seconds':>9s} "
+              f"{'cache_decided':>14s}")
+        for r, k in sweep.queries:
+            res = sweep.result(r, k)
+            print(f"{r:10.4g} {k:5d} {res.n_outliers:9d} {res.seconds:9.4f} "
+                  f"{res.counts['cache_decided']:14d}")
+        print(f"{len(sweep.queries)} queries in {engine_s:.3f}s, "
+              f"{sweep.pairs:,} distance computations")
+
+        if args.check:
+            # The check runs the scalar oracle path over one full
+            # (unsharded) graph, so it also cross-checks the batched
+            # kernels and the shard merge against the
+            # one-object-at-a-time walk.
+            if sharded:
+                from .graphs.base import build_graph
+
+                check_graph = build_graph(
+                    args.graph, dataset, K=args.K, rng=ensure_rng(args.seed)
+                )
+                check_verifier = None
+            else:
+                check_graph = engine.graph
+                check_verifier = engine.verifier
+            t0 = time.perf_counter()
+            for r, k in sweep.queries:
+                fresh = graph_dod(
+                    dataset.view(), check_graph, r, k,
+                    verifier=check_verifier, rng=args.seed, n_jobs=args.n_jobs,
+                    mode="scalar",
+                )
+                if not fresh.same_outliers(sweep.result(r, k)):
+                    print(f"sweep: MISMATCH vs graph_dod at r={r} k={k}",
+                          file=sys.stderr)
+                    return 1
+            naive_s = time.perf_counter() - t0
+            print(f"check passed: all {len(sweep.queries)} grid points "
+                  f"identical to fresh graph_dod runs ({naive_s:.3f}s naive, "
+                  f"{naive_s / engine_s:.2f}x speedup from reuse)")
+
+        if args.snapshot is not None:
+            engine.save(args.snapshot)
+            print(f"engine snapshot written to {args.snapshot}")
+        return 0
+    finally:
+        # Worker processes (and any spawn-mode shared memory) must be
+        # released on every exit path, including --check mismatches.
+        if sharded:
+            engine.close()
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:

@@ -17,7 +17,15 @@ from .counting import (
     split_outcomes,
 )
 from .dod import DODetector, detect_outliers, graph_dod
-from .parallel import WorkerPool, map_over_objects, partition_indices
+from .parallel import (
+    DatasetTransport,
+    ShardPool,
+    SharedMemoryStore,
+    WorkerPool,
+    default_start_method,
+    map_over_objects,
+    partition_indices,
+)
 from .result import DODResult, ObjectEvidence
 from .traversal import DEFAULT_BLOCK, BlockTracker, greedy_count_block
 from .verify import Verifier
@@ -47,6 +55,10 @@ __all__ = [
     "ObjectEvidence",
     "Verifier",
     "WorkerPool",
+    "ShardPool",
+    "SharedMemoryStore",
+    "DatasetTransport",
+    "default_start_method",
     "map_over_objects",
     "partition_indices",
 ]

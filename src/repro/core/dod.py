@@ -60,6 +60,16 @@ def graph_dod(
     verifier; ``"scalar"`` runs the one-object-at-a-time oracle path;
     ``"auto"`` (default) picks batched unless ``max_visits`` requires
     the scalar walk.  The outlier set is identical in every mode.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro import Dataset, build_graph
+    >>> ds = Dataset(np.random.default_rng(0).normal(size=(120, 4)), "l2")
+    >>> graph = build_graph("kgraph", ds, K=6, rng=0)
+    >>> res = graph_dod(ds, graph, r=1.4, k=6)
+    >>> res.same_outliers(graph_dod(ds.view(), graph, 1.4, 6, mode="scalar"))
+    True
     """
     if r < 0:
         raise ParameterError(f"radius must be non-negative, got {r}")
@@ -147,10 +157,16 @@ class DODetector:
 
     Example
     -------
-    >>> det = DODetector(metric="l2", graph="mrpg", K=12, seed=0)
-    >>> det.fit(points)                      # offline: build MRPG + verifier
-    >>> result = det.detect(r=0.5, k=20)     # online: exact DOD
-    >>> result.outliers
+    >>> import numpy as np
+    >>> points = np.random.default_rng(0).normal(size=(150, 4))
+    >>> det = DODetector(metric="l2", graph="kgraph", K=6, seed=0).fit(points)
+    >>> result = det.detect(r=1.5, k=8)      # online: exact DOD
+    >>> result.outliers.dtype                # sorted int64 object ids
+    dtype('int64')
+    >>> engine = det.engine()                # upgrade to the serving path
+    >>> bool(np.array_equal(engine.query(1.5, 8).outliers, result.outliers))
+    True
+    >>> engine.close()
     """
 
     def __init__(

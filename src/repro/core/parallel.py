@@ -1,4 +1,4 @@
-"""Multi-worker execution with random load balancing (§4).
+"""Multi-worker execution: thread pools (§4) and shard-actor processes (§6).
 
 The paper parallelises Algorithm 1 by handing each thread a *random*
 partition of the objects: outliers cost far more than inliers (no early
@@ -9,16 +9,28 @@ Workers run in a thread pool.  Every distance kernel is a numpy call
 that releases the GIL, so the heavy part does scale; each worker gets a
 :meth:`Dataset.view` so distance accounting stays race-free, and the
 per-worker counters are merged afterwards.
+
+Past a few cores thread scaling plateaus on interpreter dispatch, so the
+shard-per-worker engine (:mod:`repro.engine.sharded`) moves to
+*processes*: :class:`ShardPool` hosts ``S`` long-lived shard actors on
+``W`` worker processes and runs the same method on every actor per
+query phase.  Dataset transport is zero-copy where the platform allows
+it — the default ``fork`` start method shares the parent's numpy pages
+copy-on-write, and :class:`SharedMemoryStore` /
+:class:`DatasetTransport` carry vector stores through POSIX shared
+memory for ``spawn`` contexts that must pickle their arguments.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
+import traceback
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Sequence, TypeVar
+from typing import Any, Callable, Sequence, TypeVar
 
 import numpy as np
 
-from ..data import Dataset
+from ..data import Dataset, DistanceCounter
 from ..exceptions import ParameterError
 from ..rng import ensure_rng
 
@@ -143,3 +155,296 @@ def map_over_objects(
         results = [f.result() for f in futures]
     pairs = sum(v.counter.pairs for v in views)
     return results, pairs
+
+
+# -- shard-actor processes (the §6 scale-out path) ---------------------------
+
+
+def default_start_method() -> str:
+    """The preferred multiprocessing start method on this platform.
+
+    ``fork`` when available: shard actors then inherit the parent's
+    dataset pages copy-on-write — shared-memory transport with zero
+    serialisation.  Otherwise ``spawn``, where factory arguments are
+    pickled and large vector stores should ride a
+    :class:`DatasetTransport`.
+    """
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _shard_actor_main(conn, factories) -> None:  # pragma: no cover - child
+    """Child-process main loop: build the actors, then serve method calls.
+
+    Runs in the worker process; coverage tooling does not see it.  The
+    protocol is tiny: ``("call", method, [(slot, args), ...])`` executes
+    ``actors[slot].method(*args)`` per entry and answers
+    ``("ok", [results...])``; any exception answers ``("error", trace)``;
+    ``("stop",)`` exits the loop.
+    """
+    try:
+        actors = [factory() for factory in factories]
+        conn.send(("ready", len(actors)))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message[0] == "stop":
+            break
+        _, method, calls = message
+        try:
+            results = [getattr(actors[slot], method)(*args) for slot, args in calls]
+            conn.send(("ok", results))
+        except BaseException:
+            conn.send(("error", traceback.format_exc()))
+    conn.close()
+
+
+class ShardPool:
+    """``S`` long-lived shard actors hosted on ``W`` worker processes.
+
+    Each *actor* is an arbitrary object built once from its factory and
+    kept alive for the pool's lifetime (the sharded engine uses one
+    sub-engine per shard).  With ``workers <= 1`` the actors live in the
+    calling process — same semantics, no IPC — which is both the
+    debugging backend and the reference the process backend is tested
+    against.  With ``workers > 1`` the actors are distributed over
+    dedicated daemon processes (shard ``i`` always lives on worker
+    ``i % W``'s group) and every call is one pipe round-trip per worker.
+
+    Results are always returned in shard order, regardless of how the
+    actors are grouped onto processes.
+    """
+
+    def __init__(
+        self,
+        factories: "Sequence[Callable[[], Any]]",
+        workers: int = 1,
+        start_method: "str | None" = None,
+    ):
+        if not factories:
+            raise ParameterError("ShardPool needs at least one actor factory")
+        self.n_shards = len(factories)
+        self.workers = max(1, min(int(workers), self.n_shards))
+        self._closed = False
+        self._actors: "list[Any] | None" = None
+        self._procs: list = []
+        self._conns: list = []
+        self._groups: list[np.ndarray] = []
+        if self.workers == 1:
+            self._actors = [factory() for factory in factories]
+            return
+        ctx = mp.get_context(start_method or default_start_method())
+        self._groups = [
+            g for g in np.array_split(np.arange(self.n_shards), self.workers)
+            if g.size
+        ]
+        try:
+            for group in self._groups:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_shard_actor_main,
+                    args=(child_conn, [factories[int(i)] for i in group]),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            for conn in self._conns:
+                self._expect_ok(conn.recv())
+        except BaseException:
+            self.close()
+            raise
+
+    @staticmethod
+    def _expect_ok(message):
+        kind, payload = message
+        if kind == "error":
+            raise RuntimeError(f"shard worker failed:\n{payload}")
+        return payload
+
+    def call(
+        self,
+        method: str,
+        shard_args: "Sequence[tuple] | None" = None,
+        common: tuple = (),
+    ) -> list:
+        """Run ``actor.method(*args)`` on every shard; results in shard order.
+
+        ``shard_args`` supplies one argument tuple per shard;
+        without it every shard receives ``common``.
+        """
+        if self._closed:
+            raise ParameterError("ShardPool.call after close")
+        if shard_args is not None and len(shard_args) != self.n_shards:
+            raise ParameterError(
+                f"shard_args supplies {len(shard_args)} tuples for "
+                f"{self.n_shards} shards"
+            )
+        args_of = (
+            (lambda i: tuple(shard_args[i]))
+            if shard_args is not None
+            else (lambda i: common)
+        )
+        if self._actors is not None:
+            return [
+                getattr(actor, method)(*args_of(i))
+                for i, actor in enumerate(self._actors)
+            ]
+        for conn, group in zip(self._conns, self._groups):
+            calls = [(slot, args_of(int(shard))) for slot, shard in enumerate(group)]
+            conn.send(("call", method, calls))
+        # Drain EVERY worker before surfacing an error: leaving queued
+        # replies on the other pipes would desynchronize the protocol
+        # and hand a retrying caller this round's stale payloads as the
+        # answer to its next call.
+        results: list = [None] * self.n_shards
+        errors: list[str] = []
+        for conn, group in zip(self._conns, self._groups):
+            kind, payload = conn.recv()
+            if kind == "error":
+                errors.append(payload)
+                continue
+            for shard, result in zip(group, payload):
+                results[int(shard)] = result
+        if errors:
+            raise RuntimeError(
+                "shard worker failed:\n" + "\n".join(errors)
+            )
+        return results
+
+    def close(self) -> None:
+        """Stop the worker processes (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._procs = []
+        self._actors = None
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        backend = "serial" if self.workers == 1 else f"{self.workers} procs"
+        return f"ShardPool(shards={self.n_shards}, {backend})"
+
+
+class SharedMemoryStore:
+    """Copy-once ndarray transport through POSIX shared memory.
+
+    Pickling carries only ``(name, shape, dtype)``; the receiving
+    process reattaches the same pages by name, so a ``spawn``-started
+    worker maps the parent's store instead of deserialising a copy.
+    The creating side owns the segment and must eventually call
+    :meth:`unlink`.  (Under ``fork`` none of this is needed — children
+    inherit the parent's pages copy-on-write.)
+    """
+
+    def __init__(self, array: np.ndarray):
+        from multiprocessing import shared_memory
+
+        arr = np.ascontiguousarray(array)
+        self.shape = arr.shape
+        self.dtype = arr.dtype.str
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+        self.name = self._shm.name
+        self._owner = True
+        view = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=self._shm.buf)
+        np.copyto(view, arr)
+
+    def array(self) -> np.ndarray:
+        """A view onto the shared pages (attaching by name if unpickled)."""
+        if self._shm is None:
+            from multiprocessing import shared_memory
+
+            self._shm = shared_memory.SharedMemory(name=self.name)
+        return np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=self._shm.buf)
+
+    def __getstate__(self) -> dict:
+        return {"name": self.name, "shape": self.shape, "dtype": self.dtype}
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.shape = tuple(state["shape"])
+        self.dtype = state["dtype"]
+        self._shm = None
+        self._owner = False
+
+    def close(self) -> None:
+        """Detach this process's mapping (owner keeps the segment alive)."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side, after every worker detached)."""
+        if self._owner and self._shm is not None:
+            name = self._shm.name
+            self._shm.close()
+            self._shm = None
+            from multiprocessing import shared_memory
+
+            try:
+                shared_memory.SharedMemory(name=name).unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+class DatasetTransport:
+    """Picklable dataset handle for process pools that cannot fork.
+
+    Vector stores (2-D ndarrays) ride a :class:`SharedMemoryStore`;
+    non-array stores (e.g. the edit metric's string payload) fall back
+    to ordinary pickling.  :meth:`materialize` rebuilds an equivalent
+    :class:`~repro.data.Dataset` (fresh distance counter) on the
+    receiving side without re-running ``metric.prepare``.
+    """
+
+    def __init__(self, dataset: Dataset):
+        self.metric_name = dataset.metric.name
+        if isinstance(dataset.store, np.ndarray):
+            self.kind = "shm"
+            self.payload: Any = SharedMemoryStore(dataset.store)
+        else:
+            self.kind = "raw"
+            self.payload = dataset.store
+
+    def materialize(self) -> Dataset:
+        """Rebuild the dataset around the transported store."""
+        from ..metrics import resolve_metric
+
+        store = self.payload.array() if self.kind == "shm" else self.payload
+        dataset = object.__new__(Dataset)
+        dataset.metric = resolve_metric(self.metric_name)
+        dataset.store = store
+        dataset.n = dataset.metric.n_objects(store)
+        dataset.counter = DistanceCounter()
+        return dataset
+
+    def release(self) -> None:
+        """Owner-side cleanup of any shared segment."""
+        if self.kind == "shm":
+            self.payload.unlink()

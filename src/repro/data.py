@@ -93,12 +93,31 @@ class Dataset:
     ) -> np.ndarray:
         """Element-wise distances ``dist(a[t], b[t])``.
 
-        ``bound`` follows the :meth:`dist_many` early-abandon contract.
-        ``consistent=True`` demands values bitwise row-consistent with
-        :meth:`dist_many` (the batched detection paths need this to stay
-        bit-identical to the scalar ones); metrics whose pair kernel
-        cannot guarantee it then evaluate via one ``dist_many`` call per
-        distinct source instead.
+        The two keyword knobs form the kernel contract every batched
+        detection path relies on:
+
+        * ``bound`` enables early abandoning: any entry whose true
+          distance exceeds ``bound`` may come back as a different value,
+          but **never** one at or below ``bound`` — the
+          within-``bound`` verdict is always faithful, and entries truly
+          within ``bound`` are returned bit-exact.
+        * ``consistent=True`` demands values bitwise row-consistent with
+          :meth:`dist_many` (the batched detection paths need this to
+          stay bit-identical to the scalar ones); metrics whose pair
+          kernel cannot guarantee it (different reduction order) then
+          evaluate via one ``dist_many`` call per distinct source
+          instead — see :attr:`Metric.pair_rowwise_consistent`.
+
+        Example
+        -------
+        >>> import numpy as np
+        >>> ds = Dataset(np.array([[0.0, 0.0], [3.0, 4.0], [9.0, 12.0]]), "l2")
+        >>> ds.pair_dist(np.array([0, 1]), np.array([1, 2])).tolist()
+        [5.0, 10.0]
+        >>> d = ds.pair_dist(np.array([0]), np.array([2]), bound=6.0,
+        ...                  consistent=True)
+        >>> bool(d[0] > 6.0)   # true distance 15: only the verdict is promised
+        True
         """
         a = np.asarray(a, dtype=np.int64)
         self.counter.add(a.size)

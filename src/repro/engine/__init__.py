@@ -5,14 +5,24 @@ The subsystem the paper's offline/online split implies but a one-shot
 fitted graph, the verifier and an :class:`EvidenceCache` of proven
 per-object count bounds alive across queries, so each new ``(r, k)``
 touches only the objects no earlier query already decided.
+
+:class:`ShardedDetectionEngine` is the multi-process scale-out of the
+same contract: the dataset is partitioned into shards, each worker
+process owns a shard-local sub-engine (graph + cache slice), and an
+exact merge layer sums per-shard counts — answers stay bit-identical
+to the single-process engine (see ``docs/sharding.md``).
 """
 
 from .engine import DetectionEngine, SweepResult
 from .evidence import NO_BOUND, EvidenceCache
+from .sharded import ShardedDetectionEngine, ShardWorker, plan_shards
 
 __all__ = [
     "DetectionEngine",
+    "ShardedDetectionEngine",
+    "ShardWorker",
     "SweepResult",
     "EvidenceCache",
     "NO_BOUND",
+    "plan_shards",
 ]

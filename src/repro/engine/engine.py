@@ -93,12 +93,26 @@ def _sweep_order(queries: list[tuple[float, int]]) -> list[tuple[float, int]]:
 class DetectionEngine:
     """Serve streams of exact ``(r, k)`` DOD queries over one fitted index.
 
+    Every answer is bit-identical to a fresh
+    :func:`~repro.core.dod.graph_dod` run; the evidence cache only ever
+    stores proven count bounds, exploited through monotonicity in
+    ``(r, k)``.
+
     Example
     -------
-    >>> engine = DetectionEngine.fit(points, metric="l2", graph="mrpg", K=12)
-    >>> first = engine.query(r=0.5, k=20)        # cold: full Algorithm 1
-    >>> again = engine.query(r=0.55, k=20)       # warm: mostly cache-decided
-    >>> grid = engine.sweep([0.4, 0.5, 0.6], [10, 20])
+    >>> import numpy as np
+    >>> points = np.random.default_rng(0).normal(size=(150, 4))
+    >>> engine = DetectionEngine.fit(points, metric="l2", graph="kgraph", K=6)
+    >>> cold = engine.query(r=1.5, k=8)          # cold: full Algorithm 1
+    >>> warm = engine.query(r=1.5, k=8)          # warm: pure cache hit
+    >>> bool(np.array_equal(cold.outliers, warm.outliers))
+    True
+    >>> warm.pairs                               # no distance computations
+    0
+    >>> grid = engine.sweep([1.4, 1.5, 1.6], k_grid=[5, 8])
+    >>> len(grid.results)
+    6
+    >>> engine.close()
     """
 
     def __init__(

@@ -1,0 +1,776 @@
+"""Shard-per-worker serving: multi-process DOD with an exact merge.
+
+The paper parallelises Algorithm 1 "simply by parallelizing the
+per-object loop" (§6) — threads over one shared graph.  The batched
+kernels release the GIL, so that scales to a few cores; past that the
+interpreter serialises and a serving process needs *processes*.  This
+module shards the dataset itself: each worker process owns a disjoint
+slice of the objects plus a **shard-local sub-engine** (proximity graph
+over the slice, its own :class:`~repro.engine.evidence.EvidenceCache`),
+and a merge layer combines per-shard facts into exact global verdicts.
+
+Exactness survives sharding because neighbor counts decompose over any
+partition of the data: for shards ``P = P_1 ∪ ... ∪ P_S`` the global
+count of object ``p`` at radius ``r`` is the *sum* of its within-shard
+counts.  Three consequences drive the design:
+
+* a shard-local Greedy-Counting walk lower-bounds ``p``'s within-shard
+  count (Lemma 1 applies verbatim to the sub-graph), so the **sum of
+  shard lower bounds is a global lower bound** — reaching ``k`` proves
+  an inlier without any shard knowing the true count;
+* a shard-local traversal can **never** prove an outlier on its own
+  (the other shards may hold the missing neighbors), so the §5.5
+  exact-K'NN shortcut's "definitive outlier" verdict is demoted to an
+  exact *within-shard* count and only the all-shards sum decides;
+* verification falls back to exact per-shard
+  :func:`~repro.index.linear.linear_count_block` sweeps with per-shard
+  early termination at ``k``: if the summed counts reach ``k`` the
+  object is an inlier, and if they stay below ``k`` every per-shard
+  scan ran to completion, so the sum is the true count and the object
+  is an outlier.  Either way the verdict is certain.
+
+Every shard cache stores *within-shard* bounds indexed by global object
+id, so the engine's monotone-bound reuse works across the merge exactly
+as in :class:`~repro.engine.DetectionEngine`: lower bounds transfer to
+larger radii, exact counts cap smaller radii, and a repeated query is a
+pure cache hit in every shard at once.
+
+Answers are **bit-identical** to the single-process engine (both are
+exactly the brute-force outlier set); CI gates on it via
+``scripts/check_sharded_equivalence.py``.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import DetectionEngine, ShardedDetectionEngine
+>>> points = np.random.default_rng(0).normal(size=(160, 4))
+>>> sharded = ShardedDetectionEngine.fit(
+...     points, metric="l2", graph="kgraph", K=6, n_shards=3, workers=1)
+>>> single = DetectionEngine.fit(points, metric="l2", graph="kgraph", K=6)
+>>> a = sharded.query(r=1.6, k=8)
+>>> b = single.query(r=1.6, k=8)
+>>> bool(np.array_equal(a.outliers, b.outliers))
+True
+>>> again = sharded.query(r=1.6, k=8)   # repeat: pure cache hit in every shard
+>>> again.pairs
+0
+>>> sharded.close(); single.close()
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import partial
+
+import numpy as np
+
+from ..core.counting import (
+    VisitTracker,
+    classify_chunk_arrays,
+    resolve_filter_mode,
+)
+from ..core.parallel import DatasetTransport, ShardPool, default_start_method
+from ..core.result import DODResult
+from ..core.traversal import DEFAULT_BLOCK, BlockTracker
+from ..data import Dataset
+from ..exceptions import GraphError, ParameterError
+from ..graphs.adjacency import Graph
+from ..graphs.base import build_graph
+from ..index.linear import linear_count_block
+from ..metrics import Metric
+from ..rng import ensure_rng
+from .engine import SweepResult, _sweep_order
+from .evidence import NO_BOUND, EvidenceCache
+
+#: recognised dataset-partitioning strategies.
+SHARD_STRATEGIES = ("contiguous", "permuted")
+
+
+def plan_shards(
+    n: int,
+    n_shards: int,
+    strategy: str = "permuted",
+    rng: "int | np.random.Generator | None" = 0,
+) -> list[np.ndarray]:
+    """Partition ``0..n-1`` into ``n_shards`` disjoint, sorted id arrays.
+
+    ``"contiguous"`` slices the id range in order (cheap, but clustered
+    data then concentrates whole clusters — and their outlier-heavy
+    tails — in single shards); ``"permuted"`` assigns ids by a seeded
+    random permutation, the same load-balancing argument as the paper's
+    random thread partitioning (§4).  Shard ids are returned sorted so
+    membership tests and subset sweeps can use binary search.
+
+    >>> [s.tolist() for s in plan_shards(7, 3, strategy="contiguous")]
+    [[0, 1, 2], [3, 4], [5, 6]]
+    >>> sorted(np.concatenate(plan_shards(7, 3, rng=1)).tolist())
+    [0, 1, 2, 3, 4, 5, 6]
+    """
+    if n_shards < 1:
+        raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards > n:
+        raise ParameterError(
+            f"cannot split {n} objects into {n_shards} non-empty shards"
+        )
+    if strategy not in SHARD_STRATEGIES:
+        raise ParameterError(
+            f"unknown shard strategy {strategy!r}; known: {SHARD_STRATEGIES}"
+        )
+    if strategy == "contiguous":
+        order = np.arange(n, dtype=np.int64)
+    else:
+        order = ensure_rng(rng).permutation(n).astype(np.int64)
+    return [np.sort(chunk) for chunk in np.array_split(order, n_shards)]
+
+
+class ShardWorker:
+    """One shard's sub-engine; lives inside a :class:`ShardPool` actor.
+
+    Holds the shard's slice ids, a sub-dataset over them, a proximity
+    graph built on that sub-dataset, and an :class:`EvidenceCache` of
+    **within-shard** count bounds indexed by *global* object id.  All
+    public methods return ``(payload..., pairs)`` where ``pairs`` is
+    the number of distance computations the call performed, so the
+    parent can aggregate cost accounting across processes.
+    """
+
+    def __init__(
+        self,
+        dataset: "Dataset | DatasetTransport",
+        ids: np.ndarray,
+        graph: "str | Graph" = "mrpg",
+        K: int = 16,
+        seed: int = 0,
+        mode: str = "auto",
+        batch_size: int = DEFAULT_BLOCK,
+        graph_params: "dict | None" = None,
+        cache: "EvidenceCache | None" = None,
+        knn_radii: "tuple[float, ...]" = (),
+    ):
+        if isinstance(dataset, DatasetTransport):
+            dataset = dataset.materialize()
+        self.ids = np.asarray(ids, dtype=np.int64)
+        if self.ids.size == 0:
+            raise ParameterError("shard must hold at least one object")
+        self.n = dataset.n
+        self.m = int(self.ids.size)
+        #: full-dataset view: cross-shard subset sweeps + own pair counter.
+        self._full = dataset.view()
+        #: shard sub-dataset (local ids 0..m-1): traversal + own counter.
+        self.sub = dataset.subset(self.ids)
+        if isinstance(graph, Graph):
+            if graph.n != self.m:
+                raise GraphError(
+                    f"shard graph has {graph.n} vertices for a "
+                    f"{self.m}-object shard"
+                )
+            if not graph.finalized:
+                graph.finalize()
+            self.graph = graph
+        elif self.m == 1:
+            # A single-object shard has no neighbors to link; traversal
+            # degenerates to "count 0" and verification decides.
+            self.graph = Graph(1).finalize()
+            self.graph.meta["builder"] = "trivial"
+        else:
+            self.graph = build_graph(
+                graph, self.sub, K=K, rng=seed, clamp_K=True,
+                **(graph_params or {}),
+            )
+        self.sub.counter.reset()  # offline build cost is not query cost
+        resolve_filter_mode(mode, None)
+        self.mode = mode
+        self.batch_size = int(batch_size)
+        self.cache = cache if cache is not None else EvidenceCache(self.n)
+        self._tracker = VisitTracker(self.m)
+        self._block_tracker: "BlockTracker | None" = None
+        (
+            self._knn_owners,
+            self._knn_sizes,
+            self._knn_ptr,
+            self._knn_dists,
+        ) = self.graph.exact_knn_arrays()
+        self._knn_radii: set[float] = set(float(r) for r in knn_radii)
+        self._pairs_seen = 0
+
+    # -- cost accounting ---------------------------------------------------
+
+    def _take_pairs(self) -> int:
+        """Distance computations since the last call (sub + full views)."""
+        total = self.sub.counter.pairs + self._full.counter.pairs
+        delta = total - self._pairs_seen
+        self._pairs_seen = total
+        return delta
+
+    # -- query phases ------------------------------------------------------
+
+    def _ensure_knn_evidence(self, r: float) -> None:
+        """Exact within-shard counts from the shard graph's K'NN lists."""
+        if r in self._knn_radii or self._knn_owners.size == 0:
+            return
+        self._knn_radii.add(r)
+        within = np.add.reduceat(
+            (self._knn_dists <= r).astype(np.int64), self._knn_ptr[:-1]
+        )
+        self.cache.record(
+            r,
+            self.ids[self._knn_owners],
+            within,
+            exact_mask=within < self._knn_sizes,
+        )
+
+    def prepare(self, r: float):
+        """Phase A: fold the cache; return full within-shard bound arrays."""
+        r = float(r)
+        self._ensure_knn_evidence(r)
+        return self.cache.lower_bounds(r), self.cache.upper_bounds(r), self._take_pairs()
+
+    def filter(self, r: float, k: int, home_ids: np.ndarray):
+        """Phase B: shard-local Greedy-Counting over *home* objects.
+
+        ``home_ids`` are global ids that belong to this shard.  Returns
+        their within-shard counts (Lemma 1 lower bounds; exact where the
+        §5.5 shortcut saw every within-shard neighbor) — never a global
+        verdict, which only the merge can issue.
+        """
+        r, k = float(r), int(k)
+        home_ids = np.asarray(home_ids, dtype=np.int64)
+        if home_ids.size == 0:
+            return home_ids, np.empty(0, np.int64), np.empty(0, bool), 0
+        # Objects whose within-shard count is already cached — exactly,
+        # or as a lower bound that alone clears k — need no re-walk.
+        lb = self.cache.lower_bounds(r)[home_ids]
+        ub = self.cache.upper_bounds(r)[home_ids]
+        settled = ((ub != NO_BOUND) & (lb >= ub)) | (lb >= k)
+        counts = lb.copy()
+        exact = (ub != NO_BOUND) & (lb >= ub)
+        walk = np.flatnonzero(~settled)
+        if walk.size:
+            local = np.searchsorted(self.ids, home_ids[walk])
+            if self.mode != "scalar" and self._block_tracker is None:
+                self._block_tracker = BlockTracker(self.m, self.batch_size)
+            _, w_counts, _, w_exact = classify_chunk_arrays(
+                self.sub, self.graph, local, r, k,
+                tracker=self._tracker,
+                mode=self.mode, batch_size=self.batch_size,
+                block_tracker=self._block_tracker,
+            )
+            np.maximum(w_counts, counts[walk], out=w_counts)
+            counts[walk] = w_counts
+            exact[walk] = w_exact
+            self.cache.record(r, home_ids[walk], w_counts, exact_mask=w_exact)
+        return home_ids, counts, exact, self._take_pairs()
+
+    def count_range(self, r: float, ids: np.ndarray, lo: int, hi: int):
+        """Phase C: hits among shard positions ``[lo, hi)`` per candidate.
+
+        One slice of the cooperative cross-shard sweep: the parent
+        re-merges after every round and retires a candidate the moment
+        the summed per-shard bounds reach ``k``, so the prefix a
+        candidate pays for grows only until *some* combination of
+        shards proves it an inlier — the cross-process analogue of
+        :func:`~repro.index.linear.linear_count_block`'s early
+        retirement.  A candidate that is itself a member of the scanned
+        slice does not count itself.
+        """
+        r = float(r)
+        ids = np.asarray(ids, dtype=np.int64)
+        lo, hi = int(lo), min(int(hi), self.m)
+        if ids.size == 0 or lo >= hi:
+            return np.zeros(ids.size, dtype=np.int64), 0
+        span = hi - lo
+        idx = self.ids[lo:hi]
+        d = self._full.pair_dist(
+            np.repeat(ids, span), np.tile(idx, ids.size), bound=r,
+            consistent=True,
+        )
+        add = (d <= r).reshape(ids.size, span).sum(axis=1).astype(np.int64)
+        pos = np.searchsorted(self.ids, ids)
+        pos_safe = np.minimum(pos, self.m - 1)
+        own = (self.ids[pos_safe] == ids) & (pos_safe >= lo) & (pos_safe < hi)
+        add[own] -= 1
+        return add, self._take_pairs()
+
+    def count_tail(self, r: float, ids: np.ndarray, lo: int):
+        """Phase C stall fallback: exhaust shard positions ``[lo, m)``.
+
+        An exact :func:`~repro.index.linear.linear_count_block` sweep
+        over the remaining slice — the survivors at this point are
+        mostly true outliers, which must see every object anyway.
+        """
+        r = float(r)
+        ids = np.asarray(ids, dtype=np.int64)
+        lo = int(lo)
+        if ids.size == 0 or lo >= self.m:
+            return np.zeros(ids.size, dtype=np.int64), 0
+        counts = linear_count_block(self._full, ids, r, subset=self.ids[lo:])
+        return counts, self._take_pairs()
+
+    def record(self, r: float, ids: np.ndarray, counts: np.ndarray,
+               exact_mask: np.ndarray):
+        """Deposit merged phase-C evidence back into this shard's cache."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size:
+            self.cache.record(
+                float(r), ids, np.asarray(counts, dtype=np.int64),
+                exact_mask=np.asarray(exact_mask, dtype=bool),
+            )
+        return 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def state(self) -> dict:
+        """Everything a snapshot needs: graph, cache, served K'NN radii."""
+        return {
+            "graph": self.graph,
+            "cache": self.cache,
+            "knn_radii": sorted(self._knn_radii),
+        }
+
+    def nbytes(self) -> int:
+        return int(self.graph.nbytes + self.cache.nbytes)
+
+    def reset_cache(self) -> None:
+        self.cache.clear()
+        self._knn_radii.clear()
+
+
+def _make_worker(dataset, ids, graph, K, seed, mode, batch_size,
+                 graph_params, cache, knn_radii) -> ShardWorker:
+    """Module-level factory so spawn-based pools can pickle it."""
+    return ShardWorker(
+        dataset, ids, graph=graph, K=K, seed=seed, mode=mode,
+        batch_size=batch_size, graph_params=graph_params,
+        cache=cache, knn_radii=knn_radii,
+    )
+
+
+class ShardedDetectionEngine:
+    """Exact multi-process DOD serving: ``S`` shard sub-engines + merge.
+
+    The scale-out sibling of :class:`~repro.engine.DetectionEngine`:
+    the dataset is partitioned into ``n_shards`` slices, each owned by
+    a :class:`ShardWorker` (shard-local graph + evidence cache) hosted
+    on a :class:`~repro.core.parallel.ShardPool` of ``workers``
+    processes.  Queries run in three broadcast phases — cache merge,
+    shard-local filtering, cross-shard verification — and every answer
+    is bit-identical to the single-process engine's.
+
+    ``workers=1`` keeps the shard sub-engines in-process (identical
+    results, no IPC): the debugging backend and the equivalence-gate
+    reference.  ``workers`` defaults to ``min(n_shards, cpu_count)``.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        n_shards: int = 4,
+        workers: "int | None" = None,
+        strategy: str = "permuted",
+        graph: str = "mrpg",
+        K: int = 16,
+        rng: "int | np.random.Generator | None" = 0,
+        mode: str = "auto",
+        batch_size: int = DEFAULT_BLOCK,
+        start_method: "str | None" = None,
+        shard_ids: "list[np.ndarray] | None" = None,
+        shard_state: "list[dict] | None" = None,
+        **graph_params,
+    ):
+        gen = ensure_rng(rng)
+        if shard_ids is None:
+            shard_ids = plan_shards(dataset.n, n_shards, strategy=strategy, rng=gen)
+        else:
+            shard_ids = [np.asarray(s, dtype=np.int64) for s in shard_ids]
+            _validate_partition(shard_ids, dataset.n)
+        self.dataset = dataset
+        self.shard_ids = shard_ids
+        self.n_shards = len(shard_ids)
+        self.strategy = strategy
+        self.graph_name = graph
+        self.K = int(K)
+        resolve_filter_mode(mode, None)
+        self.mode = mode
+        self.batch_size = int(batch_size)
+        if workers is None:
+            workers = min(self.n_shards, os.cpu_count() or 1)
+        self.workers = max(1, min(int(workers), self.n_shards))
+        self._start_method = start_method or default_start_method()
+
+        #: global id -> owning shard, for routing the filter phase.
+        self._shard_of = np.empty(dataset.n, dtype=np.int64)
+        for s, ids in enumerate(shard_ids):
+            self._shard_of[ids] = s
+
+        seeds = [int(v) for v in gen.integers(0, 2**63 - 1, size=self.n_shards)]
+        self._transport: "DatasetTransport | None" = None
+        payload: "Dataset | DatasetTransport" = dataset
+        if self.workers > 1 and self._start_method != "fork":
+            payload = self._transport = DatasetTransport(dataset)
+        factories = []
+        for s in range(self.n_shards):
+            state = shard_state[s] if shard_state is not None else {}
+            factories.append(partial(
+                _make_worker, payload, shard_ids[s],
+                state.get("graph", graph), self.K, seeds[s], mode,
+                self.batch_size, dict(graph_params),
+                state.get("cache"), tuple(state.get("knn_radii", ())),
+            ))
+        try:
+            self._pool = ShardPool(
+                factories, workers=self.workers, start_method=self._start_method
+            )
+        except BaseException:
+            # A failed worker/graph build must not leak the spawn-mode
+            # shared-memory segment: nobody else can release it.
+            if self._transport is not None:
+                self._transport.release()
+                self._transport = None
+            raise
+        self.stats: dict[str, int] = {
+            "queries": 0,
+            "cache_decided": 0,
+            "filtered": 0,
+            "verified": 0,
+        }
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        objects,
+        metric: "str | Metric" = "l2",
+        graph: str = "mrpg",
+        K: int = 16,
+        n_shards: int = 4,
+        workers: "int | None" = None,
+        strategy: str = "permuted",
+        seed: "int | None" = 0,
+        mode: str = "auto",
+        batch_size: int = DEFAULT_BLOCK,
+        start_method: "str | None" = None,
+        **graph_params,
+    ) -> "ShardedDetectionEngine":
+        """Offline phase in one call: dataset + per-shard graphs + engine.
+
+        With ``workers > 1`` the per-shard graph builds themselves run
+        in parallel across the worker processes.
+        """
+        dataset = Dataset(objects, metric)
+        return cls(
+            dataset, n_shards=n_shards, workers=workers, strategy=strategy,
+            graph=graph, K=K, rng=seed, mode=mode, batch_size=batch_size,
+            start_method=start_method, **graph_params,
+        )
+
+    @property
+    def n(self) -> int:
+        return self.dataset.n
+
+    # -- the online path ------------------------------------------------------
+
+    def query(self, r: float, k: int) -> DODResult:
+        """Exact global ``(r, k)`` outliers from the shard merge."""
+        if r < 0:
+            raise ParameterError(f"radius must be non-negative, got {r}")
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        r, k = float(r), int(k)
+        n, S = self.n, self.n_shards
+        pairs = {"cache": 0, "filter": 0, "verify": 0}
+
+        # -- phase A: merge per-shard cached bounds --------------------------
+        # Sum of within-shard lower bounds is a global lower bound; the
+        # sum of exact within-shard counts (where *every* shard has one)
+        # is the true global count.
+        t0 = time.perf_counter()
+        prep = self._pool.call("prepare", common=(r,))
+        lbs = [p[0] for p in prep]
+        ubs = [p[1] for p in prep]
+        pairs["cache"] = sum(p[2] for p in prep)
+        lb_tot = np.sum(lbs, axis=0)
+        ub_known = np.ones(n, dtype=bool)
+        ub_tot = np.zeros(n, dtype=np.int64)
+        for ub in ubs:
+            known = ub != NO_BOUND
+            ub_known &= known
+            ub_tot += np.where(known, ub, 0)
+        inlier_mask = lb_tot >= k
+        outlier_mask = ub_known & (ub_tot < k)
+        undecided = np.flatnonzero(~inlier_mask & ~outlier_mask)
+        cache_outliers = np.flatnonzero(outlier_mask)
+        cache_decided = n - int(undecided.size)
+        cache_seconds = time.perf_counter() - t0
+
+        # -- phase B: shard-local filtering of each shard's own residue -------
+        t0 = time.perf_counter()
+        home = self._shard_of[undecided]
+        shard_args = [(r, k, undecided[home == s]) for s in range(S)]
+        filtered = self._pool.call("filter", shard_args=shard_args)
+        for s, (ids_s, counts_s, exact_s, pairs_s) in enumerate(filtered):
+            pairs["filter"] += pairs_s
+            if ids_s.size == 0:
+                continue
+            np.maximum.at(lbs[s], ids_s, counts_s)
+            if exact_s.any():
+                np.minimum.at(ubs[s], ids_s[exact_s], counts_s[exact_s])
+        # Re-merge the residue with the fresh home-shard evidence.
+        lb_u = np.sum([lb[undecided] for lb in lbs], axis=0)
+        ub_known_u = np.ones(undecided.size, dtype=bool)
+        ub_u = np.zeros(undecided.size, dtype=np.int64)
+        for ub in ubs:
+            vals = ub[undecided]
+            known = vals != NO_BOUND
+            ub_known_u &= known
+            ub_u += np.where(known, vals, 0)
+        f_inlier = lb_u >= k
+        f_outlier = ~f_inlier & ub_known_u & (ub_u < k)
+        filter_outliers = undecided[f_outlier]
+        candidates = undecided[~f_inlier & ~f_outlier]
+        filter_seconds = time.perf_counter() - t0
+
+        # -- phase C: cooperative cross-shard verification of the candidates --
+        # All shards sweep one slice of their data per round and the
+        # merge re-decides in between: a candidate retires the moment
+        # the summed per-shard bounds reach k, so the prefix it pays
+        # for is the cross-shard analogue of a single early-terminated
+        # scan.  A candidate that survives every round has, by
+        # construction, been scanned against every shard completely —
+        # its sum is the true global count and below k: an outlier.
+        # When retirement stalls (the survivors are mostly true
+        # outliers, which must see everything), the rounds hand off to
+        # exhaustive per-shard linear_count_block subset sweeps.
+        t0 = time.perf_counter()
+        if candidates.size:
+            verified, verify_pairs = self._verify_candidates(
+                r, k, candidates, lbs, ubs
+            )
+            pairs["verify"] = verify_pairs
+        else:
+            verified = np.empty(0, dtype=np.int64)
+        verify_seconds = time.perf_counter() - t0
+
+        outliers = np.sort(
+            np.concatenate((cache_outliers, filter_outliers, verified))
+        )
+        self.stats["queries"] += 1
+        self.stats["cache_decided"] += cache_decided
+        self.stats["filtered"] += int(undecided.size)
+        self.stats["verified"] += int(candidates.size)
+        return DODResult(
+            outliers=outliers,
+            r=r,
+            k=k,
+            n=n,
+            method=f"sharded[{S}x{self.workers}]:{self.graph_name}",
+            seconds=cache_seconds + filter_seconds + verify_seconds,
+            pairs=sum(pairs.values()),
+            phases={
+                "cache": cache_seconds,
+                "filter": filter_seconds,
+                "verify": verify_seconds,
+            },
+            phase_pairs=dict(pairs),
+            counts={
+                "candidates": int(candidates.size),
+                "direct_outliers": int(filter_outliers.size),
+                "false_positives": int(candidates.size) - int(verified.size),
+                "cache_decided": cache_decided,
+                "cache_outliers": int(cache_outliers.size),
+                "filtered": int(undecided.size),
+            },
+        )
+
+    def _verify_candidates(self, r, k, candidates, lbs, ubs):
+        """Cooperative cross-shard verification: ``(outlier ids, pairs)``.
+
+        Maintains per-shard prefix hit counts for every candidate and
+        re-merges after each scan round; evidence (partial-prefix lower
+        bounds, exact counts for fully-swept shards) is deposited back
+        into the shard caches at the end so warm re-queries decide from
+        phase A alone.
+        """
+        from ..index.linear import _pairs_per_kernel
+
+        S, C = self.n_shards, candidates.size
+        sizes = np.asarray([ids.size for ids in self.shard_ids], dtype=np.int64)
+        cached_lb = np.stack([lb[candidates] for lb in lbs])
+        cached_ub = np.stack([ub[candidates] for ub in ubs])
+        exact_known = (cached_ub != NO_BOUND) & (cached_lb >= cached_ub)
+        # Per-shard running bound: the true count where exact, else the
+        # best lower bound (cached, later max'ed with scanned prefixes).
+        bound = np.where(exact_known, cached_ub, cached_lb)
+        prefix = np.zeros((S, C), dtype=np.int64)
+        covered = np.zeros((S, C), dtype=np.int64)  # scanned prefix length
+        offset = np.zeros(S, dtype=np.int64)
+        budget = _pairs_per_kernel(self.dataset)
+        pairs = 0
+        active = np.arange(C, dtype=np.int64)
+        outliers: list[int] = []
+        empty = np.empty(0, dtype=np.int64)
+
+        while active.size:
+            # One round costs ~budget pairs across ALL shards together,
+            # mirroring the single engine's sweep economics: a candidate
+            # sees S * span objects per round, so its retirement prefix
+            # tracks what one early-terminated global scan would pay.
+            span = max(64, budget // (S * int(active.size)))
+            scan_sets: list[np.ndarray] = []
+            shard_args = []
+            for s in range(S):
+                if offset[s] >= sizes[s]:
+                    scan_sets.append(empty)
+                    shard_args.append((r, empty, 0, 0))
+                    continue
+                sel = active[~exact_known[s, active]]
+                scan_sets.append(sel)
+                shard_args.append(
+                    (r, candidates[sel], int(offset[s]), int(offset[s] + span))
+                )
+            results = self._pool.call("count_range", shard_args=shard_args)
+            for s in range(S):
+                add, shard_pairs = results[s]
+                pairs += shard_pairs
+                sel = scan_sets[s]
+                if sel.size == 0:
+                    continue
+                hi = min(int(offset[s] + span), int(sizes[s]))
+                prefix[s, sel] += add
+                bound[s, sel] = np.maximum(bound[s, sel], prefix[s, sel])
+                covered[s, sel] = hi
+            offset = np.where(offset < sizes, np.minimum(offset + span, sizes), offset)
+
+            tot = bound[:, active].sum(axis=0)
+            full = (offset >= sizes)[:, None]
+            complete = np.all(exact_known[:, active] | full, axis=0)
+            is_inlier = tot >= k
+            is_outlier = ~is_inlier & complete
+            outliers.extend(int(p) for p in candidates[active[is_outlier]])
+            survivors = active[~is_inlier & ~is_outlier]
+            # Stall handoff: when a round barely retires anyone, the
+            # survivors are (mostly) true outliers — finish them with
+            # one exhaustive subset sweep per shard instead of rounds.
+            if survivors.size and survivors.size > 0.75 * active.size:
+                shard_args = []
+                tail_sets = []
+                for s in range(S):
+                    sel = survivors[~exact_known[s, survivors]]
+                    tail_sets.append(sel)
+                    shard_args.append((r, candidates[sel], int(offset[s])))
+                results = self._pool.call("count_tail", shard_args=shard_args)
+                for s in range(S):
+                    add, shard_pairs = results[s]
+                    pairs += shard_pairs
+                    sel = tail_sets[s]
+                    if sel.size:
+                        prefix[s, sel] += add
+                        bound[s, sel] = np.maximum(bound[s, sel], prefix[s, sel])
+                        covered[s, sel] = sizes[s]
+                tot = bound[:, survivors].sum(axis=0)
+                outliers.extend(int(p) for p in candidates[survivors[tot < k]])
+                active = empty
+            else:
+                active = survivors
+
+        # Deposit what the sweep proved back into the shard caches: a
+        # scanned prefix is a valid lower bound at r, and a fully-swept
+        # shard's count is exact (doubles as an upper bound).
+        shard_args = []
+        for s in range(S):
+            touched = np.flatnonzero(covered[s] > 0)
+            shard_args.append((
+                r,
+                candidates[touched],
+                bound[s, touched],
+                covered[s, touched] >= sizes[s],
+            ))
+        self._pool.call("record", shard_args=shard_args)
+        return np.asarray(sorted(outliers), dtype=np.int64), pairs
+
+    def batch(self, queries) -> list[DODResult]:
+        """Answer ``(r, k)`` queries in the given order (serving semantics)."""
+        return [self.query(float(r), int(k)) for r, k in queries]
+
+    def sweep(self, r_grid, k_grid=None, k: "int | None" = None) -> SweepResult:
+        """Answer the full ``r_grid x k_grid`` in a reuse-maximising order."""
+        if k_grid is None:
+            if k is None:
+                raise ParameterError("sweep needs k_grid or k")
+            k_grid = [k]
+        queries = [
+            (float(rv), int(kv))
+            for rv in np.asarray(r_grid, dtype=np.float64)
+            for kv in k_grid
+        ]
+        if len(set(queries)) != len(queries):
+            raise ParameterError("sweep grid contains duplicate (r, k) points")
+        sweep = SweepResult(queries=queries)
+        for rv, kv in _sweep_order(queries):
+            sweep.results[(rv, kv)] = self.query(rv, kv)
+        return sweep
+
+    # -- persistence -----------------------------------------------------------
+
+    def shard_states(self) -> list[dict]:
+        """Per-shard ``{graph, cache, knn_radii}`` fetched from the workers."""
+        return self._pool.call("state")
+
+    def save(self, path) -> None:
+        """Snapshot every shard (graphs + caches) under directory ``path``."""
+        from ..io import save_sharded_engine
+
+        save_sharded_engine(self, path)
+
+    @classmethod
+    def load(cls, path, dataset: Dataset, **kwargs) -> "ShardedDetectionEngine":
+        """Rebuild a saved sharded engine against its (re-supplied) dataset."""
+        from ..io import load_sharded_engine
+
+        return load_sharded_engine(path, dataset, **kwargs)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def index_nbytes(self) -> int:
+        """Memory of the serving state summed over shards (graphs + caches)."""
+        return int(sum(self._pool.call("nbytes")))
+
+    def reset_cache(self) -> None:
+        """Drop all accumulated evidence in every shard."""
+        self._pool.call("reset_cache")
+
+    def close(self) -> None:
+        """Shut down the worker processes and release shared memory."""
+        self._pool.close()
+        if self._transport is not None:
+            self._transport.release()
+            self._transport = None
+
+    def __enter__(self) -> "ShardedDetectionEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedDetectionEngine(n={self.n}, shards={self.n_shards}, "
+            f"workers={self.workers}, graph={self.graph_name!r}, "
+            f"queries={self.stats['queries']})"
+        )
+
+
+def _validate_partition(shard_ids: list[np.ndarray], n: int) -> None:
+    """Shard id lists must partition ``0..n-1`` exactly."""
+    if not shard_ids:
+        raise ParameterError("need at least one shard")
+    if any(ids.size == 0 for ids in shard_ids):
+        raise ParameterError("every shard must hold at least one object")
+    merged = np.concatenate(shard_ids)
+    if merged.size != n or not np.array_equal(np.sort(merged), np.arange(n)):
+        raise ParameterError(
+            f"shard ids do not partition 0..{n - 1}: {merged.size} ids, "
+            f"{np.unique(merged).size} distinct"
+        )

@@ -66,10 +66,33 @@ def build_graph(
     dataset: Dataset,
     K: int = 16,
     rng: "int | np.random.Generator | None" = None,
+    clamp_K: bool = False,
     **params,
 ) -> Graph:
-    """Build the proximity graph ``name`` over ``dataset``."""
+    """Build the proximity graph ``name`` over ``dataset``.
+
+    ``clamp_K`` lowers ``K`` to ``dataset.n - 1`` when the dataset is
+    too small to have ``K`` distinct neighbors per object — the normal
+    case for the per-shard sub-graphs of
+    :class:`~repro.engine.sharded.ShardedDetectionEngine`, whose shards
+    can be much smaller than the configured degree.  Without it the
+    caller keeps the builders' own validation behavior.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro import Dataset, build_graph
+    >>> ds = Dataset(np.random.default_rng(0).normal(size=(60, 4)), "l2")
+    >>> graph = build_graph("kgraph", ds, K=4, rng=0)
+    >>> graph.n
+    60
+    >>> tiny = Dataset(np.random.default_rng(1).normal(size=(3, 4)), "l2")
+    >>> build_graph("kgraph", tiny, K=16, clamp_K=True).n  # K clamped to 2
+    3
+    """
     key = name.strip().lower().replace("_", "-")
     if key not in _BUILDERS:
         raise GraphError(f"unknown graph {name!r}; known: {available_graphs()}")
+    if clamp_K:
+        K = max(1, min(int(K), dataset.n - 1))
     return _BUILDERS[key](dataset, K=K, rng=rng, **params)

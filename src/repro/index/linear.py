@@ -70,8 +70,9 @@ def linear_count_block(
     dataset: Dataset,
     qs: np.ndarray,
     r: float,
-    stop_at: int | None = None,
+    stop_at: "int | np.ndarray | None" = None,
     exclude_self: bool = True,
+    subset: np.ndarray | None = None,
 ) -> np.ndarray:
     """Neighbor counts for *all* of ``qs`` in one chunked sweep.
 
@@ -82,7 +83,19 @@ def linear_count_block(
     moment their count reaches ``stop_at``.  A returned count below
     ``stop_at`` saw the entire store and is the true neighbor count —
     identical to :func:`linear_count`'s (counts at or above ``stop_at``
-    may overshoot differently).
+    may overshoot differently).  ``stop_at`` may be an array giving each
+    query its own termination threshold — the sharded engine uses this
+    to stop a shard's sweep as soon as the *residual* count the global
+    merge still needs is confirmed, rather than the full ``k``.
+
+    ``subset`` restricts the swept store to a **sorted** array of object
+    ids: counts then cover only neighbors inside that id set (queries
+    themselves may lie outside it).  This is the per-shard verification
+    sweep of the sharded engine — each shard counts every candidate
+    against its own slice of the data, and the exact global count is the
+    sum of the per-shard counts because the shards partition the
+    dataset.  ``exclude_self`` keeps its meaning: a query that is itself
+    a member of ``subset`` does not count itself.
 
     The pair-sweep wins while each step retires a healthy share of the
     pending set (quick-deciding false positives, the common case); once
@@ -99,7 +112,27 @@ def linear_count_block(
     counts = np.zeros(qs.size, dtype=np.int64)
     if qs.size == 0:
         return counts
-    n = dataset.n
+    stops: np.ndarray | None = None
+    if stop_at is not None:
+        stops = np.broadcast_to(
+            np.asarray(stop_at, dtype=np.int64), qs.shape
+        )
+        if np.any(stops < 1):
+            raise ParameterError("stop_at thresholds must be >= 1")
+    if subset is None:
+        n = dataset.n
+        # Position of each query in the swept range == its own id.
+        qpos = qs
+    else:
+        subset = np.asarray(subset, dtype=np.int64)
+        n = subset.size
+        if n == 0:
+            return counts
+        # Position of each query inside ``subset`` (or -1 when absent),
+        # so self-exclusion fires exactly when the sweep passes it.
+        pos = np.searchsorted(subset, qs)
+        pos_safe = np.minimum(pos, n - 1)
+        qpos = np.where(subset[pos_safe] == qs, pos_safe, -1)
     budget = _pairs_per_kernel(dataset)
     pending = np.arange(qs.size, dtype=np.int64)
     lo = 0
@@ -107,7 +140,8 @@ def linear_count_block(
         if stop_at is None or pending.size < 8:
             break  # nothing can retire / too few left: broadcast scans win
         span = min(n - lo, max(64, budget // pending.size))
-        idx = np.arange(lo, lo + span, dtype=np.int64)
+        pos_range = np.arange(lo, lo + span, dtype=np.int64)
+        idx = pos_range if subset is None else subset[pos_range]
         left = np.repeat(qs[pending], span)
         d = dataset.pair_dist(
             left, np.tile(idx, pending.size), bound=r, consistent=True
@@ -115,10 +149,10 @@ def linear_count_block(
         within = (d <= r).reshape(pending.size, span)
         add = within.sum(axis=1).astype(np.int64)
         if exclude_self:
-            add[(qs[pending] >= lo) & (qs[pending] < lo + span)] -= 1
+            add[(qpos[pending] >= lo) & (qpos[pending] < lo + span)] -= 1
         counts[pending] += add
         before = pending.size
-        pending = pending[counts[pending] < stop_at]
+        pending = pending[counts[pending] < stops[pending]]
         lo += span
         if pending.size > 0.75 * before:
             break  # retirement stalled: survivors are full-scanners
@@ -127,12 +161,15 @@ def linear_count_block(
         q = int(qs[j])
         c = int(counts[j])
         for tail_lo in range(lo, n, DEFAULT_CHUNK):
-            idx = np.arange(tail_lo, min(tail_lo + DEFAULT_CHUNK, n), dtype=np.int64)
+            pos_range = np.arange(
+                tail_lo, min(tail_lo + DEFAULT_CHUNK, n), dtype=np.int64
+            )
+            idx = pos_range if subset is None else subset[pos_range]
             d = dataset.dist_many(q, idx, bound=r)
             c += int(np.count_nonzero(d <= r))
-            if exclude_self and tail_lo <= q < tail_lo + DEFAULT_CHUNK:
+            if exclude_self and tail_lo <= qpos[j] < tail_lo + DEFAULT_CHUNK:
                 c -= 1
-            if stop_at is not None and c >= stop_at:
+            if stops is not None and c >= stops[j]:
                 break
         counts[j] = c
     return counts

@@ -8,7 +8,10 @@ payloads, and the build metadata as JSON.
 Engine snapshots (:func:`save_engine` / :func:`load_engine`) extend the
 same container with the :class:`~repro.engine.EvidenceCache` bound
 arrays and serving statistics, so a restarted serving process answers
-its first queries warm instead of re-proving everything.
+its first queries warm instead of re-proving everything.  Sharded
+engines (:func:`save_sharded_engine` / :func:`load_sharded_engine`)
+persist as a *directory*: one manifest describing the shard plan plus
+one per-shard archive in the same graph+cache format.
 
 Every malformed input — truncated or corrupted archives, missing
 arrays, unsupported format versions, payloads inconsistent with
@@ -209,6 +212,50 @@ def _dataset_fingerprint(dataset) -> dict:
     }
 
 
+def _check_fingerprint(stored: "dict | None", dataset, path: Path) -> None:
+    """Raise GraphError unless ``dataset`` matches the stored fingerprint."""
+    if stored is None:
+        return
+    if stored.get("metric") != dataset.metric.name:
+        raise GraphError(
+            f"{path}: snapshot was built on metric "
+            f"{stored.get('metric')!r} but the supplied dataset uses "
+            f"{dataset.metric.name!r}"
+        )
+    fresh = _dataset_fingerprint(dataset)
+    probes = stored.get("probes", [])
+    if len(probes) != len(fresh["probes"]) or not np.allclose(
+        probes, fresh["probes"], rtol=1e-9, atol=1e-12
+    ):
+        raise GraphError(
+            f"{path}: dataset fingerprint mismatch — the supplied "
+            f"objects are not the data this snapshot was built from"
+        )
+
+
+def _cache_arrays_from(data, n: int, path: Path) -> dict:
+    """Extract and sanity-check evidence-cache arrays from a snapshot."""
+    cache_arrays = {
+        key: data[key]
+        for key in ("cache_lb_radii", "cache_lb", "cache_ub_radii", "cache_ub")
+    }
+    for key in ("cache_lb", "cache_ub"):
+        if cache_arrays[key].ndim != 2 or (
+            cache_arrays[key].shape[0] > 0
+            and cache_arrays[key].shape[1] != n
+        ):
+            raise GraphError(
+                f"{path}: evidence cache array {key!r} does not match n={n}"
+            )
+        n_radii = cache_arrays[f"{key}_radii"].size
+        if cache_arrays[key].shape[0] != n_radii:
+            raise GraphError(
+                f"{path}: {key!r} holds {cache_arrays[key].shape[0]} bound "
+                f"rows but {key}_radii lists {n_radii} radii"
+            )
+    return cache_arrays
+
+
 def save_engine(engine, path: "str | Path") -> None:
     """Snapshot a :class:`~repro.engine.DetectionEngine` to one ``.npz``.
 
@@ -278,41 +325,8 @@ def load_engine(
                 f"{path}: snapshot indexes {graph.n} objects but the supplied "
                 f"dataset has {dataset.n} — wrong dataset for this snapshot"
             )
-        stored = meta.get("fingerprint")
-        if stored is not None:
-            if stored.get("metric") != dataset.metric.name:
-                raise GraphError(
-                    f"{path}: snapshot was built on metric "
-                    f"{stored.get('metric')!r} but the supplied dataset uses "
-                    f"{dataset.metric.name!r}"
-                )
-            fresh = _dataset_fingerprint(dataset)
-            probes = stored.get("probes", [])
-            if len(probes) != len(fresh["probes"]) or not np.allclose(
-                probes, fresh["probes"], rtol=1e-9, atol=1e-12
-            ):
-                raise GraphError(
-                    f"{path}: dataset fingerprint mismatch — the supplied "
-                    f"objects are not the data this snapshot was built from"
-                )
-        cache_arrays = {
-            key: data[key]
-            for key in ("cache_lb_radii", "cache_lb", "cache_ub_radii", "cache_ub")
-        }
-        for key in ("cache_lb", "cache_ub"):
-            if cache_arrays[key].ndim != 2 or (
-                cache_arrays[key].shape[0] > 0
-                and cache_arrays[key].shape[1] != graph.n
-            ):
-                raise GraphError(
-                    f"{path}: evidence cache array {key!r} does not match n={graph.n}"
-                )
-            n_radii = cache_arrays[f"{key}_radii"].size
-            if cache_arrays[key].shape[0] != n_radii:
-                raise GraphError(
-                    f"{path}: {key!r} holds {cache_arrays[key].shape[0]} bound "
-                    f"rows but {key}_radii lists {n_radii} radii"
-                )
+        _check_fingerprint(meta.get("fingerprint"), dataset, path)
+        cache_arrays = _cache_arrays_from(data, graph.n, path)
     engine = DetectionEngine(
         dataset,
         graph,
@@ -325,6 +339,189 @@ def load_engine(
     )
     engine.cache = EvidenceCache.from_state_arrays(graph.n, cache_arrays)
     engine._knn_radii = set(float(r) for r in meta.get("knn_radii", ()))
+    stats = meta.get("stats", {})
+    for key in engine.stats:
+        engine.stats[key] = int(stats.get(key, 0))
+    return engine
+
+
+# -- sharded-engine manifests -------------------------------------------------
+
+_SHARDED_FORMAT_VERSION = 1
+_MANIFEST_NAME = "manifest.npz"
+
+
+def save_sharded_engine(engine, path: "str | Path") -> None:
+    """Snapshot a :class:`~repro.engine.ShardedDetectionEngine` directory.
+
+    ``path`` becomes a directory holding one ``manifest.npz`` (the shard
+    plan: partition ids, dataset fingerprint, serving statistics, and
+    the shard file names) plus one ``shard_NNNN.npz`` per shard — each a
+    standard graph archive extended with that shard's evidence-cache
+    bound arrays, exactly like a single-engine snapshot.  The dataset
+    itself is *not* stored; :func:`load_sharded_engine` verifies the
+    re-supplied one against the fingerprint.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    states = engine.shard_states()
+    shard_files = [f"shard_{s:04d}.npz" for s in range(engine.n_shards)]
+    for s, (state, fname) in enumerate(zip(states, shard_files)):
+        payload = _graph_arrays(state["graph"])
+        payload.update(state["cache"].state_arrays())
+        payload["shard_meta"] = np.asarray(
+            json.dumps(
+                {
+                    "shard_index": s,
+                    "n": engine.n,
+                    "knn_radii": [float(r) for r in state["knn_radii"]],
+                }
+            )
+        )
+        np.savez_compressed(path / fname, **payload)
+    manifest = {
+        "sharded_format_version": np.asarray(_SHARDED_FORMAT_VERSION),
+        "n": np.asarray(engine.n),
+        "n_shards": np.asarray(engine.n_shards),
+        "shard_sizes": np.asarray(
+            [ids.size for ids in engine.shard_ids], dtype=np.int64
+        ),
+        "shard_ids": np.concatenate(engine.shard_ids).astype(np.int64),
+        "manifest_meta": np.asarray(
+            json.dumps(
+                {
+                    "stats": engine.stats,
+                    "strategy": engine.strategy,
+                    "graph": engine.graph_name,
+                    "K": engine.K,
+                    "shard_files": shard_files,
+                    "fingerprint": _dataset_fingerprint(engine.dataset),
+                }
+            )
+        ),
+    }
+    np.savez_compressed(path / _MANIFEST_NAME, **manifest)
+
+
+def load_sharded_engine(
+    path: "str | Path",
+    dataset,
+    workers: "int | None" = None,
+    rng: "int | np.random.Generator | None" = 0,
+    mode: str = "auto",
+    batch_size: int | None = None,
+    start_method: "str | None" = None,
+):
+    """Rebuild a saved sharded engine against its (re-supplied) dataset.
+
+    Raises :class:`GraphError` when the manifest is missing, unreadable
+    or version-mismatched, when any shard file is missing, truncated or
+    inconsistent, when the recorded shard ids do not partition the
+    dataset, or when ``dataset`` is not the data the snapshot was built
+    from.
+    """
+    from .core.traversal import DEFAULT_BLOCK
+    from .engine.evidence import EvidenceCache
+    from .engine.sharded import ShardedDetectionEngine
+
+    if batch_size is None:
+        batch_size = DEFAULT_BLOCK
+    path = Path(path)
+    manifest_path = path / _MANIFEST_NAME
+    if not path.is_dir() or not manifest_path.exists():
+        raise GraphError(
+            f"{path}: no sharded-engine snapshot here (expected a directory "
+            f"containing {_MANIFEST_NAME})"
+        )
+    with _NpzReader(manifest_path, "sharded-engine manifest") as data:
+        version = int(data["sharded_format_version"])
+        if version != _SHARDED_FORMAT_VERSION:
+            raise GraphError(
+                f"{manifest_path}: unsupported sharded snapshot version "
+                f"{version} (this build reads version {_SHARDED_FORMAT_VERSION})"
+            )
+        n = int(data["n"])
+        n_shards = int(data["n_shards"])
+        sizes = data["shard_sizes"]
+        flat_ids = data["shard_ids"]
+        try:
+            meta = json.loads(str(data["manifest_meta"]))
+        except json.JSONDecodeError as exc:
+            raise GraphError(
+                f"{manifest_path}: manifest metadata is not valid JSON"
+            ) from exc
+    if n != dataset.n:
+        raise GraphError(
+            f"{manifest_path}: snapshot indexes {n} objects but the supplied "
+            f"dataset has {dataset.n} — wrong dataset for this snapshot"
+        )
+    if sizes.size != n_shards or n_shards < 1:
+        raise GraphError(
+            f"{manifest_path}: manifest lists {sizes.size} shard sizes for "
+            f"{n_shards} shards"
+        )
+    if int(sizes.sum()) != n or flat_ids.size != n or np.any(sizes < 1):
+        raise GraphError(
+            f"{manifest_path}: shard sizes are inconsistent with n={n}"
+        )
+    if not np.array_equal(np.sort(flat_ids), np.arange(n)):
+        raise GraphError(
+            f"{manifest_path}: shard ids do not partition 0..{n - 1}"
+        )
+    _check_fingerprint(meta.get("fingerprint"), dataset, manifest_path)
+    shard_files = meta.get("shard_files", [])
+    if len(shard_files) != n_shards:
+        raise GraphError(
+            f"{manifest_path}: manifest names {len(shard_files)} shard files "
+            f"for {n_shards} shards"
+        )
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    shard_ids = [
+        np.sort(flat_ids[offsets[s]:offsets[s + 1]]).astype(np.int64)
+        for s in range(n_shards)
+    ]
+    shard_state = []
+    for s, fname in enumerate(shard_files):
+        shard_path = path / str(fname)
+        if not shard_path.exists():
+            raise GraphError(
+                f"{shard_path}: shard file named by the manifest is missing"
+            )
+        with _NpzReader(shard_path, "shard snapshot") as data:
+            try:
+                graph = _graph_from_arrays(data, shard_path)
+                shard_meta = json.loads(str(data["shard_meta"]))
+            except json.JSONDecodeError as exc:
+                raise GraphError(
+                    f"{shard_path}: shard metadata is not valid JSON"
+                ) from exc
+            if graph.n != shard_ids[s].size:
+                raise GraphError(
+                    f"{shard_path}: shard graph spans {graph.n} vertices but "
+                    f"the manifest assigns this shard {shard_ids[s].size} objects"
+                )
+            cache_arrays = _cache_arrays_from(data, n, shard_path)
+        shard_state.append(
+            {
+                "graph": graph,
+                "cache": EvidenceCache.from_state_arrays(n, cache_arrays),
+                "knn_radii": [float(r) for r in shard_meta.get("knn_radii", ())],
+            }
+        )
+    engine = ShardedDetectionEngine(
+        dataset,
+        n_shards=n_shards,
+        workers=workers,
+        strategy=str(meta.get("strategy", "permuted")),
+        graph=str(meta.get("graph", "mrpg")),
+        K=int(meta.get("K", 16)),
+        rng=rng,
+        mode=mode,
+        batch_size=batch_size,
+        start_method=start_method,
+        shard_ids=shard_ids,
+        shard_state=shard_state,
+    )
     stats = meta.get("stats", {})
     for key in engine.stats:
         engine.stats[key] = int(stats.get(key, 0))

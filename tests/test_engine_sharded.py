@@ -1,0 +1,290 @@
+"""Exactness and behavior of the shard-per-worker ShardedDetectionEngine.
+
+The sharded engine's contract is the single-process engine's, verbatim:
+every answer — cold, warm, any query order, any shard count, any
+partition strategy, serial or multi-process backend — is *bit-identical*
+to a fresh ``graph_dod`` run and to the brute-force oracle.  The merge
+layer must stay conservative (a shard-local traversal can never prove a
+global outlier) yet lose nothing (summed lower bounds prove inliers,
+all-shards-exact sums prove outliers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Dataset,
+    DetectionEngine,
+    ShardedDetectionEngine,
+    build_graph,
+    graph_dod,
+    plan_shards,
+)
+from repro.core import Verifier
+from repro.datasets import blobs_with_outliers, words_with_outliers
+from repro.exceptions import GraphError, ParameterError
+from repro.index import brute_force_outliers
+
+GRAPHS = ("mrpg", "kgraph")
+METRICS = ("l1", "l2", "edit")
+STRATEGIES = ("contiguous", "permuted")
+
+
+def _make_dataset(metric: str, seed: int) -> Dataset:
+    if metric == "edit":
+        words = words_with_outliers(110, n_stems=9, planted_frac=0.03, rng=seed)
+        return Dataset(words, "edit")
+    pts = blobs_with_outliers(
+        140, dim=4, n_clusters=3, core_std=0.7, tail_std=2.0, tail_frac=0.07,
+        center_spread=10.0, planted_frac=0.03, planted_spread=45.0, rng=seed,
+    )
+    return Dataset(pts, metric)
+
+
+def _base_radius(ds: Dataset) -> float:
+    gen = np.random.default_rng(0)
+    a = gen.integers(0, ds.n, 800)
+    b = gen.integers(0, ds.n, 800)
+    keep = a != b
+    d = ds.view().pair_dist(a[keep], b[keep])
+    return float(np.quantile(d, 0.12))
+
+
+def _assert_bit_identical(fresh, served, where):
+    assert np.array_equal(fresh.outliers, served.outliers), where
+    assert fresh.outliers.dtype == served.outliers.dtype, where
+
+
+# -- shard planning ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_plan_shards_partitions_exactly(strategy):
+    shards = plan_shards(97, 5, strategy=strategy, rng=3)
+    assert len(shards) == 5
+    merged = np.concatenate(shards)
+    np.testing.assert_array_equal(np.sort(merged), np.arange(97))
+    for ids in shards:
+        assert ids.size >= 1
+        np.testing.assert_array_equal(ids, np.sort(ids))  # sorted for bisect
+
+
+def test_plan_shards_permuted_is_seeded_and_scattered():
+    a = plan_shards(60, 4, strategy="permuted", rng=7)
+    b = plan_shards(60, 4, strategy="permuted", rng=7)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+    # A permuted shard should not be one contiguous run.
+    assert any(np.any(np.diff(ids) > 1) for ids in a)
+
+
+def test_plan_shards_validation():
+    with pytest.raises(ParameterError):
+        plan_shards(10, 0)
+    with pytest.raises(ParameterError):
+        plan_shards(3, 4)
+    with pytest.raises(ParameterError):
+        plan_shards(10, 2, strategy="zigzag")
+
+
+# -- the exactness matrix: metrics x graphs x strategies ---------------------------
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("builder", GRAPHS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_sharded_bit_identical_to_graph_dod(metric, builder, strategy):
+    ds = _make_dataset(metric, seed=0)
+    graph = build_graph(builder, ds, K=6, rng=0)
+    verifier = Verifier(ds, rng=0)
+    engine = ShardedDetectionEngine(
+        ds, n_shards=3, workers=1, strategy=strategy, graph=builder, K=6, rng=0
+    )
+    r0 = _base_radius(ds)
+    grid = [(r0 * f, k) for f in (0.85, 1.0, 1.2) for k in (2, 5, 9)]
+    order = np.random.default_rng(1).permutation(len(grid))
+    for t in order:
+        r, k = grid[t]
+        fresh = graph_dod(ds.view(), graph, r, k, verifier=verifier, rng=0)
+        served = engine.query(r, k)
+        _assert_bit_identical(fresh, served, (metric, builder, strategy, r, k))
+    assert engine.stats["queries"] == len(grid)
+    assert engine.stats["cache_decided"] > 0  # reuse kicks in across the merge
+    engine.close()
+
+
+@pytest.mark.parametrize("mode", ["scalar", "batched"])
+def test_sharded_modes_match_single_engine(l2_dataset, mrpg_l2, l2_params, mode):
+    r, k = l2_params
+    single = DetectionEngine(l2_dataset, mrpg_l2, rng=0)
+    sharded = ShardedDetectionEngine(
+        l2_dataset, n_shards=4, workers=1, graph="mrpg", K=8, rng=0, mode=mode
+    )
+    for f in (0.9, 1.0, 1.1):
+        _assert_bit_identical(
+            single.query(r * f, k), sharded.query(r * f, k), (mode, f)
+        )
+    single.close()
+    sharded.close()
+
+
+def test_sharded_many_single_object_shards(l2_dataset, l2_params):
+    # n_shards == n: every shard is one object with a trivial graph, so
+    # filtering proves nothing and the cross-shard verification sweeps
+    # carry the whole answer.  Still exactly the brute-force set.
+    r, k = l2_params
+    small = l2_dataset.subset(np.arange(40))
+    engine = ShardedDetectionEngine(
+        small, n_shards=40, workers=1, graph="kgraph", K=4, rng=0
+    )
+    reference = brute_force_outliers(small.view(), r, k)
+    assert np.array_equal(engine.query(r, k).outliers, reference)
+    engine.close()
+
+
+# -- multi-process backend ---------------------------------------------------------
+
+
+def test_process_backend_matches_serial(l2_dataset, l2_params):
+    r, k = l2_params
+    serial = ShardedDetectionEngine(
+        l2_dataset, n_shards=4, workers=1, graph="mrpg", K=8, rng=0
+    )
+    with ShardedDetectionEngine(
+        l2_dataset, n_shards=4, workers=2, graph="mrpg", K=8, rng=0
+    ) as procs:
+        for f in (0.9, 1.0, 1.1):
+            a = serial.query(r * f, k)
+            b = procs.query(r * f, k)
+            _assert_bit_identical(a, b, f)
+            # Same shard plan + same seeds => identical work, not just
+            # identical answers.
+            assert a.pairs == b.pairs, f
+    serial.close()
+
+
+def test_process_backend_edit_metric():
+    ds = _make_dataset("edit", seed=2)
+    with ShardedDetectionEngine(
+        ds, n_shards=3, workers=3, graph="kgraph", K=5, rng=0
+    ) as engine:
+        r0 = _base_radius(ds)
+        reference = brute_force_outliers(ds.view(), r0, 4)
+        assert np.array_equal(engine.query(r0, 4).outliers, reference)
+
+
+# -- serving semantics -------------------------------------------------------------
+
+
+def test_repeat_query_is_pure_cache_hit_across_shards(l2_dataset, l2_params):
+    r, k = l2_params
+    engine = ShardedDetectionEngine(
+        l2_dataset, n_shards=3, workers=1, graph="mrpg", K=8, rng=0
+    )
+    first = engine.query(r, k)
+    again = engine.query(r, k)
+    _assert_bit_identical(first, again, "repeat")
+    assert again.pairs == 0
+    assert again.counts["cache_decided"] == l2_dataset.n
+    engine.close()
+
+
+def test_sharded_sweep_matches_independent_queries(l2_dataset, mrpg_l2, l2_params):
+    r, k = l2_params
+    r_grid = [r * f for f in (0.9, 1.0, 1.1)]
+    k_grid = [max(1, k - 3), k]
+    engine = ShardedDetectionEngine(
+        l2_dataset, n_shards=3, workers=1, graph="mrpg", K=8, rng=0
+    )
+    sweep = engine.sweep(r_grid, k_grid)
+    for rv in r_grid:
+        for kv in k_grid:
+            fresh = graph_dod(l2_dataset.view(), mrpg_l2, rv, kv, rng=0)
+            _assert_bit_identical(fresh, sweep.result(rv, kv), (rv, kv))
+    engine.close()
+
+
+def test_sharded_batch_preserves_given_order(l2_dataset, l2_params):
+    r, k = l2_params
+    engine = ShardedDetectionEngine(
+        l2_dataset, n_shards=2, workers=1, graph="kgraph", K=8, rng=0
+    )
+    queries = [(r, k), (r * 0.9, k), (r * 1.1, max(1, k - 2))]
+    results = engine.batch(queries)
+    assert [(res.r, res.k) for res in results] == [
+        (float(rv), int(kv)) for rv, kv in queries
+    ]
+    engine.close()
+
+
+def test_reset_cache_forgets_everything_in_every_shard(l2_dataset, l2_params):
+    r, k = l2_params
+    engine = ShardedDetectionEngine(
+        l2_dataset, n_shards=3, workers=1, graph="mrpg", K=8, rng=0
+    )
+    first = engine.query(r, k)
+    engine.reset_cache()
+    cold = engine.query(r, k)
+    _assert_bit_identical(first, cold, "reset")
+    assert cold.pairs > 0  # really recomputed
+    engine.close()
+
+
+def test_fit_classmethod_and_bookkeeping(blob_points):
+    engine = ShardedDetectionEngine.fit(
+        blob_points, metric="l2", graph="kgraph", K=6, n_shards=3, workers=1
+    )
+    reference = brute_force_outliers(Dataset(blob_points, "l2"), 3.0, 6)
+    assert np.array_equal(engine.query(3.0, 6).outliers, reference)
+    assert engine.index_nbytes > 0
+    assert engine.n == len(blob_points)
+    assert engine.n_shards == 3
+    engine.close()
+
+
+# -- error paths ----------------------------------------------------------------
+
+
+def test_sharded_rejects_bad_parameters(l2_dataset):
+    with pytest.raises(ParameterError):
+        ShardedDetectionEngine(l2_dataset, n_shards=0, workers=1)
+    with pytest.raises(ParameterError):
+        ShardedDetectionEngine(l2_dataset, n_shards=l2_dataset.n + 1, workers=1)
+    with pytest.raises(ParameterError):
+        ShardedDetectionEngine(l2_dataset, n_shards=2, workers=1, strategy="nope")
+    engine = ShardedDetectionEngine(
+        l2_dataset, n_shards=2, workers=1, graph="kgraph", K=6, rng=0
+    )
+    with pytest.raises(ParameterError):
+        engine.query(-1.0, 5)
+    with pytest.raises(ParameterError):
+        engine.query(1.0, 0)
+    with pytest.raises(ParameterError):
+        engine.sweep([1.0, 2.0])  # no k at all
+    with pytest.raises(ParameterError):
+        engine.sweep([1.0, 1.0], k=5)  # duplicate grid point
+    engine.close()
+
+
+def test_sharded_rejects_bad_explicit_partition(l2_dataset):
+    n = l2_dataset.n
+    with pytest.raises(ParameterError, match="partition"):
+        ShardedDetectionEngine(
+            l2_dataset, workers=1, graph="kgraph", K=6,
+            shard_ids=[np.arange(n // 2), np.arange(n // 2)],  # overlapping
+        )
+    with pytest.raises(ParameterError):
+        ShardedDetectionEngine(
+            l2_dataset, workers=1, graph="kgraph", K=6,
+            shard_ids=[np.arange(n), np.empty(0, dtype=np.int64)],  # empty shard
+        )
+
+
+def test_shard_worker_rejects_mismatched_prebuilt_graph(l2_dataset):
+    from repro.engine import ShardWorker
+
+    tiny = build_graph("kgraph", l2_dataset.subset(np.arange(10)), K=3, rng=0)
+    with pytest.raises(GraphError, match="shard graph"):
+        ShardWorker(l2_dataset, np.arange(20), graph=tiny)

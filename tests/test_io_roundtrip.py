@@ -13,7 +13,17 @@ import json
 import numpy as np
 import pytest
 
-from repro import Dataset, DetectionEngine, load_engine, load_graph, save_engine, save_graph
+from repro import (
+    Dataset,
+    DetectionEngine,
+    ShardedDetectionEngine,
+    load_engine,
+    load_graph,
+    load_sharded_engine,
+    save_engine,
+    save_graph,
+    save_sharded_engine,
+)
 from repro.exceptions import GraphError
 
 
@@ -23,6 +33,17 @@ def engine(l2_dataset, mrpg_l2, l2_params):
     eng = DetectionEngine(l2_dataset, mrpg_l2, rng=0)
     eng.sweep([r * 0.95, r, r * 1.05], k=k)
     return eng
+
+
+@pytest.fixture()
+def sharded_engine(l2_dataset, l2_params):
+    r, k = l2_params
+    eng = ShardedDetectionEngine(
+        l2_dataset, n_shards=3, workers=1, graph="mrpg", K=8, rng=0
+    )
+    eng.sweep([r * 0.95, r, r * 1.05], k=k)
+    yield eng
+    eng.close()
 
 
 # -- engine snapshot round-trip --------------------------------------------------
@@ -268,3 +289,147 @@ def test_engine_meta_is_plain_json(engine, tmp_path):
         meta = json.loads(str(data["engine_meta"]))
     assert meta["n"] == engine.n
     assert meta["stats"]["queries"] == engine.stats["queries"]
+
+
+# -- sharded-engine manifests -----------------------------------------------------
+
+
+def test_sharded_snapshot_roundtrip_serves_warm(
+    sharded_engine, l2_dataset, l2_params, tmp_path
+):
+    r, k = l2_params
+    path = tmp_path / "sharded"
+    save_sharded_engine(sharded_engine, path)
+    loaded = load_sharded_engine(path, l2_dataset, workers=1)
+    assert loaded.stats == sharded_engine.stats
+    assert loaded.n_shards == sharded_engine.n_shards
+    for mine, theirs in zip(loaded.shard_ids, sharded_engine.shard_ids):
+        np.testing.assert_array_equal(mine, theirs)
+    # A radius already served must be a pure cache hit after restart —
+    # in *every* shard at once.
+    res = loaded.query(r, k)
+    assert res.pairs == 0
+    assert np.array_equal(res.outliers, sharded_engine.query(r, k).outliers)
+    loaded.close()
+
+
+def test_sharded_save_method_matches_module_function(
+    sharded_engine, l2_dataset, tmp_path
+):
+    a, b = tmp_path / "a", tmp_path / "b"
+    sharded_engine.save(a)
+    save_sharded_engine(sharded_engine, b)
+    ea = ShardedDetectionEngine.load(a, l2_dataset, workers=1)
+    eb = load_sharded_engine(b, l2_dataset, workers=1)
+    assert ea.stats == eb.stats == sharded_engine.stats
+    ea.close()
+    eb.close()
+
+
+def test_load_sharded_missing_directory_is_graph_error(l2_dataset, tmp_path):
+    with pytest.raises(GraphError, match="no sharded-engine snapshot"):
+        load_sharded_engine(tmp_path / "never_saved", l2_dataset)
+
+
+def test_load_sharded_rejects_missing_shard_file(
+    sharded_engine, l2_dataset, tmp_path
+):
+    path = tmp_path / "sharded"
+    save_sharded_engine(sharded_engine, path)
+    (path / "shard_0001.npz").unlink()
+    with pytest.raises(GraphError, match="missing"):
+        load_sharded_engine(path, l2_dataset)
+
+
+def test_load_sharded_rejects_truncated_shard_file(
+    sharded_engine, l2_dataset, tmp_path
+):
+    path = tmp_path / "sharded"
+    save_sharded_engine(sharded_engine, path)
+    shard = path / "shard_0000.npz"
+    blob = shard.read_bytes()
+    shard.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(GraphError, match="corrupted or truncated"):
+        load_sharded_engine(path, l2_dataset)
+
+
+def test_load_sharded_rejects_corrupt_manifest(
+    sharded_engine, l2_dataset, tmp_path
+):
+    path = tmp_path / "sharded"
+    save_sharded_engine(sharded_engine, path)
+    (path / "manifest.npz").write_bytes(b"not a zip archive at all" * 8)
+    with pytest.raises(GraphError, match="corrupted or truncated"):
+        load_sharded_engine(path, l2_dataset)
+
+
+def _rewrite_manifest(path, **overrides):
+    manifest = path / "manifest.npz"
+    with np.load(manifest) as data:
+        payload = {k: data[k] for k in data.files}
+    payload.update(overrides)
+    np.savez(manifest, **payload)
+
+
+def test_load_sharded_rejects_wrong_version(sharded_engine, l2_dataset, tmp_path):
+    path = tmp_path / "sharded"
+    save_sharded_engine(sharded_engine, path)
+    _rewrite_manifest(path, sharded_format_version=np.asarray(99))
+    with pytest.raises(GraphError, match="version 99"):
+        load_sharded_engine(path, l2_dataset)
+
+
+def test_load_sharded_rejects_broken_partition(
+    sharded_engine, l2_dataset, tmp_path
+):
+    # Duplicated ids would double-count neighbors in the merge — this
+    # must be a load-time error, never a silently wrong engine.
+    path = tmp_path / "sharded"
+    save_sharded_engine(sharded_engine, path)
+    with np.load(path / "manifest.npz") as data:
+        flat = data["shard_ids"].copy()
+    flat[0] = flat[1]
+    _rewrite_manifest(path, shard_ids=flat)
+    with pytest.raises(GraphError, match="partition"):
+        load_sharded_engine(path, l2_dataset)
+
+
+def test_load_sharded_rejects_inconsistent_sizes(
+    sharded_engine, l2_dataset, tmp_path
+):
+    path = tmp_path / "sharded"
+    save_sharded_engine(sharded_engine, path)
+    with np.load(path / "manifest.npz") as data:
+        sizes = data["shard_sizes"].copy()
+    sizes[0] += 1
+    _rewrite_manifest(path, shard_sizes=sizes)
+    with pytest.raises(GraphError, match="inconsistent"):
+        load_sharded_engine(path, l2_dataset)
+
+
+def test_load_sharded_rejects_wrong_dataset(sharded_engine, tmp_path, rng):
+    path = tmp_path / "sharded"
+    save_sharded_engine(sharded_engine, path)
+    other = Dataset(rng.normal(size=(sharded_engine.n, 6)), "l2")
+    with pytest.raises(GraphError, match="fingerprint"):
+        load_sharded_engine(path, other)
+
+
+def test_load_sharded_rejects_dataset_size_mismatch(
+    sharded_engine, tmp_path, rng
+):
+    path = tmp_path / "sharded"
+    save_sharded_engine(sharded_engine, path)
+    other = Dataset(rng.normal(size=(sharded_engine.n + 5, 6)), "l2")
+    with pytest.raises(GraphError, match="wrong dataset"):
+        load_sharded_engine(path, other)
+
+
+def test_load_sharded_rejects_bad_manifest_metadata(
+    sharded_engine, l2_dataset, tmp_path
+):
+    path = tmp_path / "sharded"
+    save_sharded_engine(sharded_engine, path)
+    _rewrite_manifest(path, manifest_meta=np.asarray("{broken"))
+    with pytest.raises(GraphError, match="JSON"):
+        load_sharded_engine(path, l2_dataset)

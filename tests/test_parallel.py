@@ -1,4 +1,4 @@
-"""Unit tests for random-partition parallel execution."""
+"""Unit tests for random-partition parallel execution and shard actors."""
 
 import numpy as np
 import pytest
@@ -133,3 +133,153 @@ def test_worker_pool_map_after_close_raises(l2_dataset):
     serial.close()
     with pytest.raises(ParameterError, match="after close"):
         serial.map(np.arange(5), lambda view, chunk, slot: 0)
+
+
+# -- ShardPool: long-lived actors on worker processes -----------------------------
+
+
+class _CounterActor:
+    """Stateful test actor: remembers its shard id and a running total."""
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self.total = 0
+
+    def add(self, value: int):
+        self.total += value
+        return self.shard, self.total
+
+    def boom(self):
+        raise ValueError(f"shard {self.shard} exploded")
+
+
+def _counter_factory(shard):
+    from functools import partial
+
+    return partial(_CounterActor, shard)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_shard_pool_orders_results_by_shard(workers):
+    from repro.core import ShardPool
+
+    with ShardPool([_counter_factory(s) for s in range(5)], workers=workers) as pool:
+        first = pool.call("add", common=(10,))
+        assert first == [(s, 10) for s in range(5)]
+        # Actors persist: state accumulates across calls.
+        second = pool.call("add", shard_args=[(s,) for s in range(5)])
+        assert second == [(s, 10 + s) for s in range(5)]
+
+
+def test_shard_pool_groups_multiple_shards_per_worker():
+    from repro.core import ShardPool
+
+    # 5 shards on 2 workers: results still come back in shard order.
+    with ShardPool([_counter_factory(s) for s in range(5)], workers=2) as pool:
+        assert pool.call("add", common=(1,)) == [(s, 1) for s in range(5)]
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_shard_pool_propagates_actor_errors(workers):
+    from repro.core import ShardPool
+
+    with ShardPool([_counter_factory(s) for s in range(2)], workers=workers) as pool:
+        with pytest.raises((RuntimeError, ValueError), match="exploded"):
+            pool.call("boom")
+
+
+def test_shard_pool_stays_consistent_after_actor_error():
+    # An actor error in one worker must not leave the other workers'
+    # replies queued on their pipes: a later call would then read the
+    # failed round's stale payloads as its own answer.
+    from repro.core import ShardPool
+
+    class _HalfBroken(_CounterActor):
+        def maybe_boom(self):
+            if self.shard == 0:
+                raise ValueError("exploded")
+            return ("survived", self.shard)
+
+    def factory(shard):
+        from functools import partial
+
+        return partial(_HalfBroken, shard)
+
+    with ShardPool([factory(s) for s in range(4)], workers=2) as pool:
+        with pytest.raises(RuntimeError, match="exploded"):
+            pool.call("maybe_boom")
+        # The next call must return THIS round's results for every shard.
+        assert pool.call("add", common=(5,)) == [(s, 5) for s in range(4)]
+
+
+def test_shard_pool_validates_arguments():
+    from repro.core import ShardPool
+
+    with pytest.raises(ParameterError):
+        ShardPool([])
+    with ShardPool([_counter_factory(0)], workers=1) as pool:
+        with pytest.raises(ParameterError, match="shard_args"):
+            pool.call("add", shard_args=[(1,), (2,)])
+    with pytest.raises(ParameterError, match="after close"):
+        pool.call("add", common=(1,))
+
+
+def test_shard_pool_close_is_idempotent():
+    from repro.core import ShardPool
+
+    pool = ShardPool([_counter_factory(s) for s in range(3)], workers=2)
+    assert pool.call("add", common=(2,))[2] == (2, 2)
+    pool.close()
+    pool.close()  # second close must be a no-op, not a crash
+
+
+# -- shared-memory dataset transport ----------------------------------------------
+
+
+def test_shared_memory_store_roundtrip():
+    from repro.core import SharedMemoryStore
+    import pickle
+
+    arr = np.arange(24, dtype=np.float64).reshape(4, 6)
+    store = SharedMemoryStore(arr)
+    try:
+        np.testing.assert_array_equal(store.array(), arr)
+        # Pickling carries only the attachment handle, not the bytes.
+        clone = pickle.loads(pickle.dumps(store))
+        assert len(pickle.dumps(store)) < arr.nbytes
+        view = clone.array()
+        np.testing.assert_array_equal(view, arr)
+        # Both sides map the *same* pages.
+        view[0, 0] = 123.0
+        assert store.array()[0, 0] == 123.0
+        clone.close()
+    finally:
+        store.unlink()
+
+
+def test_dataset_transport_vector_store(l2_dataset):
+    from repro.core import DatasetTransport
+
+    transport = DatasetTransport(l2_dataset)
+    try:
+        rebuilt = transport.materialize()
+        assert rebuilt.n == l2_dataset.n
+        assert rebuilt.metric.name == "l2"
+        assert rebuilt.counter.pairs == 0  # fresh counter
+        a, b = np.arange(10), np.arange(10, 20)
+        np.testing.assert_array_equal(
+            rebuilt.pair_dist(a, b), l2_dataset.view().pair_dist(a, b)
+        )
+    finally:
+        transport.release()
+
+
+def test_dataset_transport_string_store(edit_dataset):
+    from repro.core import DatasetTransport
+
+    transport = DatasetTransport(edit_dataset)
+    rebuilt = transport.materialize()
+    assert transport.kind == "raw"  # non-array stores fall back to pickling
+    assert rebuilt.n == edit_dataset.n
+    assert rebuilt.dist(0, 1) == edit_dataset.view().dist(0, 1)
+    transport.release()
