@@ -39,6 +39,7 @@ from .exceptions import (
 from .engine import (
     DetectionEngine,
     EvidenceCache,
+    MutableDetectionEngine,
     ShardedDetectionEngine,
     SweepResult,
     plan_shards,
@@ -58,9 +59,11 @@ from .index import VPTree, brute_force_outliers
 from .io import (
     load_engine,
     load_graph,
+    load_mutable_engine,
     load_sharded_engine,
     save_engine,
     save_graph,
+    save_mutable_engine,
     save_sharded_engine,
 )
 from .metrics import available_metrics, resolve_metric
@@ -84,6 +87,7 @@ __all__ = [
     "Verifier",
     "WorkerPool",
     "DetectionEngine",
+    "MutableDetectionEngine",
     "ShardedDetectionEngine",
     "EvidenceCache",
     "SweepResult",
@@ -105,6 +109,8 @@ __all__ = [
     "load_graph",
     "save_engine",
     "load_engine",
+    "save_mutable_engine",
+    "load_mutable_engine",
     "save_sharded_engine",
     "load_sharded_engine",
     "resolve_metric",

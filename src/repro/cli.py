@@ -128,6 +128,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p_topn.add_argument("--seed", type=int, default=0)
     p_topn.set_defaults(func=_cmd_topn)
 
+    p_update = sub.add_parser(
+        "update",
+        help="churn a mutable engine: batched inserts/removes answered "
+             "from repaired evidence",
+    )
+    p_update.add_argument("--suite", required=True, choices=sorted(SUITES))
+    p_update.add_argument("--n", type=int, default=None, help="suite cardinality")
+    p_update.add_argument("--r", type=float, default=None)
+    p_update.add_argument("--k", type=int, default=None)
+    p_update.add_argument("--batches", type=int, default=5,
+                          help="insert the suite in this many batches")
+    p_update.add_argument("--churn", type=float, default=0.1,
+                          help="fraction of live objects removed between batches")
+    p_update.add_argument("--K", type=int, default=16,
+                          help="incremental graph degree")
+    p_update.add_argument("--rebuild-every", type=int, default=None,
+                          help="auto-rebuild the graph after this many mutations")
+    p_update.add_argument("--seed", type=int, default=0)
+    p_update.add_argument("--check", action="store_true",
+                          help="verify every detection against brute force "
+                               "over the live objects")
+    p_update.add_argument("--snapshot", default=None,
+                          help="mutable-engine snapshot path: loaded warm when "
+                               "it exists (skipping the churn trace), written "
+                               "after a cold run")
+    p_update.set_defaults(func=_cmd_update)
+
     p_stream = sub.add_parser("stream", help="sliding-window outlier monitoring")
     p_stream.add_argument("--suite", required=True, choices=sorted(SUITES))
     p_stream.add_argument("--n", type=int, default=None)
@@ -136,6 +163,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--window", type=int, default=None,
                           help="window size (default n/4)")
     p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument("--check", action="store_true",
+                          help="verify every report against quadratic window "
+                               "recomputation")
     p_stream.set_defaults(func=_cmd_stream)
 
     p_cal = sub.add_parser("calibrate", help="calibrate r for a target outlier ratio")
@@ -414,8 +444,90 @@ def _cmd_topn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_update(args: argparse.Namespace) -> int:
+    from .engine import MutableDetectionEngine
+    from .exceptions import GraphError
+    from .index import brute_force_outliers
+
+    objects = make_objects(args.suite, n=args.n, seed=args.seed)
+    spec = get_spec(args.suite)
+    r = args.r if args.r is not None else spec.default_r
+    k = args.k if args.k is not None else spec.default_k
+    if args.batches < 1 or not 0.0 <= args.churn < 1.0:
+        print("update: need --batches >= 1 and 0 <= --churn < 1", file=sys.stderr)
+        return 2
+    if args.snapshot is not None and not args.snapshot.endswith(".npz"):
+        # np.savez appends the suffix on write; match it so the
+        # warm-load existence check finds what was actually written.
+        args.snapshot += ".npz"
+
+    def checked_detect(engine, tag: str) -> "int | None":
+        result = engine.detect(r, k)
+        cache_hits = result.counts.get("cache_decided", 0)
+        print(f"{tag:>18s}: live={engine.n_active:5d} "
+              f"outliers={result.n_outliers:4d} pairs={result.pairs:9,d} "
+              f"cache_decided={cache_hits}")
+        if args.check:
+            ref = engine.active_ids()[
+                brute_force_outliers(engine.live_dataset(), r, k)
+            ]
+            if not np.array_equal(result.outliers, ref):
+                print(f"update: MISMATCH vs brute force at {tag}", file=sys.stderr)
+                return 1
+        return None
+
+    print(f"suite={args.suite} metric={spec.metric} r={r:g} k={k} "
+          f"batches={args.batches} churn={int(100 * args.churn)}%")
+    if args.snapshot is not None and os.path.exists(args.snapshot):
+        try:
+            engine = MutableDetectionEngine.load(
+                args.snapshot, objects, rebuild_every=args.rebuild_every
+            )
+        except GraphError as exc:
+            print(f"update: cannot load snapshot: {exc}", file=sys.stderr)
+            return 2
+        print(f"loaded warm mutable snapshot from {args.snapshot} "
+              f"({engine.stats['inserts']} inserts, "
+              f"{engine.stats['removes']} removes served before restart)")
+        code = checked_detect(engine, "warm detect")
+        engine.close()
+        if code is not None:
+            return code
+        if args.check:
+            print("check passed: warm answers identical to brute force")
+        return 0
+
+    engine = MutableDetectionEngine(
+        metric=spec.metric, K=args.K, seed=args.seed,
+        rebuild_every=args.rebuild_every,
+    )
+    gen = np.random.default_rng(args.seed + 1)
+    n = len(objects)
+    chunk = max(1, n // args.batches)
+    for lo in range(0, n, chunk):
+        batch = objects[lo : lo + chunk]
+        engine.insert(list(batch) if spec.metric == "edit" else batch)
+        live = engine.active_ids()
+        if args.churn > 0 and live.size > 2 * chunk:
+            victims = gen.choice(
+                live, size=max(1, int(args.churn * live.size)), replace=False
+            )
+            engine.remove(victims.tolist())
+        code = checked_detect(engine, f"batch {lo // chunk + 1}")
+        if code is not None:
+            engine.close()
+            return code
+    if args.check:
+        print(f"check passed: all detections identical to brute force")
+    if args.snapshot is not None:
+        engine.save(args.snapshot)
+        print(f"mutable-engine snapshot written to {args.snapshot}")
+    engine.close()
+    return 0
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from .streaming import SlidingWindowDOD
+    from .streaming import SlidingWindowDOD, window_outliers_bruteforce
 
     dataset, spec = load_suite(args.suite, n=args.n, seed=args.seed)
     r = args.r if args.r is not None else spec.default_r
@@ -428,6 +540,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     for rep in reports:
         print(f"t={rep.time:6d}  window outliers: {rep.n_outliers}")
     print(f"{len(reports)} reports; {dataset.counter.pairs:,} distance computations")
+    if args.check:
+        for rep in reports:
+            ref = window_outliers_bruteforce(
+                dataset.view(), rep.window_ids, r, k
+            )
+            if not np.array_equal(np.unique(rep.outliers), np.unique(ref)):
+                print(f"stream: MISMATCH vs recomputation at t={rep.time}",
+                      file=sys.stderr)
+                return 1
+        print(f"check passed: all {len(reports)} reports identical to "
+              f"quadratic recomputation")
     return 0
 
 

@@ -11,14 +11,22 @@ same contract: the dataset is partitioned into shards, each worker
 process owns a shard-local sub-engine (graph + cache slice), and an
 exact merge layer sums per-shard counts — answers stay bit-identical
 to the single-process engine (see ``docs/sharding.md``).
+
+:class:`MutableDetectionEngine` extends the contract to a *mutable*
+collection: inserts and deletes repair the cached bounds from their own
+distance evaluations instead of dropping them, making one engine the
+substrate for dynamic updates, top-n ranking and sliding-window
+streaming (see ``docs/incremental.md``).
 """
 
 from .engine import DetectionEngine, SweepResult
 from .evidence import NO_BOUND, EvidenceCache
+from .mutable import MutableDetectionEngine
 from .sharded import ShardedDetectionEngine, ShardWorker, plan_shards
 
 __all__ = [
     "DetectionEngine",
+    "MutableDetectionEngine",
     "ShardedDetectionEngine",
     "ShardWorker",
     "SweepResult",

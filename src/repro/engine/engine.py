@@ -126,6 +126,9 @@ class DetectionEngine:
         follow_pivots: bool | None = None,
         mode: str = "auto",
         batch_size: int = DEFAULT_BLOCK,
+        cache_radii: int | None = None,
+        memo_outliers: bool = True,
+        memo_budget: int | None = None,
     ):
         if graph.n != dataset.n:
             raise GraphError(
@@ -141,12 +144,33 @@ class DetectionEngine:
         resolve_filter_mode(mode, max_visits)  # fail fast on bad combinations
         self.mode = mode
         self.batch_size = int(batch_size)
-        self.cache = EvidenceCache(dataset.n)
+        self.cache = EvidenceCache(dataset.n, max_radii=cache_radii)
+        # Distance-memoised outlier re-verification: a confirmed outlier
+        # that comes up as a candidate *again* (an ascending-r sweep
+        # re-verifies every outlier at every radius) gets its full
+        # sorted distance vector stored once; every later radius then
+        # decides it with one binary search instead of a linear scan.
+        # The default budget is byte-denominated (each vector is ~8n
+        # bytes): roughly 64 MiB, never more than n vectors, at least a
+        # handful so small datasets still benefit.
+        self.memo_outliers = bool(memo_outliers)
+        self._memo_budget = (
+            int(memo_budget) if memo_budget is not None
+            else min(
+                dataset.n,
+                max(16, (64 * 1024 * 1024) // max(1, 8 * dataset.n)),
+            )
+        )
+        self._memo: dict[int, np.ndarray] = {}
+        self._memo_radii: set[float] = set()
+        self._prior_outliers: set[int] = set()
+        self._memo_view = dataset.view()
         self.stats: dict[str, int] = {
             "queries": 0,
             "cache_decided": 0,
             "filtered": 0,
             "verified": 0,
+            "memoised": 0,
         }
         self._pool = WorkerPool(dataset, n_jobs=n_jobs, rng=ensure_rng(rng))
         self._trackers = [VisitTracker(graph.n) for _ in range(self._pool.n_jobs)]
@@ -181,6 +205,9 @@ class DetectionEngine:
         max_visits: int | None = None,
         mode: str = "auto",
         batch_size: int = DEFAULT_BLOCK,
+        cache_radii: int | None = None,
+        memo_outliers: bool = True,
+        memo_budget: int | None = None,
         **graph_params,
     ) -> "DetectionEngine":
         """Offline phase in one call: dataset + graph + verifier + engine."""
@@ -197,6 +224,9 @@ class DetectionEngine:
             max_visits=max_visits,
             mode=mode,
             batch_size=batch_size,
+            cache_radii=cache_radii,
+            memo_outliers=memo_outliers,
+            memo_budget=memo_budget,
         )
 
     @property
@@ -236,6 +266,41 @@ class DetectionEngine:
             )
         self.cache.ingest(evidence)
 
+    def _ensure_memo_evidence(self, r: float) -> None:
+        """Decide every memoised outlier at ``r`` by binary search."""
+        r = float(r)
+        if r in self._memo_radii:
+            return
+        self._memo_radii.add(r)
+        if not self._memo:
+            return
+        ids = np.fromiter(self._memo, dtype=np.int64, count=len(self._memo))
+        counts = np.asarray(
+            [np.searchsorted(self._memo[int(p)], r, side="right") for p in ids],
+            dtype=np.int64,
+        )
+        self.cache.record(r, ids, counts, exact_mask=np.ones(ids.size, dtype=bool))
+
+    def _memoise(self, p: int, r: float) -> int:
+        """Store ``p``'s sorted distance vector; record exact counts.
+
+        Returns ``p``'s exact neighbor count at ``r``.  Costs one full
+        linear scan — the same work verifying a true outlier costs —
+        after which *every* radius decides ``p`` for free.
+        """
+        d = self._memo_view.dist_many(p, np.arange(self.n, dtype=np.int64))
+        d = np.delete(d, p)
+        d.sort()
+        self._memo[p] = d
+        self.stats["memoised"] += 1
+        for radius in self._memo_radii | {float(r)}:
+            count = int(np.searchsorted(d, radius, side="right"))
+            self.cache.record(
+                radius, np.asarray([p]), np.asarray([count]),
+                exact_mask=np.asarray([True]),
+            )
+        return int(np.searchsorted(d, float(r), side="right"))
+
     # -- the online path ------------------------------------------------------
 
     def query(
@@ -253,6 +318,7 @@ class DetectionEngine:
         # -- cache phase: decide objects from proven bounds ------------------
         t0 = time.perf_counter()
         self._ensure_knn_evidence(r)
+        self._ensure_memo_evidence(r)
         lb = self.cache.lower_bounds(r)
         ub = self.cache.upper_bounds(r)
         inlier_mask = lb >= k
@@ -303,10 +369,36 @@ class DetectionEngine:
         # -- verify phase: Exact-Counting over the candidates ------------------
         t0 = time.perf_counter()
 
+        # Candidates that were already confirmed outliers at an earlier
+        # radius are about to pay a full linear scan *again* (a true
+        # outlier never terminates early).  Spend that scan on the
+        # sorted distance vector instead: same cost now, O(log n) at
+        # every later radius.
+        memo_verified: list[int] = []
+        memo_pairs = 0
+        memo_filled = 0
+        if self.memo_outliers and candidates.size and self._prior_outliers:
+            fill = [
+                int(p) for p in candidates.tolist()
+                if p in self._prior_outliers and p not in self._memo
+            ]
+            fill = fill[: max(0, self._memo_budget - len(self._memo))]
+            if fill:
+                memo_filled = len(fill)
+                pairs_before = self._memo_view.counter.pairs
+                for p in fill:
+                    if self._memoise(p, r) < k:
+                        memo_verified.append(p)
+                memo_pairs = self._memo_view.counter.pairs - pairs_before
+                candidates = np.setdiff1d(
+                    candidates, np.asarray(fill, dtype=np.int64)
+                )
+
         def verify_worker(view: Dataset, chunk: np.ndarray, slot: int):
             return verifier.verify_chunk(chunk, r, k, dataset=view, mode=self.mode)
 
         verify_results, verify_pairs = self._pool.map(candidates, verify_worker)
+        verify_pairs += memo_pairs
         verify_counts = [pce for chunk in verify_results for pce in chunk]
         if verify_counts:
             v_ids = np.asarray([p for p, _, _ in verify_counts], dtype=np.int64)
@@ -314,6 +406,7 @@ class DetectionEngine:
             v_exact = np.asarray([e for _, _, e in verify_counts], dtype=bool)
             self.cache.record(r, v_ids, v_cnt, exact_mask=v_exact)
         verified = [p for p, _, exact in verify_counts if exact]
+        verified.extend(memo_verified)
         verify_seconds = time.perf_counter() - t0
 
         outliers = np.sort(
@@ -321,10 +414,11 @@ class DetectionEngine:
                 (cache_outliers, direct, np.asarray(verified, dtype=np.int64))
             )
         )
+        self._prior_outliers.update(int(p) for p in outliers)
         self.stats["queries"] += 1
         self.stats["cache_decided"] += cache_decided
         self.stats["filtered"] += int(undecided.size)
-        self.stats["verified"] += int(candidates.size)
+        self.stats["verified"] += int(candidates.size) + memo_filled
 
         evidence = None
         if collect_evidence:
@@ -350,9 +444,10 @@ class DetectionEngine:
             },
             phase_pairs={"cache": 0, "filter": filter_pairs, "verify": verify_pairs},
             counts={
-                "candidates": int(candidates.size),
+                "candidates": int(candidates.size) + memo_filled,
                 "direct_outliers": int(direct.size),
-                "false_positives": int(candidates.size) - len(verified),
+                "false_positives": int(candidates.size) + memo_filled
+                - len(verified),
                 "cache_decided": cache_decided,
                 "cache_outliers": int(cache_outliers.size),
                 "filtered": int(undecided.size),
@@ -393,6 +488,17 @@ class DetectionEngine:
             sweep.results[(rv, kv)] = self.query(rv, kv)
         return sweep
 
+    def top_n(self, n_top: int, k: int, rng: "int | None" = 0):
+        """Exact top-``n_top`` ranking by k-th-NN distance.
+
+        Delegates to :func:`repro.extensions.topn.top_n_outliers`,
+        seeding ORCA's cutoff prune from this engine's evidence (stored
+        exact-K'NN lists, memoised outliers, cached count bounds).
+        """
+        from ..extensions.topn import top_n_outliers
+
+        return top_n_outliers(None, n_top, k, engine=self, rng=rng)
+
     # -- persistence -----------------------------------------------------------
 
     def save(self, path) -> None:
@@ -412,13 +518,23 @@ class DetectionEngine:
 
     @property
     def index_nbytes(self) -> int:
-        """Memory of the serving state (graph + verifier + cache)."""
-        return self.graph.nbytes + self.verifier.nbytes + self.cache.nbytes
+        """Memory of the serving state (graph + verifier + cache + memo)."""
+        memo_nbytes = sum(vec.nbytes for vec in self._memo.values())
+        return (
+            self.graph.nbytes + self.verifier.nbytes + self.cache.nbytes
+            + memo_nbytes
+        )
 
     def reset_cache(self) -> None:
-        """Drop all accumulated evidence (keeps graph and verifier)."""
+        """Drop all accumulated evidence (keeps graph and verifier).
+
+        Memoised distance vectors survive (the dataset is immutable, so
+        they stay true); their per-radius records are re-derived on the
+        next query at each radius.
+        """
         self.cache.clear()
         self._knn_radii.clear()
+        self._memo_radii.clear()
 
     def close(self) -> None:
         """Shut down the shared worker pool."""

@@ -16,6 +16,30 @@ arrays, so deciding a whole dataset against a new ``(r, k)`` query is a
 handful of vectorised max/min/compare passes — no graph traversal, no
 distance computation.  Objects whose interval ``[lb, ub]`` still
 straddles ``k`` are the only ones the engine has to touch.
+
+Bound folding is *cumulative*: radii are kept sorted and the running
+max (lb) / min (ub) folds are materialised lazily, so a query touches
+only the stored radii its own radius actually depends on — radii
+``<= r`` for lower bounds, radii ``>= r`` for upper bounds — instead
+of re-scanning every stored radius per call.
+
+The monotonicity laws extend to *mutations* of the underlying
+collection, which is what makes the cache repairable instead of
+disposable (see ``docs/incremental.md``):
+
+* inserting an object can only **raise** neighbor counts, and only for
+  objects within its radius — so every lower bound stays valid as-is,
+  and both bounds of the touched objects move up by exactly one
+  (:meth:`apply_insert`);
+* deleting an object can only **lower** counts, again only within its
+  radius — so every upper bound stays valid as-is, and the touched
+  bounds move down by exactly one (:meth:`apply_delete`).
+
+A budgeted eviction policy (``max_radii``) folds the most-dominated
+radius of a side into its neighbor when a serving process accumulates
+more distinct radii than its memory cap allows: lower bounds fold
+upward (a bound at ``r`` is a bound at every larger radius), upper
+bounds fold downward.  Eviction loses tightness, never soundness.
 """
 
 from __future__ import annotations
@@ -32,17 +56,69 @@ NO_BOUND = np.iinfo(np.int64).max
 class EvidenceCache:
     """Accumulated per-object neighbor-count bounds, indexed by radius.
 
-    ``lower_bounds(r)`` / ``upper_bounds(r)`` fold every stored radius
-    through the monotonicity rules above, returning the tightest bounds
-    provable at ``r`` from everything any past query learned.
+    ``lower_bounds(r)`` / ``upper_bounds(r)`` fold every relevant stored
+    radius through the monotonicity rules above, returning the tightest
+    bounds provable at ``r`` from everything any past query learned.
+
+    Parameters
+    ----------
+    n:
+        Number of objects covered (rows per bound array).
+    max_radii:
+        Optional per-side budget on distinct stored radii.  When a new
+        radius would exceed it, the closest pair of adjacent radii is
+        merged (lb folds into the larger, ub into the smaller).
     """
 
-    def __init__(self, n: int):
+    def __init__(self, n: int, max_radii: "int | None" = None):
         if n < 1:
             raise ParameterError(f"cache needs at least one object, got n={n}")
+        if max_radii is not None and max_radii < 1:
+            raise ParameterError(f"max_radii must be >= 1, got {max_radii}")
         self.n = int(n)
+        self.max_radii = max_radii
         self._lb: dict[float, np.ndarray] = {}
         self._ub: dict[float, np.ndarray] = {}
+        # Lazily-materialised cumulative folds over the sorted radii:
+        # _lb_cum[i] = elementwise max of the lb rows at radii[0..i],
+        # valid for i < _lb_valid; _ub_cum[i] = elementwise min of the
+        # ub rows at radii[i..m-1], valid for i >= _ub_valid_from.
+        self._lb_radii: np.ndarray = np.empty(0, dtype=np.float64)
+        self._lb_cum: list[np.ndarray] = []
+        self._lb_valid = 0
+        self._ub_radii: np.ndarray = np.empty(0, dtype=np.float64)
+        self._ub_cum: list[np.ndarray] = []
+        self._ub_valid_from = 0
+
+    # -- fold bookkeeping --------------------------------------------------
+
+    def _touch_lb(self, r: float, new: bool) -> None:
+        """Invalidate lb folds affected by a write at radius ``r``."""
+        if new:
+            self._lb_radii = np.asarray(sorted(self._lb), dtype=np.float64)
+            self._lb_valid = 0
+        else:
+            idx = int(np.searchsorted(self._lb_radii, r))
+            self._lb_valid = min(self._lb_valid, idx)
+
+    def _touch_ub(self, r: float, new: bool) -> None:
+        """Invalidate ub folds affected by a write at radius ``r``."""
+        if new:
+            self._ub_radii = np.asarray(sorted(self._ub), dtype=np.float64)
+            self._ub_cum = [None] * self._ub_radii.size  # type: ignore[list-item]
+            self._ub_valid_from = self._ub_radii.size
+        else:
+            idx = int(np.searchsorted(self._ub_radii, r))
+            self._ub_valid_from = max(self._ub_valid_from, idx + 1)
+
+    def _invalidate_folds(self) -> None:
+        """Drop all fold state (bulk mutation: repair, grow, evict)."""
+        self._lb_radii = np.asarray(sorted(self._lb), dtype=np.float64)
+        self._lb_cum = []
+        self._lb_valid = 0
+        self._ub_radii = np.asarray(sorted(self._ub), dtype=np.float64)
+        self._ub_cum = [None] * self._ub_radii.size  # type: ignore[list-item]
+        self._ub_valid_from = self._ub_radii.size
 
     # -- queries -----------------------------------------------------------
 
@@ -52,25 +128,65 @@ class EvidenceCache:
         return sorted(set(self._lb) | set(self._ub))
 
     def lower_bounds(self, r: float) -> np.ndarray:
-        """Tightest provable lower bound per object at radius ``r``."""
-        lb = np.zeros(self.n, dtype=np.int64)
-        for r0, arr in self._lb.items():
-            if r0 <= r:
-                np.maximum(lb, arr, out=lb)
-        return lb
+        """Tightest provable lower bound per object at radius ``r``.
+
+        Cost is proportional to the *new* stored radii ``<= r`` since
+        the last call (the cumulative fold is extended, not rebuilt).
+        """
+        radii = self._lb_radii
+        idx = int(np.searchsorted(radii, float(r), side="right")) - 1
+        if idx < 0:
+            return np.zeros(self.n, dtype=np.int64)
+        del self._lb_cum[self._lb_valid:]
+        while self._lb_valid <= idx:
+            i = self._lb_valid
+            row = self._lb[float(radii[i])]
+            self._lb_cum.append(
+                row.copy() if i == 0 else np.maximum(self._lb_cum[i - 1], row)
+            )
+            self._lb_valid += 1
+        return self._lb_cum[idx].copy()
 
     def upper_bounds(self, r: float) -> np.ndarray:
         """Tightest provable upper bound per object at radius ``r``.
 
-        Entries without evidence are :data:`NO_BOUND`.
+        Entries without evidence are :data:`NO_BOUND`.  Cost is
+        proportional to the new stored radii ``>= r`` since the last
+        call.
         """
-        ub = np.full(self.n, NO_BOUND, dtype=np.int64)
-        for r0, arr in self._ub.items():
-            if r0 >= r:
-                np.minimum(ub, arr, out=ub)
-        return ub
+        radii = self._ub_radii
+        m = radii.size
+        idx = int(np.searchsorted(radii, float(r), side="left"))
+        if idx >= m:
+            return np.full(self.n, NO_BOUND, dtype=np.int64)
+        while self._ub_valid_from > idx:
+            i = self._ub_valid_from - 1
+            row = self._ub[float(radii[i])]
+            self._ub_cum[i] = (
+                row.copy() if i == m - 1 else np.minimum(self._ub_cum[i + 1], row)
+            )
+            self._ub_valid_from -= 1
+        return self._ub_cum[idx].copy()
 
     # -- updates -----------------------------------------------------------
+
+    def _lb_row(self, r: float) -> np.ndarray:
+        row = self._lb.get(r)
+        if row is None:
+            row = self._lb[r] = np.zeros(self.n, dtype=np.int64)
+            self._touch_lb(r, new=True)
+        else:
+            self._touch_lb(r, new=False)
+        return row
+
+    def _ub_row(self, r: float) -> np.ndarray:
+        row = self._ub.get(r)
+        if row is None:
+            row = self._ub[r] = np.full(self.n, NO_BOUND, dtype=np.int64)
+            self._touch_ub(r, new=True)
+        else:
+            self._touch_ub(r, new=False)
+        return row
 
     def record(
         self,
@@ -89,19 +205,40 @@ class EvidenceCache:
         if ids.size == 0:
             return
         counts = np.asarray(counts, dtype=np.int64)
-        lb = self._lb.get(r)
-        if lb is None:
-            lb = self._lb[r] = np.zeros(self.n, dtype=np.int64)
-        np.maximum.at(lb, ids, counts)
-        if exact_mask is None:
+        np.maximum.at(self._lb_row(r), ids, counts)
+        if exact_mask is not None:
+            exact_mask = np.asarray(exact_mask, dtype=bool)
+            if exact_mask.any():
+                np.minimum.at(self._ub_row(r), ids[exact_mask], counts[exact_mask])
+        self._enforce_budget()
+
+    def record_bounds(
+        self,
+        r: float,
+        ids: np.ndarray,
+        lb_counts: np.ndarray | None = None,
+        ub_counts: np.ndarray | None = None,
+    ) -> None:
+        """Record independent lower/upper bounds for ``ids`` at ``r``.
+
+        The general form of :meth:`record`, used to transplant bounds
+        between caches (e.g. folding a compacted engine's evidence back
+        into the full-id-space cache of a mutable engine).  Upper
+        bounds equal to :data:`NO_BOUND` are ignored.
+        """
+        r = float(r)
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
             return
-        exact_mask = np.asarray(exact_mask, dtype=bool)
-        if not exact_mask.any():
-            return
-        ub = self._ub.get(r)
-        if ub is None:
-            ub = self._ub[r] = np.full(self.n, NO_BOUND, dtype=np.int64)
-        np.minimum.at(ub, ids[exact_mask], counts[exact_mask])
+        if lb_counts is not None:
+            lb_counts = np.asarray(lb_counts, dtype=np.int64)
+            np.maximum.at(self._lb_row(r), ids, lb_counts)
+        if ub_counts is not None:
+            ub_counts = np.asarray(ub_counts, dtype=np.int64)
+            known = ub_counts != NO_BOUND
+            if known.any():
+                np.minimum.at(self._ub_row(r), ids[known], ub_counts[known])
+        self._enforce_budget()
 
     def ingest(self, evidence: ObjectEvidence) -> None:
         """Absorb the per-object evidence of a finished detection run."""
@@ -119,6 +256,209 @@ class EvidenceCache:
     def clear(self) -> None:
         self._lb.clear()
         self._ub.clear()
+        self._invalidate_folds()
+
+    # -- mutation repair ---------------------------------------------------
+
+    def grow(self, n_new: int) -> None:
+        """Extend every bound row for objects appended to the collection.
+
+        New rows carry the vacuous bounds (lb 0, ub :data:`NO_BOUND`).
+        """
+        if n_new < self.n:
+            raise ParameterError(
+                f"cannot shrink cache from {self.n} to {n_new} objects"
+            )
+        if n_new == self.n:
+            return
+        pad = n_new - self.n
+        for r, row in self._lb.items():
+            self._lb[r] = np.concatenate([row, np.zeros(pad, dtype=np.int64)])
+        for r, row in self._ub.items():
+            self._ub[r] = np.concatenate(
+                [row, np.full(pad, NO_BOUND, dtype=np.int64)]
+            )
+        self.n = int(n_new)
+        self._invalidate_folds()
+
+    def apply_insert(
+        self,
+        obj_id: int,
+        neighbors: "dict[float, np.ndarray] | None",
+    ) -> None:
+        """Repair the cache after object ``obj_id`` joined the collection.
+
+        ``neighbors`` maps each stored radius to the **complete** set of
+        pre-existing live object ids within that radius of the new
+        object (the mutation's distance evaluations).  An insert only
+        raises counts, so every lower bound stays valid untouched; the
+        upper bounds of the listed neighbors are patched up by one, and
+        their lower bounds tightened by one.  The new object itself
+        receives the *exact* count ``len(neighbors[r])`` at every
+        covered radius.
+
+        With ``neighbors=None`` (no distance evaluations were made) the
+        lower bounds are kept — still sound — and every upper-bound row
+        is dropped, since any of its entries might now understate.
+        """
+        obj_id = int(obj_id)
+        if obj_id >= self.n:
+            if obj_id != self.n:
+                raise ParameterError(
+                    f"insert id {obj_id} skips rows (cache holds {self.n})"
+                )
+            self.grow(obj_id + 1)
+        if neighbors is None:
+            if self._ub:
+                self._ub.clear()
+            self._invalidate_folds()
+            return
+        neighbors = {
+            float(r): np.asarray(v, dtype=np.int64) for r, v in neighbors.items()
+        }
+        for r in list(self._lb):
+            within = neighbors.get(r)
+            if within is not None and within.size:
+                self._lb[r][within] += 1
+        for r in list(self._ub):
+            within = neighbors.get(r)
+            if within is None:
+                # No distance evidence at this radius: entries of
+                # touched-but-unknown objects would understate.
+                del self._ub[r]
+            elif within.size:
+                row = self._ub[r]
+                known = row[within] != NO_BOUND
+                row[within[known]] += 1
+        for r, within in neighbors.items():
+            exact = np.int64(within.size)
+            self._lb_row(r)[obj_id] = exact
+            self._ub_row(r)[obj_id] = exact
+        self._invalidate_folds()
+        self._enforce_budget()
+
+    def apply_delete(
+        self,
+        obj_id: int,
+        neighbors: "dict[float, np.ndarray] | None" = None,
+    ) -> None:
+        """Repair the cache after object ``obj_id`` left the collection.
+
+        ``neighbors`` maps each stored radius to the complete set of
+        *remaining* live object ids within that radius of the deleted
+        object.  A delete only lowers counts, so every upper bound stays
+        valid untouched; the listed neighbors' lower bounds are patched
+        down by one, and their upper bounds tightened by one.
+
+        With ``neighbors=None`` the repair is conservative: every
+        lower-bound entry is decremented (any object might have lost a
+        neighbor), and upper bounds are kept.  Sound, but looser.
+
+        The deleted object's own rows are reset to the vacuous bounds;
+        callers exclude it from answers by compaction.
+        """
+        obj_id = int(obj_id)
+        if not 0 <= obj_id < self.n:
+            raise ParameterError(f"delete id {obj_id} out of range (n={self.n})")
+        if neighbors is None:
+            for row in self._lb.values():
+                np.subtract(row, 1, out=row)
+                np.maximum(row, 0, out=row)
+        else:
+            neighbors = {
+                float(r): np.asarray(v, dtype=np.int64)
+                for r, v in neighbors.items()
+            }
+            for r in list(self._lb):
+                within = neighbors.get(r)
+                if within is None:
+                    # No distance evidence at this radius: any entry
+                    # might overstate now.
+                    del self._lb[r]
+                elif within.size:
+                    row = self._lb[r]
+                    row[within] -= 1
+                    np.maximum(row, 0, out=row)
+            for r in list(self._ub):
+                within = neighbors.get(r)
+                if within is not None and within.size:
+                    row = self._ub[r]
+                    known = row[within] != NO_BOUND
+                    hit = within[known]
+                    row[hit] -= 1
+                    np.maximum(row, 0, out=row)
+        for row in self._lb.values():
+            row[obj_id] = 0
+        for row in self._ub.values():
+            row[obj_id] = NO_BOUND
+        self._invalidate_folds()
+
+    def raw_rows(self):
+        """Yield ``(radius, lb_row, ub_row)`` for every stored radius.
+
+        Rows are the stored per-radius arrays (no folding); a side with
+        no evidence at that radius yields ``None``.  Used to transplant
+        bounds between caches over different id spaces.
+        """
+        for r in self.radii:
+            yield r, self._lb.get(r), self._ub.get(r)
+
+    def take(self, ids: np.ndarray) -> "EvidenceCache":
+        """A new cache holding only the rows of ``ids`` (re-numbered).
+
+        Evidence is about the data, not about any index built over it,
+        so a compacted view of the collection can keep every bound.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            raise ParameterError("take: empty id set")
+        sliced = EvidenceCache(ids.size, max_radii=self.max_radii)
+        for r, row in self._lb.items():
+            sliced._lb[r] = row[ids].copy()
+        for r, row in self._ub.items():
+            sliced._ub[r] = row[ids].copy()
+        sliced._invalidate_folds()
+        return sliced
+
+    # -- eviction ----------------------------------------------------------
+
+    def _enforce_budget(self) -> None:
+        if self.max_radii is None:
+            return
+        changed = False
+        while len(self._lb) > self.max_radii:
+            radii = sorted(self._lb)
+            gaps = np.diff(np.asarray(radii))
+            i = int(np.argmin(gaps))
+            # A bound proved at radii[i] holds at radii[i+1]: fold up.
+            np.maximum(
+                self._lb[radii[i + 1]], self._lb[radii[i]],
+                out=self._lb[radii[i + 1]],
+            )
+            del self._lb[radii[i]]
+            changed = True
+        while len(self._ub) > self.max_radii:
+            radii = sorted(self._ub)
+            gaps = np.diff(np.asarray(radii))
+            i = int(np.argmin(gaps))
+            # An exact count at radii[i+1] bounds radii[i]: fold down.
+            np.minimum(
+                self._ub[radii[i]], self._ub[radii[i + 1]],
+                out=self._ub[radii[i]],
+            )
+            del self._ub[radii[i + 1]]
+            changed = True
+        if changed:
+            self._invalidate_folds()
+
+    def evict(self, max_radii: int) -> None:
+        """One-shot budget enforcement down to ``max_radii`` per side."""
+        if max_radii < 1:
+            raise ParameterError(f"max_radii must be >= 1, got {max_radii}")
+        previous = self.max_radii
+        self.max_radii = max_radii
+        self._enforce_budget()
+        self.max_radii = previous
 
     # -- (de)serialisation --------------------------------------------------
 
@@ -162,11 +502,12 @@ class EvidenceCache:
                 )
             for r, row in zip(radii, rows):
                 store[float(r)] = np.asarray(row, dtype=np.int64).copy()
+        cache._invalidate_folds()
         return cache
 
     @property
     def nbytes(self) -> int:
-        """Memory held by the bound arrays."""
+        """Memory held by the stored bound arrays (folds excluded)."""
         total = 0
         for arr in (*self._lb.values(), *self._ub.values()):
             total += arr.nbytes

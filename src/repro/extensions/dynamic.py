@@ -1,26 +1,18 @@
-"""Incrementally maintained DOD over a changing object collection.
+"""Incrementally maintained DOD — thin shim over the mutable engine core.
 
-The paper assumes a static ``P`` (§2) and notes that dynamic data is
-the province of streaming algorithms.  Between those two poles sits a
-common practical case: a collection that grows and shrinks slowly
-(catalogue updates, feedback loops) where rebuilding the proximity
-graph from scratch per change is wasteful but windows don't apply.
+The original ``DynamicDODetector`` lived here, maintaining its own
+NSW-style incremental graph and recomputing every ``detect`` from
+scratch.  That machinery now lives a layer down in
+:class:`repro.engine.mutable.MutableDetectionEngine`, where mutations
+also *repair* the engine's evidence cache instead of bypassing it
+(see ``docs/incremental.md``).  This module keeps the historical
+class name and call signatures so existing code keeps working:
 
-:class:`DynamicDODetector` maintains the graph incrementally:
-
-* **insert** — NSW-style: a few greedy searches over the current graph
-  collect candidates, the new vertex links (undirected) to the ``K``
-  closest.  Graph quality degrades gracefully; exactness never does,
-  because Algorithm 1 verifies whatever the filter cannot certify.
-* **remove** — the vertex is tombstoned: its neighbors are chained
-  together first (connectivity patch), then its adjacency is cleared.
-* **detect** — active objects are compacted into a fresh
-  :class:`~repro.data.Dataset` view with the adjacency remapped, and
-  the paper's ``graph_dod`` runs unchanged.  Compaction is O(n) —
-  trivially dominated by detection itself.
-
-A periodic :meth:`rebuild` (full MRPG) restores filter quality after
-heavy churn; the ``ext_dynamic`` bench measures that trade.
+* ``add`` is :meth:`~repro.engine.mutable.MutableDetectionEngine.insert`;
+* ``remove``/``detect`` are the engine's, answering from repaired
+  bounds (still exactly the ``graph_dod`` outlier sets);
+* ``rebuild()`` keeps its historical renumbering semantics
+  (``rebuild(renumber=True)`` on the engine).
 """
 
 from __future__ import annotations
@@ -29,19 +21,17 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from ..core.dod import graph_dod
-from ..core.result import DODResult
-from ..core.verify import Verifier
-from ..data import Dataset
-from ..exceptions import ParameterError
-from ..graphs.adjacency import Graph
-from ..graphs.mrpg import build_mrpg
-from ..metrics import Metric, resolve_metric
-from ..rng import ensure_rng
+from ..engine.mutable import MutableDetectionEngine
+from ..metrics import Metric
 
 
-class DynamicDODetector:
-    """Exact DOD over a mutable collection with an incremental graph."""
+class DynamicDODetector(MutableDetectionEngine):
+    """Exact DOD over a mutable collection (engine-backed shim).
+
+    Prefer :class:`repro.engine.mutable.MutableDetectionEngine` in new
+    code — it exposes the same mutations plus ``sweep``/``top_n``,
+    pinned radii and snapshotting.
+    """
 
     def __init__(
         self,
@@ -50,197 +40,19 @@ class DynamicDODetector:
         seed: "int | None" = 0,
         search_attempts: int = 2,
     ):
-        if K < 1:
-            raise ParameterError(f"K must be >= 1, got {K}")
-        if search_attempts < 1:
-            raise ParameterError(f"search_attempts must be >= 1, got {search_attempts}")
-        self.metric = resolve_metric(metric)
-        self.K = int(K)
-        self.search_attempts = int(search_attempts)
-        self._rng = ensure_rng(seed)
-        self._objects: list[Any] = []
-        self._alive: list[bool] = []
-        self._graph = None  # type: Graph | None
-        self._dataset: Dataset | None = None  # covers all objects, incl. dead
-
-    # -- bookkeeping ------------------------------------------------------------
-
-    @property
-    def n_total(self) -> int:
-        return len(self._objects)
-
-    @property
-    def n_active(self) -> int:
-        return sum(self._alive)
-
-    def active_ids(self) -> np.ndarray:
-        """Stable external ids (insertion order) of live objects."""
-        return np.flatnonzero(np.asarray(self._alive, dtype=bool))
-
-    def _refresh_dataset(self) -> None:
-        self._dataset = Dataset(self._materialise(), self.metric)
-
-    def _materialise(self):
-        if self.metric.is_vector:
-            return np.asarray(self._objects, dtype=np.float64)
-        return self._objects
-
-    # -- mutation ---------------------------------------------------------------
+        super().__init__(
+            metric=metric, K=K, seed=seed, search_attempts=search_attempts
+        )
 
     def add(self, objects: Sequence[Any]) -> np.ndarray:
         """Insert objects; returns their stable ids."""
-        objects = list(objects)
-        if not objects:
-            return np.empty(0, dtype=np.int64)
-        first_new = self.n_total
-        self._objects.extend(objects)
-        self._alive.extend([True] * len(objects))
-        self._refresh_dataset()
+        return self.insert(objects)
 
-        if self._graph is None:
-            self._graph = Graph(self.n_total)
-            self._graph.meta["builder"] = "dynamic"
-            self._graph.meta["K"] = self.K
-        else:
-            grown = Graph(self.n_total)
-            grown.meta = dict(self._graph.meta)
-            grown.pivots = np.concatenate(
-                [self._graph.pivots, np.zeros(len(objects), dtype=bool)]
-            )
-            grown.exact_knn = dict(self._graph.exact_knn)
-            for v in range(self._graph.n):
-                grown.set_links(v, self._graph.neighbors_list(v))
-            self._graph = grown
-
-        assert self._dataset is not None
-        for new_id in range(first_new, self.n_total):
-            self._link_new_vertex(new_id)
-        self._graph.finalize()
-        return np.arange(first_new, self.n_total, dtype=np.int64)
-
-    def _link_new_vertex(self, new_id: int) -> None:
-        """NSW-style insertion: greedy searches collect link candidates."""
-        assert self._graph is not None and self._dataset is not None
-        alive = [
-            v for v in range(new_id) if self._alive[v]
-        ]
-        if not alive:
-            return
-        if len(alive) <= self.K:
-            for v in alive:
-                self._graph.add_edge(new_id, v)
-            return
-        pool: dict[int, float] = {}
-        for _ in range(self.search_attempts):
-            entry = alive[int(self._rng.integers(len(alive)))]
-            self._collect(new_id, entry, pool)
-        closest = sorted(pool.items(), key=lambda kv: kv[1])[: self.K]
-        for v, _ in closest:
-            self._graph.add_edge(new_id, v)
-
-    def _collect(self, query: int, entry: int, pool: dict[int, float]) -> None:
-        assert self._graph is not None and self._dataset is not None
-        current = entry
-        if current not in pool:
-            pool[current] = self._dataset.dist(query, current)
-        current_d = pool[current]
-        for _ in range(64):
-            nbrs = [
-                int(v)
-                for v in self._graph.neighbors_list(current)
-                if self._alive[int(v)] and int(v) != query
-            ]
-            fresh = [v for v in nbrs if v not in pool]
-            if fresh:
-                d = self._dataset.dist_many(query, np.asarray(fresh, dtype=np.int64))
-                for v, dv in zip(fresh, d):
-                    pool[v] = float(dv)
-            best_v, best_d = current, current_d
-            for v in nbrs:
-                dv = pool.get(v)
-                if dv is not None and dv < best_d:
-                    best_v, best_d = v, dv
-            if best_v == current:
-                break
-            current, current_d = best_v, best_d
-
-    def remove(self, ids: Sequence[int]) -> None:
-        """Tombstone objects; their neighbors are chained to stay connected."""
-        if self._graph is None:
-            raise ParameterError("remove before any add")
-        for raw in ids:
-            v = int(raw)
-            if not 0 <= v < self.n_total or not self._alive[v]:
-                raise ParameterError(f"id {v} is not an active object")
-        for raw in ids:
-            v = int(raw)
-            nbrs = [w for w in self._graph.neighbors_list(v) if self._alive[w]]
-            for a, b in zip(nbrs, nbrs[1:]):
-                self._graph.add_edge(a, b)
-            for w in self._graph.neighbors_list(v):
-                self._graph.remove_edge(v, w)
-            self._graph.exact_knn.pop(v, None)
-            self._graph.pivots[v] = False
-            self._alive[v] = False
-        self._graph.finalize()
-
-    def rebuild(self) -> None:
+    def rebuild(self, renumber: bool = True) -> "np.ndarray | None":
         """Compact and rebuild a fresh MRPG over the live objects.
 
-        Resets the internal numbering: subsequent external ids are
-        0..n_active-1 in previous insertion order.
+        Resets the internal numbering (historical semantics):
+        subsequent external ids are 0..n_active-1 in previous insertion
+        order.
         """
-        keep = self.active_ids()
-        objects = [self._objects[int(v)] for v in keep]
-        self._objects = objects
-        self._alive = [True] * len(objects)
-        self._refresh_dataset()
-        assert self._dataset is not None
-        if len(objects) > self.K + 1:
-            self._graph = build_mrpg(self._dataset, K=self.K, rng=self._rng)
-        else:
-            self._graph = Graph(max(len(objects), 1))
-            for u in range(len(objects)):
-                for v in range(u + 1, len(objects)):
-                    self._graph.add_edge(u, v)
-            self._graph.finalize()
-        self._graph.meta["builder"] = "dynamic"
-        self._graph.meta["K"] = self.K
-
-    # -- detection -----------------------------------------------------------------
-
-    def detect(self, r: float, k: int, n_jobs: int = 1) -> DODResult:
-        """Exact (r, k)-outliers among the live objects.
-
-        The result's ``outliers`` are *stable external ids*.
-        """
-        if self._graph is None or self.n_active == 0:
-            raise ParameterError("detect before any add")
-        keep = self.active_ids()
-        objects = [self._objects[int(v)] for v in keep]
-        compact = Dataset(
-            np.asarray(objects, dtype=np.float64) if self.metric.is_vector else objects,
-            self.metric,
-        )
-        remap = np.full(self.n_total, -1, dtype=np.int64)
-        remap[keep] = np.arange(keep.size)
-        graph = Graph(keep.size)
-        graph.meta = {"builder": "dynamic", "K": self.K}
-        graph.pivots = self._graph.pivots[keep].copy()
-        for new_u, old_u in enumerate(keep):
-            targets = [
-                int(remap[w])
-                for w in self._graph.neighbors_list(int(old_u))
-                if remap[w] >= 0
-            ]
-            graph.set_links(new_u, targets)
-        for old_v, (ids, dists) in self._graph.exact_knn.items():
-            # Exact lists survive only if every member is still alive —
-            # otherwise the "exact K'-NN" property no longer holds.
-            if remap[old_v] >= 0 and np.all(remap[ids] >= 0):
-                graph.exact_knn[int(remap[old_v])] = (remap[ids], dists.copy())
-        graph.finalize()
-        verifier = Verifier(compact, strategy="linear")
-        result = graph_dod(compact, graph, r, k, verifier=verifier, n_jobs=n_jobs)
-        result.outliers = keep[result.outliers]
-        return result
+        return super().rebuild(renumber=renumber)

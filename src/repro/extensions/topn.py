@@ -73,13 +73,42 @@ def _merge_smallest(current: np.ndarray, incoming: np.ndarray, k: int) -> np.nda
     return merged
 
 
+def _engine_score_evidence(
+    engine, k: int, n: int
+) -> tuple[dict[int, float], np.ndarray]:
+    """Exact scores and score upper bounds provable from engine evidence.
+
+    * An exact-K'NN list of length ``>= k`` (MRPG Property 3) *is* the
+      object's score: its k-th entry, no scan needed.  Memoised outlier
+      distance vectors qualify the same way.
+    * A cached count lower bound ``lb(p, r) >= k`` proves the k-th NN
+      sits within ``r`` — an upper bound on the score.  Once the result
+      heap is full, any object whose upper bound cannot beat the
+      cutoff is pruned before its scan starts.
+    """
+    exact_scores: dict[int, float] = {}
+    owners, sizes, ptr, dists = engine.graph.exact_knn_arrays()
+    for t in np.flatnonzero(sizes >= k):
+        exact_scores[int(owners[t])] = float(dists[ptr[t] + k - 1])
+    for p, vec in engine._memo.items():
+        if vec.size >= k:
+            exact_scores[int(p)] = float(vec[k - 1])
+    score_ub = np.full(n, np.inf)
+    for r0 in sorted(engine.cache.radii):
+        lb = engine.cache.lower_bounds(r0)
+        hit = np.isinf(score_ub) & (lb >= k)
+        score_ub[hit] = r0
+    return exact_scores, score_ub
+
+
 def top_n_outliers(
-    dataset: Dataset,
+    dataset: Dataset | None,
     n_top: int,
     k: int,
     graph: Graph | None = None,
     chunk: int = DEFAULT_CHUNK,
     rng: "int | np.random.Generator | None" = 0,
+    engine=None,
 ) -> TopNResult:
     """Exact top-``n_top`` outliers by k-th-NN distance.
 
@@ -89,7 +118,26 @@ def top_n_outliers(
     abandoned.  A proximity ``graph`` (any builder from
     :mod:`repro.graphs`) makes the initial upper bound tight at the
     cost of one batch distance evaluation over the object's links.
+
+    Passing a fitted :class:`~repro.engine.DetectionEngine` as
+    ``engine`` additionally seeds the ranking from its evidence: stored
+    exact-K'NN lists and memoised distance vectors contribute *exact*
+    scores with no scan at all, and cached count lower bounds become
+    score upper bounds that pre-fire the cutoff prune (see
+    :func:`_engine_score_evidence`).  The ranking stays exact either
+    way.
     """
+    if engine is not None:
+        if dataset is None:
+            dataset = engine.dataset
+        elif dataset is not engine.dataset:
+            raise ParameterError(
+                "pass either a dataset or an engine, not two different ones"
+            )
+        if graph is None:
+            graph = engine.graph
+    if dataset is None:
+        raise ParameterError("top_n_outliers needs a dataset or an engine")
     n = dataset.n
     if not 1 <= n_top <= n:
         raise ParameterError(f"need 1 <= n_top <= n, got n_top={n_top}, n={n}")
@@ -106,8 +154,28 @@ def top_n_outliers(
     cutoff = -np.inf
     pruned = 0
 
+    exact_scores: dict[int, float] = {}
+    score_ub = None
+    if engine is not None:
+        exact_scores, score_ub = _engine_score_evidence(engine, k, n)
+        # Exact-scored objects enter the ranking up front: the cutoff
+        # starts tight before any scan runs.
+        for p, score in exact_scores.items():
+            if len(heap) < n_top:
+                heapq.heappush(heap, (score, p))
+            elif score > heap[0][0]:
+                heapq.heapreplace(heap, (score, p))
+        if len(heap) == n_top:
+            cutoff = heap[0][0]
+
     for p in gen.permutation(n):
         p = int(p)
+        if p in exact_scores:
+            pruned += 1  # decided from stored evidence, no scan
+            continue
+        if score_ub is not None and score_ub[p] <= cutoff:
+            pruned += 1
+            continue
         best = np.full(0, np.inf)
         seeded_ids = np.empty(0, dtype=np.int64)
         if graph is not None:

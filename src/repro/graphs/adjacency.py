@@ -124,6 +124,80 @@ class Graph:
     def has_exact_knn(self, v: int) -> bool:
         return v in self.exact_knn
 
+    # -- incremental maintenance ----------------------------------------------
+    #
+    # The mutable engine (:mod:`repro.engine.mutable`) maintains one
+    # graph over a changing collection: vertices are appended with
+    # :meth:`grow`, retired with :meth:`tombstone`, and detection runs
+    # over the :meth:`compact` live-only remap.
+
+    def grow(self, n_new: int) -> None:
+        """Extend the vertex range to ``0..n_new-1`` (new vertices isolated)."""
+        if n_new < self.n:
+            raise GraphError(f"cannot shrink graph from {self.n} to {n_new}")
+        if n_new == self.n:
+            return
+        pad = n_new - self.n
+        self._adj.extend([] for _ in range(pad))
+        self._members.extend(set() for _ in range(pad))
+        self.pivots = np.concatenate([self.pivots, np.zeros(pad, dtype=bool)])
+        self.n = int(n_new)
+        self._csr = None
+        self._knn_arrays = None
+
+    def tombstone(self, v: int, alive: "np.ndarray | None" = None) -> None:
+        """Retire vertex ``v``: chain its neighbors, clear its adjacency.
+
+        Chaining consecutive (live) neighbors patches connectivity so
+        traversals never dead-end where ``v`` used to be.  The vertex
+        keeps its id (callers renumber via :meth:`compact`); its pivot
+        flag and exact-K'NN list are dropped.
+        """
+        if not 0 <= v < self.n:
+            raise GraphError(f"tombstone target {v} out of range")
+        nbrs = self.neighbors_list(v)
+        if alive is not None:
+            nbrs = [w for w in nbrs if alive[w]]
+        for a, b in zip(nbrs, nbrs[1:]):
+            self.add_edge(a, b)
+        for w in self.neighbors_list(v):
+            self.remove_edge(v, w)
+        self.exact_knn.pop(v, None)
+        self._knn_arrays = None
+        self.pivots[v] = False
+
+    def compact(self, keep: np.ndarray) -> tuple["Graph", np.ndarray]:
+        """Live-only copy over ``keep`` (renumbered), plus the id remap.
+
+        Returns ``(graph, remap)`` where ``remap[old_id]`` is the new id
+        (``-1`` for dropped vertices).  Links to dropped vertices are
+        removed; exact-K'NN lists survive only when *every* member is
+        kept — otherwise the "exact K'-NN" property no longer holds for
+        the remaining population.  The returned graph is finalised.
+        """
+        keep = np.asarray(keep, dtype=np.int64)
+        if keep.size == 0:
+            raise GraphError("compact: empty keep set")
+        remap = np.full(self.n, -1, dtype=np.int64)
+        remap[keep] = np.arange(keep.size)
+        graph = Graph(keep.size)
+        graph.meta = dict(self.meta)
+        graph.pivots = self.pivots[keep].copy()
+        for new_u, old_u in enumerate(keep):
+            graph.set_links(
+                new_u,
+                (
+                    int(remap[w])
+                    for w in self._adj[int(old_u)]
+                    if remap[w] >= 0
+                ),
+            )
+        for old_v, (ids, dists) in self.exact_knn.items():
+            if remap[old_v] >= 0 and np.all(remap[ids] >= 0):
+                graph.exact_knn[int(remap[old_v])] = (remap[ids], dists.copy())
+        graph.finalize()
+        return graph, remap
+
     # -- lifecycle -----------------------------------------------------------
 
     def finalize(self) -> "Graph":

@@ -290,6 +290,9 @@ def load_engine(
     max_visits: int | None = None,
     mode: str = "auto",
     batch_size: int | None = None,
+    cache_radii: int | None = None,
+    memo_outliers: bool = True,
+    memo_budget: int | None = None,
 ):
     """Rebuild a saved engine against its (re-supplied) dataset.
 
@@ -336,9 +339,137 @@ def load_engine(
         max_visits=max_visits,
         mode=mode,
         batch_size=batch_size,
+        cache_radii=cache_radii,
+        memo_outliers=memo_outliers,
+        memo_budget=memo_budget,
     )
     engine.cache = EvidenceCache.from_state_arrays(graph.n, cache_arrays)
+    engine.cache.max_radii = cache_radii
+    if cache_radii is not None:
+        engine.cache.evict(cache_radii)
     engine._knn_radii = set(float(r) for r in meta.get("knn_radii", ()))
+    stats = meta.get("stats", {})
+    for key in engine.stats:
+        engine.stats[key] = int(stats.get(key, 0))
+    return engine
+
+
+# -- mutable-engine snapshots -------------------------------------------------
+
+_MUTABLE_FORMAT_VERSION = 1
+
+
+def save_mutable_engine(engine, path: "str | Path") -> None:
+    """Snapshot a :class:`~repro.engine.MutableDetectionEngine` (.npz).
+
+    Persists the full-id-space state a mutable engine accumulates: the
+    incrementally maintained graph (tombstones included), the alive
+    mask, the *repaired* evidence-cache bound arrays, the pinned radii
+    and serving statistics.  The objects themselves are not stored; the
+    caller re-supplies the full insertion log (dead positions included)
+    to :func:`load_mutable_engine`, which verifies it against a stored
+    fingerprint.
+    """
+    from .engine.evidence import EvidenceCache
+    from .exceptions import ParameterError
+
+    if engine._graph is None or engine._dataset is None:
+        raise ParameterError("cannot snapshot a mutable engine before any insert")
+    engine._fold_back()  # the snapshot must carry everything proven so far
+    cache = (
+        engine.cache
+        if engine.cache is not None
+        else EvidenceCache(engine.n_total)
+    )
+    payload = _graph_arrays(engine._graph)
+    payload.update(cache.state_arrays())
+    payload["mutable_format_version"] = np.asarray(_MUTABLE_FORMAT_VERSION)
+    payload["alive"] = np.asarray(engine._alive, dtype=bool)
+    payload["mutable_meta"] = np.asarray(
+        json.dumps(
+            {
+                "stats": engine.stats,
+                "n_total": engine.n_total,
+                "pairs": engine.pairs,
+                "metric": engine.metric.name,
+                "K": engine.K,
+                "search_attempts": engine.search_attempts,
+                "rebuild_graph": engine.rebuild_graph,
+                "mutations_since_rebuild": engine._mutations_since_rebuild,
+                "pinned": sorted(engine._pinned),
+                "fingerprint": _dataset_fingerprint(engine._dataset),
+            }
+        )
+    )
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_mutable_engine(path: "str | Path", objects, **kwargs):
+    """Rebuild a saved mutable engine against its full object log.
+
+    ``objects`` must be the complete insertion-ordered log the engine
+    had accumulated (tombstoned positions included) — verified against
+    the stored fingerprint.  Remaining keyword arguments are forwarded
+    to the :class:`~repro.engine.MutableDetectionEngine` constructor
+    (execution knobs such as ``n_jobs``, ``mode``, ``rebuild_every``).
+
+    Raises :class:`GraphError` when the snapshot is unreadable, was not
+    written by :func:`save_mutable_engine`, is version-mismatched, or
+    does not match ``objects``.
+    """
+    from .engine.evidence import EvidenceCache
+    from .engine.mutable import MutableDetectionEngine
+
+    path = Path(path)
+    with _NpzReader(path, "mutable engine snapshot") as data:
+        if "mutable_format_version" not in data:
+            raise GraphError(
+                f"{path}: not a mutable-engine snapshot (a graph or "
+                f"static-engine .npz? use load_graph/load_engine instead)"
+            )
+        version = int(data["mutable_format_version"])
+        if version != _MUTABLE_FORMAT_VERSION:
+            raise GraphError(
+                f"{path}: unsupported mutable snapshot version {version} "
+                f"(this build reads version {_MUTABLE_FORMAT_VERSION})"
+            )
+        try:
+            graph = _graph_from_arrays(data, path)
+            meta = json.loads(str(data["mutable_meta"]))
+        except json.JSONDecodeError as exc:
+            raise GraphError(f"{path}: mutable metadata is not valid JSON") from exc
+        alive = data["alive"]
+        if alive.shape != (graph.n,):
+            raise GraphError(
+                f"{path}: alive mask covers {alive.size} objects but the "
+                f"graph spans {graph.n}"
+            )
+        cache_arrays = _cache_arrays_from(data, graph.n, path)
+    object_log = list(objects)
+    if len(object_log) != graph.n:
+        raise GraphError(
+            f"{path}: snapshot spans {graph.n} objects but the supplied log "
+            f"has {len(object_log)} — wrong object log for this snapshot"
+        )
+    engine = MutableDetectionEngine(
+        metric=str(meta.get("metric", "l2")),
+        K=int(meta.get("K", 16)),
+        search_attempts=int(meta.get("search_attempts", 2)),
+        rebuild_graph=str(meta.get("rebuild_graph", "mrpg")),
+        pinned=[float(r) for r in meta.get("pinned", ())],
+        **kwargs,
+    )
+    engine._objects = object_log
+    engine._alive = [bool(a) for a in alive]
+    engine._refresh_dataset()
+    _check_fingerprint(meta.get("fingerprint"), engine._dataset, path)
+    engine._graph = graph
+    engine.cache = EvidenceCache.from_state_arrays(graph.n, cache_arrays)
+    engine.cache.max_radii = engine.cache_radii
+    if engine.cache_radii is not None:
+        engine.cache.evict(engine.cache_radii)
+    engine.pairs = int(meta.get("pairs", 0))
+    engine._mutations_since_rebuild = int(meta.get("mutations_since_rebuild", 0))
     stats = meta.get("stats", {})
     for key in engine.stats:
         engine.stats[key] = int(stats.get(key, 0))

@@ -1,31 +1,31 @@
-"""Exact sliding-window DOD over a data stream.
+"""Exact sliding-window DOD over a data stream — on the mutable engine.
 
 The paper restricts itself to static, memory-resident data and defers
 dynamic data to the streaming literature: "If P is dynamic, we can use
 one of the state-of-the-art algorithms, e.g., [22, 32]" (§2).  This
-module implements that substrate: exact distance-based outlier
-monitoring over a count-based sliding window, following the structure
-of exact-STORM [Angiulli & Fassetti, CIKM'07] that those works build
-on.
+module implements that substrate, following the (r, k) accounting of
+exact-STORM [Angiulli & Fassetti, CIKM'07] that those works build on —
+but instead of private succeeding/preceding counters, the window drives
+``insert``/``remove`` through a
+:class:`~repro.engine.mutable.MutableDetectionEngine` whose evidence
+cache is *pinned* at the window's radius:
 
-Per object the monitor stores two things:
-
-* ``succ`` — the number of *succeeding* neighbors (arrived later).
-  Succeeding neighbors expire after the object itself, so this count
-  never needs decrementing: expiry is handled by construction.
-* the arrival times of its ``k`` most recent *preceding* neighbors.
-  Preceding neighbors expire oldest-first, so the k most recent are
-  exactly the ones that can still be valid; counting those newer than
-  ``t - W`` undercounts nothing (see ``test_streaming`` for the
-  property check against a brute-force oracle).
-
-An object is an outlier of the current window iff
-``succ + #valid_preceding < k`` — the same (r, k) semantics as the
-static problem, evaluated over the window content.
+* each arrival's single range scan (the same scan exact-STORM performs)
+  repairs the cache — the newcomer gets its exact neighbor count, every
+  member within ``r`` gets ``+1``;
+* each expiry is repaired from bookkeeping alone: because the window is
+  count-based, an expiring object's within-``r`` neighbors are exactly
+  the later arrivals that found it during *their* scans (its
+  "succeeding neighbors"), so no distances are recomputed;
+* :meth:`outliers` is then a pure cache decision — the engine's
+  ``detect`` finds every member's count already exact.
 
 The stream is expressed as an order over a prepared
 :class:`~repro.data.Dataset` (ids), so every metric in the library
-works unchanged.
+works unchanged; repeated ids are distinct window members, as before.
+Distance evaluations the engine performs are mirrored onto the caller's
+dataset counter, keeping cost accounting comparable with the historical
+implementation (see ``benchmarks/bench_ext_streaming.py``).
 """
 
 from __future__ import annotations
@@ -35,7 +35,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data import Dataset
+from ..engine.mutable import MutableDetectionEngine
 from ..exceptions import ParameterError
+
+#: incremental-graph degree of the window's engine.  Quality only —
+#: pinned-radius queries never touch the graph, so a small degree keeps
+#: the per-arrival linking work negligible.
+_WINDOW_K = 8
+
+#: per-member cap on the succeeding-neighbor list.  A dense window
+#: (radius at the window diameter) would otherwise hold O(window^2)
+#: ids; past the cap the list is abandoned and that member's expiry
+#: falls back to the engine's repair scan — one extra window-sized
+#: distance pass, exactness unchanged.
+_SUCC_CAP = 4096
 
 
 @dataclass
@@ -77,36 +90,82 @@ class SlidingWindowDOD:
         self.k = int(k)
         self.window = int(window)
         self.time = 0
+        self._engine = MutableDetectionEngine(
+            metric=dataset.metric, K=_WINDOW_K, seed=0, pinned=(self.r,)
+        )
+        self._mirrored_pairs = 0
         # Ring buffers indexed by slot = arrival % window.
         self._ids = np.full(window, -1, dtype=np.int64)
         self._arrivals = np.full(window, -1, dtype=np.int64)
-        self._succ = np.zeros(window, dtype=np.int64)
-        self._prec: list[list[int]] = [[] for _ in range(window)]
+        self._engine_ids = np.full(window, -1, dtype=np.int64)
+        # engine id -> engine ids of later arrivals within r (its
+        # complete live neighborhood at expiry time), or None once the
+        # list overflowed _SUCC_CAP (expiry then rescans).
+        self._succ: dict[int, "list[int] | None"] = {}
+
+    # -- engine plumbing ------------------------------------------------------
+
+    def _mirror_pairs(self) -> None:
+        """Forward the engine's distance work to the caller's counter."""
+        delta = self._engine.pairs - self._mirrored_pairs
+        if delta:
+            self.dataset.counter.add(delta)
+            self._mirrored_pairs = self._engine.pairs
+
+    def _maybe_vacuum(self) -> None:
+        """Renumber the engine once tombstones dominate its id space."""
+        if self._engine.n_total <= 2 * self.window + 64:
+            return
+        remap = self._engine.vacuum()
+        occupied = self._arrivals >= 0
+        self._engine_ids[occupied] = remap[self._engine_ids[occupied]]
+        self._succ = {
+            int(remap[eid]): (
+                None if succ is None else [int(remap[v]) for v in succ]
+            )
+            for eid, succ in self._succ.items()
+        }
 
     # -- stream interface -----------------------------------------------------
 
     def append(self, obj_id: int) -> None:
         """Advance the stream by one object."""
+        obj_id = int(obj_id)
         if not 0 <= obj_id < self.dataset.n:
             raise ParameterError(f"object id {obj_id} out of range")
         slot = self.time % self.window
-        occupied = np.flatnonzero(self._arrivals >= 0)
-        occupied = occupied[occupied != slot]  # the expiring slot drops out
-        if occupied.size:
-            members = self._ids[occupied]
-            d = self.dataset.dist_many(int(obj_id), members, bound=self.r)
-            hit_slots = occupied[d <= self.r]
-            # Found neighbors precede the new object; it succeeds them.
-            self._succ[hit_slots] += 1
-            prec_times = np.sort(self._arrivals[hit_slots])[-self.k :]
-            prec = prec_times.tolist()
-        else:
-            prec = []
+        if self._arrivals[slot] >= 0:
+            # The expiring member's within-r neighbors are exactly its
+            # succeeding arrivals — all still live in a count-based
+            # window — so the cache repair needs no distance scan
+            # (unless the list overflowed; then the engine rescans).
+            victim = int(self._engine_ids[slot])
+            succ = self._succ.pop(victim, [])
+            self._engine.remove(
+                [victim],
+                known_neighbors=None if succ is None else {
+                    victim: {self.r: np.asarray(succ, dtype=np.int64)}
+                },
+            )
+        new_id = int(self._engine.insert([self.dataset.get(obj_id)])[0])
+        within = self._engine.last_insert_neighbors[0].get(
+            self.r, np.empty(0, dtype=np.int64)
+        )
+        for q in within:
+            succ = self._succ[int(q)]
+            if succ is None:
+                continue
+            if len(succ) >= _SUCC_CAP:
+                self._succ[int(q)] = None
+            else:
+                succ.append(new_id)
+        self._succ[new_id] = []
         self._ids[slot] = obj_id
         self._arrivals[slot] = self.time
-        self._succ[slot] = 0
-        self._prec[slot] = prec
+        self._engine_ids[slot] = new_id
         self.time += 1
+        self._maybe_vacuum()
+        self._mirror_pairs()
 
     def extend(self, obj_ids) -> None:
         """Append a sequence of objects."""
@@ -127,21 +186,38 @@ class SlidingWindowDOD:
         return self._ids[occupied[order]].copy()
 
     def neighbor_count(self, slot: int) -> int:
-        """Valid neighbor count of the object in ``slot`` (internal)."""
-        horizon = self.time - self.window
-        valid_prec = sum(1 for t in self._prec[slot] if t >= max(horizon, 0))
-        return int(self._succ[slot]) + valid_prec
+        """Valid neighbor count of the object in ``slot`` (diagnostic)."""
+        if self._arrivals[slot] < 0:
+            raise ParameterError(f"slot {slot} is empty")
+        others = np.flatnonzero(self._arrivals >= 0)
+        others = others[others != slot]
+        if others.size == 0:
+            return 0
+        d = self.dataset.dist_many(
+            int(self._ids[slot]), self._ids[others], bound=self.r
+        )
+        return int(np.count_nonzero(d <= self.r))
 
     def outliers(self) -> np.ndarray:
-        """Dataset ids of the current window's outliers (sorted)."""
-        horizon = max(self.time - self.window, 0)
-        out = []
-        for slot in np.flatnonzero(self._arrivals >= 0):
-            slot = int(slot)
-            valid_prec = sum(1 for t in self._prec[slot] if t >= horizon)
-            if self._succ[slot] + valid_prec < self.k:
-                out.append(int(self._ids[slot]))
-        return np.asarray(sorted(out), dtype=np.int64)
+        """Dataset ids of the current window's outliers (sorted).
+
+        A repeated dataset id appears once per window membership, as in
+        the historical counter-based implementation.
+        """
+        if self.size == 0:
+            return np.empty(0, dtype=np.int64)
+        result = self._engine.detect(self.r, self.k)
+        self._mirror_pairs()
+        engine_to_dataset = {
+            int(self._engine_ids[s]): int(self._ids[s])
+            for s in np.flatnonzero(self._arrivals >= 0)
+        }
+        return np.sort(
+            np.asarray(
+                [engine_to_dataset[int(p)] for p in result.outliers],
+                dtype=np.int64,
+            )
+        )
 
     def report(self) -> WindowReport:
         """Snapshot of the current window and its outliers."""

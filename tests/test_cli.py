@@ -170,6 +170,38 @@ def test_stream_command(capsys):
     assert "reports" in out
 
 
+def test_stream_command_with_check(capsys):
+    code = main(
+        ["stream", "--suite", "glove", "--n", "120", "--window", "30",
+         "--k", "4", "--check"]
+    )
+    assert code == 0
+    assert "check passed" in capsys.readouterr().out
+
+
+def test_update_command_with_check_and_snapshot(tmp_path, capsys):
+    snap = str(tmp_path / "mutable.npz")
+    args = ["update", "--suite", "glove", "--n", "200", "--batches", "3",
+            "--churn", "0.1", "--K", "8", "--check", "--snapshot", snap]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "check passed" in out
+    assert "snapshot written" in out
+    # Second run restores the snapshot and serves warm.
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "loaded warm mutable snapshot" in out
+    assert "check passed" in out
+
+
+def test_update_command_rejects_bad_parameters(capsys):
+    code = main(
+        ["update", "--suite", "glove", "--n", "120", "--batches", "0"]
+    )
+    assert code == 2
+    assert "batches" in capsys.readouterr().err
+
+
 def test_calibrate_command(capsys):
     code = main(
         ["calibrate", "--suite", "words", "--k", "4", "--target", "0.05",

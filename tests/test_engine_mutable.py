@@ -1,0 +1,336 @@
+"""Metamorphic update oracle for the mutable engine core.
+
+The acceptance contract of ``engine/mutable.py``: after *arbitrary*
+interleavings of insert/remove/detect/sweep, a
+:class:`MutableDetectionEngine`'s answers are bit-identical to a fresh
+:class:`DetectionEngine` built on the compacted dataset (and to brute
+force), across metrics and graph types.  Repairs may only ever keep
+*sound* bounds — any unsound repair shows up here as a wrong outlier
+set.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Dataset
+from repro.engine import DetectionEngine, MutableDetectionEngine
+from repro.engine.evidence import NO_BOUND, EvidenceCache
+from repro.exceptions import ParameterError
+from repro.graphs.base import build_graph
+from repro.index import brute_force_outliers
+
+
+def _oracle_check(engine: MutableDetectionEngine, r, k, graph_name="kgraph"):
+    """Assert engine.detect == fresh engine on compacted data == brute."""
+    keep = engine.active_ids()
+    objects = engine.live_objects()
+    dataset = Dataset(
+        np.asarray(objects) if engine.metric.is_vector else objects,
+        engine.metric,
+    )
+    result = engine.detect(r, k)
+    brute = keep[brute_force_outliers(dataset, r, k)]
+    np.testing.assert_array_equal(result.outliers, brute)
+    fresh_graph = build_graph(graph_name, dataset, K=6, rng=0, clamp_K=True)
+    with DetectionEngine(dataset, fresh_graph) as fresh:
+        np.testing.assert_array_equal(
+            result.outliers, keep[fresh.query(r, k).outliers]
+        )
+    return result
+
+
+@pytest.fixture()
+def pool(rng):
+    return np.concatenate(
+        [rng.normal(size=(260, 4)), rng.normal(size=(8, 4)) * 0.3 + 22.0]
+    )
+
+
+def test_interleaved_churn_matches_fresh_engine(pool, rng):
+    eng = MutableDetectionEngine(metric="l2", K=6, seed=0)
+    eng.insert(pool[:100])
+    _oracle_check(eng, 1.8, 5)
+    eng.remove(rng.choice(100, size=25, replace=False).tolist())
+    _oracle_check(eng, 1.8, 5)
+    eng.insert(pool[100:180])
+    _oracle_check(eng, 1.8, 5)
+    eng.remove(rng.choice(eng.active_ids(), size=30, replace=False).tolist())
+    eng.insert(pool[180:220])
+    _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_repaired_sweep_matches_brute_force(pool, rng):
+    eng = MutableDetectionEngine(metric="l2", K=6, seed=0)
+    eng.insert(pool[:150])
+    eng.sweep([1.5, 1.8], k_grid=[4, 6])
+    eng.remove(rng.choice(150, size=40, replace=False).tolist())
+    eng.insert(pool[150:200])
+    sweep = eng.sweep([1.5, 1.8], k_grid=[4, 6])
+    keep = eng.active_ids()
+    dataset = Dataset(np.asarray(eng.live_objects()), "l2")
+    for (r, k), res in sweep.results.items():
+        ref = keep[brute_force_outliers(dataset, r, k)]
+        np.testing.assert_array_equal(res.outliers, ref)
+    eng.close()
+
+
+def test_repair_beats_cache_drop(pool, rng):
+    """Repaired bounds decide most of the post-churn population; the
+    residue is far cheaper than the cold query (the ``BENCH_mutable``
+    headline, asserted here at unit scale)."""
+    eng = MutableDetectionEngine(metric="l2", K=6, seed=0)
+    eng.insert(pool[:120])
+    cold = eng.detect(1.8, 5)
+    eng.remove(rng.choice(120, size=20, replace=False).tolist())
+    eng.insert(pool[120:160])
+    warm = eng.detect(1.8, 5)
+    assert warm.counts["cache_decided"] >= 0.7 * eng.n_active
+    assert warm.pairs < cold.pairs
+    # Inserted objects carry exact counts from their repair scan, so a
+    # third detect after pure inserts decides them all from the cache.
+    eng.insert(pool[160:200])
+    again = eng.detect(1.8, 5)
+    assert again.counts["cache_decided"] >= 0.7 * eng.n_active
+    _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_rebuild_and_vacuum_preserve_answers(pool, rng):
+    eng = MutableDetectionEngine(metric="l2", K=6, seed=0)
+    eng.insert(pool)
+    eng.remove(rng.choice(260, size=60, replace=False).tolist())
+    before = _oracle_check(eng, 1.8, 5)
+    eng.rebuild(renumber=False)
+    after = _oracle_check(eng, 1.8, 5)
+    np.testing.assert_array_equal(before.outliers, after.outliers)
+    remap = eng.rebuild(renumber=True)
+    assert remap is not None and np.count_nonzero(remap >= 0) == eng.n_active
+    _oracle_check(eng, 1.8, 5)
+    eng.insert(pool[:30])
+    remap = eng.vacuum()
+    assert eng.n_total == eng.n_active
+    _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_auto_rebuild_counter(pool):
+    eng = MutableDetectionEngine(metric="l2", K=6, seed=0, rebuild_every=10)
+    eng.insert(pool[:80])
+    eng.detect(1.8, 5)
+    assert eng.stats["rebuilds"] == 1  # 80 inserts tripped the counter
+    ids = eng.active_ids()
+    assert ids.size == 80  # renumber=False: stable ids survive
+    _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_pinned_radius_keeps_counts_exact(pool, rng):
+    eng = MutableDetectionEngine(metric="l2", K=4, seed=0, pinned=(1.8,))
+    eng.insert(pool[:60])
+    first = eng.detect(1.8, 5)
+    assert first.pairs == 0  # every count maintained exactly from insert scans
+    eng.remove(rng.choice(60, size=15, replace=False).tolist())
+    eng.insert(pool[60:90])
+    again = eng.detect(1.8, 5)
+    assert again.pairs == 0
+    _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_edit_metric_churn(word_list):
+    eng = MutableDetectionEngine(metric="edit", K=5, seed=0)
+    eng.insert(word_list[:90])
+    _oracle_check(eng, 4.0, 3)
+    eng.remove([0, 5, 9, 44])
+    eng.insert(word_list[90:140])
+    _oracle_check(eng, 4.0, 3)
+    eng.close()
+
+
+def test_graph_types_for_rebuild(pool, rng):
+    for graph_name in ("mrpg", "kgraph", "nsw"):
+        eng = MutableDetectionEngine(
+            metric="l2", K=6, seed=0, rebuild_graph=graph_name
+        )
+        eng.insert(pool[:120])
+        eng.remove(rng.choice(120, size=20, replace=False).tolist())
+        eng.rebuild(renumber=False)
+        _oracle_check(eng, 1.8, 5, graph_name=graph_name)
+        # post-rebuild inserts must invalidate stale exact-K'NN lists
+        eng.insert(pool[120:150])
+        _oracle_check(eng, 1.8, 5, graph_name=graph_name)
+        eng.close()
+
+
+def test_insert_invalidates_stale_exact_lists(pool):
+    eng = MutableDetectionEngine(metric="l2", K=6, seed=0)
+    eng.insert(pool[:150])
+    eng.rebuild(renumber=False)  # MRPG: stores exact lists
+    holders_before = len(eng._graph.exact_knn)
+    assert holders_before > 0
+    # Insert copies of existing points: they land strictly inside many
+    # stored lists, which must all be dropped.
+    eng.detect(1.8, 5)  # pin a radius so inserts scan
+    eng.insert(pool[:20] + 1e-9)
+    assert len(eng._graph.exact_knn) < holders_before
+    from repro.extensions.topn import knn_distance_scores
+
+    tn = eng.top_n(6, 4)
+    scores = knn_distance_scores(Dataset(np.asarray(eng.live_objects()), "l2"), 4)
+    np.testing.assert_allclose(
+        np.sort(tn.scores)[::-1], np.sort(scores)[::-1][:6]
+    )
+    eng.close()
+
+
+def test_top_n_over_live_objects(pool, rng):
+    from repro.extensions.topn import knn_distance_scores
+
+    eng = MutableDetectionEngine(metric="l2", K=6, seed=0)
+    eng.insert(pool)
+    eng.remove(rng.choice(260, size=50, replace=False).tolist())
+    eng.sweep([1.5, 1.8, 2.1], k_grid=[4])
+    result = eng.top_n(8, 4)
+    dataset = Dataset(np.asarray(eng.live_objects()), "l2")
+    expected = np.sort(knn_distance_scores(dataset, 4))[::-1][:8]
+    np.testing.assert_allclose(np.sort(result.scores)[::-1], expected)
+    assert set(result.ids.tolist()) <= set(eng.active_ids().tolist())
+    eng.close()
+
+
+def test_validation(pool):
+    with pytest.raises(ParameterError):
+        MutableDetectionEngine(K=0)
+    with pytest.raises(ParameterError):
+        MutableDetectionEngine(search_attempts=0)
+    with pytest.raises(ParameterError):
+        MutableDetectionEngine(rebuild_every=0)
+    eng = MutableDetectionEngine(metric="l2", K=4, seed=0)
+    with pytest.raises(ParameterError):
+        eng.detect(1.0, 2)
+    with pytest.raises(ParameterError):
+        eng.remove([0])
+    eng.insert(pool[:10])
+    with pytest.raises(ParameterError):
+        eng.remove([99])
+    with pytest.raises(ParameterError):
+        eng.remove([1, 1])
+    eng.remove([3])
+    with pytest.raises(ParameterError):
+        eng.remove([3])
+    assert eng.insert([]).size == 0
+    eng.close()
+
+
+# -- evidence-cache repair laws ------------------------------------------------
+
+
+def test_cache_cumulative_folds_match_naive():
+    rng = np.random.default_rng(3)
+    cache = EvidenceCache(40)
+    radii = [0.5, 1.0, 1.5, 2.0, 2.5]
+    naive_lb: dict[float, np.ndarray] = {}
+    naive_ub: dict[float, np.ndarray] = {}
+    for _ in range(30):
+        r = float(rng.choice(radii))
+        ids = rng.choice(40, size=10, replace=False)
+        counts = rng.integers(0, 20, size=10)
+        exact = rng.random(10) < 0.4
+        cache.record(r, ids, counts, exact_mask=exact)
+        lb = naive_lb.setdefault(r, np.zeros(40, dtype=np.int64))
+        np.maximum.at(lb, ids, counts)
+        ub = naive_ub.setdefault(r, np.full(40, NO_BOUND, dtype=np.int64))
+        np.minimum.at(ub, ids[exact], counts[exact])
+        q = float(rng.choice(radii)) + float(rng.choice([-0.1, 0.0, 0.1]))
+        expect_lb = np.zeros(40, dtype=np.int64)
+        for r0, row in naive_lb.items():
+            if r0 <= q:
+                np.maximum(expect_lb, row, out=expect_lb)
+        expect_ub = np.full(40, NO_BOUND, dtype=np.int64)
+        for r0, row in naive_ub.items():
+            if r0 >= q:
+                np.minimum(expect_ub, row, out=expect_ub)
+        np.testing.assert_array_equal(cache.lower_bounds(q), expect_lb)
+        np.testing.assert_array_equal(cache.upper_bounds(q), expect_ub)
+
+
+def test_cache_eviction_stays_sound():
+    rng = np.random.default_rng(5)
+    pts = rng.normal(size=(60, 3))
+    dataset = Dataset(pts, "l2")
+    capped = EvidenceCache(60, max_radii=3)
+    radii = np.linspace(0.5, 3.0, 9)
+    for r in radii:
+        counts = np.asarray(
+            [
+                np.count_nonzero(dataset.dist_many(p, np.arange(60)) <= r) - 1
+                for p in range(60)
+            ],
+            dtype=np.int64,
+        )
+        capped.record(r, np.arange(60), counts, exact_mask=np.ones(60, bool))
+        assert len(capped._lb) <= 3 and len(capped._ub) <= 3
+    # Bounds at any radius must still bracket the true counts.
+    for q in (0.7, 1.4, 2.6):
+        truth = np.asarray(
+            [
+                np.count_nonzero(dataset.dist_many(p, np.arange(60)) <= q) - 1
+                for p in range(60)
+            ]
+        )
+        assert np.all(capped.lower_bounds(q) <= truth)
+        assert np.all(capped.upper_bounds(q) >= truth)
+
+
+def test_cache_repair_rejects_bad_ids():
+    cache = EvidenceCache(4)
+    with pytest.raises(ParameterError):
+        cache.apply_insert(6, None)  # skips row 4, 5
+    with pytest.raises(ParameterError):
+        cache.apply_delete(9)
+    with pytest.raises(ParameterError):
+        cache.grow(2)
+    with pytest.raises(ParameterError):
+        cache.take(np.empty(0, dtype=np.int64))
+    with pytest.raises(ParameterError):
+        cache.evict(0)
+    with pytest.raises(ParameterError):
+        EvidenceCache(4, max_radii=0)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "remove", "detect"]),
+                  st.integers(0, 10_000)),
+        min_size=3,
+        max_size=12,
+    ),
+)
+@settings(max_examples=15, deadline=None)
+def test_random_interleavings_property(ops):
+    gen = np.random.default_rng(11)
+    pool = np.concatenate(
+        [gen.normal(size=(160, 3)), gen.normal(size=(6, 3)) * 0.2 + 15.0]
+    )
+    eng = MutableDetectionEngine(metric="l2", K=5, seed=0)
+    eng.insert(pool[:40])
+    cursor = 40
+    opgen = np.random.default_rng(17)
+    for op, salt in ops:
+        if op == "insert" and cursor < pool.shape[0]:
+            step = 1 + salt % 20
+            eng.insert(pool[cursor : cursor + step])
+            cursor += step
+        elif op == "remove" and eng.n_active > 12:
+            live = eng.active_ids()
+            take = 1 + salt % min(8, live.size - 10)
+            victims = opgen.choice(live, size=take, replace=False)
+            eng.remove(victims.tolist())
+        elif op == "detect":
+            r = 1.2 + 0.2 * (salt % 4)
+            _oracle_check(eng, r, 2 + salt % 4)
+    _oracle_check(eng, 1.5, 4)
+    eng.close()

@@ -228,6 +228,115 @@ def test_detector_engine_handoff(blob_points):
     assert engine.index_nbytes >= det.index_nbytes
 
 
+# -- outlier distance memoisation ---------------------------------------------
+
+
+def test_ascending_sweep_memoises_repeat_outliers(l2_dataset, mrpg_l2, l2_params):
+    r, k = l2_params
+    engine = DetectionEngine(l2_dataset, mrpg_l2, rng=0)
+    sweep = engine.sweep([r * 0.9, r, r * 1.1, r * 1.2], k=k)
+    assert engine.stats["memoised"] > 0
+    for (rv, kv), res in sweep.results.items():
+        fresh = graph_dod(
+            l2_dataset.view(), mrpg_l2, rv, kv,
+            verifier=engine.verifier, rng=0,
+        )
+        assert fresh.same_outliers(res), (rv, kv)
+    # Memoised objects are decided in O(log n) at a never-seen radius:
+    # the sweep's outliers cost no further linear scans.
+    probe = engine.query(r * 1.15, k)
+    fresh = graph_dod(
+        l2_dataset.view(), mrpg_l2, r * 1.15, k,
+        verifier=engine.verifier, rng=0,
+    )
+    assert fresh.same_outliers(probe)
+
+
+def test_memo_budget_respected(l2_dataset, mrpg_l2, l2_params):
+    r, k = l2_params
+    engine = DetectionEngine(l2_dataset, mrpg_l2, rng=0, memo_budget=2)
+    engine.sweep([r * 0.9, r, r * 1.1], k=k)
+    assert len(engine._memo) <= 2
+    assert engine.stats["memoised"] <= 2
+
+
+def test_memo_disabled_still_exact(l2_dataset, mrpg_l2, l2_params):
+    r, k = l2_params
+    on = DetectionEngine(l2_dataset, mrpg_l2, rng=0)
+    off = DetectionEngine(l2_dataset, mrpg_l2, rng=0, memo_outliers=False)
+    grid = [r * 0.9, r, r * 1.1]
+    sweep_on = on.sweep(grid, k=k)
+    sweep_off = off.sweep(grid, k=k)
+    assert off.stats["memoised"] == 0
+    for key in sweep_on.results:
+        np.testing.assert_array_equal(
+            sweep_on.results[key].outliers, sweep_off.results[key].outliers
+        )
+
+
+def test_memo_survives_reset_cache(l2_dataset, mrpg_l2, l2_params):
+    r, k = l2_params
+    engine = DetectionEngine(l2_dataset, mrpg_l2, rng=0)
+    engine.sweep([r * 0.9, r], k=k)
+    memoised = dict(engine._memo)
+    engine.reset_cache()
+    res = engine.query(r, k)
+    fresh = graph_dod(
+        l2_dataset.view(), mrpg_l2, r, k, verifier=engine.verifier, rng=0
+    )
+    assert fresh.same_outliers(res)
+    for p, vec in memoised.items():
+        np.testing.assert_array_equal(engine._memo[p], vec)
+
+
+# -- bounded-cache serving -------------------------------------------------------
+
+
+def test_cache_radii_budget_keeps_answers_exact(l2_dataset, mrpg_l2, l2_params):
+    r, k = l2_params
+    capped = DetectionEngine(l2_dataset, mrpg_l2, rng=0, cache_radii=2)
+    grid = [r * f for f in (0.85, 0.9, 0.95, 1.0, 1.05, 1.1)]
+    sweep = capped.sweep(grid, k=k)
+    assert len(capped.cache._lb) <= 2 and len(capped.cache._ub) <= 2
+    for (rv, kv), res in sweep.results.items():
+        fresh = graph_dod(
+            l2_dataset.view(), mrpg_l2, rv, kv, verifier=capped.verifier, rng=0
+        )
+        assert fresh.same_outliers(res), (rv, kv)
+
+
+# -- engine-seeded top-n ----------------------------------------------------------
+
+
+def test_engine_top_n_matches_plain_and_prunes_more(l2_dataset, mrpg_l2, l2_params):
+    from repro.extensions import top_n_outliers
+    from repro.extensions.topn import knn_distance_scores
+
+    r, k = l2_params
+    engine = DetectionEngine(l2_dataset, mrpg_l2, rng=0)
+    engine.sweep([r * 0.9, r, r * 1.1], k=k)
+    seeded = engine.top_n(10, k)
+    plain = top_n_outliers(l2_dataset, 10, k, rng=0)
+    np.testing.assert_allclose(
+        np.sort(seeded.scores), np.sort(plain.scores), rtol=1e-12
+    )
+    expected = np.sort(knn_distance_scores(l2_dataset, k))[::-1][:10]
+    np.testing.assert_allclose(np.sort(seeded.scores)[::-1], expected)
+    assert seeded.pruned_objects >= plain.pruned_objects
+    assert seeded.pairs <= plain.pairs
+
+
+def test_top_n_rejects_conflicting_inputs(l2_dataset, mrpg_l2, rng):
+    from repro.extensions import top_n_outliers
+
+    engine = DetectionEngine(l2_dataset, mrpg_l2, rng=0)
+    other = Dataset(rng.normal(size=(l2_dataset.n, 6)), "l2")
+    with pytest.raises(ParameterError):
+        top_n_outliers(other, 5, 3, engine=engine)
+    with pytest.raises(ParameterError):
+        top_n_outliers(None, 5, 3)
+
+
 # -- evidence cache unit behavior ---------------------------------------------
 
 

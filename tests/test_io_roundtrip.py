@@ -16,15 +16,18 @@ import pytest
 from repro import (
     Dataset,
     DetectionEngine,
+    MutableDetectionEngine,
     ShardedDetectionEngine,
     load_engine,
     load_graph,
+    load_mutable_engine,
     load_sharded_engine,
     save_engine,
     save_graph,
+    save_mutable_engine,
     save_sharded_engine,
 )
-from repro.exceptions import GraphError
+from repro.exceptions import GraphError, ParameterError
 
 
 @pytest.fixture()
@@ -289,6 +292,111 @@ def test_engine_meta_is_plain_json(engine, tmp_path):
         meta = json.loads(str(data["engine_meta"]))
     assert meta["n"] == engine.n
     assert meta["stats"]["queries"] == engine.stats["queries"]
+
+
+# -- mutable-engine snapshots ------------------------------------------------------
+
+
+@pytest.fixture()
+def mutable_engine(blob_points):
+    eng = MutableDetectionEngine(metric="l2", K=6, seed=0)
+    eng.insert(blob_points[:180])
+    eng.detect(1.8, 5)
+    eng.remove(list(range(0, 30)))
+    eng.insert(blob_points[180:])
+    yield eng
+    eng.close()
+
+
+def test_mutable_snapshot_roundtrip_serves_warm(mutable_engine, tmp_path):
+    path = tmp_path / "mutable.npz"
+    reference = mutable_engine.detect(1.8, 5)
+    save_mutable_engine(mutable_engine, path)
+    loaded = load_mutable_engine(path, mutable_engine.object_log())
+    assert loaded.stats == mutable_engine.stats
+    assert loaded.n_total == mutable_engine.n_total
+    assert loaded.n_active == mutable_engine.n_active
+    res = loaded.detect(1.8, 5)
+    np.testing.assert_array_equal(res.outliers, reference.outliers)
+    assert res.pairs == 0  # repaired bounds survived the restart intact
+    # Mutations continue seamlessly after restore.
+    loaded.remove([int(loaded.active_ids()[0])])
+    after = loaded.detect(1.8, 5)
+    assert after.n_outliers >= 0
+    loaded.close()
+
+
+def test_mutable_save_method_matches_module_function(mutable_engine, tmp_path):
+    a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+    mutable_engine.save(a)
+    save_mutable_engine(mutable_engine, b)
+    log = mutable_engine.object_log()
+    ea = MutableDetectionEngine.load(a, log)
+    eb = load_mutable_engine(b, log)
+    assert ea.stats == eb.stats == mutable_engine.stats
+    ea.close()
+    eb.close()
+
+
+def test_save_mutable_before_insert_is_an_error(tmp_path):
+    eng = MutableDetectionEngine(metric="l2")
+    with pytest.raises(ParameterError, match="before any insert"):
+        save_mutable_engine(eng, tmp_path / "never.npz")
+
+
+def test_load_mutable_rejects_truncated_archive(mutable_engine, tmp_path):
+    path = tmp_path / "m.npz"
+    save_mutable_engine(mutable_engine, path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[: int(len(blob) * 0.6)])
+    with pytest.raises(GraphError):
+        load_mutable_engine(path, mutable_engine.object_log())
+
+
+def test_load_mutable_rejects_static_engine_snapshot(engine, l2_dataset, tmp_path):
+    path = tmp_path / "static.npz"
+    save_engine(engine, path)
+    with pytest.raises(GraphError, match="not a mutable-engine snapshot"):
+        load_mutable_engine(path, list(range(l2_dataset.n)))
+
+
+def test_load_mutable_rejects_wrong_version(mutable_engine, tmp_path):
+    path = tmp_path / "m.npz"
+    save_mutable_engine(mutable_engine, path)
+    _rewrite(path, mutable_format_version=np.asarray(77))
+    with pytest.raises(GraphError, match="version 77"):
+        load_mutable_engine(path, mutable_engine.object_log())
+
+
+def test_load_mutable_rejects_wrong_log_length(mutable_engine, tmp_path):
+    path = tmp_path / "m.npz"
+    save_mutable_engine(mutable_engine, path)
+    with pytest.raises(GraphError, match="wrong object log"):
+        load_mutable_engine(path, mutable_engine.object_log()[:-3])
+
+
+def test_load_mutable_rejects_different_objects(mutable_engine, tmp_path, rng):
+    path = tmp_path / "m.npz"
+    save_mutable_engine(mutable_engine, path)
+    fake = list(rng.normal(size=(mutable_engine.n_total, 6)))
+    with pytest.raises(GraphError, match="fingerprint"):
+        load_mutable_engine(path, fake)
+
+
+def test_load_mutable_rejects_bad_alive_mask(mutable_engine, tmp_path):
+    path = tmp_path / "m.npz"
+    save_mutable_engine(mutable_engine, path)
+    _rewrite(path, alive=np.ones(3, dtype=bool))
+    with pytest.raises(GraphError, match="alive mask"):
+        load_mutable_engine(path, mutable_engine.object_log())
+
+
+def test_load_mutable_rejects_bad_metadata_json(mutable_engine, tmp_path):
+    path = tmp_path / "m.npz"
+    save_mutable_engine(mutable_engine, path)
+    _rewrite(path, mutable_meta=np.asarray("{nope"))
+    with pytest.raises(GraphError, match="JSON"):
+        load_mutable_engine(path, mutable_engine.object_log())
 
 
 # -- sharded-engine manifests -----------------------------------------------------
