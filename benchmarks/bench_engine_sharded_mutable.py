@@ -1,0 +1,248 @@
+"""Mutable sharded engine perf trajectory: batched repair, repair vs refit.
+
+The acceptance workload for the composed engine: an L2 collection is
+bulk-loaded across shards, warmed with an ``r`` sweep, then serves
+alternating churn rounds (removals + insertions) and sweep queries —
+the read-heavy-serving-with-background-churn shape of the ROADMAP
+north star, now over shard workers.  Two comparisons:
+
+* **batched vs per-object repair** — the same churn applied as one
+  ``insert``/``remove`` block per round (one ``pair_dist`` sweep per
+  batch per shard, one repair broadcast) versus one engine call per
+  object (the PR-4 mutation grain).  Same final state, same pairs;
+  the block form wins on kernel count and broadcast round-trips.
+* **repair vs refit** — the mutable engine repairing its shard caches
+  through churn versus rebuilding a static sharded engine from
+  scratch every round (the only pre-composition way to combine churn
+  with multi-process serving).  Bit-identical sweeps (asserted); the
+  headline is repair winning on wall clock and distance computations.
+
+Emits the machine-readable ``BENCH_sharded_mutable.json`` at the repo
+root.  Wall-clock assertions are hardware claims: they only apply at
+full scale (and the multi-worker one only with >= 4 real cores), as in
+``bench_engine_sharded.py``.  ``REPRO_BENCH_SCALE`` shrinks the
+cardinality for a quick pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import Dataset
+from repro.datasets import blobs_with_outliers, calibrate_r
+from repro.engine import MutableShardedDetectionEngine, ShardedDetectionEngine
+from repro.harness import bench_scale
+
+N_FULL = 6_000
+DIM = 32
+K_NEIGHBORS = 20
+N_SHARDS = 4
+CHURN_ROUNDS = 3
+CHURN_FRAC = 0.005
+GRAPH, DEGREE = "mrpg", 16
+#: JSON baseline location (repo root, committed).
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sharded_mutable.json"
+
+
+@pytest.fixture(scope="module")
+def workload():
+    n = max(600, int(round(N_FULL * bench_scale())))
+    points = blobs_with_outliers(
+        n + n // 2, dim=DIM, n_clusters=10, core_std=0.6, tail_std=2.2,
+        tail_frac=0.06, center_spread=14.0, planted_frac=0.01,
+        planted_spread=70.0, rng=42,
+    )
+    base, extra = points[:n], points[n:]
+    dataset = Dataset(base, "l2")
+    r, _ = calibrate_r(dataset, K_NEIGHBORS, 0.01)
+    return base, extra, float(r)
+
+
+def _fresh_engine(base, workers: int = 1) -> MutableShardedDetectionEngine:
+    return MutableShardedDetectionEngine.fit(
+        base, metric="l2", n_shards=N_SHARDS, workers=workers,
+        graph=GRAPH, K=DEGREE, seed=0,
+    )
+
+
+def _churn_plan(base, extra):
+    """Deterministic churn rounds: (victims, insert block) per round."""
+    gen = np.random.default_rng(7)
+    n = len(base)
+    step = max(1, int(CHURN_FRAC * n))
+    plan = []
+    cursor = 0
+    live = list(range(n))
+    for _ in range(CHURN_ROUNDS):
+        victims = gen.choice(live, size=step, replace=False).tolist()
+        live = [v for v in live if v not in set(victims)]
+        block = extra[cursor : cursor + step]
+        plan.append((victims, block))
+        cursor += step
+    return plan
+
+
+def _run_mutation_grain(base, extra, r, grain: str):
+    """Warm engine, churn in the given grain, measure mutation cost."""
+    grid = [r * 0.95, r, r * 1.05]
+    engine = _fresh_engine(base)
+    engine.sweep(grid, k=K_NEIGHBORS)  # warm evidence (not measured)
+    churn_seconds = 0.0
+    pairs_before = engine.pairs
+    for victims, block in _churn_plan(base, extra):
+        t0 = time.perf_counter()
+        if grain == "batched":
+            engine.remove(victims)
+            engine.insert(block)
+        else:
+            for v in victims:
+                engine.remove([v])
+            for row in block:
+                engine.insert(row[None, :])
+        churn_seconds += time.perf_counter() - t0
+    churn_pairs = engine.pairs - pairs_before
+    final = engine.sweep(grid, k=K_NEIGHBORS)
+    outliers = {key: res.outliers.copy() for key, res in final.results.items()}
+    engine.close()
+    return {
+        "grain": grain,
+        "churn_seconds": round(churn_seconds, 6),
+        "churn_pairs": int(churn_pairs),
+    }, outliers
+
+
+def _run_repair(base, extra, r, workers: int):
+    """Churn + sweep serving on one repairing mutable sharded engine."""
+    grid = [r * 0.95, r, r * 1.05]
+    engine = _fresh_engine(base, workers=workers)
+    engine.sweep(grid, k=K_NEIGHBORS)  # warm (not measured)
+    seconds = 0.0
+    pairs_before = engine.pairs
+    outliers = {}
+    for round_no, (victims, block) in enumerate(_churn_plan(base, extra)):
+        t0 = time.perf_counter()
+        engine.remove(victims)
+        engine.insert(block)
+        sweep = engine.sweep(grid, k=K_NEIGHBORS)
+        seconds += time.perf_counter() - t0
+        outliers[round_no] = {
+            key: res.outliers.copy() for key, res in sweep.results.items()
+        }
+    pairs = engine.pairs - pairs_before
+    engine.close()
+    return {
+        "strategy": "repair",
+        "workers": workers,
+        "seconds": round(seconds, 6),
+        "pairs": int(pairs),
+    }, outliers
+
+
+def _run_refit(base, extra, r, workers: int):
+    """The pre-composition alternative: refit a static sharded engine
+    from scratch after every churn round, then sweep."""
+    grid = [r * 0.95, r, r * 1.05]
+    mirror = _fresh_engine(base)  # tracks the live set only (not timed)
+    seconds = 0.0
+    pairs = 0
+    outliers = {}
+    for round_no, (victims, block) in enumerate(_churn_plan(base, extra)):
+        mirror.remove(victims)
+        mirror.insert(block)
+        live = mirror.live_objects()
+        keep = mirror.active_ids()
+        t0 = time.perf_counter()
+        dataset = Dataset(np.asarray(live), "l2")
+        engine = ShardedDetectionEngine(
+            dataset, n_shards=N_SHARDS, workers=workers,
+            graph=GRAPH, K=DEGREE, rng=0,
+        )
+        sweep = engine.sweep(grid, k=K_NEIGHBORS)
+        seconds += time.perf_counter() - t0
+        pairs += dataset.counter.pairs + sweep.pairs
+        outliers[round_no] = {
+            key: keep[res.outliers] for key, res in sweep.results.items()
+        }
+        engine.close()
+    mirror.close()
+    return {
+        "strategy": "refit",
+        "workers": workers,
+        "seconds": round(seconds, 6),
+        "pairs": int(pairs),
+    }, outliers
+
+
+def test_sharded_mutable_baseline(workload):
+    base, extra, r = workload
+    records = []
+
+    batched, batched_out = _run_mutation_grain(base, extra, r, "batched")
+    per_object, per_object_out = _run_mutation_grain(base, extra, r, "per-object")
+    records += [batched, per_object]
+    # Same final state regardless of mutation grain.
+    assert batched_out.keys() == per_object_out.keys()
+    for key in batched_out:
+        assert np.array_equal(batched_out[key], per_object_out[key]), key
+
+    repair, repair_out = _run_repair(base, extra, r, workers=1)
+    refit, refit_out = _run_refit(base, extra, r, workers=1)
+    records += [repair, refit]
+    # Exactness headline: bit-identical sweeps every round.
+    for round_no, per_round in repair_out.items():
+        for key in per_round:
+            assert np.array_equal(
+                per_round[key], refit_out[round_no][key]
+            ), (round_no, key)
+
+    cpus = os.cpu_count() or 1
+    multi = {}
+    if cpus >= 4:
+        multi, _ = _run_repair(base, extra, r, workers=4)
+        records.append(multi)
+
+    batch_speedup = per_object["churn_seconds"] / max(
+        batched["churn_seconds"], 1e-12
+    )
+    refit_speedup = refit["seconds"] / max(repair["seconds"], 1e-12)
+    payload = {
+        "description": "mutable sharded engine: batched vs per-object "
+                       "repair, and churn+sweep serving via cache repair "
+                       "vs per-round static refits",
+        "cpu_count": cpus,
+        "n": len(base),
+        "dim": DIM,
+        "metric": "l2",
+        "graph": GRAPH,
+        "K": DEGREE,
+        "k": K_NEIGHBORS,
+        "r": r,
+        "shards": N_SHARDS,
+        "churn_rounds": CHURN_ROUNDS,
+        "churn_frac": CHURN_FRAC,
+        "records": records,
+        "batched_vs_per_object_speedup": round(batch_speedup, 3),
+        "repair_vs_refit_speedup": round(refit_speedup, 3),
+        "repair_vs_refit_pairs_ratio": round(
+            refit["pairs"] / max(repair["pairs"], 1), 3
+        ),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nbatched repair {batch_speedup:.2f}x vs per-object; repair "
+          f"{refit_speedup:.2f}x vs refit ({payload['repair_vs_refit_pairs_ratio']}x "
+          f"fewer pairs) on {cpus} cpus (baseline written to {OUTPUT.name})")
+
+    full_scale = int(round(N_FULL * bench_scale())) >= N_FULL
+    if full_scale and not os.environ.get("REPRO_BENCH_NO_ASSERT"):
+        # Hardware claims, asserted only at full scale on this machine.
+        assert refit_speedup >= 2.0, payload
+        assert batch_speedup >= 1.2, payload
+        if cpus >= 4 and multi:
+            # With real cores, shard workers must not slow repair down.
+            assert multi["seconds"] <= 1.5 * repair["seconds"], payload

@@ -38,11 +38,17 @@ from .exceptions import (
 )
 from .engine import (
     DetectionEngine,
+    EngineCapabilities,
+    EngineCore,
     EvidenceCache,
     MutableDetectionEngine,
+    MutableEngineCore,
+    MutableShardedDetectionEngine,
     ShardedDetectionEngine,
     SweepResult,
+    create_engine,
     plan_shards,
+    supports,
 )
 from .extensions import DynamicDODetector, top_n_outliers
 from .graphs import (
@@ -57,13 +63,16 @@ from .graphs import (
 )
 from .index import VPTree, brute_force_outliers
 from .io import (
+    load_any_engine,
     load_engine,
     load_graph,
     load_mutable_engine,
+    load_mutable_sharded_engine,
     load_sharded_engine,
     save_engine,
     save_graph,
     save_mutable_engine,
+    save_mutable_sharded_engine,
     save_sharded_engine,
 )
 from .metrics import available_metrics, resolve_metric
@@ -87,8 +96,14 @@ __all__ = [
     "Verifier",
     "WorkerPool",
     "DetectionEngine",
+    "EngineCapabilities",
+    "EngineCore",
     "MutableDetectionEngine",
+    "MutableEngineCore",
+    "MutableShardedDetectionEngine",
     "ShardedDetectionEngine",
+    "create_engine",
+    "supports",
     "EvidenceCache",
     "SweepResult",
     "plan_shards",
@@ -109,8 +124,11 @@ __all__ = [
     "load_graph",
     "save_engine",
     "load_engine",
+    "load_any_engine",
     "save_mutable_engine",
     "load_mutable_engine",
+    "save_mutable_sharded_engine",
+    "load_mutable_sharded_engine",
     "save_sharded_engine",
     "load_sharded_engine",
     "resolve_metric",

@@ -19,7 +19,6 @@ import sys
 import numpy as np
 
 from . import __version__
-from .core.dod import DODetector
 from .core.traversal import DEFAULT_BLOCK
 from .datasets import SUITES, calibrate_r, get_spec, load_suite, make_objects
 
@@ -145,6 +144,15 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="incremental graph degree")
     p_update.add_argument("--rebuild-every", type=int, default=None,
                           help="auto-rebuild the graph after this many mutations")
+    p_update.add_argument("--shards", type=int, default=1,
+                          help="route mutations across this many mutable "
+                               "shards (batched per-shard evidence repair)")
+    p_update.add_argument("--workers", type=int, default=None,
+                          help="worker processes hosting the shards "
+                               "(default: min(shards, cpu count); 1 = in-process)")
+    p_update.add_argument("--rebalance", action="store_true",
+                          help="run the automatic shard split/merge policy "
+                               "after every batch (needs --shards > 1)")
     p_update.add_argument("--seed", type=int, default=0)
     p_update.add_argument("--check", action="store_true",
                           help="verify every detection against brute force "
@@ -162,6 +170,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_stream.add_argument("--k", type=int, default=None)
     p_stream.add_argument("--window", type=int, default=None,
                           help="window size (default n/4)")
+    p_stream.add_argument("--shards", type=int, default=1,
+                          help="drive the window over a mutable sharded "
+                               "engine with this many shards")
+    p_stream.add_argument("--workers", type=int, default=None,
+                          help="worker processes hosting the shards")
     p_stream.add_argument("--seed", type=int, default=0)
     p_stream.add_argument("--check", action="store_true",
                           help="verify every report against quadratic window "
@@ -212,27 +225,17 @@ def _cmd_detect(args: argparse.Namespace) -> int:
             print("detect: --r and --k are required with --input", file=sys.stderr)
             return 2
         r, k = args.r, args.k
-    if args.shards > 1:
-        from .engine import ShardedDetectionEngine
+    from .engine import create_engine
 
-        with ShardedDetectionEngine.fit(
-            objects, metric=metric, graph=args.graph, K=args.K,
-            n_shards=args.shards, workers=args.workers, seed=args.seed,
-            mode=args.mode, batch_size=args.batch_size,
-        ) as engine:
-            result = engine.query(r, k)
-            print(result.summary())
-            print(f"index size: {engine.index_nbytes / 1024:.1f} KiB "
-                  f"({engine.n_shards} shards on {engine.workers} workers)")
-    else:
-        detector = DODetector(
-            metric=metric, graph=args.graph, K=args.K, seed=args.seed,
-            mode=args.mode, batch_size=args.batch_size,
-        )
-        detector.fit(objects)
-        result = detector.detect(r, k, n_jobs=args.n_jobs)
+    with create_engine(
+        objects, metric=metric, graph=args.graph, K=args.K, seed=args.seed,
+        shards=args.shards, workers=args.workers, n_jobs=args.n_jobs,
+        mode=args.mode, batch_size=args.batch_size,
+    ) as engine:
+        result = engine.query(r, k)
         print(result.summary())
-        print(f"index size: {detector.index_nbytes / 1024:.1f} KiB")
+        print(f"index size: {engine.index_nbytes / 1024:.1f} KiB "
+              f"({engine.describe()})")
     if args.output:
         np.savetxt(args.output, result.outliers, fmt="%d")
         print(f"outlier ids written to {args.output}")
@@ -267,7 +270,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     import time
 
     from .core.dod import graph_dod
-    from .engine import DetectionEngine
     from .exceptions import GraphError
 
     if args.suite:
@@ -299,61 +301,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
 
     from .data import Dataset
-    from .rng import ensure_rng
+    from .engine import create_engine
 
     dataset = Dataset(objects, metric)
-    sharded = args.shards > 1
     engine = None
     if args.snapshot is not None and os.path.exists(args.snapshot):
-        try:
-            if sharded:
-                from .io import load_sharded_engine
+        from .io import load_any_engine
 
-                engine = load_sharded_engine(
-                    args.snapshot, dataset, workers=args.workers,
-                    rng=args.seed, mode=args.mode, batch_size=args.batch_size,
-                )
-            else:
-                engine = DetectionEngine.load(
-                    args.snapshot, dataset, n_jobs=args.n_jobs, rng=args.seed,
-                    mode=args.mode, batch_size=args.batch_size,
-                )
+        try:
+            engine = load_any_engine(
+                args.snapshot, dataset=dataset, workers=args.workers,
+                n_jobs=args.n_jobs, rng=args.seed, mode=args.mode,
+                batch_size=args.batch_size,
+            )
             print(f"loaded warm engine snapshot from {args.snapshot} "
                   f"({engine.stats['queries']} queries served before restart)")
-            if sharded:
-                built_graph_name = engine.graph_name
-                built_K = engine.K
-            else:
-                built_graph_name = str(engine.graph.meta.get("builder", "?"))
-                built_K = engine.graph.meta.get("K")
-            if built_graph_name != args.graph or built_K != args.K:
+            if engine.graph_name != args.graph or engine.graph_degree != args.K:
                 print(
                     f"sweep: note: snapshot was built with "
-                    f"graph={built_graph_name} K={built_K}; the --graph/--K "
-                    f"arguments are ignored on a warm load",
+                    f"graph={engine.graph_name} K={engine.graph_degree}; the "
+                    f"--graph/--K arguments are ignored on a warm load",
                     file=sys.stderr,
                 )
         except GraphError as exc:
             print(f"sweep: cannot load snapshot: {exc}", file=sys.stderr)
             return 2
     if engine is None:
-        if sharded:
-            from .engine import ShardedDetectionEngine
-
-            engine = ShardedDetectionEngine(
-                dataset, n_shards=args.shards, workers=args.workers,
-                graph=args.graph, K=args.K, rng=args.seed,
-                mode=args.mode, batch_size=args.batch_size,
-            )
-        else:
-            from .graphs.base import build_graph
-
-            gen = ensure_rng(args.seed)
-            graph = build_graph(args.graph, dataset, K=args.K, rng=gen)
-            engine = DetectionEngine(
-                dataset, graph, n_jobs=args.n_jobs, rng=gen,
-                mode=args.mode, batch_size=args.batch_size,
-            )
+        engine = create_engine(
+            dataset, graph=args.graph, K=args.K, seed=args.seed,
+            shards=args.shards, workers=args.workers, n_jobs=args.n_jobs,
+            mode=args.mode, batch_size=args.batch_size,
+        )
 
     try:
         t0 = time.perf_counter()
@@ -371,24 +349,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         if args.check:
             # The check runs the scalar oracle path over one full
-            # (unsharded) graph, so it also cross-checks the batched
-            # kernels and the shard merge against the
+            # (unsharded) fresh graph, so it also cross-checks the
+            # batched kernels and any shard merge against the
             # one-object-at-a-time walk.
-            if sharded:
-                from .graphs.base import build_graph
+            from .graphs.base import build_graph
+            from .rng import ensure_rng
 
-                check_graph = build_graph(
-                    args.graph, dataset, K=args.K, rng=ensure_rng(args.seed)
-                )
-                check_verifier = None
-            else:
-                check_graph = engine.graph
-                check_verifier = engine.verifier
+            check_graph = build_graph(
+                args.graph, dataset, K=args.K, rng=ensure_rng(args.seed)
+            )
             t0 = time.perf_counter()
             for r, k in sweep.queries:
                 fresh = graph_dod(
                     dataset.view(), check_graph, r, k,
-                    verifier=check_verifier, rng=args.seed, n_jobs=args.n_jobs,
+                    rng=args.seed, n_jobs=args.n_jobs,
                     mode="scalar",
                 )
                 if not fresh.same_outliers(sweep.result(r, k)):
@@ -407,8 +381,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     finally:
         # Worker processes (and any spawn-mode shared memory) must be
         # released on every exit path, including --check mismatches.
-        if sharded:
-            engine.close()
+        engine.close()
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -445,7 +418,7 @@ def _cmd_topn(args: argparse.Namespace) -> int:
 
 
 def _cmd_update(args: argparse.Namespace) -> int:
-    from .engine import MutableDetectionEngine
+    from .engine import create_engine
     from .exceptions import GraphError
     from .index import brute_force_outliers
 
@@ -456,10 +429,20 @@ def _cmd_update(args: argparse.Namespace) -> int:
     if args.batches < 1 or not 0.0 <= args.churn < 1.0:
         print("update: need --batches >= 1 and 0 <= --churn < 1", file=sys.stderr)
         return 2
-    if args.snapshot is not None and not args.snapshot.endswith(".npz"):
-        # np.savez appends the suffix on write; match it so the
-        # warm-load existence check finds what was actually written.
-        args.snapshot += ".npz"
+    if args.rebalance and args.shards < 2:
+        print("update: --rebalance needs --shards > 1", file=sys.stderr)
+        return 2
+    if (
+        args.snapshot is not None
+        and not os.path.exists(args.snapshot)
+        and not args.snapshot.endswith(".npz")
+    ):
+        # Single-process snapshots are .npz files (np.savez appends the
+        # suffix on write); sharded ones are directories.  Probe the
+        # suffixed name first so a warm load finds whichever format a
+        # previous run actually wrote, regardless of today's --shards.
+        if os.path.exists(args.snapshot + ".npz") or args.shards == 1:
+            args.snapshot += ".npz"
 
     def checked_detect(engine, tag: str) -> "int | None":
         result = engine.detect(r, k)
@@ -477,11 +460,15 @@ def _cmd_update(args: argparse.Namespace) -> int:
         return None
 
     print(f"suite={args.suite} metric={spec.metric} r={r:g} k={k} "
-          f"batches={args.batches} churn={int(100 * args.churn)}%")
+          f"batches={args.batches} churn={int(100 * args.churn)}% "
+          f"shards={args.shards}")
     if args.snapshot is not None and os.path.exists(args.snapshot):
+        from .io import load_any_engine
+
         try:
-            engine = MutableDetectionEngine.load(
-                args.snapshot, objects, rebuild_every=args.rebuild_every
+            engine = load_any_engine(
+                args.snapshot, objects=objects, workers=args.workers,
+                rebuild_every=args.rebuild_every,
             )
         except GraphError as exc:
             print(f"update: cannot load snapshot: {exc}", file=sys.stderr)
@@ -497,8 +484,9 @@ def _cmd_update(args: argparse.Namespace) -> int:
             print("check passed: warm answers identical to brute force")
         return 0
 
-    engine = MutableDetectionEngine(
-        metric=spec.metric, K=args.K, seed=args.seed,
+    engine = create_engine(
+        None, metric=spec.metric, K=args.K, seed=args.seed, mutable=True,
+        shards=args.shards, workers=args.workers,
         rebuild_every=args.rebuild_every,
     )
     gen = np.random.default_rng(args.seed + 1)
@@ -513,12 +501,15 @@ def _cmd_update(args: argparse.Namespace) -> int:
                 live, size=max(1, int(args.churn * live.size)), replace=False
             )
             engine.remove(victims.tolist())
+        if args.rebalance and engine.rebalance():
+            print(f"{'rebalanced':>18s}: shard sizes "
+                  f"{engine.shard_sizes().tolist()}")
         code = checked_detect(engine, f"batch {lo // chunk + 1}")
         if code is not None:
             engine.close()
             return code
     if args.check:
-        print(f"check passed: all detections identical to brute force")
+        print("check passed: all detections identical to brute force")
     if args.snapshot is not None:
         engine.save(args.snapshot)
         print(f"mutable-engine snapshot written to {args.snapshot}")
@@ -534,9 +525,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     k = args.k if args.k is not None else spec.default_k
     window = args.window if args.window is not None else max(8, dataset.n // 4)
     stream = np.random.default_rng(args.seed).permutation(dataset.n)
-    monitor = SlidingWindowDOD(dataset, r, k, window)
-    print(f"suite={args.suite} n={dataset.n} r={r:g} k={k} window={window}")
-    reports = monitor.run(stream, report_every=max(1, window // 2))
+    print(f"suite={args.suite} n={dataset.n} r={r:g} k={k} window={window}"
+          + (f" shards={args.shards}" if args.shards > 1 else ""))
+    with SlidingWindowDOD(
+        dataset, r, k, window, shards=args.shards, workers=args.workers
+    ) as monitor:
+        reports = monitor.run(stream, report_every=max(1, window // 2))
     for rep in reports:
         print(f"t={rep.time:6d}  window outliers: {rep.n_outliers}")
     print(f"{len(reports)} reports; {dataset.counter.pairs:,} distance computations")

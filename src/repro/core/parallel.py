@@ -197,6 +197,9 @@ def _shard_actor_main(conn, factories) -> None:  # pragma: no cover - child
             break
         if message[0] == "stop":
             break
+        if message[0] == "ping":
+            conn.send(("ok", None))
+            continue
         _, method, calls = message
         try:
             results = [getattr(actors[slot], method)(*args) for slot, args in calls]
@@ -319,6 +322,25 @@ class ShardPool:
                 "shard worker failed:\n" + "\n".join(errors)
             )
         return results
+
+    def barrier(self) -> None:
+        """Drain every worker: returns once all prior calls completed.
+
+        The shard **epoch barrier**: mutation broadcasts and queries on
+        this pool are synchronous pipe round-trips already, so after a
+        ``barrier()`` no worker holds in-flight work — the point at
+        which a rebalancing epoch may retire or rebuild actors without
+        racing a query.  In-process pools (``workers == 1``) are
+        trivially drained.
+        """
+        if self._closed:
+            raise ParameterError("ShardPool.barrier after close")
+        if self._actors is not None:
+            return
+        for conn in self._conns:
+            conn.send(("ping",))
+        for conn in self._conns:
+            self._expect_ok(conn.recv())
 
     def close(self) -> None:
         """Stop the worker processes (idempotent)."""

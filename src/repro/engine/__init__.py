@@ -22,15 +22,30 @@ streaming (see ``docs/incremental.md``).
 from .engine import DetectionEngine, SweepResult
 from .evidence import NO_BOUND, EvidenceCache
 from .mutable import MutableDetectionEngine
+from .mutable_sharded import MutableShardedDetectionEngine, MutableShardWorker
+from .protocol import (
+    EngineCapabilities,
+    EngineCore,
+    MutableEngineCore,
+    create_engine,
+    supports,
+)
 from .sharded import ShardedDetectionEngine, ShardWorker, plan_shards
 
 __all__ = [
     "DetectionEngine",
     "MutableDetectionEngine",
+    "MutableShardedDetectionEngine",
+    "MutableShardWorker",
     "ShardedDetectionEngine",
     "ShardWorker",
     "SweepResult",
     "EvidenceCache",
+    "EngineCapabilities",
+    "EngineCore",
+    "MutableEngineCore",
     "NO_BOUND",
+    "create_engine",
+    "supports",
     "plan_shards",
 ]

@@ -45,6 +45,7 @@ from ..graphs.base import build_graph
 from ..metrics import Metric
 from ..rng import ensure_rng
 from .evidence import NO_BOUND, EvidenceCache
+from .protocol import EngineCapabilities
 
 
 @dataclass
@@ -513,6 +514,26 @@ class DetectionEngine:
         from ..io import load_engine
 
         return load_engine(path, dataset, **kwargs)
+
+    # -- protocol surface ------------------------------------------------------
+
+    capabilities = EngineCapabilities(top_n=True)
+
+    @property
+    def graph_name(self) -> str:
+        """Builder name of the fitted proximity graph."""
+        return str(self.graph.meta.get("builder", "graph"))
+
+    @property
+    def graph_degree(self) -> int:
+        """Degree parameter the graph was built with (0 if unrecorded)."""
+        return int(self.graph.meta.get("K", 0))
+
+    def describe(self) -> str:
+        return (
+            f"single-process engine, n={self.n}, "
+            f"graph={self.graph_name}, n_jobs={self.n_jobs}"
+        )
 
     # -- bookkeeping -----------------------------------------------------------
 

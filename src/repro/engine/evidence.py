@@ -53,6 +53,63 @@ from ..exceptions import ParameterError
 NO_BOUND = np.iinfo(np.int64).max
 
 
+def build_delete_evidence(
+    dataset,
+    victims,
+    survivors: np.ndarray,
+    radii,
+    known: "dict | None",
+    n_total: int,
+) -> dict:
+    """Reduce a delete batch to :meth:`EvidenceCache.apply_delete_batch` form.
+
+    The one copy of the batched delete-repair law, shared by the
+    single-process engine and every shard worker: victims without
+    supplied bookkeeping are ranged against ``survivors`` in one
+    ``pair_dist`` sweep, victims with ``known`` per-radius neighbor
+    lists contribute those instead, and a radius any victim lacks
+    evidence for is omitted (the caller's lower-bound row there must
+    be dropped).  Returns ``{r: (touched_ids, dec)}``.
+    """
+    known = known or {}
+    radii = list(radii)
+    victims = [int(v) for v in victims]
+    scan = np.asarray(
+        [v for v in victims if known.get(v) is None], dtype=np.int64
+    )
+    dec = {r: np.zeros(n_total, dtype=np.int64) for r in radii}
+    covered = dict.fromkeys(radii, True)
+    if scan.size and survivors.size and radii:
+        # Only within-radius verdicts are consumed, so the sweep can
+        # early-abandon at the largest maintained radius.
+        D = dataset.pair_dist(
+            np.repeat(scan, survivors.size),
+            np.tile(survivors, scan.size),
+            bound=max(radii), consistent=True,
+        ).reshape(scan.size, survivors.size)
+        for r in radii:
+            dec[r][survivors] += (D <= r).sum(axis=0)
+    for v in victims:
+        listed = known.get(v)
+        if listed is None:
+            continue
+        listed = {
+            float(r): np.asarray(w, dtype=np.int64) for r, w in listed.items()
+        }
+        for r in radii:
+            within = listed.get(r)
+            if within is None:
+                covered[r] = False
+            elif within.size:
+                np.add.at(dec[r], within, 1)
+    evidence = {}
+    for r in radii:
+        if covered[r]:
+            touched = np.flatnonzero(dec[r])
+            evidence[r] = (touched, dec[r][touched])
+    return evidence
+
+
 class EvidenceCache:
     """Accumulated per-object neighbor-count bounds, indexed by radius.
 
@@ -391,6 +448,156 @@ class EvidenceCache:
             row[obj_id] = 0
         for row in self._ub.values():
             row[obj_id] = NO_BOUND
+        self._invalidate_folds()
+
+    # -- batched mutation repair --------------------------------------------
+    #
+    # The block forms of :meth:`apply_insert` / :meth:`apply_delete`:
+    # one call repairs the cache for a whole mutation batch.  Callers
+    # compute the batch-vs-live distance matrix in O(1) ``pair_dist``
+    # sweeps and reduce it to per-radius *increment vectors* (how many
+    # batch members landed within ``r`` of each touched live object);
+    # the repair is then one fancy-indexed add per stored radius
+    # instead of one broadcast per object.
+
+    def apply_insert_batch(
+        self,
+        new_ids: np.ndarray,
+        evidence: "dict[float, tuple[np.ndarray, np.ndarray, np.ndarray | None]] | None",
+    ) -> None:
+        """Repair the cache after a *block* of objects joined.
+
+        ``evidence`` maps each covered radius ``r`` to a triple
+        ``(touched_ids, inc, own_counts)``:
+
+        * ``touched_ids`` / ``inc`` — pre-existing live objects within
+          ``r`` of at least one newcomer, and *how many* newcomers each
+          gained (the complete count delta at ``r``, reduced from the
+          batch-vs-live distance matrix);
+        * ``own_counts`` — the newcomers' exact counts at ``r`` (aligned
+          with ``new_ids``), or ``None`` to leave their rows vacuous
+          (sound lower bound 0).
+
+        Radii the evidence does not cover follow the single-object
+        rules: lower bounds stay (inserts only raise counts), upper
+        bounds are dropped (any entry might now understate).  With
+        ``evidence=None`` no distances were evaluated at all: every
+        upper-bound row is dropped, lower bounds survive.
+        """
+        new_ids = np.asarray(new_ids, dtype=np.int64)
+        if new_ids.size == 0:
+            return
+        top = int(new_ids.max())
+        if top >= self.n:
+            self.grow(top + 1)
+        if evidence is None:
+            if self._ub:
+                self._ub.clear()
+            self._invalidate_folds()
+            return
+        evidence = {
+            float(r): (
+                np.asarray(touched, dtype=np.int64),
+                np.asarray(inc, dtype=np.int64),
+                None if own is None else np.asarray(own, dtype=np.int64),
+            )
+            for r, (touched, inc, own) in evidence.items()
+        }
+        for r in list(self._lb):
+            hit = evidence.get(r)
+            if hit is not None and hit[0].size:
+                self._lb[r][hit[0]] += hit[1]
+        for r in list(self._ub):
+            hit = evidence.get(r)
+            if hit is None:
+                del self._ub[r]
+            elif hit[0].size:
+                row = self._ub[r]
+                touched, inc, _ = hit
+                known = row[touched] != NO_BOUND
+                row[touched[known]] += inc[known]
+        for r, (_, _, own) in evidence.items():
+            if own is not None:
+                self._lb_row(r)[new_ids] = own
+                self._ub_row(r)[new_ids] = own
+        self._invalidate_folds()
+        self._enforce_budget()
+
+    def apply_delete_batch(
+        self,
+        ids: np.ndarray,
+        evidence: "dict[float, tuple[np.ndarray, np.ndarray]] | None",
+    ) -> None:
+        """Repair the cache after a *block* of objects left.
+
+        ``evidence`` maps each covered radius ``r`` to
+        ``(touched_ids, dec)``: the remaining live objects within ``r``
+        of at least one victim and how many neighbors each lost (the
+        complete delta at ``r``).  Touched lower bounds come down by
+        ``dec`` (they could overstate), touched upper bounds tighten by
+        the same amount.  Radii the evidence does not cover lose their
+        lower-bound row (any entry might overstate); upper bounds stay
+        sound untouched.  With ``evidence=None`` the repair is the
+        conservative single-object rule applied ``len(ids)`` times:
+        every lower bound drops by the batch size.
+
+        The victims' own rows are reset to the vacuous bounds.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        if ids.min() < 0 or ids.max() >= self.n:
+            raise ParameterError(
+                f"delete ids out of range (n={self.n}): {ids.tolist()}"
+            )
+        if evidence is None:
+            for row in self._lb.values():
+                np.subtract(row, np.int64(ids.size), out=row)
+                np.maximum(row, 0, out=row)
+        else:
+            evidence = {
+                float(r): (
+                    np.asarray(touched, dtype=np.int64),
+                    np.asarray(dec, dtype=np.int64),
+                )
+                for r, (touched, dec) in evidence.items()
+            }
+            for r in list(self._lb):
+                hit = evidence.get(r)
+                if hit is None:
+                    del self._lb[r]
+                elif hit[0].size:
+                    row = self._lb[r]
+                    row[hit[0]] -= hit[1]
+                    np.maximum(row, 0, out=row)
+            for r in list(self._ub):
+                hit = evidence.get(r)
+                if hit is not None and hit[0].size:
+                    row = self._ub[r]
+                    touched, dec = hit
+                    known = row[touched] != NO_BOUND
+                    row[touched[known]] -= dec[known]
+                    np.maximum(row, 0, out=row)
+        for row in self._lb.values():
+            row[ids] = 0
+        for row in self._ub.values():
+            row[ids] = NO_BOUND
+        self._invalidate_folds()
+
+    def reset_rows(self, ids: np.ndarray) -> None:
+        """Reset the rows of ``ids`` to the vacuous bounds.
+
+        Used by shard caches for objects retired by *other* shards:
+        their within-shard counts did not change, but the rows must not
+        outlive the objects they describe.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        for row in self._lb.values():
+            row[ids] = 0
+        for row in self._ub.values():
+            row[ids] = NO_BOUND
         self._invalidate_folds()
 
     def raw_rows(self):

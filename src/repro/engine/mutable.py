@@ -48,7 +48,8 @@ from ..graphs.base import build_graph
 from ..metrics import Metric, resolve_metric
 from ..rng import ensure_rng
 from .engine import DetectionEngine, SweepResult
-from .evidence import EvidenceCache
+from .evidence import EvidenceCache, build_delete_evidence
+from .protocol import EngineCapabilities
 
 
 class MutableDetectionEngine:
@@ -299,14 +300,19 @@ class MutableDetectionEngine:
     # -- mutation --------------------------------------------------------------
 
     def insert(self, objects: Sequence[Any]) -> np.ndarray:
-        """Append objects; returns their stable ids.
+        """Append a block of objects; returns their stable ids.
 
-        When the cache holds radii (past queries or pinned), each new
-        object is ranged against the live collection once; that single
-        scan both repairs the cache (exact count for the newcomer,
-        ``+1`` for every object it lands within ``r`` of) and supplies
-        the ``K`` nearest links.  With no radii to maintain, linking
-        falls back to NSW-style greedy search.
+        Mutation is the fast path: the whole batch is ranged against the
+        live collection in **O(1) ``pair_dist`` sweeps** (one batch-vs-
+        prior matrix plus one intra-batch triangle), and the per-radius
+        count increments are applied to the cache in one vectorised pass
+        per radius (:meth:`EvidenceCache.apply_insert_batch`) — one
+        broadcast per batch instead of one per object.  The same matrix
+        supplies each newcomer's ``K`` nearest links and patches the
+        stored exact-K'NN lists in place (Property 3 survives inserts
+        decrementally instead of being dropped).  With no maintained
+        radii and no stored lists, linking falls back to NSW-style
+        greedy search and no distances are evaluated at all.
         """
         objects = list(objects)
         if not objects:
@@ -329,72 +335,128 @@ class MutableDetectionEngine:
             self.cache.grow(self.n_total)
 
         assert self._dataset is not None
+        new_ids = np.arange(first_new, self.n_total, dtype=np.int64)
         alive = np.asarray(self._alive, dtype=bool)
+        prior_live = np.flatnonzero(alive[:first_new])
+        radii = self._scan_radii()
         self.last_insert_neighbors = []
-        for new_id in range(first_new, self.n_total):
-            radii = self._scan_radii()
-            prior_live = np.flatnonzero(alive[:new_id])
-            if not radii:
-                # No distances were evaluated, so no stored exact-K'NN
-                # list can be proven still-exact: a newcomer inside a
-                # list's coverage radius would silently break Property 3
-                # (and with it the §5.5 shortcut's exactness).
-                if self._graph.exact_knn:
-                    self._graph.exact_knn.clear()
-                self.cache.apply_insert(new_id, None)
-                self._link_new_vertex(new_id, prior_live)
+        if not radii and not self._graph.exact_knn:
+            # Nothing to repair and nothing to keep exact: skip the
+            # scan entirely and link by greedy search.
+            self.cache.apply_insert_batch(new_ids, None)
+            for new_id in new_ids:
+                self._link_new_vertex(
+                    int(new_id), np.flatnonzero(alive[: int(new_id)])
+                )
                 self.last_insert_neighbors.append({})
-                continue
-            if prior_live.size == 0:
-                neighbors = {r: np.empty(0, dtype=np.int64) for r in radii}
-            else:
-                # With no stored exact-K'NN lists the scan only has to
-                # be faithful up to the largest maintained radius, so
-                # early-abandoning metrics (edit) stop there.  Stale-
-                # list invalidation compares against list distances that
-                # may exceed every radius, so it needs exact values.
-                bound = None if self._graph.exact_knn else max(radii)
-                d = self._dataset.dist_many(new_id, prior_live, bound=bound)
-                neighbors = {r: prior_live[d <= r] for r in radii}
-                if prior_live.size <= self.K:
-                    links = prior_live
+        else:
+            D_prior, D_intra = self._batch_scan(new_ids, prior_live, radii)
+            evidence: dict = {}
+            for r in radii:
+                within_prior = D_prior <= r
+                within_intra = D_intra <= r
+                inc = within_prior.sum(axis=0)
+                hit = inc > 0
+                evidence[r] = (
+                    prior_live[hit],
+                    inc[hit],
+                    within_prior.sum(axis=1) + within_intra.sum(axis=1),
+                )
+            self.cache.apply_insert_batch(new_ids, evidence)
+            for i in range(new_ids.size):
+                # A newcomer's recorded neighbor scan lists what was
+                # live when it arrived: the prior population plus the
+                # earlier members of its own batch (the sliding window's
+                # succeeding-neighbor bookkeeping relies on exactly
+                # these semantics).
+                self.last_insert_neighbors.append({
+                    r: np.concatenate((
+                        prior_live[D_prior[i] <= r],
+                        new_ids[:i][D_intra[i, :i] <= r],
+                    ))
+                    for r in radii
+                })
+                candidates = np.concatenate((prior_live, new_ids[:i]))
+                if candidates.size == 0:
+                    continue
+                d_row = np.concatenate((D_prior[i], D_intra[i, :i]))
+                if candidates.size <= self.K:
+                    links = candidates
                 else:
-                    links = prior_live[np.argpartition(d, self.K - 1)[: self.K]]
+                    links = candidates[
+                        np.argpartition(d_row, self.K - 1)[: self.K]
+                    ]
                 for v in links:
-                    self._graph.add_edge(new_id, int(v))
-                self._invalidate_exact_knn(new_id, prior_live, d)
-            self.cache.apply_insert(new_id, neighbors)
-            self.last_insert_neighbors.append(neighbors)
+                    self._graph.add_edge(int(new_ids[i]), int(v))
+            self._maintain_exact_knn(new_ids, prior_live, D_prior)
         self._harvest_pairs()
         self.stats["inserts"] += len(objects)
         self._mutations_since_rebuild += len(objects)
-        return np.arange(first_new, self.n_total, dtype=np.int64)
+        return new_ids
 
-    def _invalidate_exact_knn(
-        self, new_id: int, prior_live: np.ndarray, d: np.ndarray
+    def _batch_scan(
+        self, new_ids: np.ndarray, prior_live: np.ndarray, radii: list[float]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch-vs-live distances in two ``pair_dist`` sweeps.
+
+        Returns ``(D_prior, D_intra)``: the ``B x P`` newcomer-vs-prior
+        matrix and the symmetric ``B x B`` intra-batch matrix (diagonal
+        ``inf``).  With no stored exact-K'NN lists the sweeps only have
+        to be faithful up to the largest maintained radius, so early-
+        abandoning metrics (edit) stop there; list patching compares
+        against list distances that may exceed every radius, so it
+        needs exact values.
+        """
+        assert self._graph is not None and self._dataset is not None
+        bound = (
+            None if self._graph.exact_knn or not radii else max(radii)
+        )
+        B, P = new_ids.size, prior_live.size
+        if P:
+            D_prior = self._dataset.pair_dist(
+                np.repeat(new_ids, P), np.tile(prior_live, B),
+                bound=bound, consistent=True,
+            ).reshape(B, P)
+        else:
+            D_prior = np.empty((B, 0), dtype=np.float64)
+        D_intra = np.full((B, B), np.inf, dtype=np.float64)
+        if B > 1:
+            iu, ju = np.triu_indices(B, k=1)
+            d = self._dataset.pair_dist(
+                new_ids[iu], new_ids[ju], bound=bound, consistent=True
+            )
+            D_intra[iu, ju] = d
+            D_intra[ju, iu] = d
+        return D_prior, D_intra
+
+    def _maintain_exact_knn(
+        self, new_ids: np.ndarray, prior_live: np.ndarray, D_prior: np.ndarray
     ) -> None:
-        """Drop exact-K'NN lists the new object lands inside of.
+        """Patch stored exact-K'NN lists the newcomers land inside of.
 
         A stored list is the holder's *exact* K' nearest neighbors
         (Property 3); a newcomer strictly closer than the list's last
-        entry falsifies that, and every consumer of the list (the §5.5
-        shortcut, engine K'NN evidence, top-n exact scores) would
-        overstate from it.  Lists the newcomer stays outside of remain
-        exact.
+        entry falsifies it.  The union of the old list and the newcomer
+        still contains the true K' nearest, so the list is repaired in
+        place — newcomer inserted by distance, truncated back to K'
+        (:meth:`~repro.graphs.adjacency.Graph.patch_exact_knn`) —
+        keeping the §5.5 shortcut strong under insert churn instead of
+        degrading it one dropped list at a time.  Newcomers are applied
+        in insertion order so each patch sees the already-patched list.
         """
         assert self._graph is not None
-        if not self._graph.exact_knn:
+        if not self._graph.exact_knn or prior_live.size == 0:
             return
         pos = np.full(self.n_total, -1, dtype=np.int64)
         pos[prior_live] = np.arange(prior_live.size)
-        stale = [
-            h
-            for h, (_, dists) in self._graph.exact_knn.items()
-            if h < new_id and pos[h] >= 0 and dists.size
-            and d[pos[h]] < dists[-1]
+        holders = [
+            h for h in list(self._graph.exact_knn) if 0 <= pos[h]
         ]
-        for h in stale:
-            del self._graph.exact_knn[h]
+        for i in range(new_ids.size):
+            for h in holders:
+                self._graph.patch_exact_knn(
+                    h, int(new_ids[i]), float(D_prior[i, pos[h]])
+                )
 
     def _link_new_vertex(self, new_id: int, prior_live: np.ndarray) -> None:
         """NSW-style insertion: greedy searches collect link candidates."""
@@ -467,26 +529,27 @@ class MutableDetectionEngine:
         self._invalidate_compact()
         self._harvest_pairs()
         assert self._dataset is not None
+        victims = np.asarray(id_list, dtype=np.int64)
+        radii = self._scan_radii()
         alive = np.asarray(self._alive, dtype=bool)
+        alive[victims] = False
+        survivors = np.flatnonzero(alive)
+        if self.cache is not None and radii:
+            # One victims-vs-survivors pair_dist sweep covers every
+            # victim without supplied bookkeeping; per radius the column
+            # sums become one decrement vector (how many neighbors each
+            # survivor lost), applied in a single vectorised pass.
+            self.cache.apply_delete_batch(
+                victims,
+                build_delete_evidence(
+                    self._dataset, id_list, survivors, radii,
+                    known_neighbors, self.n_total,
+                ),
+            )
+        elif self.cache is not None:
+            self.cache.apply_delete_batch(victims, {})
+        self._graph.tombstone_many(victims, alive=alive)
         for v in id_list:
-            radii = self._scan_radii()
-            neighbors = None
-            if known_neighbors is not None:
-                neighbors = known_neighbors.get(v)
-            if neighbors is None and radii:
-                alive[v] = False
-                others = np.flatnonzero(alive)
-                if others.size:
-                    # Only within-radius verdicts are consumed, so the
-                    # scan can early-abandon at the largest radius.
-                    d = self._dataset.dist_many(v, others, bound=max(radii))
-                    neighbors = {r: others[d <= r] for r in radii}
-                else:
-                    neighbors = {r: np.empty(0, dtype=np.int64) for r in radii}
-            alive[v] = False
-            if self.cache is not None:
-                self.cache.apply_delete(v, neighbors)
-            self._graph.tombstone(v, alive=alive)
             self._alive[v] = False
         self._harvest_pairs()
         self.stats["removes"] += len(id_list)
@@ -581,6 +644,14 @@ class MutableDetectionEngine:
         self.stats["detects"] += 1
         return result
 
+    def query(self, r: float, k: int) -> DODResult:
+        """Protocol name for :meth:`detect` (the :class:`EngineCore` surface)."""
+        return self.detect(r, k)
+
+    def batch(self, queries) -> list[DODResult]:
+        """Answer ``(r, k)`` queries in the given order (serving semantics)."""
+        return [self.detect(float(r), int(k)) for r, k in queries]
+
     def sweep(self, r_grid, k_grid=None, k: "int | None" = None) -> SweepResult:
         """Engine sweep over the live objects (stable external ids)."""
         engine, keep = self._ensure_compact()
@@ -619,6 +690,38 @@ class MutableDetectionEngine:
         from ..io import load_mutable_engine
 
         return load_mutable_engine(path, objects, **kwargs)
+
+    # -- protocol surface --------------------------------------------------------
+
+    capabilities = EngineCapabilities(
+        mutable=True, snapshot=True, top_n=True, pinned_radii=True
+    )
+
+    @property
+    def graph_name(self) -> str:
+        return self.rebuild_graph
+
+    @property
+    def graph_degree(self) -> int:
+        return self.K
+
+    @property
+    def index_nbytes(self) -> int:
+        """Memory of the serving state (full-space graph + cache)."""
+        total = 0
+        if self._graph is not None:
+            total += self._graph.nbytes
+        if self.cache is not None:
+            total += self.cache.nbytes
+        if self._compact is not None:
+            total += self._compact[0].index_nbytes
+        return int(total)
+
+    def describe(self) -> str:
+        return (
+            f"mutable single-process engine, {self.n_active} live / "
+            f"{self.n_total} total ids, metric={self.metric.name}"
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 

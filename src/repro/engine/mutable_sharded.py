@@ -1,0 +1,1161 @@
+"""Mutable sharded serving: churn and multi-process queries on one engine.
+
+The ROADMAP north-star workload — heavy multi-user traffic over a
+*changing* dataset — needs both halves the engine family grew
+separately: :class:`~repro.engine.sharded.ShardedDetectionEngine`
+scales queries across worker processes but is frozen at fit time, and
+:class:`~repro.engine.mutable.MutableDetectionEngine` repairs evidence
+under churn but is single-process.  This module composes them behind
+the same :class:`~repro.engine.protocol.EngineCore` surface:
+
+* **Routing.**  ``insert`` assigns each new object to the least-loaded
+  shard and broadcasts the batch; every worker appends the objects to
+  its full-log replica (cross-shard verification scans need the raw
+  data everywhere, exactly as the static engine ships the full dataset
+  to every worker), while the *owning* shard links the newcomers into
+  its shard-local proximity graph.
+* **Batch-vectorised repair.**  Each owning shard evaluates its
+  newcomers against the live collection in **O(1) ``pair_dist``
+  sweeps per batch** and repairs its shard-local
+  :class:`~repro.engine.evidence.EvidenceCache` through the PR-4
+  ``apply_insert``/``apply_delete`` laws in their block form
+  (:meth:`EvidenceCache.apply_insert_batch`): per radius, one
+  increment vector patches every touched bound at once.  Within-shard
+  counts decompose over any partition, so the repaired bounds stay
+  exactly as sound as the single-process engine's.
+* **Exact merge.**  Queries run the same three-phase conservative
+  merge as the static engine (the shared
+  :class:`~repro.engine.sharded._ShardMergeBase`), restricted to the
+  live ids — answers are **bit-identical** to a fresh scalar oracle on
+  the compacted live dataset, enforced by
+  ``scripts/check_sharded_mutable_equivalence.py``.
+* **Online rebalancing.**  :meth:`split_shard` / :meth:`merge_shards`
+  (and the :meth:`rebalance` policy) repartition membership between
+  epochs: queries drain on a :meth:`~repro.core.parallel.ShardPool.barrier`,
+  only the *affected* shards rebuild their sub-graphs (and restart
+  their caches), unaffected shards transplant their state untouched.
+  Exactness is indifferent to the partition, so a query issued after a
+  split/merge returns the same outlier set as a fresh fit.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import partial
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.counting import VisitTracker, classify_chunk_arrays, resolve_filter_mode
+from ..core.result import DODResult
+from ..core.traversal import DEFAULT_BLOCK, BlockTracker
+from ..data import Dataset
+from ..exceptions import GraphError, ParameterError
+from ..graphs.adjacency import Graph
+from ..graphs.base import build_graph
+from ..index.linear import linear_count_block
+from ..metrics import Metric, resolve_metric
+from ..rng import ensure_rng
+from .evidence import NO_BOUND, EvidenceCache, build_delete_evidence
+from .protocol import EngineCapabilities
+from .sharded import _ShardMergeBase
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class MutableShardWorker:
+    """One shard of a mutable collection; lives inside a ``ShardPool`` actor.
+
+    Holds a replica of the full object log (append-only; global id =
+    log position), the global alive mask, this shard's *membership*
+    (which live objects it owns), a shard-local proximity graph over
+    the members, and an :class:`EvidenceCache` of **within-shard**
+    count bounds indexed by global id.  Mutations arrive as broadcasts:
+    every worker appends/retires log entries, the owning worker
+    additionally repairs its graph and cache from the batch's own
+    distance sweeps.  Queries see a lazily compacted live-member view,
+    rebuilt per mutation epoch.
+
+    All public methods return ``(payload..., pairs)`` with the distance
+    computations the call performed.
+    """
+
+    def __init__(
+        self,
+        metric: "str | Metric",
+        shard_index: int,
+        K: int = 16,
+        seed: int = 0,
+        mode: str = "auto",
+        batch_size: int = DEFAULT_BLOCK,
+        graph: str = "mrpg",
+        cache_radii: "int | None" = None,
+        pinned: Sequence[float] = (),
+        objects: "Sequence[Any] | None" = None,
+        alive: "Sequence[bool] | None" = None,
+        member_gids: "Sequence[int] | None" = None,
+        graph_state: "Graph | None" = None,
+        cache_state: "EvidenceCache | None" = None,
+        knn_radii: Sequence[float] = (),
+        build: bool = False,
+    ):
+        self.metric = resolve_metric(metric)
+        self.shard_index = int(shard_index)
+        self.K = int(K)
+        self.graph_name = graph
+        resolve_filter_mode(mode, None)
+        self.mode = mode
+        self.batch_size = int(batch_size)
+        self.cache_radii = cache_radii
+        self._rng = ensure_rng(seed)
+        self._pinned: set[float] = {float(r) for r in pinned}
+        self._objects: list[Any] = list(objects) if objects is not None else []
+        self._alive: list[bool] = (
+            [bool(a) for a in alive]
+            if alive is not None
+            else [True] * len(self._objects)
+        )
+        self._member_gids: list[int] = (
+            [int(g) for g in member_gids] if member_gids is not None else []
+        )
+        self._local_of: dict[int, int] = {
+            g: i for i, g in enumerate(self._member_gids)
+        }
+        self._dataset: Dataset | None = None
+        self._banked = 0
+        self._graph: Graph | None = None
+        self.cache: EvidenceCache | None = None
+        self._knn_radii: set[float] = set(float(r) for r in knn_radii)
+        self._serve: "tuple | None" = None
+        if self._objects:
+            self._refresh_dataset()
+            self.cache = (
+                cache_state
+                if cache_state is not None
+                else EvidenceCache(len(self._objects), max_radii=cache_radii)
+            )
+            self.cache.max_radii = cache_radii
+        if graph_state is not None:
+            if graph_state.n != max(1, len(self._member_gids)):
+                raise GraphError(
+                    f"shard {shard_index}: graph spans {graph_state.n} local "
+                    f"vertices for {len(self._member_gids)} members"
+                )
+            self._graph = graph_state
+        elif self._member_gids:
+            if build:
+                self._build_member_graph()
+            else:
+                self._graph = Graph(len(self._member_gids))
+                self._graph.meta = {"builder": "mutable-shard", "K": self.K}
+        # Offline construction work is not query cost.
+        self._banked = 0
+        if self._dataset is not None:
+            self._dataset.reset_counter()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def n_total(self) -> int:
+        return len(self._objects)
+
+    def _refresh_dataset(self) -> None:
+        self._bank_pairs()
+        self._dataset = Dataset(
+            np.asarray(self._objects, dtype=np.float64)
+            if self.metric.is_vector
+            else self._objects,
+            self.metric,
+        )
+
+    def _bank_pairs(self) -> None:
+        if self._dataset is not None:
+            self._banked += self._dataset.counter.pairs
+            self._dataset.reset_counter()
+        if self._serve is not None and self._serve[0] is not None:
+            self._banked += self._serve[0].counter.pairs
+            self._serve[0].counter.reset()
+
+    def _take_pairs(self) -> int:
+        self._bank_pairs()
+        delta, self._banked = self._banked, 0
+        return int(delta)
+
+    def _drop_serve(self) -> None:
+        self._bank_pairs()
+        self._serve = None
+        self._knn_radii.clear()
+
+    def _scan_radii(self) -> list[float]:
+        stored = set(self.cache.radii) if self.cache is not None else set()
+        return sorted(stored | self._pinned)
+
+    def _live_member_mask(self) -> np.ndarray:
+        members = np.asarray(self._member_gids, dtype=np.int64)
+        if members.size == 0:
+            return np.empty(0, dtype=bool)
+        alive = np.asarray(self._alive, dtype=bool)
+        return alive[members]
+
+    def _build_member_graph(self) -> None:
+        """Fresh proximity graph over the (live) members."""
+        members = np.asarray(self._member_gids, dtype=np.int64)
+        live_local = np.flatnonzero(self._live_member_mask())
+        graph = Graph(max(1, members.size))
+        graph.meta = {"builder": f"mutable-shard:{self.graph_name}", "K": self.K}
+        if live_local.size > 1:
+            assert self._dataset is not None
+            sub = self._dataset.subset(members[live_local])
+            if live_local.size > self.K + 1:
+                built = build_graph(
+                    self.graph_name, sub, K=self.K, rng=self._rng, clamp_K=True
+                )
+            else:
+                built = Graph(live_local.size)
+                for u in range(live_local.size):
+                    for v in range(u + 1, live_local.size):
+                        built.add_edge(u, v)
+                built.finalize()
+            for cu in range(live_local.size):
+                u = int(live_local[cu])
+                graph.set_links(
+                    u, (int(live_local[w]) for w in built.neighbors_list(cu))
+                )
+                graph.pivots[u] = built.pivots[cu]
+            for cv, (nbr_ids, dists) in built.exact_knn.items():
+                graph.exact_knn[int(live_local[cv])] = (
+                    live_local[nbr_ids],
+                    dists.copy(),
+                )
+            self._banked += sub.counter.pairs
+        self._graph = graph
+
+    # -- mutation broadcasts -----------------------------------------------
+
+    def ingest(self, objects, first_gid: int, owned_pos: np.ndarray):
+        """Append a batch; repair graph + cache for the owned newcomers.
+
+        Every worker appends the full batch to its log replica; the
+        owned positions are linked into the local graph and repaired
+        into the cache from **O(1) ``pair_dist`` sweeps**: one
+        owned-vs-live matrix covers linking, per-radius increments,
+        exact own counts and exact-K'NN list patching at once.
+        Returns the per-newcomer within-radius neighbor dicts (global
+        ids) for the owned positions, plus pairs.
+        """
+        objects = list(objects)
+        first_gid = int(first_gid)
+        if first_gid != len(self._objects):
+            raise ParameterError(
+                f"shard {self.shard_index}: ingest at gid {first_gid} but the "
+                f"log holds {len(self._objects)} objects"
+            )
+        self._drop_serve()
+        self._objects.extend(objects)
+        self._alive.extend([True] * len(objects))
+        self._refresh_dataset()
+        n_total = len(self._objects)
+        if self.cache is None:
+            self.cache = EvidenceCache(n_total, max_radii=self.cache_radii)
+        else:
+            self.cache.grow(n_total)
+        owned_pos = np.asarray(owned_pos, dtype=np.int64)
+        if owned_pos.size == 0:
+            return [], self._take_pairs()
+        owned_gids = first_gid + owned_pos
+        base_local = len(self._member_gids)
+        self._member_gids.extend(int(g) for g in owned_gids)
+        for i, g in enumerate(owned_gids):
+            self._local_of[int(g)] = base_local + i
+        if self._graph is None:
+            self._graph = Graph(len(self._member_gids))
+            self._graph.meta = {"builder": "mutable-shard", "K": self.K}
+        else:
+            self._graph.grow(len(self._member_gids))
+
+        assert self._dataset is not None
+        alive = np.asarray(self._alive, dtype=bool)
+        members = np.asarray(self._member_gids, dtype=np.int64)
+        live_members = members[alive[members]]
+        radii = self._scan_radii()
+        # Scan targets: with maintained radii the owned newcomers must
+        # range the whole live collection (foreign rows hold within-
+        # shard bounds about them too); otherwise live members suffice
+        # for linking and list patching.
+        targets = np.flatnonzero(alive) if radii else live_members
+        B = owned_gids.size
+        neighbors_out: list[dict] = [dict() for _ in range(B)]
+        if targets.size:
+            bound = (
+                None if self._graph.exact_knn or not radii else max(radii)
+            )
+            D = self._dataset.pair_dist(
+                np.repeat(owned_gids, targets.size),
+                np.tile(targets, B),
+                bound=bound, consistent=True,
+            ).reshape(B, targets.size)
+            D[targets[None, :] == owned_gids[:, None]] = np.inf
+            is_member = np.isin(targets, live_members)
+            if radii:
+                evidence: dict = {}
+                for r in radii:
+                    within = D <= r
+                    inc = within.sum(axis=0)
+                    hit = inc > 0
+                    evidence[r] = (
+                        targets[hit],
+                        inc[hit],
+                        within[:, is_member].sum(axis=1),
+                    )
+                self.cache.apply_insert_batch(owned_gids, evidence)
+                neighbors_out = [
+                    {r: targets[D[i] <= r] for r in radii} for i in range(B)
+                ]
+            # Linking: K nearest live members per newcomer.
+            mem_cols = np.flatnonzero(is_member)
+            for i in range(B):
+                d_row = D[i, mem_cols]
+                finite = np.isfinite(d_row)
+                cand = mem_cols[finite]
+                if cand.size == 0:
+                    continue
+                if cand.size > self.K:
+                    order = np.argpartition(d_row[finite], self.K - 1)[: self.K]
+                    cand = cand[order]
+                u = self._local_of[int(owned_gids[i])]
+                for c in cand:
+                    self._graph.add_edge(u, self._local_of[int(targets[c])])
+            self._maintain_exact_knn(owned_gids, targets, D)
+        return neighbors_out, self._take_pairs()
+
+    def _maintain_exact_knn(
+        self, owned_gids: np.ndarray, targets: np.ndarray, D: np.ndarray
+    ) -> None:
+        """Patch stored exact-K'NN lists in place for the newcomers."""
+        assert self._graph is not None
+        if not self._graph.exact_knn:
+            return
+        col_of = {int(g): j for j, g in enumerate(targets)}
+        holders = [
+            (h, col_of[int(self._member_gids[h])])
+            for h in list(self._graph.exact_knn)
+            if int(self._member_gids[h]) in col_of
+        ]
+        for i in range(owned_gids.size):
+            u = self._local_of[int(owned_gids[i])]
+            for h, col in holders:
+                if h == u:
+                    continue
+                self._graph.patch_exact_knn(h, u, float(D[i, col]))
+
+    def retire(self, gids: np.ndarray, known: "dict | None" = None):
+        """Tombstone a batch of victims; repair what this shard owns.
+
+        Every worker marks the victims dead and resets their cache
+        rows; the shards owning some of them additionally repair their
+        member bounds from one victims-vs-survivors sweep (or from the
+        supplied ``known`` per-radius neighbor lists) and tombstone the
+        local graph vertices.
+        """
+        self._drop_serve()
+        gids = np.asarray(gids, dtype=np.int64)
+        alive = np.asarray(self._alive, dtype=bool)
+        alive[gids] = False
+        owned = np.asarray(
+            [int(g) for g in gids if int(g) in self._local_of], dtype=np.int64
+        )
+        radii = self._scan_radii()
+        if owned.size and self.cache is not None and radii:
+            assert self._dataset is not None
+            self.cache.apply_delete_batch(
+                owned,
+                build_delete_evidence(
+                    self._dataset, owned.tolist(), np.flatnonzero(alive),
+                    radii, known, self.n_total,
+                ),
+            )
+        if self.cache is not None:
+            self.cache.reset_rows(gids)
+        if owned.size:
+            assert self._graph is not None
+            members = np.asarray(self._member_gids, dtype=np.int64)
+            local_alive = alive[members]
+            self._graph.tombstone_many(
+                [self._local_of[int(g)] for g in owned], alive=local_alive
+            )
+        for g in gids:
+            self._alive[int(g)] = False
+        return self._take_pairs()
+
+    def pin(self, radii) -> int:
+        self._pinned.update(float(r) for r in radii)
+        return 0
+
+    def rebuild_local(self) -> int:
+        """Fresh sub-graph over the live members (restores exact lists)."""
+        self._drop_serve()
+        if self._member_gids:
+            members = np.asarray(self._member_gids, dtype=np.int64)
+            live_local = np.flatnonzero(self._live_member_mask())
+            self._member_gids = [int(g) for g in members[live_local]]
+            self._local_of = {g: i for i, g in enumerate(self._member_gids)}
+            if self._member_gids:
+                self._build_member_graph()
+            else:
+                self._graph = None
+        return self._take_pairs()
+
+    def vacuum(self, keep: np.ndarray, remap: np.ndarray) -> int:
+        """Compact the log replica to ``keep`` (parent-computed remap)."""
+        self._drop_serve()
+        keep = np.asarray(keep, dtype=np.int64)
+        remap = np.asarray(remap, dtype=np.int64)
+        self._objects = [self._objects[int(g)] for g in keep]
+        self._alive = [True] * keep.size
+        members = np.asarray(self._member_gids, dtype=np.int64)
+        if members.size:
+            live_local = np.flatnonzero(remap[members] >= 0)
+            assert self._graph is not None
+            if live_local.size:
+                self._graph, _ = self._graph.compact(live_local)
+                self._member_gids = [
+                    int(remap[g]) for g in members[live_local]
+                ]
+            else:
+                self._graph = None
+                self._member_gids = []
+            self._local_of = {g: i for i, g in enumerate(self._member_gids)}
+        if keep.size == 0:
+            self._dataset = None
+            self.cache = None
+            return self._take_pairs()
+        self._refresh_dataset()
+        if self.cache is not None:
+            self.cache = self.cache.take(keep)
+        return self._take_pairs()
+
+    # -- serving (the merge protocol) --------------------------------------
+
+    def _ensure_serve(self):
+        if self._serve is not None:
+            return self._serve
+        members = np.asarray(self._member_gids, dtype=np.int64)
+        live_local = (
+            np.flatnonzero(self._live_member_mask()) if members.size else _EMPTY
+        )
+        if live_local.size == 0:
+            self._serve = (None, None, _EMPTY, None, [None], (
+                _EMPTY, _EMPTY, np.zeros(1, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            ))
+            return self._serve
+        serve_gids = members[live_local]  # ascending: adoption order is by gid
+        assert self._graph is not None and self._dataset is not None
+        graph, _ = self._graph.compact(live_local)
+        sub = self._dataset.subset(serve_gids)
+        self._serve = (
+            sub,
+            graph,
+            serve_gids,
+            VisitTracker(int(live_local.size)),
+            [None],  # BlockTracker slot, allocated on first batched filter
+            graph.exact_knn_arrays(),
+        )
+        return self._serve
+
+    def _ensure_knn_evidence(self, r: float) -> None:
+        _, _, serve_gids, _, _, knn = self._ensure_serve()
+        owners, sizes, ptr, dists = knn
+        if r in self._knn_radii or owners.size == 0:
+            return
+        self._knn_radii.add(r)
+        within = np.add.reduceat(
+            (dists <= r).astype(np.int64), ptr[:-1]
+        )
+        assert self.cache is not None
+        self.cache.record(
+            r, serve_gids[owners], within, exact_mask=within < sizes
+        )
+
+    def prepare(self, r: float):
+        """Phase A: fold the cache; within-shard bounds over the full log.
+
+        A shard with no live members knows every within-shard count is
+        exactly zero — it reports that instead of "unknown", so empty
+        shards never block the merge's exact upper bounds.
+        """
+        r = float(r)
+        n = self.n_total
+        if self.cache is None:
+            zero = np.zeros(n, dtype=np.int64)
+            return zero, zero.copy(), self._take_pairs()
+        _, _, serve_gids, _, _, _ = self._ensure_serve()
+        if serve_gids.size == 0:
+            zero = np.zeros(n, dtype=np.int64)
+            return zero, zero.copy(), self._take_pairs()
+        self._ensure_knn_evidence(r)
+        return (
+            self.cache.lower_bounds(r),
+            self.cache.upper_bounds(r),
+            self._take_pairs(),
+        )
+
+    def filter(self, r: float, k: int, home_gids: np.ndarray):
+        """Phase B: shard-local Greedy-Counting over home residue."""
+        r, k = float(r), int(k)
+        home_gids = np.asarray(home_gids, dtype=np.int64)
+        if home_gids.size == 0 or self.cache is None:
+            return home_gids, _EMPTY, np.empty(0, bool), self._take_pairs()
+        sub, graph, serve_gids, tracker, block_slot, _ = self._ensure_serve()
+        if serve_gids.size == 0:
+            return (
+                np.empty(0, np.int64), _EMPTY, np.empty(0, bool),
+                self._take_pairs(),
+            )
+        lb = self.cache.lower_bounds(r)[home_gids]
+        ub = self.cache.upper_bounds(r)[home_gids]
+        settled = ((ub != NO_BOUND) & (lb >= ub)) | (lb >= k)
+        counts = lb.copy()
+        exact = (ub != NO_BOUND) & (lb >= ub)
+        walk = np.flatnonzero(~settled)
+        if walk.size:
+            local = np.searchsorted(serve_gids, home_gids[walk])
+            if self.mode != "scalar" and block_slot[0] is None:
+                block_slot[0] = BlockTracker(
+                    int(serve_gids.size), self.batch_size
+                )
+            _, w_counts, _, w_exact = classify_chunk_arrays(
+                sub, graph, local, r, k,
+                tracker=tracker,
+                mode=self.mode, batch_size=self.batch_size,
+                block_tracker=block_slot[0],
+            )
+            np.maximum(w_counts, counts[walk], out=w_counts)
+            counts[walk] = w_counts
+            exact[walk] = w_exact
+            self.cache.record(r, home_gids[walk], w_counts, exact_mask=w_exact)
+        return home_gids, counts, exact, self._take_pairs()
+
+    def count_range(self, r: float, ids: np.ndarray, lo: int, hi: int):
+        """Phase C: hits among live-member positions ``[lo, hi)``."""
+        r = float(r)
+        ids = np.asarray(ids, dtype=np.int64)
+        _, _, serve_gids, _, _, _ = self._ensure_serve()
+        m = int(serve_gids.size)
+        lo, hi = int(lo), min(int(hi), m)
+        if ids.size == 0 or lo >= hi:
+            return np.zeros(ids.size, dtype=np.int64), self._take_pairs()
+        span = hi - lo
+        idx = serve_gids[lo:hi]
+        assert self._dataset is not None
+        d = self._dataset.pair_dist(
+            np.repeat(ids, span), np.tile(idx, ids.size), bound=r,
+            consistent=True,
+        )
+        add = (d <= r).reshape(ids.size, span).sum(axis=1).astype(np.int64)
+        pos = np.searchsorted(serve_gids, ids)
+        pos_safe = np.minimum(pos, m - 1)
+        own = (serve_gids[pos_safe] == ids) & (pos_safe >= lo) & (pos_safe < hi)
+        add[own] -= 1
+        return add, self._take_pairs()
+
+    def count_tail(self, r: float, ids: np.ndarray, lo: int):
+        """Phase C stall fallback: exhaust live-member positions ``[lo, m)``."""
+        r = float(r)
+        ids = np.asarray(ids, dtype=np.int64)
+        _, _, serve_gids, _, _, _ = self._ensure_serve()
+        lo = int(lo)
+        if ids.size == 0 or lo >= serve_gids.size:
+            return np.zeros(ids.size, dtype=np.int64), self._take_pairs()
+        assert self._dataset is not None
+        counts = linear_count_block(
+            self._dataset, ids, r, subset=serve_gids[lo:]
+        )
+        return counts, self._take_pairs()
+
+    def record(self, r: float, ids: np.ndarray, counts: np.ndarray,
+               exact_mask: np.ndarray):
+        """Deposit merged phase-C evidence back into this shard's cache."""
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and self.cache is not None:
+            self.cache.record(
+                float(r), ids, np.asarray(counts, dtype=np.int64),
+                exact_mask=np.asarray(exact_mask, dtype=bool),
+            )
+        return 0
+
+    # -- snapshots / diagnostics -------------------------------------------
+
+    def state(self) -> dict:
+        """Everything a snapshot or a rebalancing epoch needs."""
+        return {
+            "graph": self._graph,
+            "cache": self.cache,
+            "member_gids": list(self._member_gids),
+            "knn_radii": sorted(self._knn_radii),
+            "pinned": sorted(self._pinned),
+        }
+
+    def nbytes(self) -> int:
+        total = 0
+        if self._graph is not None:
+            total += self._graph.nbytes
+        if self.cache is not None:
+            total += self.cache.nbytes
+        return int(total)
+
+    def reset_cache(self) -> None:
+        if self.cache is not None:
+            self.cache.clear()
+        self._knn_radii.clear()
+
+
+def _make_mutable_worker(**kwargs) -> MutableShardWorker:
+    """Module-level factory so spawn-based pools can pickle it."""
+    return MutableShardWorker(**kwargs)
+
+
+class MutableShardedDetectionEngine(_ShardMergeBase):
+    """Exact DOD serving over a mutable, sharded collection.
+
+    The composition of the mutable and sharded engines behind one
+    :class:`~repro.engine.protocol.EngineCore` surface: stable external
+    ids over an append-only log, least-loaded insert routing, batched
+    evidence repair inside every owning shard, the exact conservative
+    merge for queries, and online split/merge rebalancing between
+    query epochs.  Answers are bit-identical to the single-process
+    :class:`~repro.engine.mutable.MutableDetectionEngine` and to a
+    fresh scalar oracle over the live objects.
+    """
+
+    def __init__(
+        self,
+        metric: "str | Metric" = "l2",
+        n_shards: int = 2,
+        workers: "int | None" = None,
+        graph: str = "mrpg",
+        K: int = 16,
+        seed: "int | None" = 0,
+        mode: str = "auto",
+        batch_size: int = DEFAULT_BLOCK,
+        pinned: Sequence[float] = (),
+        cache_radii: "int | None" = None,
+        rebuild_every: "int | None" = None,
+        start_method: "str | None" = None,
+    ):
+        if n_shards < 1:
+            raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
+        if K < 1:
+            raise ParameterError(f"K must be >= 1, got {K}")
+        if rebuild_every is not None and rebuild_every < 1:
+            raise ParameterError(
+                f"rebuild_every must be >= 1, got {rebuild_every}"
+            )
+        self.metric = resolve_metric(metric)
+        self.graph_name = graph
+        self.K = int(K)
+        resolve_filter_mode(mode, None)
+        self.mode = mode
+        self.batch_size = int(batch_size)
+        self.cache_radii = cache_radii
+        self.rebuild_every = rebuild_every
+        self._rng = ensure_rng(seed)
+        self._pinned: set[float] = {float(r) for r in pinned}
+        self.n_shards = int(n_shards)
+        if workers is None:
+            workers = min(self.n_shards, os.cpu_count() or 1)
+        #: the caller's worker budget; the effective count is re-clamped
+        #: to the shard count at every pool (re)spawn, so a merge that
+        #: temporarily shrinks the shard count does not permanently
+        #: shrink the process pool a later split could use again.
+        self._workers_requested = max(1, int(workers))
+        self.workers = min(self._workers_requested, self.n_shards)
+        self._start_method = start_method
+        self._objects: list[Any] = []
+        self._alive: list[bool] = []
+        self._shard_of_list: list[int] = []
+        self._mutations_since_rebuild = 0
+        self.epoch = 0
+        self.pairs = 0
+        self.last_insert_neighbors: list[dict[float, np.ndarray]] = []
+        self.stats: dict[str, int] = {
+            "queries": 0,
+            "cache_decided": 0,
+            "filtered": 0,
+            "verified": 0,
+            "inserts": 0,
+            "removes": 0,
+            "rebuilds": 0,
+            "rebalances": 0,
+        }
+        self._pool = None
+        self._spawn_pool([
+            {"member_gids": []} for _ in range(self.n_shards)
+        ])
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _worker_kwargs(self, shard_index: int, state: dict) -> dict:
+        kwargs = {
+            "metric": self.metric.name,
+            "shard_index": shard_index,
+            "K": self.K,
+            "seed": int(self._rng.integers(0, 2**63 - 1)),
+            "mode": self.mode,
+            "batch_size": self.batch_size,
+            "graph": self.graph_name,
+            "cache_radii": self.cache_radii,
+            "pinned": sorted(self._pinned | set(state.get("pinned", ()))),
+            "objects": list(self._objects),
+            "alive": list(self._alive),
+            "member_gids": state.get("member_gids", []),
+            "graph_state": state.get("graph"),
+            "cache_state": state.get("cache"),
+            "knn_radii": tuple(state.get("knn_radii", ())),
+            "build": bool(state.get("build", False)),
+        }
+        return kwargs
+
+    def _spawn_pool(self, shard_states: list[dict]) -> None:
+        from ..core.parallel import ShardPool, default_start_method
+
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self.n_shards = len(shard_states)
+        self.workers = min(self._workers_requested, self.n_shards)
+        factories = [
+            partial(_make_mutable_worker, **self._worker_kwargs(s, state))
+            for s, state in enumerate(shard_states)
+        ]
+        self._pool = ShardPool(
+            factories,
+            workers=self.workers,
+            start_method=self._start_method or default_start_method(),
+        )
+        self.epoch += 1
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def fit(cls, objects, **kwargs) -> "MutableShardedDetectionEngine":
+        """Bulk-load a collection: shard plan + per-shard graph builds."""
+        engine = cls(**kwargs)
+        engine.bulk_load(objects)
+        return engine
+
+    def bulk_load(self, objects) -> "MutableShardedDetectionEngine":
+        """Populate an empty engine in one shot (per-shard ``build_graph``)."""
+        objects = list(objects)
+        if self._objects:
+            raise ParameterError("bulk_load on a non-empty engine")
+        if not objects:
+            return self
+        from .sharded import plan_shards
+
+        n = len(objects)
+        shards = plan_shards(
+            n, min(self.n_shards, n), strategy="permuted", rng=self._rng
+        )
+        self._objects = objects
+        self._alive = [True] * n
+        self._shard_of_list = [0] * n
+        for s, ids in enumerate(shards):
+            for g in ids:
+                self._shard_of_list[int(g)] = s
+        states = [
+            {"member_gids": ids.tolist(), "build": True} for ids in shards
+        ]
+        while len(states) < self.n_shards:
+            states.append({"member_gids": []})
+        self._spawn_pool(states)
+        self.stats["inserts"] += n
+        return self
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def n_total(self) -> int:
+        return len(self._objects)
+
+    @property
+    def n_active(self) -> int:
+        return sum(self._alive)
+
+    def active_ids(self) -> np.ndarray:
+        return np.flatnonzero(np.asarray(self._alive, dtype=bool))
+
+    def live_objects(self) -> list:
+        return [self._objects[int(g)] for g in self.active_ids()]
+
+    def live_dataset(self) -> Dataset:
+        """A fresh :class:`Dataset` over the live objects (compact ids)."""
+        objects = self.live_objects()
+        return Dataset(
+            np.asarray(objects, dtype=np.float64)
+            if self.metric.is_vector
+            else objects,
+            self.metric,
+        )
+
+    def object_log(self) -> list:
+        return list(self._objects)
+
+    def shard_sizes(self) -> np.ndarray:
+        """Live member count per shard."""
+        alive = np.asarray(self._alive, dtype=bool)
+        shard_of = np.asarray(self._shard_of_list, dtype=np.int64)
+        if shard_of.size == 0:
+            return np.zeros(self.n_shards, dtype=np.int64)
+        return np.bincount(shard_of[alive], minlength=self.n_shards)
+
+    # -- merge hooks (the live population) ---------------------------------
+
+    def _live_ids(self) -> np.ndarray:
+        return self.active_ids()
+
+    def _home_shards(self, ids: np.ndarray) -> np.ndarray:
+        return np.asarray(self._shard_of_list, dtype=np.int64)[ids]
+
+    def _scan_sizes(self) -> np.ndarray:
+        return self.shard_sizes()
+
+    def _budget_dataset(self):
+        live = self.active_ids()
+        probe = [self._objects[int(live[0])]]
+        return Dataset(
+            np.asarray(probe, dtype=np.float64)
+            if self.metric.is_vector
+            else probe,
+            self.metric,
+        )
+
+    def _method_label(self) -> str:
+        return (
+            f"mutable-sharded[{self.n_shards}x{self.workers}]:"
+            f"{self.graph_name}"
+        )
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, objects: Sequence[Any]) -> np.ndarray:
+        """Append a block of objects; returns their stable global ids.
+
+        Each newcomer routes to the **least-loaded shard** (live member
+        count, updated within the batch); one broadcast carries the
+        whole batch, and each owning shard repairs its graph and cache
+        from O(1) distance sweeps.
+        """
+        objects = list(objects)
+        if not objects:
+            self.last_insert_neighbors = []
+            return _EMPTY
+        first_gid = len(self._objects)
+        B = len(objects)
+        sizes = self.shard_sizes().astype(np.int64)
+        owner = np.empty(B, dtype=np.int64)
+        for i in range(B):
+            s = int(np.argmin(sizes))
+            owner[i] = s
+            sizes[s] += 1
+        self._objects.extend(objects)
+        self._alive.extend([True] * B)
+        self._shard_of_list.extend(int(s) for s in owner)
+        shard_args = [
+            (objects, first_gid, np.flatnonzero(owner == s))
+            for s in range(self.n_shards)
+        ]
+        results = self._pool.call("ingest", shard_args=shard_args)
+        self.last_insert_neighbors = [dict() for _ in range(B)]
+        for s, (neighbor_dicts, shard_pairs) in enumerate(results):
+            self.pairs += shard_pairs
+            for pos, nbrs in zip(np.flatnonzero(owner == s), neighbor_dicts):
+                self.last_insert_neighbors[int(pos)] = nbrs
+        self._spread_pinned_counts(first_gid, B)
+        # Public contract (shared with MutableDetectionEngine): a
+        # newcomer's recorded scan lists what was live when it arrived —
+        # the prior population plus the *earlier* members of its own
+        # batch.  The owner's scan returned final-state sets (which the
+        # pinned-count spreading above needs); trim to the contract.
+        for i, nbrs in enumerate(self.last_insert_neighbors):
+            gid = first_gid + i
+            for r_key in list(nbrs):
+                within = np.asarray(nbrs[r_key], dtype=np.int64)
+                nbrs[r_key] = within[within < gid]
+        self.stats["inserts"] += B
+        self._mutations_since_rebuild += B
+        return np.arange(first_gid, first_gid + B, dtype=np.int64)
+
+    def _spread_pinned_counts(self, first_gid: int, B: int) -> None:
+        """Give every shard the newcomers' exact counts at pinned radii.
+
+        The owning shard's insert scan ranged each newcomer against the
+        *whole* live collection, so its within-``r`` sets decompose by
+        membership into exact within-shard counts for **every** shard —
+        routed here as pure bookkeeping (no further distances).  This
+        is what keeps a pinned-radius detect a phase-A cache decision
+        on the sharded engine too (the exact-STORM streaming substrate).
+        """
+        if not self._pinned or B == 0:
+            return
+        shard_of = np.asarray(self._shard_of_list, dtype=np.int64)
+        new_ids = np.arange(first_gid, first_gid + B, dtype=np.int64)
+        exact = np.ones(B, dtype=bool)
+        for r in sorted(self._pinned):
+            counts = np.zeros((self.n_shards, B), dtype=np.int64)
+            for i, nbrs in enumerate(self.last_insert_neighbors):
+                within = nbrs.get(r)
+                if within is None:
+                    return  # scan did not cover the pinned radius
+                if len(within):
+                    counts[:, i] = np.bincount(
+                        shard_of[np.asarray(within, dtype=np.int64)],
+                        minlength=self.n_shards,
+                    )
+            self._pool.call("record", shard_args=[
+                (r, new_ids, counts[s], exact) for s in range(self.n_shards)
+            ])
+
+    def remove(
+        self,
+        ids: Sequence[int],
+        known_neighbors: "dict[int, dict[float, np.ndarray]] | None" = None,
+    ) -> None:
+        """Tombstone objects everywhere; owning shards repair their caches."""
+        id_list = [int(raw) for raw in ids]
+        for v in id_list:
+            if not 0 <= v < self.n_total or not self._alive[v]:
+                raise ParameterError(f"id {v} is not an active object")
+        if len(set(id_list)) != len(id_list):
+            raise ParameterError("remove: duplicate ids")
+        if not id_list:
+            return
+        victims = np.asarray(id_list, dtype=np.int64)
+        shard_args = []
+        for s in range(self.n_shards):
+            known_s = None
+            if known_neighbors:
+                known_s = {
+                    v: known_neighbors[v]
+                    for v in id_list
+                    if self._shard_of_list[v] == s and v in known_neighbors
+                } or None
+            shard_args.append((victims, known_s))
+        for shard_pairs in self._pool.call("retire", shard_args=shard_args):
+            self.pairs += shard_pairs
+        for v in id_list:
+            self._alive[v] = False
+        self.stats["removes"] += len(id_list)
+        self._mutations_since_rebuild += len(id_list)
+
+    def pin(self, *radii: float) -> None:
+        """Maintain exact evidence at these radii through future mutations."""
+        self._pinned.update(float(r) for r in radii)
+        self._pool.call("pin", common=(tuple(self._pinned),))
+
+    def vacuum(self) -> np.ndarray:
+        """Drop tombstoned storage everywhere, renumbering live ids."""
+        keep = self.active_ids()
+        remap = np.full(self.n_total, -1, dtype=np.int64)
+        remap[keep] = np.arange(keep.size)
+        for shard_pairs in self._pool.call("vacuum", common=(keep, remap)):
+            self.pairs += shard_pairs
+        self._objects = [self._objects[int(g)] for g in keep]
+        self._alive = [True] * keep.size
+        self._shard_of_list = [
+            self._shard_of_list[int(g)] for g in keep
+        ]
+        self.epoch += 1
+        return remap
+
+    def rebuild(self) -> None:
+        """Rebuild every shard's sub-graph over its live members."""
+        for shard_pairs in self._pool.call("rebuild_local"):
+            self.pairs += shard_pairs
+        self._mutations_since_rebuild = 0
+        self.stats["rebuilds"] += 1
+
+    # -- rebalancing -------------------------------------------------------
+
+    def split_shard(self, shard: "int | None" = None) -> int:
+        """Split the (given or largest) shard in two; returns the new index.
+
+        The split is an **epoch boundary**: in-flight queries drain on
+        the pool barrier, every worker's state is collected, and a new
+        pool starts with ``S + 1`` actors — the source shard and the
+        new shard rebuild their sub-graphs over their halves (fresh
+        caches), every other shard transplants its graph and evidence
+        untouched.
+        """
+        sizes = self.shard_sizes()
+        s = int(np.argmax(sizes)) if shard is None else int(shard)
+        if not 0 <= s < self.n_shards:
+            raise ParameterError(f"split_shard: no shard {s}")
+        members = np.flatnonzero(
+            np.asarray(self._alive, dtype=bool)
+            & (np.asarray(self._shard_of_list, dtype=np.int64) == s)
+        )
+        if members.size < 2:
+            raise ParameterError(
+                f"split_shard: shard {s} holds {members.size} live members"
+            )
+        halves = np.array_split(self._rng.permutation(members), 2)
+        stay, move = np.sort(halves[0]), np.sort(halves[1])
+        new_index = self.n_shards
+        states = self._collect_states()
+        states[s] = {"member_gids": stay.tolist(), "build": True}
+        states.append({"member_gids": move.tolist(), "build": True})
+        for g in move:
+            self._shard_of_list[int(g)] = new_index
+        self._spawn_pool(states)
+        self.stats["rebalances"] += 1
+        return new_index
+
+    def merge_shards(
+        self, source: "int | None" = None, target: "int | None" = None
+    ) -> int:
+        """Fold the (given or smallest) shard into another; returns target.
+
+        The source's members move to the target shard (which rebuilds
+        its sub-graph over the union, fresh cache); every other shard
+        transplants.  Shard indices above the source shift down by one.
+        """
+        if self.n_shards < 2:
+            raise ParameterError("merge_shards needs at least two shards")
+        sizes = self.shard_sizes()
+        if source is None:
+            source = int(np.argmin(sizes))
+        if target is None:
+            order = np.argsort(sizes)
+            target = int(order[0]) if int(order[0]) != source else int(order[1])
+        source, target = int(source), int(target)
+        if source == target or not (
+            0 <= source < self.n_shards and 0 <= target < self.n_shards
+        ):
+            raise ParameterError(
+                f"merge_shards: bad pair ({source}, {target})"
+            )
+        states = self._collect_states()
+        alive = np.asarray(self._alive, dtype=bool)
+        shard_of = np.asarray(self._shard_of_list, dtype=np.int64)
+        union = np.flatnonzero(
+            alive & ((shard_of == source) | (shard_of == target))
+        )
+        states[target] = {"member_gids": union.tolist(), "build": True}
+        del states[source]
+        remap = {
+            old: (old if old < source else old - 1)
+            for old in range(self.n_shards)
+        }
+        remap[source] = remap[target]
+        self._shard_of_list = [
+            remap[s] for s in self._shard_of_list
+        ]
+        self._spawn_pool(states)
+        self.stats["rebalances"] += 1
+        return remap[target]
+
+    def rebalance(
+        self, split_above: float = 2.0, merge_below: float = 0.25
+    ) -> bool:
+        """One automatic rebalancing step; ``True`` if anything changed.
+
+        Splits a shard holding more than ``split_above`` times the mean
+        live load; otherwise merges a shard starved below
+        ``merge_below`` times the mean (keeping at least one shard).
+        """
+        if split_above <= 1.0 or not 0.0 <= merge_below < 1.0:
+            raise ParameterError(
+                "rebalance needs split_above > 1 and 0 <= merge_below < 1"
+            )
+        sizes = self.shard_sizes()
+        if self.n_active == 0:
+            return False
+        mean = self.n_active / self.n_shards
+        if sizes.max() > split_above * mean and sizes.max() >= 2:
+            self.split_shard(int(np.argmax(sizes)))
+            return True
+        if self.n_shards > 1 and sizes.min() < merge_below * mean:
+            self.merge_shards(int(np.argmin(sizes)))
+            return True
+        return False
+
+    def _collect_states(self) -> list[dict]:
+        """Drain the pool and fetch every worker's transplantable state."""
+        self._pool.barrier()
+        return list(self._pool.call("state"))
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, r: float, k: int) -> DODResult:
+        if self.n_active == 0:
+            raise ParameterError("detect before any insert")
+        if (
+            self.rebuild_every is not None
+            and self._mutations_since_rebuild >= self.rebuild_every
+        ):
+            self.rebuild()
+        result = super().query(r, k)
+        self.pairs += result.pairs
+        return result
+
+    def detect(self, r: float, k: int) -> DODResult:
+        """Alias for :meth:`query` (the mutable engines' historical verb)."""
+        return self.query(r, k)
+
+    # -- persistence -------------------------------------------------------
+
+    def shard_states(self) -> list[dict]:
+        """Per-shard transplantable state fetched from the workers."""
+        return self._collect_states()
+
+    def save(self, path) -> None:
+        """Snapshot the engine as a versioned directory."""
+        from ..io import save_mutable_sharded_engine
+
+        save_mutable_sharded_engine(self, path)
+
+    @classmethod
+    def load(cls, path, objects, **kwargs) -> "MutableShardedDetectionEngine":
+        """Rebuild a saved engine against its full object log."""
+        from ..io import load_mutable_sharded_engine
+
+        return load_mutable_sharded_engine(path, objects, **kwargs)
+
+    # -- protocol surface --------------------------------------------------
+
+    capabilities = EngineCapabilities(
+        mutable=True, sharded=True, snapshot=True, pinned_radii=True
+    )
+
+    @property
+    def graph_degree(self) -> int:
+        return self.K
+
+    @property
+    def index_nbytes(self) -> int:
+        return int(sum(self._pool.call("nbytes")))
+
+    def describe(self) -> str:
+        return (
+            f"mutable sharded engine, {self.n_active} live / "
+            f"{self.n_total} total ids, {self.n_shards} shards on "
+            f"{self.workers} worker process(es), epoch {self.epoch}"
+        )
+
+    def reset_cache(self) -> None:
+        """Drop accumulated evidence in every shard."""
+        self._pool.call("reset_cache")
+
+    def close(self) -> None:
+        """Shut down the worker pool."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MutableShardedDetectionEngine(n_active={self.n_active}, "
+            f"n_total={self.n_total}, shards={self.n_shards}, "
+            f"workers={self.workers}, metric={self.metric.name})"
+        )

@@ -82,6 +82,7 @@ from ..metrics import Metric
 from ..rng import ensure_rng
 from .engine import SweepResult, _sweep_order
 from .evidence import NO_BOUND, EvidenceCache
+from .protocol import EngineCapabilities
 
 #: recognised dataset-partitioning strategies.
 SHARD_STRATEGIES = ("contiguous", "permuted")
@@ -346,7 +347,306 @@ def _make_worker(dataset, ids, graph, K, seed, mode, batch_size,
     )
 
 
-class ShardedDetectionEngine:
+class _ShardMergeBase:
+    """The exact conservative merge, shared by every sharded engine.
+
+    Subclasses supply the population hooks — :meth:`_live_ids` (which
+    global ids a query decides over), :meth:`_home_shards` (id ->
+    owning shard), :meth:`_scan_sizes` (per-shard scan lengths for the
+    cooperative verification), :meth:`_budget_dataset` (kernel budget
+    sizing) and :meth:`_method_label` — plus ``self._pool`` hosting
+    workers that answer ``prepare``/``filter``/``count_range``/
+    ``count_tail``/``record``.  The three-phase query protocol, the
+    round-based cross-shard verification with stall handoff, and the
+    evidence deposit are written once here: the static
+    :class:`ShardedDetectionEngine` and the mutable
+    :class:`~repro.engine.mutable_sharded.MutableShardedDetectionEngine`
+    compose the same merge over different populations instead of
+    duplicating it.
+    """
+
+    n_shards: int
+    stats: dict
+
+    # -- population hooks (subclass responsibility) ------------------------
+
+    def _live_ids(self) -> np.ndarray:
+        """Global ids the query decides over (ascending)."""
+        raise NotImplementedError
+
+    def _home_shards(self, ids: np.ndarray) -> np.ndarray:
+        """Owning shard per global id (for the filter phase)."""
+        raise NotImplementedError
+
+    def _scan_sizes(self) -> np.ndarray:
+        """Per-shard scan length for cooperative verification."""
+        raise NotImplementedError
+
+    def _budget_dataset(self):
+        """A dataset sized like the collection (kernel budget heuristic)."""
+        raise NotImplementedError
+
+    def _method_label(self) -> str:
+        raise NotImplementedError
+
+    # -- the online path ---------------------------------------------------
+
+    def query(self, r: float, k: int) -> DODResult:
+        """Exact global ``(r, k)`` outliers from the shard merge."""
+        if r < 0:
+            raise ParameterError(f"radius must be non-negative, got {r}")
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        r, k = float(r), int(k)
+        S = self.n_shards
+        live = self._live_ids()
+        n = int(live.size)
+        if n == 0:
+            raise ParameterError("query over an empty collection")
+        pairs = {"cache": 0, "filter": 0, "verify": 0}
+
+        # -- phase A: merge per-shard cached bounds --------------------------
+        # Sum of within-shard lower bounds is a global lower bound; the
+        # sum of exact within-shard counts (where *every* shard has one)
+        # is the true global count.
+        t0 = time.perf_counter()
+        prep = self._pool.call("prepare", common=(r,))
+        lbs = [p[0] for p in prep]
+        ubs = [p[1] for p in prep]
+        pairs["cache"] = sum(p[2] for p in prep)
+        lb_tot = np.sum(lbs, axis=0)
+        span = lb_tot.size
+        ub_known = np.ones(span, dtype=bool)
+        ub_tot = np.zeros(span, dtype=np.int64)
+        for ub in ubs:
+            known = ub != NO_BOUND
+            ub_known &= known
+            ub_tot += np.where(known, ub, 0)
+        inlier_mask = lb_tot >= k
+        outlier_mask = ub_known & (ub_tot < k)
+        undecided = live[~inlier_mask[live] & ~outlier_mask[live]]
+        cache_outliers = live[outlier_mask[live]]
+        cache_decided = n - int(undecided.size)
+        cache_seconds = time.perf_counter() - t0
+
+        # -- phase B: shard-local filtering of each shard's own residue -------
+        t0 = time.perf_counter()
+        home = self._home_shards(undecided)
+        shard_args = [(r, k, undecided[home == s]) for s in range(S)]
+        filtered = self._pool.call("filter", shard_args=shard_args)
+        for s, (ids_s, counts_s, exact_s, pairs_s) in enumerate(filtered):
+            pairs["filter"] += pairs_s
+            if ids_s.size == 0:
+                continue
+            np.maximum.at(lbs[s], ids_s, counts_s)
+            if exact_s.any():
+                np.minimum.at(ubs[s], ids_s[exact_s], counts_s[exact_s])
+        # Re-merge the residue with the fresh home-shard evidence.
+        lb_u = np.sum([lb[undecided] for lb in lbs], axis=0)
+        ub_known_u = np.ones(undecided.size, dtype=bool)
+        ub_u = np.zeros(undecided.size, dtype=np.int64)
+        for ub in ubs:
+            vals = ub[undecided]
+            known = vals != NO_BOUND
+            ub_known_u &= known
+            ub_u += np.where(known, vals, 0)
+        f_inlier = lb_u >= k
+        f_outlier = ~f_inlier & ub_known_u & (ub_u < k)
+        filter_outliers = undecided[f_outlier]
+        candidates = undecided[~f_inlier & ~f_outlier]
+        filter_seconds = time.perf_counter() - t0
+
+        # -- phase C: cooperative cross-shard verification of the candidates --
+        # All shards sweep one slice of their data per round and the
+        # merge re-decides in between: a candidate retires the moment
+        # the summed per-shard bounds reach k, so the prefix it pays
+        # for is the cross-shard analogue of a single early-terminated
+        # scan.  A candidate that survives every round has, by
+        # construction, been scanned against every shard completely —
+        # its sum is the true global count and below k: an outlier.
+        # When retirement stalls (the survivors are mostly true
+        # outliers, which must see everything), the rounds hand off to
+        # exhaustive per-shard linear_count_block subset sweeps.
+        t0 = time.perf_counter()
+        if candidates.size:
+            verified, verify_pairs = self._verify_candidates(
+                r, k, candidates, lbs, ubs
+            )
+            pairs["verify"] = verify_pairs
+        else:
+            verified = np.empty(0, dtype=np.int64)
+        verify_seconds = time.perf_counter() - t0
+
+        outliers = np.sort(
+            np.concatenate((cache_outliers, filter_outliers, verified))
+        )
+        self.stats["queries"] += 1
+        self.stats["cache_decided"] += cache_decided
+        self.stats["filtered"] += int(undecided.size)
+        self.stats["verified"] += int(candidates.size)
+        return DODResult(
+            outliers=outliers,
+            r=r,
+            k=k,
+            n=n,
+            method=self._method_label(),
+            seconds=cache_seconds + filter_seconds + verify_seconds,
+            pairs=sum(pairs.values()),
+            phases={
+                "cache": cache_seconds,
+                "filter": filter_seconds,
+                "verify": verify_seconds,
+            },
+            phase_pairs=dict(pairs),
+            counts={
+                "candidates": int(candidates.size),
+                "direct_outliers": int(filter_outliers.size),
+                "false_positives": int(candidates.size) - int(verified.size),
+                "cache_decided": cache_decided,
+                "cache_outliers": int(cache_outliers.size),
+                "filtered": int(undecided.size),
+            },
+        )
+
+    def _verify_candidates(self, r, k, candidates, lbs, ubs):
+        """Cooperative cross-shard verification: ``(outlier ids, pairs)``.
+
+        Maintains per-shard prefix hit counts for every candidate and
+        re-merges after each scan round; evidence (partial-prefix lower
+        bounds, exact counts for fully-swept shards) is deposited back
+        into the shard caches at the end so warm re-queries decide from
+        phase A alone.
+        """
+        from ..index.linear import _pairs_per_kernel
+
+        S, C = self.n_shards, candidates.size
+        sizes = self._scan_sizes()
+        cached_lb = np.stack([lb[candidates] for lb in lbs])
+        cached_ub = np.stack([ub[candidates] for ub in ubs])
+        exact_known = (cached_ub != NO_BOUND) & (cached_lb >= cached_ub)
+        # Per-shard running bound: the true count where exact, else the
+        # best lower bound (cached, later max'ed with scanned prefixes).
+        bound = np.where(exact_known, cached_ub, cached_lb)
+        prefix = np.zeros((S, C), dtype=np.int64)
+        covered = np.zeros((S, C), dtype=np.int64)  # scanned prefix length
+        offset = np.zeros(S, dtype=np.int64)
+        budget = _pairs_per_kernel(self._budget_dataset())
+        pairs = 0
+        active = np.arange(C, dtype=np.int64)
+        outliers: list[int] = []
+        empty = np.empty(0, dtype=np.int64)
+
+        while active.size:
+            # One round costs ~budget pairs across ALL shards together,
+            # mirroring the single engine's sweep economics: a candidate
+            # sees S * span objects per round, so its retirement prefix
+            # tracks what one early-terminated global scan would pay.
+            span = max(64, budget // (S * int(active.size)))
+            scan_sets: list[np.ndarray] = []
+            shard_args = []
+            for s in range(S):
+                if offset[s] >= sizes[s]:
+                    scan_sets.append(empty)
+                    shard_args.append((r, empty, 0, 0))
+                    continue
+                sel = active[~exact_known[s, active]]
+                scan_sets.append(sel)
+                shard_args.append(
+                    (r, candidates[sel], int(offset[s]), int(offset[s] + span))
+                )
+            results = self._pool.call("count_range", shard_args=shard_args)
+            for s in range(S):
+                add, shard_pairs = results[s]
+                pairs += shard_pairs
+                sel = scan_sets[s]
+                if sel.size == 0:
+                    continue
+                hi = min(int(offset[s] + span), int(sizes[s]))
+                prefix[s, sel] += add
+                bound[s, sel] = np.maximum(bound[s, sel], prefix[s, sel])
+                covered[s, sel] = hi
+            offset = np.where(offset < sizes, np.minimum(offset + span, sizes), offset)
+
+            tot = bound[:, active].sum(axis=0)
+            full = (offset >= sizes)[:, None]
+            complete = np.all(exact_known[:, active] | full, axis=0)
+            is_inlier = tot >= k
+            is_outlier = ~is_inlier & complete
+            outliers.extend(int(p) for p in candidates[active[is_outlier]])
+            survivors = active[~is_inlier & ~is_outlier]
+            # Stall handoff: when a round barely retires anyone, the
+            # survivors are (mostly) true outliers — finish them with
+            # one exhaustive subset sweep per shard instead of rounds.
+            if survivors.size and survivors.size > 0.75 * active.size:
+                shard_args = []
+                tail_sets = []
+                for s in range(S):
+                    sel = survivors[~exact_known[s, survivors]]
+                    tail_sets.append(sel)
+                    shard_args.append((r, candidates[sel], int(offset[s])))
+                results = self._pool.call("count_tail", shard_args=shard_args)
+                for s in range(S):
+                    add, shard_pairs = results[s]
+                    pairs += shard_pairs
+                    sel = tail_sets[s]
+                    if sel.size:
+                        prefix[s, sel] += add
+                        bound[s, sel] = np.maximum(bound[s, sel], prefix[s, sel])
+                        covered[s, sel] = sizes[s]
+                tot = bound[:, survivors].sum(axis=0)
+                outliers.extend(int(p) for p in candidates[survivors[tot < k]])
+                active = empty
+            else:
+                active = survivors
+
+        # Deposit what the sweep proved back into the shard caches: a
+        # scanned prefix is a valid lower bound at r, and a fully-swept
+        # shard's count is exact (doubles as an upper bound).
+        shard_args = []
+        for s in range(S):
+            touched = np.flatnonzero(covered[s] > 0)
+            shard_args.append((
+                r,
+                candidates[touched],
+                bound[s, touched],
+                covered[s, touched] >= sizes[s],
+            ))
+        self._pool.call("record", shard_args=shard_args)
+        return np.asarray(sorted(outliers), dtype=np.int64), pairs
+
+    def batch(self, queries) -> list[DODResult]:
+        """Answer ``(r, k)`` queries in the given order (serving semantics)."""
+        return [self.query(float(r), int(k)) for r, k in queries]
+
+    def sweep(self, r_grid, k_grid=None, k: "int | None" = None) -> SweepResult:
+        """Answer the full ``r_grid x k_grid`` in a reuse-maximising order."""
+        if k_grid is None:
+            if k is None:
+                raise ParameterError("sweep needs k_grid or k")
+            k_grid = [k]
+        queries = [
+            (float(rv), int(kv))
+            for rv in np.asarray(r_grid, dtype=np.float64)
+            for kv in k_grid
+        ]
+        if len(set(queries)) != len(queries):
+            raise ParameterError("sweep grid contains duplicate (r, k) points")
+        sweep = SweepResult(queries=queries)
+        for rv, kv in _sweep_order(queries):
+            sweep.results[(rv, kv)] = self.query(rv, kv)
+        return sweep
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:  # pragma: no cover - subclass responsibility
+        raise NotImplementedError
+
+
+class ShardedDetectionEngine(_ShardMergeBase):
     """Exact multi-process DOD serving: ``S`` shard sub-engines + merge.
 
     The scale-out sibling of :class:`~repro.engine.DetectionEngine`:
@@ -469,247 +769,22 @@ class ShardedDetectionEngine:
     def n(self) -> int:
         return self.dataset.n
 
-    # -- the online path ------------------------------------------------------
+    # -- merge hooks (the static population) -----------------------------------
 
-    def query(self, r: float, k: int) -> DODResult:
-        """Exact global ``(r, k)`` outliers from the shard merge."""
-        if r < 0:
-            raise ParameterError(f"radius must be non-negative, got {r}")
-        if k < 1:
-            raise ParameterError(f"k must be >= 1, got {k}")
-        r, k = float(r), int(k)
-        n, S = self.n, self.n_shards
-        pairs = {"cache": 0, "filter": 0, "verify": 0}
+    def _live_ids(self) -> np.ndarray:
+        return np.arange(self.n, dtype=np.int64)
 
-        # -- phase A: merge per-shard cached bounds --------------------------
-        # Sum of within-shard lower bounds is a global lower bound; the
-        # sum of exact within-shard counts (where *every* shard has one)
-        # is the true global count.
-        t0 = time.perf_counter()
-        prep = self._pool.call("prepare", common=(r,))
-        lbs = [p[0] for p in prep]
-        ubs = [p[1] for p in prep]
-        pairs["cache"] = sum(p[2] for p in prep)
-        lb_tot = np.sum(lbs, axis=0)
-        ub_known = np.ones(n, dtype=bool)
-        ub_tot = np.zeros(n, dtype=np.int64)
-        for ub in ubs:
-            known = ub != NO_BOUND
-            ub_known &= known
-            ub_tot += np.where(known, ub, 0)
-        inlier_mask = lb_tot >= k
-        outlier_mask = ub_known & (ub_tot < k)
-        undecided = np.flatnonzero(~inlier_mask & ~outlier_mask)
-        cache_outliers = np.flatnonzero(outlier_mask)
-        cache_decided = n - int(undecided.size)
-        cache_seconds = time.perf_counter() - t0
+    def _home_shards(self, ids: np.ndarray) -> np.ndarray:
+        return self._shard_of[ids]
 
-        # -- phase B: shard-local filtering of each shard's own residue -------
-        t0 = time.perf_counter()
-        home = self._shard_of[undecided]
-        shard_args = [(r, k, undecided[home == s]) for s in range(S)]
-        filtered = self._pool.call("filter", shard_args=shard_args)
-        for s, (ids_s, counts_s, exact_s, pairs_s) in enumerate(filtered):
-            pairs["filter"] += pairs_s
-            if ids_s.size == 0:
-                continue
-            np.maximum.at(lbs[s], ids_s, counts_s)
-            if exact_s.any():
-                np.minimum.at(ubs[s], ids_s[exact_s], counts_s[exact_s])
-        # Re-merge the residue with the fresh home-shard evidence.
-        lb_u = np.sum([lb[undecided] for lb in lbs], axis=0)
-        ub_known_u = np.ones(undecided.size, dtype=bool)
-        ub_u = np.zeros(undecided.size, dtype=np.int64)
-        for ub in ubs:
-            vals = ub[undecided]
-            known = vals != NO_BOUND
-            ub_known_u &= known
-            ub_u += np.where(known, vals, 0)
-        f_inlier = lb_u >= k
-        f_outlier = ~f_inlier & ub_known_u & (ub_u < k)
-        filter_outliers = undecided[f_outlier]
-        candidates = undecided[~f_inlier & ~f_outlier]
-        filter_seconds = time.perf_counter() - t0
+    def _scan_sizes(self) -> np.ndarray:
+        return np.asarray([ids.size for ids in self.shard_ids], dtype=np.int64)
 
-        # -- phase C: cooperative cross-shard verification of the candidates --
-        # All shards sweep one slice of their data per round and the
-        # merge re-decides in between: a candidate retires the moment
-        # the summed per-shard bounds reach k, so the prefix it pays
-        # for is the cross-shard analogue of a single early-terminated
-        # scan.  A candidate that survives every round has, by
-        # construction, been scanned against every shard completely —
-        # its sum is the true global count and below k: an outlier.
-        # When retirement stalls (the survivors are mostly true
-        # outliers, which must see everything), the rounds hand off to
-        # exhaustive per-shard linear_count_block subset sweeps.
-        t0 = time.perf_counter()
-        if candidates.size:
-            verified, verify_pairs = self._verify_candidates(
-                r, k, candidates, lbs, ubs
-            )
-            pairs["verify"] = verify_pairs
-        else:
-            verified = np.empty(0, dtype=np.int64)
-        verify_seconds = time.perf_counter() - t0
+    def _budget_dataset(self):
+        return self.dataset
 
-        outliers = np.sort(
-            np.concatenate((cache_outliers, filter_outliers, verified))
-        )
-        self.stats["queries"] += 1
-        self.stats["cache_decided"] += cache_decided
-        self.stats["filtered"] += int(undecided.size)
-        self.stats["verified"] += int(candidates.size)
-        return DODResult(
-            outliers=outliers,
-            r=r,
-            k=k,
-            n=n,
-            method=f"sharded[{S}x{self.workers}]:{self.graph_name}",
-            seconds=cache_seconds + filter_seconds + verify_seconds,
-            pairs=sum(pairs.values()),
-            phases={
-                "cache": cache_seconds,
-                "filter": filter_seconds,
-                "verify": verify_seconds,
-            },
-            phase_pairs=dict(pairs),
-            counts={
-                "candidates": int(candidates.size),
-                "direct_outliers": int(filter_outliers.size),
-                "false_positives": int(candidates.size) - int(verified.size),
-                "cache_decided": cache_decided,
-                "cache_outliers": int(cache_outliers.size),
-                "filtered": int(undecided.size),
-            },
-        )
-
-    def _verify_candidates(self, r, k, candidates, lbs, ubs):
-        """Cooperative cross-shard verification: ``(outlier ids, pairs)``.
-
-        Maintains per-shard prefix hit counts for every candidate and
-        re-merges after each scan round; evidence (partial-prefix lower
-        bounds, exact counts for fully-swept shards) is deposited back
-        into the shard caches at the end so warm re-queries decide from
-        phase A alone.
-        """
-        from ..index.linear import _pairs_per_kernel
-
-        S, C = self.n_shards, candidates.size
-        sizes = np.asarray([ids.size for ids in self.shard_ids], dtype=np.int64)
-        cached_lb = np.stack([lb[candidates] for lb in lbs])
-        cached_ub = np.stack([ub[candidates] for ub in ubs])
-        exact_known = (cached_ub != NO_BOUND) & (cached_lb >= cached_ub)
-        # Per-shard running bound: the true count where exact, else the
-        # best lower bound (cached, later max'ed with scanned prefixes).
-        bound = np.where(exact_known, cached_ub, cached_lb)
-        prefix = np.zeros((S, C), dtype=np.int64)
-        covered = np.zeros((S, C), dtype=np.int64)  # scanned prefix length
-        offset = np.zeros(S, dtype=np.int64)
-        budget = _pairs_per_kernel(self.dataset)
-        pairs = 0
-        active = np.arange(C, dtype=np.int64)
-        outliers: list[int] = []
-        empty = np.empty(0, dtype=np.int64)
-
-        while active.size:
-            # One round costs ~budget pairs across ALL shards together,
-            # mirroring the single engine's sweep economics: a candidate
-            # sees S * span objects per round, so its retirement prefix
-            # tracks what one early-terminated global scan would pay.
-            span = max(64, budget // (S * int(active.size)))
-            scan_sets: list[np.ndarray] = []
-            shard_args = []
-            for s in range(S):
-                if offset[s] >= sizes[s]:
-                    scan_sets.append(empty)
-                    shard_args.append((r, empty, 0, 0))
-                    continue
-                sel = active[~exact_known[s, active]]
-                scan_sets.append(sel)
-                shard_args.append(
-                    (r, candidates[sel], int(offset[s]), int(offset[s] + span))
-                )
-            results = self._pool.call("count_range", shard_args=shard_args)
-            for s in range(S):
-                add, shard_pairs = results[s]
-                pairs += shard_pairs
-                sel = scan_sets[s]
-                if sel.size == 0:
-                    continue
-                hi = min(int(offset[s] + span), int(sizes[s]))
-                prefix[s, sel] += add
-                bound[s, sel] = np.maximum(bound[s, sel], prefix[s, sel])
-                covered[s, sel] = hi
-            offset = np.where(offset < sizes, np.minimum(offset + span, sizes), offset)
-
-            tot = bound[:, active].sum(axis=0)
-            full = (offset >= sizes)[:, None]
-            complete = np.all(exact_known[:, active] | full, axis=0)
-            is_inlier = tot >= k
-            is_outlier = ~is_inlier & complete
-            outliers.extend(int(p) for p in candidates[active[is_outlier]])
-            survivors = active[~is_inlier & ~is_outlier]
-            # Stall handoff: when a round barely retires anyone, the
-            # survivors are (mostly) true outliers — finish them with
-            # one exhaustive subset sweep per shard instead of rounds.
-            if survivors.size and survivors.size > 0.75 * active.size:
-                shard_args = []
-                tail_sets = []
-                for s in range(S):
-                    sel = survivors[~exact_known[s, survivors]]
-                    tail_sets.append(sel)
-                    shard_args.append((r, candidates[sel], int(offset[s])))
-                results = self._pool.call("count_tail", shard_args=shard_args)
-                for s in range(S):
-                    add, shard_pairs = results[s]
-                    pairs += shard_pairs
-                    sel = tail_sets[s]
-                    if sel.size:
-                        prefix[s, sel] += add
-                        bound[s, sel] = np.maximum(bound[s, sel], prefix[s, sel])
-                        covered[s, sel] = sizes[s]
-                tot = bound[:, survivors].sum(axis=0)
-                outliers.extend(int(p) for p in candidates[survivors[tot < k]])
-                active = empty
-            else:
-                active = survivors
-
-        # Deposit what the sweep proved back into the shard caches: a
-        # scanned prefix is a valid lower bound at r, and a fully-swept
-        # shard's count is exact (doubles as an upper bound).
-        shard_args = []
-        for s in range(S):
-            touched = np.flatnonzero(covered[s] > 0)
-            shard_args.append((
-                r,
-                candidates[touched],
-                bound[s, touched],
-                covered[s, touched] >= sizes[s],
-            ))
-        self._pool.call("record", shard_args=shard_args)
-        return np.asarray(sorted(outliers), dtype=np.int64), pairs
-
-    def batch(self, queries) -> list[DODResult]:
-        """Answer ``(r, k)`` queries in the given order (serving semantics)."""
-        return [self.query(float(r), int(k)) for r, k in queries]
-
-    def sweep(self, r_grid, k_grid=None, k: "int | None" = None) -> SweepResult:
-        """Answer the full ``r_grid x k_grid`` in a reuse-maximising order."""
-        if k_grid is None:
-            if k is None:
-                raise ParameterError("sweep needs k_grid or k")
-            k_grid = [k]
-        queries = [
-            (float(rv), int(kv))
-            for rv in np.asarray(r_grid, dtype=np.float64)
-            for kv in k_grid
-        ]
-        if len(set(queries)) != len(queries):
-            raise ParameterError("sweep grid contains duplicate (r, k) points")
-        sweep = SweepResult(queries=queries)
-        for rv, kv in _sweep_order(queries):
-            sweep.results[(rv, kv)] = self.query(rv, kv)
-        return sweep
+    def _method_label(self) -> str:
+        return f"sharded[{self.n_shards}x{self.workers}]:{self.graph_name}"
 
     # -- persistence -----------------------------------------------------------
 
@@ -741,18 +816,26 @@ class ShardedDetectionEngine:
         """Drop all accumulated evidence in every shard."""
         self._pool.call("reset_cache")
 
+    # -- protocol surface ------------------------------------------------------
+
+    capabilities = EngineCapabilities(sharded=True)
+
+    @property
+    def graph_degree(self) -> int:
+        return self.K
+
+    def describe(self) -> str:
+        return (
+            f"static sharded engine, n={self.n}, {self.n_shards} shards "
+            f"on {self.workers} worker process(es)"
+        )
+
     def close(self) -> None:
         """Shut down the worker processes and release shared memory."""
         self._pool.close()
         if self._transport is not None:
             self._transport.release()
             self._transport = None
-
-    def __enter__(self) -> "ShardedDetectionEngine":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -17,6 +17,7 @@ class name and call signatures so existing code keeps working:
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Sequence
 
 import numpy as np
@@ -40,6 +41,15 @@ class DynamicDODetector(MutableDetectionEngine):
         seed: "int | None" = 0,
         search_attempts: int = 2,
     ):
+        warnings.warn(
+            "DynamicDODetector is deprecated; use "
+            "repro.engine.MutableDetectionEngine (same mutations plus "
+            "sweep/top_n, pinned radii and snapshots) or "
+            "repro.engine.MutableShardedDetectionEngine for multi-process "
+            "serving",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(
             metric=metric, K=K, seed=seed, search_attempts=search_attempts
         )

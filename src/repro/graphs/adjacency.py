@@ -166,6 +166,51 @@ class Graph:
         self._knn_arrays = None
         self.pivots[v] = False
 
+    def tombstone_many(self, ids, alive: "np.ndarray | None" = None) -> None:
+        """Retire a block of vertices in one call.
+
+        The batched form of :meth:`tombstone`: victims are chained
+        against the *final* alive mask (an id being retired in the same
+        block is already dead for chaining purposes), so one mutation
+        batch pays one pass of adjacency surgery instead of re-deriving
+        liveness per victim.
+        """
+        ids = [int(v) for v in ids]
+        for v in ids:
+            if not 0 <= v < self.n:
+                raise GraphError(f"tombstone target {v} out of range")
+        for v in ids:
+            self.tombstone(v, alive=alive)
+
+    def patch_exact_knn(self, v: int, new_id: int, dist: float) -> bool:
+        """Insert ``new_id`` into ``v``'s exact-K'NN list, keeping it exact.
+
+        Decremental maintenance of Property 3 under inserts: a newcomer
+        strictly closer than the list's last entry would falsify the
+        stored "exact K' nearest" claim, but the *union* of the old list
+        and the newcomer still contains the true K' nearest — so
+        inserting by distance and truncating back to K' keeps the list
+        exact (its coverage radius only shrinks).  Returns ``True`` when
+        the list was patched, ``False`` when the newcomer lies outside
+        it (the list was exact already).
+        """
+        entry = self.exact_knn.get(int(v))
+        if entry is None:
+            return False
+        ids, dists = entry
+        if dists.size == 0 or dist >= dists[-1]:
+            return False
+        pos = int(np.searchsorted(dists, dist, side="left"))
+        kprime = dists.size
+        self.exact_knn[int(v)] = (
+            np.insert(ids, pos, int(new_id))[:kprime],
+            np.insert(dists, pos, float(dist))[:kprime],
+        )
+        # The flat-array cache fingerprints on (holders, payload size),
+        # both unchanged by an in-place patch — invalidate explicitly.
+        self._knn_arrays = None
+        return True
+
     def compact(self, keep: np.ndarray) -> tuple["Graph", np.ndarray]:
         """Live-only copy over ``keep`` (renumbered), plus the id remap.
 

@@ -753,7 +753,7 @@ def run_ext_dynamic(
     the trade is maintenance time vs filter quality.
     """
     from ..datasets import make_objects
-    from ..extensions.dynamic import DynamicDODetector
+    from ..engine.mutable import MutableDetectionEngine
 
     w = default_workload(suite)
     spec = get_spec(suite)
@@ -769,7 +769,9 @@ def run_ext_dynamic(
         ["strategy", "maintain_seconds", "detect_seconds", "outliers"],
     )
     for strategy in ("incremental", "rebuild"):
-        det = DynamicDODetector(metric=spec.metric, K=suite_K(suite), seed=w.seed)
+        det = MutableDetectionEngine(
+            metric=spec.metric, K=suite_K(suite), seed=w.seed
+        )
         # A fresh generator per strategy: both remove the same victims
         # (by position), so the live populations stay identical even
         # though rebuild() renumbers ids.
@@ -781,7 +783,7 @@ def run_ext_dynamic(
             if spec.metric == "edit":
                 batch = list(batch)
             t0 = time.perf_counter()
-            det.add(batch)
+            det.insert(batch)
             if det.n_active > 2 * chunk:
                 live = det.active_ids()
                 victims = gen.choice(
@@ -794,6 +796,7 @@ def run_ext_dynamic(
         t0 = time.perf_counter()
         last = det.detect(w.r, w.k)
         detect_s = time.perf_counter() - t0
+        det.close()
         t.add_row(
             strategy=strategy,
             maintain_seconds=maintain,

@@ -482,34 +482,66 @@ _SHARDED_FORMAT_VERSION = 1
 _MANIFEST_NAME = "manifest.npz"
 
 
+def _save_shard_archive(shard_path: Path, graph, cache, meta: dict) -> None:
+    """One shard archive: graph arrays + cache bound arrays + JSON meta.
+
+    The per-shard format shared by the static and the mutable sharded
+    snapshots — a standard graph archive extended with that shard's
+    evidence-cache bound arrays, exactly like a single-engine snapshot.
+    """
+    payload = _graph_arrays(graph)
+    payload.update(cache.state_arrays())
+    payload["shard_meta"] = np.asarray(json.dumps(meta))
+    np.savez_compressed(shard_path, **payload)
+
+
+def _load_shard_archive(shard_path: Path, cache_span: int):
+    """Read one shard archive back: ``(graph, cache, meta)``.
+
+    ``cache_span`` is the id-space width the shard cache must cover
+    (global ``n`` for both sharded formats).  Every malformed payload
+    raises :class:`GraphError` naming the file.
+    """
+    from .engine.evidence import EvidenceCache
+
+    if not shard_path.exists():
+        raise GraphError(
+            f"{shard_path}: shard file named by the manifest is missing"
+        )
+    with _NpzReader(shard_path, "shard snapshot") as data:
+        try:
+            graph = _graph_from_arrays(data, shard_path)
+            shard_meta = json.loads(str(data["shard_meta"]))
+        except json.JSONDecodeError as exc:
+            raise GraphError(
+                f"{shard_path}: shard metadata is not valid JSON"
+            ) from exc
+        cache_arrays = _cache_arrays_from(data, cache_span, shard_path)
+    return graph, EvidenceCache.from_state_arrays(cache_span, cache_arrays), shard_meta
+
+
 def save_sharded_engine(engine, path: "str | Path") -> None:
     """Snapshot a :class:`~repro.engine.ShardedDetectionEngine` directory.
 
     ``path`` becomes a directory holding one ``manifest.npz`` (the shard
     plan: partition ids, dataset fingerprint, serving statistics, and
-    the shard file names) plus one ``shard_NNNN.npz`` per shard — each a
-    standard graph archive extended with that shard's evidence-cache
-    bound arrays, exactly like a single-engine snapshot.  The dataset
-    itself is *not* stored; :func:`load_sharded_engine` verifies the
-    re-supplied one against the fingerprint.
+    the shard file names) plus one ``shard_NNNN.npz`` per shard.  The
+    dataset itself is *not* stored; :func:`load_sharded_engine` verifies
+    the re-supplied one against the fingerprint.
     """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
     states = engine.shard_states()
     shard_files = [f"shard_{s:04d}.npz" for s in range(engine.n_shards)]
     for s, (state, fname) in enumerate(zip(states, shard_files)):
-        payload = _graph_arrays(state["graph"])
-        payload.update(state["cache"].state_arrays())
-        payload["shard_meta"] = np.asarray(
-            json.dumps(
-                {
-                    "shard_index": s,
-                    "n": engine.n,
-                    "knn_radii": [float(r) for r in state["knn_radii"]],
-                }
-            )
+        _save_shard_archive(
+            path / fname, state["graph"], state["cache"],
+            {
+                "shard_index": s,
+                "n": engine.n,
+                "knn_radii": [float(r) for r in state["knn_radii"]],
+            },
         )
-        np.savez_compressed(path / fname, **payload)
     manifest = {
         "sharded_format_version": np.asarray(_SHARDED_FORMAT_VERSION),
         "n": np.asarray(engine.n),
@@ -614,28 +646,16 @@ def load_sharded_engine(
     shard_state = []
     for s, fname in enumerate(shard_files):
         shard_path = path / str(fname)
-        if not shard_path.exists():
+        graph, cache, shard_meta = _load_shard_archive(shard_path, n)
+        if graph.n != shard_ids[s].size:
             raise GraphError(
-                f"{shard_path}: shard file named by the manifest is missing"
+                f"{shard_path}: shard graph spans {graph.n} vertices but "
+                f"the manifest assigns this shard {shard_ids[s].size} objects"
             )
-        with _NpzReader(shard_path, "shard snapshot") as data:
-            try:
-                graph = _graph_from_arrays(data, shard_path)
-                shard_meta = json.loads(str(data["shard_meta"]))
-            except json.JSONDecodeError as exc:
-                raise GraphError(
-                    f"{shard_path}: shard metadata is not valid JSON"
-                ) from exc
-            if graph.n != shard_ids[s].size:
-                raise GraphError(
-                    f"{shard_path}: shard graph spans {graph.n} vertices but "
-                    f"the manifest assigns this shard {shard_ids[s].size} objects"
-                )
-            cache_arrays = _cache_arrays_from(data, n, shard_path)
         shard_state.append(
             {
                 "graph": graph,
-                "cache": EvidenceCache.from_state_arrays(n, cache_arrays),
+                "cache": cache,
                 "knn_radii": [float(r) for r in shard_meta.get("knn_radii", ())],
             }
         )
@@ -657,3 +677,313 @@ def load_sharded_engine(
     for key in engine.stats:
         engine.stats[key] = int(stats.get(key, 0))
     return engine
+
+
+# -- mutable-sharded engine snapshots -----------------------------------------
+
+_MUTABLE_SHARDED_FORMAT_VERSION = 1
+
+
+def save_mutable_sharded_engine(engine, path: "str | Path") -> None:
+    """Snapshot a mutable sharded engine as a versioned directory.
+
+    ``path`` holds one ``manifest.npz`` (the full-id-space bookkeeping:
+    alive mask, id -> shard routing, per-shard membership logs, serving
+    statistics, pinned radii, a fingerprint of the full object log) and
+    one ``shard_NNNN.npz`` per shard (the shard-local incremental graph
+    — tombstones included — plus the repaired within-shard evidence
+    cache).  The objects themselves are not stored; the caller
+    re-supplies the full insertion log to
+    :func:`load_mutable_sharded_engine`.
+    """
+    from .engine.evidence import EvidenceCache
+    from .exceptions import ParameterError
+    from .graphs.adjacency import Graph
+
+    if engine.n_total == 0:
+        raise ParameterError(
+            "cannot snapshot a mutable sharded engine before any insert"
+        )
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    states = engine.shard_states()
+    n_total = engine.n_total
+    shard_files = [f"shard_{s:04d}.npz" for s in range(engine.n_shards)]
+    member_sizes = []
+    member_gids = []
+    for s, (state, fname) in enumerate(zip(states, shard_files)):
+        members = [int(g) for g in state["member_gids"]]
+        member_sizes.append(len(members))
+        member_gids.extend(members)
+        graph = state["graph"]
+        cache = state["cache"]
+        _save_shard_archive(
+            path / fname,
+            graph if graph is not None else Graph(1).finalize(),
+            cache if cache is not None else EvidenceCache(n_total),
+            {
+                "shard_index": s,
+                "n_total": n_total,
+                "has_graph": graph is not None,
+                "knn_radii": [float(r) for r in state["knn_radii"]],
+            },
+        )
+    # The fingerprint covers the *full log* (dead entries included):
+    # that is what the caller must re-supply at load time.
+    from .data import Dataset
+
+    full_ds = Dataset(
+        np.asarray(engine.object_log(), dtype=np.float64)
+        if engine.metric.is_vector
+        else engine.object_log(),
+        engine.metric,
+    )
+    manifest = {
+        "mutable_sharded_format_version": np.asarray(
+            _MUTABLE_SHARDED_FORMAT_VERSION
+        ),
+        "n_total": np.asarray(n_total),
+        "n_shards": np.asarray(engine.n_shards),
+        "alive": np.asarray(engine._alive, dtype=bool),
+        "shard_of": np.asarray(engine._shard_of_list, dtype=np.int64),
+        "member_sizes": np.asarray(member_sizes, dtype=np.int64),
+        "member_gids": np.asarray(member_gids, dtype=np.int64),
+        "manifest_meta": np.asarray(
+            json.dumps(
+                {
+                    "stats": engine.stats,
+                    "metric": engine.metric.name,
+                    "graph": engine.graph_name,
+                    "K": engine.K,
+                    "pairs": engine.pairs,
+                    "epoch": engine.epoch,
+                    "pinned": sorted(engine._pinned),
+                    "shard_files": shard_files,
+                    "fingerprint": _dataset_fingerprint(full_ds),
+                }
+            )
+        ),
+    }
+    np.savez_compressed(path / _MANIFEST_NAME, **manifest)
+
+
+def load_mutable_sharded_engine(path: "str | Path", objects, **kwargs):
+    """Rebuild a saved mutable sharded engine against its full object log.
+
+    ``objects`` must be the complete insertion-ordered log (tombstoned
+    positions included), verified against the stored fingerprint.
+    Remaining keyword arguments are execution knobs forwarded to the
+    :class:`~repro.engine.mutable_sharded.MutableShardedDetectionEngine`
+    constructor (``workers``, ``mode``, ``batch_size``, ...).
+
+    Raises :class:`GraphError` on every malformed input: missing or
+    unreadable manifest, version mismatch, inconsistent membership or
+    alive arrays, missing shard files, or an object log that is not the
+    data the snapshot was built from.
+    """
+    from .data import Dataset
+    from .engine.mutable_sharded import MutableShardedDetectionEngine
+
+    path = Path(path)
+    manifest_path = path / _MANIFEST_NAME
+    if not path.is_dir() or not manifest_path.exists():
+        raise GraphError(
+            f"{path}: no mutable-sharded snapshot here (expected a directory "
+            f"containing {_MANIFEST_NAME})"
+        )
+    with _NpzReader(manifest_path, "mutable-sharded manifest") as data:
+        if "mutable_sharded_format_version" not in data:
+            raise GraphError(
+                f"{manifest_path}: not a mutable-sharded manifest (a static "
+                f"sharded snapshot? use load_sharded_engine instead)"
+            )
+        version = int(data["mutable_sharded_format_version"])
+        if version != _MUTABLE_SHARDED_FORMAT_VERSION:
+            raise GraphError(
+                f"{manifest_path}: unsupported mutable-sharded snapshot "
+                f"version {version} (this build reads version "
+                f"{_MUTABLE_SHARDED_FORMAT_VERSION})"
+            )
+        n_total = int(data["n_total"])
+        n_shards = int(data["n_shards"])
+        alive = data["alive"]
+        shard_of = data["shard_of"]
+        member_sizes = data["member_sizes"]
+        member_gids = data["member_gids"]
+        try:
+            meta = json.loads(str(data["manifest_meta"]))
+        except json.JSONDecodeError as exc:
+            raise GraphError(
+                f"{manifest_path}: manifest metadata is not valid JSON"
+            ) from exc
+    object_log = list(objects)
+    if len(object_log) != n_total:
+        raise GraphError(
+            f"{manifest_path}: snapshot spans {n_total} objects but the "
+            f"supplied log has {len(object_log)} — wrong object log"
+        )
+    if alive.shape != (n_total,) or shard_of.shape != (n_total,):
+        raise GraphError(
+            f"{manifest_path}: alive/shard_of arrays do not match "
+            f"n_total={n_total}"
+        )
+    if n_shards < 1 or member_sizes.shape != (n_shards,):
+        raise GraphError(
+            f"{manifest_path}: manifest lists {member_sizes.size} member "
+            f"counts for {n_shards} shards"
+        )
+    if int(member_sizes.sum()) != member_gids.size:
+        raise GraphError(
+            f"{manifest_path}: membership logs are inconsistent"
+        )
+    if member_gids.size and (
+        member_gids.min() < 0 or member_gids.max() >= n_total
+    ):
+        raise GraphError(
+            f"{manifest_path}: member ids out of range for n_total={n_total}"
+        )
+    if shard_of.size and (shard_of.min() < 0 or shard_of.max() >= n_shards):
+        raise GraphError(
+            f"{manifest_path}: shard routing targets out of range for "
+            f"{n_shards} shards"
+        )
+    shard_files = meta.get("shard_files", [])
+    if len(shard_files) != n_shards:
+        raise GraphError(
+            f"{manifest_path}: manifest names {len(shard_files)} shard files "
+            f"for {n_shards} shards"
+        )
+    metric = str(meta.get("metric", "l2"))
+    engine = MutableShardedDetectionEngine(
+        metric=metric,
+        n_shards=n_shards,
+        graph=str(meta.get("graph", "mrpg")),
+        K=int(meta.get("K", 16)),
+        pinned=[float(r) for r in meta.get("pinned", ())],
+        **kwargs,
+    )
+    full_ds = Dataset(
+        np.asarray(object_log, dtype=np.float64)
+        if engine.metric.is_vector
+        else object_log,
+        engine.metric,
+    )
+    _check_fingerprint(meta.get("fingerprint"), full_ds, manifest_path)
+    offsets = np.concatenate(([0], np.cumsum(member_sizes)))
+    states = []
+    for s, fname in enumerate(shard_files):
+        members = member_gids[offsets[s]:offsets[s + 1]]
+        graph, cache, shard_meta = _load_shard_archive(path / str(fname), n_total)
+        has_graph = bool(shard_meta.get("has_graph", True))
+        if has_graph and graph.n != max(1, members.size):
+            raise GraphError(
+                f"{path / str(fname)}: shard graph spans {graph.n} local "
+                f"vertices but the manifest logs {members.size} members"
+            )
+        states.append(
+            {
+                "member_gids": members.tolist(),
+                "graph": graph if has_graph else None,
+                "cache": cache,
+                "knn_radii": [float(r) for r in shard_meta.get("knn_radii", ())],
+            }
+        )
+    engine._objects = object_log
+    engine._alive = [bool(a) for a in alive]
+    engine._shard_of_list = [int(s) for s in shard_of]
+    engine._spawn_pool(states)
+    engine.pairs = int(meta.get("pairs", 0))
+    engine.epoch = int(meta.get("epoch", engine.epoch))
+    stats = meta.get("stats", {})
+    for key in engine.stats:
+        engine.stats[key] = int(stats.get(key, 0))
+    return engine
+
+
+# -- format-sniffing loader ---------------------------------------------------
+
+
+def load_any_engine(
+    path: "str | Path",
+    dataset=None,
+    objects=None,
+    *,
+    workers: "int | None" = None,
+    n_jobs: int = 1,
+    rng: "int | np.random.Generator | None" = 0,
+    mode: str = "auto",
+    batch_size: "int | None" = None,
+    start_method: "str | None" = None,
+    **extra,
+):
+    """Load *any* engine snapshot, dispatching on the stored format.
+
+    The :class:`~repro.engine.protocol.EngineCore` counterpart of the
+    per-class loaders: directory snapshots resolve to the sharded
+    engines (static needs ``dataset``, mutable needs the ``objects``
+    log), single ``.npz`` snapshots to the single-process engines.
+    Callers — the CLI in particular — no longer pick a loader by engine
+    class.  The common execution knobs are routed to whichever subset
+    the resolved engine takes (``workers`` for sharded engines,
+    ``n_jobs`` for single-process ones); ``extra`` keywords are
+    forwarded to the mutable constructors.
+
+    Raises :class:`GraphError` for unreadable paths, unknown formats,
+    or when the required ``dataset``/``objects`` was not supplied.
+    """
+    path = Path(path)
+    batch_kw = {} if batch_size is None else {"batch_size": batch_size}
+    if path.is_dir():
+        manifest_path = path / _MANIFEST_NAME
+        if not manifest_path.exists():
+            raise GraphError(
+                f"{path}: directory holds no {_MANIFEST_NAME} — not an "
+                f"engine snapshot"
+            )
+        with _NpzReader(manifest_path, "engine manifest") as data:
+            mutable = "mutable_sharded_format_version" in data
+        if mutable:
+            if objects is None:
+                raise GraphError(
+                    f"{path}: a mutable-sharded snapshot needs the full "
+                    f"object log re-supplied (objects=...)"
+                )
+            return load_mutable_sharded_engine(
+                path, objects, workers=workers, mode=mode,
+                start_method=start_method, **batch_kw, **extra,
+            )
+        if dataset is None:
+            raise GraphError(
+                f"{path}: a sharded snapshot needs the dataset re-supplied "
+                f"(dataset=...)"
+            )
+        return load_sharded_engine(
+            path, dataset, workers=workers, rng=rng, mode=mode,
+            batch_size=batch_size, start_method=start_method,
+        )
+    with _NpzReader(path, "engine snapshot") as data:
+        mutable = "mutable_format_version" in data
+        static = "engine_format_version" in data
+    if mutable:
+        if objects is None:
+            raise GraphError(
+                f"{path}: a mutable snapshot needs the full object log "
+                f"re-supplied (objects=...)"
+            )
+        return load_mutable_engine(
+            path, objects, n_jobs=n_jobs, mode=mode, **batch_kw, **extra,
+        )
+    if static:
+        if dataset is None:
+            raise GraphError(
+                f"{path}: an engine snapshot needs the dataset re-supplied "
+                f"(dataset=...)"
+            )
+        return load_engine(
+            path, dataset, n_jobs=n_jobs, rng=rng, mode=mode,
+            batch_size=batch_size, **extra,
+        )
+    raise GraphError(
+        f"{path}: not an engine snapshot of any known format (a bare graph "
+        f".npz? use load_graph instead)"
+    )

@@ -35,7 +35,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data import Dataset
-from ..engine.mutable import MutableDetectionEngine
 from ..exceptions import ParameterError
 
 #: incremental-graph degree of the window's engine.  Quality only —
@@ -76,9 +75,25 @@ class SlidingWindowDOD:
         current window population.
     window:
         Number of most recent arrivals forming the window.
+    shards, workers:
+        With ``shards > 1`` the window drives a
+        :class:`~repro.engine.mutable_sharded.MutableShardedDetectionEngine`
+        instead of the single-process engine: arrivals route to the
+        least-loaded shard, each shard repairs its own pinned-radius
+        evidence, and reports come from the exact merge.  Same
+        answers, bigger windows per wall-clock second once workers are
+        real cores.
     """
 
-    def __init__(self, dataset: Dataset, r: float, k: int, window: int):
+    def __init__(
+        self,
+        dataset: Dataset,
+        r: float,
+        k: int,
+        window: int,
+        shards: int = 1,
+        workers: "int | None" = None,
+    ):
         if r < 0:
             raise ParameterError(f"radius must be non-negative, got {r}")
         if k < 1:
@@ -90,8 +105,11 @@ class SlidingWindowDOD:
         self.k = int(k)
         self.window = int(window)
         self.time = 0
-        self._engine = MutableDetectionEngine(
-            metric=dataset.metric, K=_WINDOW_K, seed=0, pinned=(self.r,)
+        from ..engine.protocol import create_engine
+
+        self._engine = create_engine(
+            None, metric=dataset.metric, K=_WINDOW_K, seed=0, mutable=True,
+            shards=int(shards), workers=workers, pinned=(self.r,),
         )
         self._mirrored_pairs = 0
         # Ring buffers indexed by slot = arrival % window.
@@ -224,6 +242,18 @@ class SlidingWindowDOD:
         return WindowReport(
             time=self.time, window_ids=self.window_ids(), outliers=self.outliers()
         )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the backing engine (worker processes with ``shards``)."""
+        self._engine.close()
+
+    def __enter__(self) -> "SlidingWindowDOD":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(
         self, stream, report_every: int | None = None

@@ -200,6 +200,39 @@ def test_update_command_rejects_bad_parameters(capsys):
     )
     assert code == 2
     assert "batches" in capsys.readouterr().err
+    code = main(
+        ["update", "--suite", "glove", "--n", "120", "--rebalance"]
+    )
+    assert code == 2
+    assert "--shards" in capsys.readouterr().err
+
+
+def test_update_command_sharded_with_snapshot(tmp_path, capsys):
+    snap = str(tmp_path / "mutable_sharded")
+    args = ["update", "--suite", "glove", "--n", "180", "--batches", "3",
+            "--churn", "0.1", "--K", "8", "--shards", "2", "--check",
+            "--snapshot", snap]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "check passed" in out
+    assert "snapshot written" in out
+    # Second run restores the directory snapshot and serves warm.
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "loaded warm mutable snapshot" in out
+    assert "pairs=        0" in out
+    assert "check passed" in out
+
+
+def test_stream_command_sharded_with_check(capsys):
+    code = main(
+        ["stream", "--suite", "glove", "--n", "120", "--window", "30",
+         "--k", "4", "--shards", "2", "--check"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "shards=2" in out
+    assert "check passed" in out
 
 
 def test_calibrate_command(capsys):

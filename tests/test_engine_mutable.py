@@ -165,17 +165,32 @@ def test_graph_types_for_rebuild(pool, rng):
         eng.close()
 
 
-def test_insert_invalidates_stale_exact_lists(pool):
+def test_insert_patches_stale_exact_lists(pool):
     eng = MutableDetectionEngine(metric="l2", K=6, seed=0)
     eng.insert(pool[:150])
     eng.rebuild(renumber=False)  # MRPG: stores exact lists
     holders_before = len(eng._graph.exact_knn)
     assert holders_before > 0
+    coverage_before = {
+        h: float(d[-1]) for h, (_, d) in eng._graph.exact_knn.items()
+    }
     # Insert copies of existing points: they land strictly inside many
-    # stored lists, which must all be dropped.
+    # stored lists.  Decremental maintenance patches every affected
+    # list in place (newcomer inserted by distance, truncated to K'),
+    # so no holder loses its list and every list stays exact.
     eng.detect(1.8, 5)  # pin a radius so inserts scan
     eng.insert(pool[:20] + 1e-9)
-    assert len(eng._graph.exact_knn) < holders_before
+    assert len(eng._graph.exact_knn) == holders_before
+    ds = Dataset(np.asarray(eng.live_objects()), "l2")
+    patched = 0
+    for h, (ids, dists) in eng._graph.exact_knn.items():
+        others = np.delete(np.arange(ds.n, dtype=np.int64), int(h))
+        ref = np.sort(ds.dist_many(int(h), others))
+        np.testing.assert_allclose(dists, ref[: dists.size])
+        assert np.all(dists[:-1] <= dists[1:])
+        if float(dists[-1]) < coverage_before[int(h)]:
+            patched += 1
+    assert patched > 0
     from repro.extensions.topn import knn_distance_scores
 
     tn = eng.top_n(6, 4)
@@ -283,6 +298,218 @@ def test_cache_eviction_stays_sound():
         )
         assert np.all(capped.lower_bounds(q) <= truth)
         assert np.all(capped.upper_bounds(q) >= truth)
+
+
+def _true_counts(dataset: Dataset, live: np.ndarray, r: float) -> np.ndarray:
+    """Brute-force neighbor counts (full-id-space array, dead rows 0)."""
+    out = np.zeros(dataset.n, dtype=np.int64)
+    for p in live:
+        d = dataset.dist_many(int(p), live)
+        out[int(p)] = int(np.count_nonzero(d <= r)) - 1
+    return out
+
+
+def test_cache_eviction_interleaved_with_repair_churn():
+    """Budgeted radius eviction x apply_insert/apply_delete repairs.
+
+    The eviction fold (lb up, ub down) and the mutation repairs (+1/-1
+    deltas) compose in arbitrary orders; after every step the capped
+    cache's bounds must still bracket the true counts of the live
+    population.  This is the previously-untested interaction: an
+    evicted (folded) row being patched by a later mutation.
+    """
+    rng = np.random.default_rng(9)
+    pts = rng.normal(size=(70, 3))
+    dataset = Dataset(pts, "l2")
+    capped = EvidenceCache(40, max_radii=2)
+    alive = np.zeros(70, dtype=bool)
+    alive[:40] = True
+    radii = [0.8, 1.2, 1.6, 2.0, 2.4, 2.8]
+    next_id = 40
+
+    def seed_radius(r: float) -> None:
+        live = np.flatnonzero(alive[: capped.n])
+        truth = _true_counts(dataset, live, r)
+        capped.record(
+            r, live, truth[live], exact_mask=np.ones(live.size, bool)
+        )
+
+    def check() -> None:
+        live = np.flatnonzero(alive[: capped.n])
+        assert len(capped._lb) <= 2 and len(capped._ub) <= 2
+        for q in (0.9, 1.5, 2.2):
+            truth = _true_counts(dataset, live, q)
+            assert np.all(capped.lower_bounds(q)[live] <= truth[live])
+            assert np.all(capped.upper_bounds(q)[live] >= truth[live])
+
+    for step in range(12):
+        seed_radius(radii[step % len(radii)])  # keeps the budget saturated
+        check()
+        stored = capped.radii
+        if step % 3 == 2 and np.count_nonzero(alive) > 25:
+            # Delete two objects with a full repair scan.
+            victims = rng.choice(
+                np.flatnonzero(alive[: capped.n]), size=2, replace=False
+            )
+            for v in victims:
+                alive[v] = False
+                others = np.flatnonzero(alive[: capped.n])
+                neighbors = {
+                    r: others[dataset.dist_many(int(v), others) <= r]
+                    for r in stored
+                }
+                capped.apply_delete(int(v), neighbors)
+        elif next_id < 70:
+            # Insert one new object with a full repair scan.
+            v = next_id
+            next_id += 1
+            prior = np.flatnonzero(alive[: min(capped.n, v)])
+            neighbors = {
+                r: prior[dataset.dist_many(v, prior) <= r] for r in stored
+            }
+            alive[v] = True
+            capped.apply_insert(v, neighbors)
+        check()
+
+
+def test_engine_cache_radii_budget_under_churn(pool, rng):
+    """A capped mutable engine stays exact through eviction + churn."""
+    eng = MutableDetectionEngine(metric="l2", K=6, seed=0, cache_radii=2)
+    eng.insert(pool[:130])
+    eng.sweep([1.4, 1.6, 1.8, 2.0, 2.2], k_grid=[5])
+    assert len(eng.cache._lb) <= 2 and len(eng.cache._ub) <= 2
+    eng.remove(rng.choice(130, size=30, replace=False).tolist())
+    _oracle_check(eng, 1.8, 5)
+    eng.insert(pool[130:180])
+    eng.sweep([1.5, 1.7, 1.9, 2.1], k_grid=[4, 6])
+    assert len(eng.cache._lb) <= 2 and len(eng.cache._ub) <= 2
+    eng.remove(rng.choice(eng.active_ids(), size=20, replace=False).tolist())
+    _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_apply_insert_batch_matches_sequential():
+    rng = np.random.default_rng(21)
+    pts = rng.normal(size=(50, 3))
+    dataset = Dataset(pts, "l2")
+    radii = [1.0, 1.8]
+    live = np.arange(30)
+
+    def seeded() -> EvidenceCache:
+        cache = EvidenceCache(30)
+        for r in radii:
+            truth = _true_counts(dataset.subset(np.arange(30)), live, r)
+            cache.record(r, live, truth, exact_mask=np.ones(30, bool))
+        return cache
+
+    new_ids = np.arange(30, 38)
+    # Sequential: one apply_insert per object, growing prior set.
+    seq = seeded()
+    alive = np.zeros(50, dtype=bool)
+    alive[:30] = True
+    for v in new_ids:
+        prior = np.flatnonzero(alive)
+        neighbors = {
+            r: prior[dataset.dist_many(int(v), prior) <= r] for r in radii
+        }
+        alive[v] = True
+        seq.apply_insert(int(v), neighbors)
+    # Batched: one evidence dict for the whole block.
+    bat = seeded()
+    bat.grow(38)
+    prior = np.arange(30)
+    evidence = {}
+    for r in radii:
+        within_prior = np.stack(
+            [dataset.dist_many(int(v), prior) <= r for v in new_ids]
+        )
+        intra = np.stack(
+            [dataset.dist_many(int(v), new_ids) <= r for v in new_ids]
+        )
+        np.fill_diagonal(intra, False)
+        inc = within_prior.sum(axis=0)
+        hit = inc > 0
+        evidence[r] = (
+            prior[hit], inc[hit],
+            within_prior.sum(axis=1) + intra.sum(axis=1),
+        )
+    bat.apply_insert_batch(new_ids, evidence)
+    for q in radii:
+        np.testing.assert_array_equal(seq.lower_bounds(q), bat.lower_bounds(q))
+        np.testing.assert_array_equal(seq.upper_bounds(q), bat.upper_bounds(q))
+
+
+def test_apply_delete_batch_matches_sequential():
+    rng = np.random.default_rng(22)
+    pts = rng.normal(size=(40, 3))
+    dataset = Dataset(pts, "l2")
+    radii = [1.0, 1.8]
+    live = np.arange(40)
+
+    def seeded() -> EvidenceCache:
+        cache = EvidenceCache(40)
+        for r in radii:
+            truth = _true_counts(dataset, live, r)
+            cache.record(r, live, truth, exact_mask=np.ones(40, bool))
+        return cache
+
+    victims = np.asarray([3, 11, 25, 38])
+    seq = seeded()
+    alive = np.ones(40, dtype=bool)
+    for v in victims:
+        alive[v] = False
+        others = np.flatnonzero(alive)
+        neighbors = {
+            r: others[dataset.dist_many(int(v), others) <= r] for r in radii
+        }
+        seq.apply_delete(int(v), neighbors)
+    bat = seeded()
+    survivors = np.setdiff1d(live, victims)
+    evidence = {}
+    for r in radii:
+        dec = np.zeros(40, dtype=np.int64)
+        for v in victims:
+            within = survivors[dataset.dist_many(int(v), survivors) <= r]
+            dec[within] += 1
+        touched = np.flatnonzero(dec)
+        evidence[r] = (touched, dec[touched])
+    bat.apply_delete_batch(victims, evidence)
+    for q in radii:
+        np.testing.assert_array_equal(seq.lower_bounds(q), bat.lower_bounds(q))
+        np.testing.assert_array_equal(seq.upper_bounds(q), bat.upper_bounds(q))
+    # The conservative (no-evidence) form drops lb by the batch size.
+    con = seeded()
+    before = con.lower_bounds(1.0).copy()
+    con.apply_delete_batch(victims, None)
+    after = con.lower_bounds(1.0)
+    np.testing.assert_array_equal(
+        after[survivors], np.maximum(before[survivors] - victims.size, 0)
+    )
+
+
+def test_block_insert_matches_per_object_inserts(pool):
+    """One insert([...block...]) == N insert([x]) calls: same answers,
+    same repaired bounds, fewer broadcasts."""
+    block = MutableDetectionEngine(metric="l2", K=6, seed=0)
+    per = MutableDetectionEngine(metric="l2", K=6, seed=0)
+    for eng in (block, per):
+        eng.insert(pool[:100])
+        eng.detect(1.8, 5)  # seed evidence at one radius
+    block.insert(pool[100:140])
+    for row in pool[100:140]:
+        per.insert(row[None, :])
+    a = block.detect(1.8, 5)
+    b = per.detect(1.8, 5)
+    np.testing.assert_array_equal(a.outliers, b.outliers)
+    for q in (1.8,):
+        np.testing.assert_array_equal(
+            block.cache.lower_bounds(q), per.cache.lower_bounds(q)
+        )
+        np.testing.assert_array_equal(
+            block.cache.upper_bounds(q), per.cache.upper_bounds(q)
+        )
+    block.close()
+    per.close()
 
 
 def test_cache_repair_rejects_bad_ids():

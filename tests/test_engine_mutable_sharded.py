@@ -1,0 +1,348 @@
+"""Metamorphic oracle for the mutable sharded engine.
+
+The acceptance contract of ``engine/mutable_sharded.py``: after
+arbitrary interleavings of insert/remove/detect/sweep/rebalance, a
+:class:`MutableShardedDetectionEngine`'s answers are bit-identical to
+the single-process :class:`MutableDetectionEngine` driven through the
+same trace, to a fresh engine on the compacted live dataset, and to
+brute force — across metrics, shard counts and worker backends.
+Rebalancing (split/merge) must preserve exactness while only the
+affected shards lose their evidence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    Dataset,
+    DetectionEngine,
+    MutableDetectionEngine,
+    MutableShardedDetectionEngine,
+)
+from repro.exceptions import ParameterError
+from repro.graphs.base import build_graph
+from repro.index import brute_force_outliers
+
+
+def _oracle_check(engine, r, k):
+    """Engine detect == fresh engine on compacted live data == brute."""
+    keep = engine.active_ids()
+    objects = engine.live_objects()
+    dataset = Dataset(
+        np.asarray(objects) if engine.metric.is_vector else objects,
+        engine.metric,
+    )
+    result = engine.detect(r, k)
+    brute = keep[brute_force_outliers(dataset, r, k)]
+    np.testing.assert_array_equal(result.outliers, brute)
+    fresh_graph = build_graph("kgraph", dataset, K=6, rng=0, clamp_K=True)
+    with DetectionEngine(dataset, fresh_graph) as fresh:
+        np.testing.assert_array_equal(
+            result.outliers, keep[fresh.query(r, k).outliers]
+        )
+    return result
+
+
+@pytest.fixture()
+def pool(rng):
+    return np.concatenate(
+        [rng.normal(size=(240, 4)), rng.normal(size=(8, 4)) * 0.3 + 22.0]
+    )
+
+
+@pytest.mark.parametrize("n_shards", [2, 3])
+def test_interleaved_churn_matches_oracles(pool, rng, n_shards):
+    eng = MutableShardedDetectionEngine(
+        metric="l2", n_shards=n_shards, workers=1, K=6, seed=0
+    )
+    single = MutableDetectionEngine(metric="l2", K=6, seed=0)
+    eng.insert(pool[:100])
+    single.insert(pool[:100])
+    res = _oracle_check(eng, 1.8, 5)
+    np.testing.assert_array_equal(
+        res.outliers, single.detect(1.8, 5).outliers
+    )
+    victims = rng.choice(100, size=25, replace=False).tolist()
+    eng.remove(victims)
+    single.remove(victims)
+    _oracle_check(eng, 1.8, 5)
+    eng.insert(pool[100:180])
+    single.insert(pool[100:180])
+    res = _oracle_check(eng, 1.8, 5)
+    np.testing.assert_array_equal(
+        res.outliers, single.detect(1.8, 5).outliers
+    )
+    eng.close()
+    single.close()
+
+
+def test_repaired_evidence_beats_cache_drop(pool, rng):
+    eng = MutableShardedDetectionEngine(
+        metric="l2", n_shards=3, workers=1, K=6, seed=0
+    )
+    eng.insert(pool[:120])
+    cold = eng.detect(1.8, 5)
+    eng.remove(rng.choice(120, size=20, replace=False).tolist())
+    eng.insert(pool[120:160])
+    warm = eng.detect(1.8, 5)
+    # Mutations repaired the shard caches: most of the post-churn
+    # population decides straight from merged bounds.
+    assert warm.counts["cache_decided"] >= 0.7 * eng.n_active
+    assert warm.pairs < cold.pairs
+    again = eng.detect(1.8, 5)
+    assert again.pairs == 0  # pure merged cache hit
+    _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_bulk_load_builds_per_shard_graphs(pool):
+    eng = MutableShardedDetectionEngine.fit(
+        pool[:160], metric="l2", n_shards=3, workers=1, K=6, seed=0
+    )
+    assert eng.n_active == 160
+    assert eng.shard_sizes().sum() == 160
+    _oracle_check(eng, 1.8, 5)
+    eng.insert(pool[160:200])
+    _oracle_check(eng, 1.8, 5)
+    with pytest.raises(ParameterError):
+        eng.bulk_load(pool[:10])
+    eng.close()
+
+
+def test_least_loaded_placement(pool):
+    eng = MutableShardedDetectionEngine(
+        metric="l2", n_shards=4, workers=1, K=6, seed=0
+    )
+    eng.insert(pool[:90])
+    sizes = eng.shard_sizes()
+    assert sizes.sum() == 90
+    assert sizes.max() - sizes.min() <= 1  # round-robin via least-loaded
+    # After skewing the load with removals, new inserts refill the
+    # starved shards first.
+    starved = int(np.argmax(sizes))
+    victims = np.flatnonzero(
+        (np.asarray(eng._shard_of_list) == starved)
+        & np.asarray(eng._alive)
+    )[:15]
+    eng.remove(victims.tolist())
+    eng.insert(pool[90:105])
+    refilled = eng.shard_sizes()
+    assert refilled[starved] >= sizes[starved] - 1
+    eng.close()
+
+
+def test_split_and_merge_preserve_exactness(pool, rng):
+    eng = MutableShardedDetectionEngine(
+        metric="l2", n_shards=2, workers=1, K=6, seed=0
+    )
+    eng.insert(pool[:150])
+    eng.sweep([1.6, 1.8], k_grid=[5])
+    before = eng.detect(1.8, 5)
+    new_index = eng.split_shard()
+    assert eng.n_shards == 3 and new_index == 2
+    after_split = _oracle_check(eng, 1.8, 5)
+    np.testing.assert_array_equal(before.outliers, after_split.outliers)
+    target = eng.merge_shards()
+    assert eng.n_shards == 2 and 0 <= target < 2
+    after_merge = _oracle_check(eng, 1.8, 5)
+    np.testing.assert_array_equal(before.outliers, after_merge.outliers)
+    # Churn straight after a rebalance must stay exact too.
+    eng.remove(rng.choice(eng.active_ids(), size=30, replace=False).tolist())
+    eng.insert(pool[150:190])
+    _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_rebalance_policy(pool):
+    eng = MutableShardedDetectionEngine(
+        metric="l2", n_shards=2, workers=1, K=6, seed=0
+    )
+    eng.insert(pool[:120])
+    # Starve shard 1 far below the mean: the policy merges it away.
+    victims = np.flatnonzero(
+        (np.asarray(eng._shard_of_list) == 1) & np.asarray(eng._alive)
+    )[:55]
+    eng.remove(victims.tolist())
+    assert eng.rebalance(split_above=10.0, merge_below=0.25)
+    assert eng.n_shards == 1
+    _oracle_check(eng, 1.8, 5)
+    # Skew the load again: one shard far above the mean splits.
+    eng.split_shard()
+    assert eng.n_shards == 2
+    eng.insert(pool[120:160])
+    eng.insert(pool[160:200])
+    moved = np.flatnonzero(
+        (np.asarray(eng._shard_of_list) == 1) & np.asarray(eng._alive)
+    )
+    eng.remove(moved[: max(0, moved.size - 10)].tolist())
+    assert eng.shard_sizes()[0] > 1.5 * eng.n_active / 2
+    assert eng.rebalance(split_above=1.5, merge_below=0.0) is True
+    assert eng.n_shards == 3
+    _oracle_check(eng, 1.8, 5)
+    # Balanced-enough load: nothing to do.
+    assert eng.rebalance(split_above=5.0, merge_below=0.0) is False
+    with pytest.raises(ParameterError):
+        eng.rebalance(split_above=1.0)
+    eng.close()
+
+
+def test_rebalance_keeps_unaffected_evidence(pool):
+    eng = MutableShardedDetectionEngine(
+        metric="l2", n_shards=3, workers=1, K=6, seed=0
+    )
+    eng.insert(pool[:150])
+    eng.detect(1.8, 5)
+    warm = eng.detect(1.8, 5)
+    assert warm.pairs == 0
+    # Split shard 0: shards 1 and 2 transplant their caches, so the
+    # next query re-proves only the two affected shards' bounds.
+    eng.split_shard(0)
+    after = eng.detect(1.8, 5)
+    cold_estimate = 150 * 149  # a full fresh brute force
+    assert 0 < after.pairs < cold_estimate
+    _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_process_backend_matches_serial(pool):
+    serial = MutableShardedDetectionEngine(
+        metric="l2", n_shards=3, workers=1, K=6, seed=0
+    )
+    procs = MutableShardedDetectionEngine(
+        metric="l2", n_shards=3, workers=2, K=6, seed=0
+    )
+    for eng in (serial, procs):
+        eng.insert(pool[:120])
+        eng.remove(list(range(0, 25)))
+        eng.insert(pool[120:150])
+    a = serial.detect(1.8, 5)
+    b = procs.detect(1.8, 5)
+    np.testing.assert_array_equal(a.outliers, b.outliers)
+    assert a.pairs == b.pairs
+    procs.split_shard()
+    _oracle_check(procs, 1.8, 5)
+    # The worker budget survives shard-count dips: merging down to two
+    # shards clamps the pool, splitting back restores it.
+    procs.merge_shards()
+    procs.merge_shards()
+    assert procs.n_shards == 2 and procs.workers == 2
+    procs.split_shard()
+    assert procs.n_shards == 3 and procs.workers == 2
+    _oracle_check(procs, 1.8, 5)
+    serial.close()
+    procs.close()
+
+
+def test_edit_metric_churn(word_list):
+    eng = MutableShardedDetectionEngine(
+        metric="edit", n_shards=2, workers=1, K=5, seed=0
+    )
+    eng.insert(word_list[:90])
+    _oracle_check(eng, 3.0, 3)
+    eng.remove(list(np.random.default_rng(5).choice(90, 20, replace=False)))
+    eng.insert(word_list[90:140])
+    _oracle_check(eng, 3.0, 3)
+    eng.split_shard()
+    _oracle_check(eng, 3.0, 3)
+    eng.close()
+
+
+def test_vacuum_renumbers_and_stays_exact(pool, rng):
+    eng = MutableShardedDetectionEngine(
+        metric="l2", n_shards=3, workers=1, K=6, seed=0
+    )
+    eng.insert(pool[:140])
+    eng.remove(rng.choice(140, size=40, replace=False).tolist())
+    before = _oracle_check(eng, 1.8, 5)
+    remap = eng.vacuum()
+    assert eng.n_total == eng.n_active == 100
+    assert np.count_nonzero(remap >= 0) == 100
+    after = _oracle_check(eng, 1.8, 5)
+    np.testing.assert_array_equal(
+        remap[before.outliers], after.outliers
+    )
+    eng.insert(pool[140:170])
+    _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_last_insert_neighbors_match_single_engine(pool):
+    """Both mutable engines expose the same earlier-only batch contract."""
+    sharded = MutableShardedDetectionEngine(
+        metric="l2", n_shards=2, workers=1, K=6, seed=0, pinned=(1.8,)
+    )
+    single = MutableDetectionEngine(metric="l2", K=6, seed=0, pinned=(1.8,))
+    for eng in (sharded, single):
+        eng.insert(pool[:60])
+        eng.insert(pool[60:90])  # a real batch: intra-batch pairs exist
+    for a, b in zip(sharded.last_insert_neighbors,
+                    single.last_insert_neighbors):
+        assert a.keys() == b.keys()
+        for r in a:
+            np.testing.assert_array_equal(np.sort(a[r]), np.sort(b[r]))
+    sharded.close()
+    single.close()
+
+
+def test_pinned_radius_is_pure_cache_decision(pool):
+    eng = MutableShardedDetectionEngine(
+        metric="l2", n_shards=2, workers=1, K=6, seed=0, pinned=(1.8,)
+    )
+    eng.insert(pool[:80])
+    eng.insert(pool[80:120])
+    eng.remove(list(range(10)))
+    res = eng.detect(1.8, 5)
+    # Every mutation maintained exact evidence at the pinned radius, so
+    # the detect decides everything from the merged cache.
+    assert res.pairs == 0
+    assert res.counts["cache_decided"] == eng.n_active
+    _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_snapshot_roundtrip(pool, rng, tmp_path):
+    eng = MutableShardedDetectionEngine.fit(
+        pool[:130], metric="l2", n_shards=3, workers=1, K=6, seed=0
+    )
+    eng.remove(rng.choice(130, size=30, replace=False).tolist())
+    eng.insert(pool[130:160])
+    reference = eng.detect(1.8, 5)
+    path = tmp_path / "snap"
+    eng.save(path)
+    warm = MutableShardedDetectionEngine.load(
+        path, eng.object_log(), workers=1
+    )
+    restored = warm.detect(1.8, 5)
+    np.testing.assert_array_equal(restored.outliers, reference.outliers)
+    assert restored.pairs == 0
+    # The restored engine keeps mutating correctly.
+    warm.insert(pool[160:180])
+    _oracle_check(warm, 1.8, 5)
+    warm.close()
+    eng.close()
+
+
+def test_validation(pool):
+    with pytest.raises(ParameterError):
+        MutableShardedDetectionEngine(n_shards=0)
+    with pytest.raises(ParameterError):
+        MutableShardedDetectionEngine(K=0)
+    with pytest.raises(ParameterError):
+        MutableShardedDetectionEngine(rebuild_every=0)
+    eng = MutableShardedDetectionEngine(
+        metric="l2", n_shards=2, workers=1, K=6, seed=0
+    )
+    with pytest.raises(ParameterError):
+        eng.detect(1.8, 5)  # empty engine
+    eng.insert(pool[:40])
+    with pytest.raises(ParameterError):
+        eng.remove([999])
+    with pytest.raises(ParameterError):
+        eng.remove([1, 1])
+    with pytest.raises(ParameterError):
+        eng.split_shard(7)
+    with pytest.raises(ParameterError):
+        eng.merge_shards(0, 0)
+    eng.close()

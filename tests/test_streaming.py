@@ -89,6 +89,27 @@ def test_edit_metric_stream():
     assert 4 in monitor.outliers()
 
 
+def test_sharded_window_matches_oracle(stream_dataset):
+    """The window over a mutable sharded engine: same reports, exactly."""
+    gen = np.random.default_rng(2)
+    stream = gen.integers(0, stream_dataset.n, size=110)
+    with SlidingWindowDOD(
+        stream_dataset, r=2.0, k=4, window=36, shards=2, workers=1
+    ) as monitor, SlidingWindowDOD(
+        stream_dataset, r=2.0, k=4, window=36
+    ) as single:
+        for t, obj in enumerate(stream):
+            monitor.append(int(obj))
+            single.append(int(obj))
+            if t % 5 == 0:
+                got = monitor.outliers()
+                np.testing.assert_array_equal(got, single.outliers())
+                ref = window_outliers_bruteforce(
+                    stream_dataset, monitor.window_ids(), 2.0, 4
+                )
+                np.testing.assert_array_equal(np.unique(got), np.unique(ref))
+
+
 def test_validation(stream_dataset):
     with pytest.raises(ParameterError):
         SlidingWindowDOD(stream_dataset, r=-1.0, k=2, window=5)
