@@ -25,7 +25,6 @@ pass.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
 import pytest
@@ -33,7 +32,7 @@ import pytest
 from repro import Dataset, DetectionEngine, build_graph
 from repro.datasets import blobs_with_outliers, calibrate_r
 from repro.engine.sharded import ShardedDetectionEngine
-from repro.harness import bench_scale
+from repro.harness import bench_scale, hardware_gate
 
 N_FULL = 10_000
 DIM = 32
@@ -114,19 +113,27 @@ def test_sharded_speedup_and_baseline(workload_10k):
     single.close()
 
     speedup = single_res.seconds / max(sharded_seconds[4], 1e-12)
-    cpus = os.cpu_count() or 1
+    # The >= 1.8x headline is a hardware claim: it has only ever run
+    # where 4 real cores exist at full scale.  The gate decision is
+    # embedded in the committed JSON (cores_available / assertion_ran)
+    # so a 1-CPU container's numbers cannot masquerade as a tested claim.
+    gate = hardware_gate(
+        full_scale=int(round(N_FULL * bench_scale())) >= N_FULL,
+        required_cores=4,
+    )
     payload = {
         "description": "single-process DetectionEngine vs shard-per-worker "
                        "ShardedDetectionEngine, cold (r, k) queries",
-        "cpu_count": cpus,
+        "cpu_count": gate["cores_available"],
         "records": records,
         "speedup_vs_single_at_4_workers": round(speedup, 3),
+        **gate,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"\nsharded speedup at {N_SHARDS} shards x 4 workers: {speedup:.2f}x "
-          f"on {cpus} cpus (baseline written to {OUTPUT.name})")
+          f"on {gate['cores_available']} cpus (baseline written to "
+          f"{OUTPUT.name}; assertion_ran={gate['assertion_ran']})")
 
-    full_scale = int(round(N_FULL * bench_scale())) >= N_FULL
-    if full_scale and cpus >= 4 and not os.environ.get("REPRO_BENCH_NO_ASSERT"):
+    if gate["assertion_ran"]:
         # Acceptance headline on >= 4 real cores at full scale.
         assert speedup >= 1.8, payload

@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Exactness gate: the serving tier vs direct engine calls vs brute force.
+
+Starts an :class:`EngineServer` (the ``repro-dod serve`` stack: HTTP
+front-end, query coalescer, engine executor thread) over every engine
+variant — static, sharded, mutable, mutable sharded — and drives it
+with **concurrent** clients from multiple threads.  Fails (exit 1) on
+any served outlier set that differs from a direct ``engine.query`` on
+an identically-built twin engine (itself cross-checked against brute
+force), on churn (HTTP insert/remove) results that differ from brute
+force over the live objects, or on a deadline that does not surface as
+a clean 504.  The serving tier may coalesce, reorder and batch;
+answers must stay bit-identical.  This is a correctness gate, not a
+timing gate — deliberately small and deterministic so CI can run it on
+every push.
+
+Usage: python scripts/check_serving_equivalence.py [--n N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro import Dataset
+from repro.datasets import blobs_with_outliers
+from repro.engine import create_engine
+from repro.index import brute_force_outliers
+from repro.serving import EngineServer, ServingClient, ServingClientError
+
+ENGINE_KINDS = ("static", "sharded", "mutable", "mutable-sharded")
+CLIENTS = 6
+ROUNDS = 3
+
+
+class ServerThread:
+    """Run an EngineServer on a private event loop in a thread."""
+
+    def __init__(self, engine, config=None):
+        self.engine = engine
+        self.config = config
+        self.address = None
+        self._stop = None
+        self._loop = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._serve()), daemon=True
+        )
+
+    async def _serve(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        async with EngineServer(
+            self.engine, port=0, config=self.config, close_engine=True
+        ) as server:
+            self.address = server.address
+            self._ready.set()
+            await self._stop.wait()
+
+    def __enter__(self):
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("server did not start")
+        return self.address
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+
+
+def make_engine(kind: str, points, *, k_degree=8, seed=0):
+    dataset = Dataset(points, "l2")
+    if kind == "static":
+        return create_engine(dataset, K=k_degree, seed=seed)
+    if kind == "sharded":
+        return create_engine(dataset, K=k_degree, seed=seed,
+                             shards=3, workers=1)
+    if kind == "mutable":
+        return create_engine(dataset, K=k_degree, seed=seed, mutable=True)
+    return create_engine(dataset, K=k_degree, seed=seed, mutable=True,
+                         shards=2, workers=1)
+
+
+def radius_grid(points) -> list[float]:
+    dataset = Dataset(points, "l2")
+    gen = np.random.default_rng(0)
+    a = gen.integers(0, dataset.n, size=1500)
+    b = gen.integers(0, dataset.n, size=1500)
+    keep = a != b
+    r = float(np.quantile(dataset.pair_dist(a[keep], b[keep]), 0.10))
+    return [r * 0.9, r, r * 1.1]
+
+
+def check_concurrent_reads(kind, points, radii, k) -> list[str]:
+    """Threaded clients hammering one server must match the twin engine."""
+    failures: list[str] = []
+    twin = make_engine(kind, points)
+    expected = {}
+    for rv in radii:
+        served = twin.query(rv, k).outliers
+        brute = brute_force_outliers(Dataset(points, "l2").view(), rv, k)
+        if not np.array_equal(served, brute):
+            failures.append(f"{kind}: twin engine differs from brute force "
+                            f"at r={rv:g}")
+        expected[rv] = [int(p) for p in served]
+    twin.close()
+
+    def hammer(worker: int) -> list[str]:
+        bad = []
+        client = ServingClient(*address)
+        for round_no in range(ROUNDS):
+            rv = radii[(worker + round_no) % len(radii)]
+            got = client.query(rv, k)["outliers"]
+            if got != expected[rv]:
+                bad.append(f"{kind}: served outliers differ at r={rv:g} "
+                           f"(client {worker}, round {round_no})")
+        client.close()
+        return bad
+
+    with ServerThread(make_engine(kind, points)) as address:
+        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+            for bad in pool.map(hammer, range(CLIENTS)):
+                failures += bad
+        # Deadline surface: an impossible deadline must be a clean 504.
+        client = ServingClient(*address)
+        try:
+            client.query(radii[0], k, deadline=1e-6)
+            failures.append(f"{kind}: 1us deadline did not expire")
+        except ServingClientError as exc:
+            if exc.status != 504:
+                failures.append(f"{kind}: deadline surfaced as "
+                                f"{exc.status}, want 504")
+        client.close()
+    return failures
+
+
+def check_churn(kind, points, radii, k) -> list[str]:
+    """HTTP insert/remove interleaved with reads must match brute force."""
+    failures: list[str] = []
+    n = len(points)
+    extra = points[: n // 10] + 0.25
+    with ServerThread(make_engine(kind, points)) as address:
+        client = ServingClient(*address)
+        ids = client.insert(extra.tolist())
+        live = np.vstack([points, extra])
+        for rv in radii:
+            got = client.query(rv, k)["outliers"]
+            want = brute_force_outliers(Dataset(live, "l2").view(), rv, k)
+            if got != [int(p) for p in want]:
+                failures.append(f"{kind}: post-insert outliers differ "
+                                f"at r={rv:g}")
+        client.remove(ids)
+        for rv in radii:
+            got = client.query(rv, k)["outliers"]
+            want = brute_force_outliers(Dataset(points, "l2").view(), rv, k)
+            if got != [int(p) for p in want]:
+                failures.append(f"{kind}: post-remove outliers differ "
+                                f"at r={rv:g}")
+        stats = client.stats()
+        if stats.get("n_live") != n:
+            failures.append(f"{kind}: n_live={stats.get('n_live')} "
+                            f"after churn, want {n}")
+        client.close()
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=320,
+                        help="vector dataset size")
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    failures: list[str] = []
+    checks = 0
+
+    points = blobs_with_outliers(
+        args.n, dim=6, n_clusters=4, core_std=0.8, tail_std=2.5,
+        tail_frac=0.06, center_spread=12.0, planted_frac=0.015,
+        planted_spread=60.0, rng=42,
+    )
+    radii = radius_grid(points)
+    k = 8
+
+    for kind in ENGINE_KINDS:
+        failures += check_concurrent_reads(kind, points, radii, k)
+        checks += 1
+    for kind in ("mutable", "mutable-sharded"):
+        failures += check_churn(kind, points, radii, k)
+        checks += 1
+
+    elapsed = time.perf_counter() - t0
+    if failures:
+        for line in failures:
+            print(f"MISMATCH: {line}", file=sys.stderr)
+        print(f"{len(failures)} serving failure(s) in {checks} configs "
+              f"({elapsed:.1f}s)", file=sys.stderr)
+        return 1
+    print(f"served == direct engine == brute force on all {checks} configs, "
+          f"{CLIENTS} concurrent clients ({elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

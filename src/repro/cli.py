@@ -6,6 +6,7 @@ Installed as ``repro-dod``::
     repro-dod detect --suite glove           # detect outliers on a suite
     repro-dod detect --input pts.npy --r 0.5 --k 20
     repro-dod sweep --suite glove --k-grid 15,20,25   # engine-served grid
+    repro-dod serve --suite glove --port 8734         # HTTP serving tier
     repro-dod experiment table5 --save-dir results
     repro-dod calibrate --suite sift --k 20 --target 0.01
 """
@@ -180,6 +181,53 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="verify every report against quadratic window "
                                "recomputation")
     p_stream.set_defaults(func=_cmd_stream)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve (r, k) queries over HTTP with coalesced concurrent "
+             "batching (async front-end on one engine)",
+    )
+    src = p_serve.add_mutually_exclusive_group(required=True)
+    src.add_argument("--suite", choices=sorted(SUITES), help="built-in suite")
+    src.add_argument("--input", help=".npy file of row vectors, or a text file "
+                                     "with one string per line (with --metric edit)")
+    p_serve.add_argument("--metric", default="l2", help="metric for --input data")
+    p_serve.add_argument("--n", type=int, default=None, help="suite cardinality")
+    p_serve.add_argument("--graph", default="mrpg",
+                         choices=["mrpg", "mrpg-basic", "kgraph", "nsw"])
+    p_serve.add_argument("--K", type=int, default=16, help="graph degree")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--n-jobs", type=int, default=1)
+    p_serve.add_argument("--mode", default="auto",
+                         choices=["auto", "scalar", "batched"])
+    p_serve.add_argument("--batch-size", type=int, default=DEFAULT_BLOCK,
+                         help="query objects per batched traversal block")
+    p_serve.add_argument("--shards", type=int, default=1,
+                         help="serve from a sharded engine with this many shards")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="worker processes hosting the shards")
+    p_serve.add_argument("--mutable", action="store_true",
+                         help="serve a mutable engine (enables POST "
+                              "/insert and /remove)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8734,
+                         help="listening port (0 picks a free port)")
+    p_serve.add_argument("--window-ms", type=float, default=2.0,
+                         help="coalescing window: concurrent requests arriving "
+                              "within it share one engine batch")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="most requests drained into one engine call")
+    p_serve.add_argument("--max-queue", type=int, default=1024,
+                         help="queue depth past which requests get 503")
+    p_serve.add_argument("--max-cold", type=int, default=4,
+                         help="cold (never-served) radii admitted per batch")
+    p_serve.add_argument("--deadline", type=float, default=30.0,
+                         help="default per-request deadline in seconds "
+                              "(expiry returns 504)")
+    p_serve.add_argument("--serve-seconds", type=float, default=None,
+                         help="stop after this many seconds (smoke tests; "
+                              "default: serve until interrupted)")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_cal = sub.add_parser("calibrate", help="calibrate r for a target outlier ratio")
     p_cal.add_argument("--suite", required=True, choices=sorted(SUITES))
@@ -545,6 +593,54 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 return 1
         print(f"check passed: all {len(reports)} reports identical to "
               f"quadratic recomputation")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .engine import create_engine
+    from .serving import EngineServer, ServingConfig
+
+    if args.suite:
+        objects = make_objects(args.suite, n=args.n, seed=args.seed)
+        metric = get_spec(args.suite).metric
+    else:
+        objects = _load_input(args.input, args.metric)
+        metric = args.metric
+    config = ServingConfig(
+        window=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        max_cold=args.max_cold,
+        default_deadline=args.deadline,
+    )
+    engine = create_engine(
+        objects, metric=metric, graph=args.graph, K=args.K, seed=args.seed,
+        shards=args.shards, workers=args.workers, mutable=args.mutable,
+        n_jobs=args.n_jobs, mode=args.mode, batch_size=args.batch_size,
+    )
+
+    async def _run() -> None:
+        async with EngineServer(
+            engine, host=args.host, port=args.port, config=config,
+            close_engine=True,
+        ) as server:
+            host, port = server.address
+            print(f"serving {engine.describe()}")
+            print(f"listening on http://{host}:{port} "
+                  f"(POST /query, GET /healthz, GET /stats"
+                  + (", POST /insert, POST /remove" if args.mutable else "")
+                  + ")")
+            if args.serve_seconds is not None:
+                await asyncio.sleep(args.serve_seconds)
+            else:  # pragma: no cover - interactive serving loop
+                await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - operator interrupt
+        print("interrupted; serving stopped")
     return 0
 
 

@@ -236,6 +236,11 @@ class ShardPool:
         self.n_shards = len(factories)
         self.workers = max(1, min(int(workers), self.n_shards))
         self._closed = False
+        #: completed :meth:`barrier` drains — the shard *epoch*.  A
+        #: reader that recorded the epoch before a mutation broadcast
+        #: can tell whether the post-mutation barrier it needs has
+        #: already happened (the async serving tier keys on this).
+        self.epoch = 0
         self._actors: "list[Any] | None" = None
         self._procs: list = []
         self._conns: list = []
@@ -323,24 +328,26 @@ class ShardPool:
             )
         return results
 
-    def barrier(self) -> None:
+    def barrier(self) -> int:
         """Drain every worker: returns once all prior calls completed.
 
         The shard **epoch barrier**: mutation broadcasts and queries on
         this pool are synchronous pipe round-trips already, so after a
         ``barrier()`` no worker holds in-flight work — the point at
         which a rebalancing epoch may retire or rebuild actors without
-        racing a query.  In-process pools (``workers == 1``) are
-        trivially drained.
+        racing a query, and at which the serving tier may release reads
+        queued behind a mutation.  In-process pools (``workers == 1``)
+        are trivially drained.  Returns the new :attr:`epoch`.
         """
         if self._closed:
             raise ParameterError("ShardPool.barrier after close")
-        if self._actors is not None:
-            return
-        for conn in self._conns:
-            conn.send(("ping",))
-        for conn in self._conns:
-            self._expect_ok(conn.recv())
+        if self._actors is None:
+            for conn in self._conns:
+                conn.send(("ping",))
+            for conn in self._conns:
+                self._expect_ok(conn.recv())
+        self.epoch += 1
+        return self.epoch
 
     def close(self) -> None:
         """Stop the worker processes (idempotent)."""

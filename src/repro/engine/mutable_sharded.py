@@ -1125,7 +1125,8 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
     # -- protocol surface --------------------------------------------------
 
     capabilities = EngineCapabilities(
-        mutable=True, sharded=True, snapshot=True, pinned_radii=True
+        mutable=True, sharded=True, snapshot=True, pinned_radii=True,
+        epoch_barrier=True,
     )
 
     @property

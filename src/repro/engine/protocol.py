@@ -58,6 +58,19 @@ class EngineCapabilities:
     ``pinned_radii``
         Evidence at pinned radii is maintained exactly through
         mutations (the streaming substrate).
+    ``coalescable``
+        Concurrent ``(r, k)`` requests may be merged into one
+        :meth:`EngineCore.batch` call without changing any answer
+        (reads are side-effect-free apart from evidence accumulation,
+        which only ever tightens proven bounds).  The async serving
+        tier (:mod:`repro.serving`) keys its batching on this.
+    ``epoch_barrier``
+        The engine exposes a :meth:`barrier` method that drains all
+        in-flight shard work (the PR-5 epoch barrier on
+        :class:`~repro.core.parallel.ShardPool`); the serving tier
+        calls it between a mutation batch and the reads queued behind
+        it so shard-local repairs are fully applied before the next
+        coalesced broadcast.
     """
 
     mutable: bool = False
@@ -65,6 +78,8 @@ class EngineCapabilities:
     snapshot: bool = True
     top_n: bool = False
     pinned_radii: bool = False
+    coalescable: bool = True
+    epoch_barrier: bool = False
 
 
 @runtime_checkable

@@ -636,6 +636,19 @@ class _ShardMergeBase:
             sweep.results[(rv, kv)] = self.query(rv, kv)
         return sweep
 
+    def barrier(self) -> int:
+        """Drain in-flight shard work; returns the new pool epoch.
+
+        The serving-tier hook behind the ``epoch_barrier`` capability:
+        after a mutation broadcast, a ``barrier()`` guarantees every
+        shard worker has fully applied its local repairs before the
+        next coalesced read broadcast is released.
+        """
+        pool = getattr(self, "_pool", None)
+        # The mutable sharded engine starts pool-less until its first
+        # insert spawns the shards; an empty engine is trivially drained.
+        return 0 if pool is None else pool.barrier()
+
     def __enter__(self):
         return self
 
@@ -818,7 +831,7 @@ class ShardedDetectionEngine(_ShardMergeBase):
 
     # -- protocol surface ------------------------------------------------------
 
-    capabilities = EngineCapabilities(sharded=True)
+    capabilities = EngineCapabilities(sharded=True, epoch_barrier=True)
 
     @property
     def graph_degree(self) -> int:

@@ -21,6 +21,7 @@ from .workloads import (
     get_dataset,
     get_graph,
     get_verifier,
+    hardware_gate,
     suite_K,
 )
 
@@ -42,6 +43,7 @@ __all__ = [
     "get_verifier",
     "bench_scale",
     "bench_suites",
+    "hardware_gate",
     "clear_caches",
     "suite_K",
     "GRAPH_NAMES",

@@ -1,0 +1,102 @@
+"""Blocking stdlib client for :class:`~repro.serving.server.EngineServer`.
+
+Used by the CI equivalence gate, the serving load benchmark and the
+tests; also a reference for what the wire protocol looks like from the
+outside.  One :class:`ServingClient` holds one keep-alive connection
+and is **not** thread-safe — concurrent load drivers create one client
+per thread.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from ..exceptions import ReproError
+
+
+class ServingClientError(ReproError):
+    """A non-200 response from the serving tier."""
+
+    def __init__(self, status: int, payload: dict):
+        message = payload.get("error", "unknown server error")
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.kind = payload.get("kind", "error")
+        self.payload = payload
+
+
+class ServingClient:
+    """Talk JSON to one ``EngineServer`` over a keep-alive connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._conn: "http.client.HTTPConnection | None" = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str, payload: "dict | None" = None):
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        except (ConnectionError, http.client.HTTPException, OSError):
+            # One transparent retry on a fresh connection: the server may
+            # have closed an idle keep-alive socket under us.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        parsed = json.loads(data) if data else {}
+        if response.status != 200:
+            raise ServingClientError(response.status, parsed)
+        return parsed
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def query(self, r: float, k: int, deadline: "float | None" = None) -> dict:
+        payload = {"r": float(r), "k": int(k)}
+        if deadline is not None:
+            payload["deadline"] = float(deadline)
+        return self._request("POST", "/query", payload)
+
+    def insert(self, objects, deadline: "float | None" = None) -> list[int]:
+        payload = {"objects": [
+            row if isinstance(row, str) else list(map(float, row))
+            for row in objects
+        ]}
+        if deadline is not None:
+            payload["deadline"] = float(deadline)
+        return self._request("POST", "/insert", payload)["ids"]
+
+    def remove(self, ids, deadline: "float | None" = None) -> int:
+        payload = {"ids": [int(i) for i in ids]}
+        if deadline is not None:
+            payload["deadline"] = float(deadline)
+        return self._request("POST", "/remove", payload)["removed"]
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -18,6 +18,7 @@ from repro.harness import (
     get_dataset,
     get_graph,
     get_verifier,
+    hardware_gate,
     run_experiment,
     suite_K,
 )
@@ -149,3 +150,51 @@ def test_fmt_value():
     assert fmt_value(1234.5) == "1,234"
     assert fmt_value(0.5) == "0.5000"
     assert fmt_value(3) == "3"
+
+
+# -- hardware_gate: auditable assertion gating for BENCH_*.json ------------
+
+
+def test_hardware_gate_fires_with_enough_cores():
+    gate = hardware_gate(full_scale=True, required_cores=4, cpus=8, env={})
+    assert gate == {
+        "cores_available": 8,
+        "required_cores": 4,
+        "full_scale": True,
+        "assertion_ran": True,
+    }
+
+
+def test_hardware_gate_skips_below_core_floor():
+    gate = hardware_gate(full_scale=True, required_cores=4, cpus=1, env={})
+    assert gate["assertion_ran"] is False
+    assert gate["cores_available"] == 1  # the honest record of why
+
+
+def test_hardware_gate_skips_at_reduced_scale():
+    gate = hardware_gate(full_scale=False, required_cores=4, cpus=16, env={})
+    assert gate["assertion_ran"] is False
+    assert gate["full_scale"] is False
+
+
+def test_hardware_gate_env_override_disables_assertion():
+    env = {"REPRO_BENCH_NO_ASSERT": "1"}
+    gate = hardware_gate(full_scale=True, required_cores=2, cpus=8, env=env)
+    assert gate["assertion_ran"] is False
+
+
+def test_hardware_gate_exact_core_count_counts():
+    gate = hardware_gate(full_scale=True, required_cores=4, cpus=4, env={})
+    assert gate["assertion_ran"] is True
+
+
+def test_hardware_gate_defaults_to_real_machine():
+    import os as _os
+
+    gate = hardware_gate(full_scale=True, required_cores=1)
+    assert gate["cores_available"] == (_os.cpu_count() or 1)
+
+
+def test_hardware_gate_rejects_bad_core_floor():
+    with pytest.raises(ParameterError):
+        hardware_gate(full_scale=True, required_cores=0)
