@@ -89,3 +89,21 @@ def test_edit_distance_batch(benchmark):
     idx = np.arange(ds.n, dtype=np.int64)
     view = ds.view()
     benchmark(lambda: view.dist_many(0, idx, bound=w.r))
+
+
+@pytest.mark.parametrize("metric", ["l2", "l1", "angular"])
+@pytest.mark.parametrize("backend", ["numpy64", "float32"])
+def test_bounded_pair_dist_kernel(benchmark, dataset, metric, backend):
+    """The numeric-backend seam under load: one bounded ``pair_dist``
+    sweep over 50k random pairs, per metric x backend.  Compare the
+    ``float32`` rows against their ``numpy64`` siblings — the screening
+    backend's win on exactly this call is what the engines inherit."""
+    from repro import Dataset
+
+    ds = Dataset(dataset.store, metric, backend=backend)
+    gen = np.random.default_rng(0)
+    a = gen.integers(0, ds.n, 50_000)
+    b = gen.integers(0, ds.n, 50_000)
+    probe = ds.pair_dist(a[:2000], b[:2000])
+    r = float(np.quantile(probe, 0.3))
+    benchmark(lambda: ds.pair_dist(a, b, bound=r))

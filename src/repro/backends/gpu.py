@@ -1,0 +1,62 @@
+"""GPU screening backends: cupy / torch drop-ins (stubs without the dep).
+
+The screen/rescreen split is exactly the shape a GPU consumes: the
+float32 screen is one large batched kernel over index arrays, and only
+the thin in-band residue comes back to the CPU for the exact float64
+rescreen.  A real implementation subclasses
+:class:`~repro.backends.float32.Float32ScreenBackend` and overrides the
+screen evaluation to run on device (upload the float32 store once in
+``screen_state``, evaluate ``screen_pair_dist`` on device, download the
+``(values, decided)`` pair) — the error-band math and the rescreen path
+are inherited unchanged, so the exactness argument is too.
+
+This container has neither ``cupy`` nor ``torch``, so these classes are
+*registered stubs*: constructing one raises a clear
+:class:`~repro.exceptions.BackendError` naming the missing dependency.
+That keeps ``--backend cupy`` a clean, user-visible failure (and lets
+CI prove optional backends degrade cleanly) instead of an import crash
+deep inside a query.  Per-shard-worker backend selection on the sharded
+engines means one worker per GPU is just
+``backend=["cupy", "cupy", ...]`` once the dependency exists.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+from ..exceptions import BackendError
+from .base import register_backend
+from .float32 import Float32ScreenBackend
+
+
+def _require(module: str, backend: str) -> None:
+    if importlib.util.find_spec(module) is None:
+        raise BackendError(
+            f"backend {backend!r} needs the optional dependency {module!r}, "
+            f"which is not installed; use 'float32' for the CPU screen or "
+            f"'numpy64' for the exact default"
+        )
+
+
+class CupyScreenBackend(Float32ScreenBackend):
+    """Float32 screen evaluated on a CUDA device via cupy (stub)."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        _require("cupy", self.name)
+        super().__init__()  # pragma: no cover - needs cupy
+
+
+class TorchScreenBackend(Float32ScreenBackend):
+    """Float32 screen evaluated through torch tensors (stub)."""
+
+    name = "torch"
+
+    def __init__(self) -> None:
+        _require("torch", self.name)
+        super().__init__()  # pragma: no cover - needs torch
+
+
+register_backend("cupy", CupyScreenBackend)
+register_backend("torch", TorchScreenBackend)

@@ -64,6 +64,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("--workers", type=int, default=None,
                           help="worker processes hosting the shards "
                                "(default: min(shards, cpu count); 1 = in-process)")
+    p_detect.add_argument("--backend", default=None,
+                          help="numeric backend: numpy64 (exact default) or "
+                               "float32 (screened prefilter, identical answers)")
     p_detect.add_argument("--output", help="write outlier ids to this file")
     p_detect.set_defaults(func=_cmd_detect)
 
@@ -101,6 +104,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--workers", type=int, default=None,
                          help="worker processes hosting the shards "
                               "(default: min(shards, cpu count); 1 = in-process)")
+    p_sweep.add_argument("--backend", default=None,
+                         help="numeric backend: numpy64 (exact default) or "
+                              "float32 (screened prefilter, identical answers)")
     p_sweep.add_argument("--check", action="store_true",
                          help="verify every grid point against a fresh graph_dod "
                               "run and report the reuse speedup")
@@ -151,6 +157,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_update.add_argument("--workers", type=int, default=None,
                           help="worker processes hosting the shards "
                                "(default: min(shards, cpu count); 1 = in-process)")
+    p_update.add_argument("--backend", default=None,
+                          help="numeric backend: numpy64 (exact default) or "
+                               "float32 (screened prefilter, identical answers)")
     p_update.add_argument("--rebalance", action="store_true",
                           help="run the automatic shard split/merge policy "
                                "after every batch (needs --shards > 1)")
@@ -206,6 +215,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="serve from a sharded engine with this many shards")
     p_serve.add_argument("--workers", type=int, default=None,
                          help="worker processes hosting the shards")
+    p_serve.add_argument("--backend", default=None,
+                         help="numeric backend: numpy64 (exact default) or "
+                              "float32 (screened prefilter, identical answers)")
     p_serve.add_argument("--mutable", action="store_true",
                          help="serve a mutable engine (enables POST "
                               "/insert and /remove)")
@@ -278,7 +290,7 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     with create_engine(
         objects, metric=metric, graph=args.graph, K=args.K, seed=args.seed,
         shards=args.shards, workers=args.workers, n_jobs=args.n_jobs,
-        mode=args.mode, batch_size=args.batch_size,
+        mode=args.mode, batch_size=args.batch_size, backend=args.backend,
     ) as engine:
         result = engine.query(r, k)
         print(result.summary())
@@ -351,7 +363,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .data import Dataset
     from .engine import create_engine
 
-    dataset = Dataset(objects, metric)
+    dataset = Dataset(objects, metric, backend=args.backend)
     engine = None
     if args.snapshot is not None and os.path.exists(args.snapshot):
         from .io import load_any_engine
@@ -360,7 +372,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             engine = load_any_engine(
                 args.snapshot, dataset=dataset, workers=args.workers,
                 n_jobs=args.n_jobs, rng=args.seed, mode=args.mode,
-                batch_size=args.batch_size,
+                batch_size=args.batch_size, backend=args.backend,
             )
             print(f"loaded warm engine snapshot from {args.snapshot} "
                   f"({engine.stats['queries']} queries served before restart)")
@@ -378,7 +390,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         engine = create_engine(
             dataset, graph=args.graph, K=args.K, seed=args.seed,
             shards=args.shards, workers=args.workers, n_jobs=args.n_jobs,
-            mode=args.mode, batch_size=args.batch_size,
+            mode=args.mode, batch_size=args.batch_size, backend=args.backend,
         )
 
     try:
@@ -516,7 +528,7 @@ def _cmd_update(args: argparse.Namespace) -> int:
         try:
             engine = load_any_engine(
                 args.snapshot, objects=objects, workers=args.workers,
-                rebuild_every=args.rebuild_every,
+                rebuild_every=args.rebuild_every, backend=args.backend,
             )
         except GraphError as exc:
             print(f"update: cannot load snapshot: {exc}", file=sys.stderr)
@@ -535,7 +547,7 @@ def _cmd_update(args: argparse.Namespace) -> int:
     engine = create_engine(
         None, metric=spec.metric, K=args.K, seed=args.seed, mutable=True,
         shards=args.shards, workers=args.workers,
-        rebuild_every=args.rebuild_every,
+        rebuild_every=args.rebuild_every, backend=args.backend,
     )
     gen = np.random.default_rng(args.seed + 1)
     n = len(objects)
@@ -619,6 +631,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         objects, metric=metric, graph=args.graph, K=args.K, seed=args.seed,
         shards=args.shards, workers=args.workers, mutable=args.mutable,
         n_jobs=args.n_jobs, mode=args.mode, batch_size=args.batch_size,
+        backend=args.backend,
     )
 
     async def _run() -> None:

@@ -42,7 +42,11 @@ back to the scalar walk when it is set.
 
 Distances are evaluated through ``Dataset.pair_dist(..., consistent=True)``
 so every comparison against ``r`` uses the exact float the scalar path's
-``dist_many`` would produce.
+``dist_many`` would produce.  That call is also the numeric-backend seam
+(:mod:`repro.backends`): under a screening backend the bulk of each
+kernel runs in float32 and only pairs inside the metric's error band of
+``r`` are recomputed in float64, so the ``<= r`` verdicts — the only
+thing the counts consume — still match the scalar oracle bit for bit.
 """
 
 from __future__ import annotations

@@ -14,8 +14,49 @@ from typing import Any
 
 import numpy as np
 
-from .exceptions import ParameterError
+from .backends import NumericBackend, resolve_backend
+from .exceptions import GraphError, ParameterError
 from .metrics import Metric, resolve_metric
+
+
+def _checked_vector_input(objects: Any, metric_name: str) -> Any:
+    """Reject stores the float kernels cannot take, before they crash.
+
+    Array-likes destined for a vector metric must be numeric and at
+    least float32-wide: ``object`` arrays (ragged rows, mixed types)
+    and ``float16`` (whose rounding is wider than every screening error
+    band, so the exactness contract cannot be restated in it) fail here
+    with a :class:`GraphError` instead of a downstream kernel crash.
+    Plain sequences are converted once so ragged inputs are caught too;
+    the metric's ``prepare`` then normalizes the dtype (float64 for Lp
+    and angular stores).
+    """
+    if not isinstance(objects, np.ndarray):
+        try:
+            objects = np.asarray(objects)
+        except (ValueError, TypeError) as exc:
+            raise GraphError(
+                f"{metric_name}: input is not a rectangular numeric "
+                f"array ({exc})"
+            ) from None
+    if objects.dtype == np.object_:
+        raise GraphError(
+            f"{metric_name}: object-dtype store (ragged rows or mixed "
+            f"types); supply a rectangular numeric array"
+        )
+    if objects.dtype == np.float16:
+        raise GraphError(
+            f"{metric_name}: float16 store is below the library's "
+            f"precision contract; convert to float32 or float64"
+        )
+    if not (
+        np.issubdtype(objects.dtype, np.number)
+        or np.issubdtype(objects.dtype, np.bool_)
+    ):
+        raise GraphError(
+            f"{metric_name}: non-numeric store dtype {objects.dtype!r}"
+        )
+    return objects
 
 
 class DistanceCounter:
@@ -57,13 +98,34 @@ class Dataset:
     metric:
         A :class:`~repro.metrics.base.Metric` instance or registry name
         such as ``"l2"``, ``"angular"``, ``"edit"``.
+    backend:
+        A :class:`~repro.backends.NumericBackend` instance or registry
+        name (``"numpy64"``, ``"float32"``); ``None`` is the exact
+        float64 default.  Screening backends accelerate only the
+        bounded :meth:`pair_dist` calls — :meth:`dist` and
+        :meth:`dist_many` always run the exact kernels, so scalar
+        oracle paths are backend-independent.
     """
 
-    def __init__(self, objects: Any, metric: "str | Metric" = "l2"):
+    #: class-level defaults so clone paths that bypass ``__init__``
+    #: (transport materialisation, pickling) stay on the exact kernels.
+    backend: "NumericBackend | None" = None
+    _screen: Any = None
+
+    def __init__(
+        self,
+        objects: Any,
+        metric: "str | Metric" = "l2",
+        backend: "str | NumericBackend | None" = None,
+    ):
         self.metric = resolve_metric(metric)
+        if self.metric.is_vector:
+            objects = _checked_vector_input(objects, self.metric.name)
         self.store = self.metric.prepare(objects)
         self.n = self.metric.n_objects(self.store)
         self.counter = DistanceCounter()
+        if backend is not None:
+            self.set_backend(backend)
 
     # -- distance queries ---------------------------------------------------
 
@@ -88,42 +150,71 @@ class Dataset:
         self,
         a: np.ndarray,
         b: np.ndarray,
-        bound: float | None = None,
+        bound: "float | tuple | None" = None,
         consistent: bool = False,
     ) -> np.ndarray:
         """Element-wise distances ``dist(a[t], b[t])``.
 
-        The two keyword knobs form the kernel contract every batched
+        The keyword knobs form the kernel contract every batched
         detection path relies on:
 
-        * ``bound`` enables early abandoning: any entry whose true
-          distance exceeds ``bound`` may come back as a different value,
-          but **never** one at or below ``bound`` — the
-          within-``bound`` verdict is always faithful, and entries truly
-          within ``bound`` are returned bit-exact.
+        * ``bound`` enables early abandoning — and, when a screening
+          backend is attached, the float32 screen.  It is a single
+          threshold or a sequence of thresholds; every returned value
+          is **verdict-faithful at each threshold**: ``value <= r``
+          exactly when the exact float64 kernel's value is ``<= r``.
+          Entries whose true distance exceeds every threshold may come
+          back as any value above the largest one.  Under the default
+          backend, entries truly within the largest threshold are
+          additionally bit-exact; a screening backend guarantees
+          bit-exactness only inside the metric's error band of a
+          threshold (band pairs are re-evaluated in float64), which is
+          precisely what keeps count-by-comparison callers
+          bit-identical.  Callers that consume the returned *values*
+          beyond comparing them against the listed thresholds must pass
+          ``bound=None``.
         * ``consistent=True`` demands values bitwise row-consistent with
           :meth:`dist_many` (the batched detection paths need this to
           stay bit-identical to the scalar ones); metrics whose pair
           kernel cannot guarantee it (different reduction order) then
           evaluate via one ``dist_many`` call per distinct source
           instead — see :attr:`Metric.pair_rowwise_consistent`.
+          Screening backends honor it on the rescreened band.
 
         Example
         -------
         >>> import numpy as np
-        >>> ds = Dataset(np.array([[0.0, 0.0], [3.0, 4.0], [9.0, 12.0]]), "l2")
+        >>> pts = np.array([[0.0, 0.0], [3.0, 4.0], [9.0, 12.0]])
+        >>> ds = Dataset(pts, "l2")
         >>> ds.pair_dist(np.array([0, 1]), np.array([1, 2])).tolist()
         [5.0, 10.0]
         >>> d = ds.pair_dist(np.array([0]), np.array([2]), bound=6.0,
         ...                  consistent=True)
         >>> bool(d[0] > 6.0)   # true distance 15: only the verdict is promised
         True
+        >>> ds32 = Dataset(pts, "l2", backend="float32")
+        >>> d32 = ds32.pair_dist(np.array([0, 1]), np.array([1, 2]), bound=6.0)
+        >>> [bool(v <= 6.0) for v in d32]   # same verdicts as float64
+        [True, False]
         """
         a = np.asarray(a, dtype=np.int64)
         self.counter.add(a.size)
+        if bound is None:
+            radii = None
+        elif isinstance(bound, (int, float, np.floating, np.integer)):
+            radii = (float(bound),)
+        else:
+            radii = tuple(sorted(float(r) for r in bound)) or None
+        bound_max = radii[-1] if radii is not None else None
+        if radii is not None and self._screen is not None:
+            out = self.backend.screened_pair_dist(
+                self.metric, self.store, self._screen, a, b, radii, consistent
+            )
+            if out is not None:
+                return out
         if consistent and not self.metric.pair_rowwise_consistent:
-            return self.metric.pair_dist_grouped(self.store, a, b, bound=bound)
-        return self.metric.pair_dist(self.store, a, b, bound=bound)
+            return self.metric.pair_dist_grouped(self.store, a, b, bound=bound_max)
+        return self.metric.pair_dist(self.store, a, b, bound=bound_max)
 
     # -- object access --------------------------------------------------------
 
@@ -152,6 +243,11 @@ class Dataset:
             sub.store = np.ascontiguousarray(self.store[idx])
         sub.n = self.metric.n_objects(sub.store)
         sub.counter = DistanceCounter()
+        sub.backend = self.backend
+        sub._screen = (
+            None if self.backend is None
+            else self.backend.screen_state(self.metric, sub.store)
+        )
         return sub
 
     def view(self) -> "Dataset":
@@ -165,6 +261,8 @@ class Dataset:
         v.store = self.store
         v.n = self.n
         v.counter = DistanceCounter()
+        v.backend = self.backend
+        v._screen = self._screen
         return v
 
     def sample(self, rate: float, rng: "int | np.random.Generator | None" = None) -> "Dataset":
@@ -181,6 +279,50 @@ class Dataset:
         idx.sort()
         return self.subset(idx)
 
+    # -- numeric backend -----------------------------------------------------
+
+    def set_backend(
+        self, backend: "str | NumericBackend | None"
+    ) -> "Dataset":
+        """Attach a numeric backend (in place); returns ``self``.
+
+        Accepts a registry name, a shared
+        :class:`~repro.backends.NumericBackend` instance (so one
+        engine's datasets can aggregate screen stats), or ``None`` to
+        restore the exact default.  Screening state is (re)built for
+        the current store.
+        """
+        self.backend = None if backend is None else resolve_backend(backend)
+        self._screen = (
+            None if self.backend is None
+            else self.backend.screen_state(self.metric, self.store)
+        )
+        return self
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active backend (``"numpy64"`` default)."""
+        return "numpy64" if self.backend is None else self.backend.name
+
+    def backend_stats(self) -> dict:
+        """``{"backend": name, **screen/rescreen counters}``."""
+        if self.backend is None:
+            return {
+                "backend": "numpy64", "screen_calls": 0,
+                "screened_pairs": 0, "rescreened_pairs": 0,
+            }
+        return self.backend.stats_dict()
+
+    @property
+    def kernel_budget_scale(self) -> float:
+        """Pair-budget multiplier for block sweeps.
+
+        Screening backends touch half the bytes per pair, so the linear
+        index can afford proportionally wider kernel blocks for the
+        same cache footprint; 1.0 whenever screening is inactive.
+        """
+        return 1.0 if self._screen is None else self.backend.kernel_budget_scale
+
     # -- bookkeeping ---------------------------------------------------------
 
     @property
@@ -195,4 +337,5 @@ class Dataset:
         return self.n
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Dataset(n={self.n}, metric={self.metric.name})"
+        extra = "" if self.backend is None else f", backend={self.backend.name}"
+        return f"Dataset(n={self.n}, metric={self.metric.name}{extra})"

@@ -130,6 +130,7 @@ class DetectionEngine:
         cache_radii: int | None = None,
         memo_outliers: bool = True,
         memo_budget: int | None = None,
+        backend: "str | None" = None,
     ):
         if graph.n != dataset.n:
             raise GraphError(
@@ -137,6 +138,8 @@ class DetectionEngine:
             )
         if not graph.finalized:
             graph.finalize()
+        if backend is not None:
+            dataset.set_backend(backend)
         self.dataset = dataset
         self.graph = graph
         self.verifier = verifier if verifier is not None else Verifier(dataset)
@@ -209,6 +212,7 @@ class DetectionEngine:
         cache_radii: int | None = None,
         memo_outliers: bool = True,
         memo_budget: int | None = None,
+        backend: "str | None" = None,
         **graph_params,
     ) -> "DetectionEngine":
         """Offline phase in one call: dataset + graph + verifier + engine."""
@@ -228,6 +232,7 @@ class DetectionEngine:
             cache_radii=cache_radii,
             memo_outliers=memo_outliers,
             memo_budget=memo_budget,
+            backend=backend,
         )
 
     @property
@@ -534,6 +539,15 @@ class DetectionEngine:
             f"single-process engine, n={self.n}, "
             f"graph={self.graph_name}, n_jobs={self.n_jobs}"
         )
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the dataset's numeric backend."""
+        return self.dataset.backend_name
+
+    def backend_stats(self) -> dict:
+        """Active backend name plus screen/rescreen pair counters."""
+        return self.dataset.backend_stats()
 
     # -- bookkeeping -----------------------------------------------------------
 

@@ -80,12 +80,14 @@ def build_delete_evidence(
     dec = {r: np.zeros(n_total, dtype=np.int64) for r in radii}
     covered = dict.fromkeys(radii, True)
     if scan.size and survivors.size and radii:
-        # Only within-radius verdicts are consumed, so the sweep can
-        # early-abandon at the largest maintained radius.
+        # Only per-radius verdicts are consumed; passing every
+        # maintained radius keeps the sweep verdict-faithful at each
+        # one under screening backends while still early-abandoning at
+        # the largest.
         D = dataset.pair_dist(
             np.repeat(scan, survivors.size),
             np.tile(survivors, scan.size),
-            bound=max(radii), consistent=True,
+            bound=tuple(radii), consistent=True,
         ).reshape(scan.size, survivors.size)
         for r in radii:
             dec[r][survivors] += (D <= r).sum(axis=0)

@@ -41,6 +41,7 @@ import numpy as np
 from ..core.result import DODResult
 from ..core.traversal import DEFAULT_BLOCK
 from ..core.verify import Verifier
+from ..backends import resolve_backend
 from ..data import Dataset
 from ..exceptions import ParameterError
 from ..graphs.adjacency import Graph
@@ -92,6 +93,7 @@ class MutableDetectionEngine:
         rebuild_every: "int | None" = None,
         cache_radii: "int | None" = None,
         pinned: Sequence[float] = (),
+        backend: "str | None" = None,
     ):
         if K < 1:
             raise ParameterError(f"K must be >= 1, got {K}")
@@ -113,6 +115,10 @@ class MutableDetectionEngine:
         self.rebuild_graph = rebuild_graph
         self.rebuild_every = rebuild_every
         self.cache_radii = cache_radii
+        # Resolved once so screen/rescreen counters survive the dataset
+        # refreshes every mutation triggers (the instance is the stats
+        # aggregation unit; each refresh only rebuilds screen state).
+        self._backend = None if backend is None else resolve_backend(backend)
         self._rng = ensure_rng(seed)
         self._objects: list[Any] = []
         self._alive: list[bool] = []
@@ -217,7 +223,9 @@ class MutableDetectionEngine:
 
     def _refresh_dataset(self) -> None:
         self._harvest_pairs()
-        self._dataset = Dataset(self._materialise(), self.metric)
+        self._dataset = Dataset(
+            self._materialise(), self.metric, backend=self._backend
+        )
 
     def _materialise(self):
         if self.metric.is_vector:
@@ -237,6 +245,7 @@ class MutableDetectionEngine:
             if self.metric.is_vector
             else objects,
             self.metric,
+            backend=self._backend,
         )
 
     def _scan_radii(self) -> list[float]:
@@ -402,14 +411,15 @@ class MutableDetectionEngine:
         Returns ``(D_prior, D_intra)``: the ``B x P`` newcomer-vs-prior
         matrix and the symmetric ``B x B`` intra-batch matrix (diagonal
         ``inf``).  With no stored exact-K'NN lists the sweeps only have
-        to be faithful up to the largest maintained radius, so early-
-        abandoning metrics (edit) stop there; list patching compares
-        against list distances that may exceed every radius, so it
-        needs exact values.
+        to be verdict-faithful at the maintained radii (passed as the
+        bound tuple), so early-abandoning metrics stop at the largest
+        and screening backends rescreen only around each radius; list
+        patching compares against list distances that may exceed every
+        radius, so it needs exact values.
         """
         assert self._graph is not None and self._dataset is not None
         bound = (
-            None if self._graph.exact_knn or not radii else max(radii)
+            None if self._graph.exact_knn or not radii else tuple(radii)
         )
         B, P = new_ids.size, prior_live.size
         if P:
@@ -722,6 +732,21 @@ class MutableDetectionEngine:
             f"mutable single-process engine, {self.n_active} live / "
             f"{self.n_total} total ids, metric={self.metric.name}"
         )
+
+    @property
+    def backend_name(self) -> str:
+        return "numpy64" if self._backend is None else self._backend.name
+
+    def backend_stats(self) -> dict:
+        """Screen/rescreen counters across every dataset refresh."""
+        if self._backend is None:
+            return {
+                "backend": "numpy64",
+                "screen_calls": 0,
+                "screened_pairs": 0,
+                "rescreened_pairs": 0,
+            }
+        return self._backend.stats_dict()
 
     # -- lifecycle ---------------------------------------------------------------
 

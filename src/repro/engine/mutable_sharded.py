@@ -49,6 +49,7 @@ import numpy as np
 from ..core.counting import VisitTracker, classify_chunk_arrays, resolve_filter_mode
 from ..core.result import DODResult
 from ..core.traversal import DEFAULT_BLOCK, BlockTracker
+from ..backends import resolve_backend
 from ..data import Dataset
 from ..exceptions import GraphError, ParameterError
 from ..graphs.adjacency import Graph
@@ -98,9 +99,14 @@ class MutableShardWorker:
         cache_state: "EvidenceCache | None" = None,
         knn_radii: Sequence[float] = (),
         build: bool = False,
+        backend: "str | None" = None,
     ):
         self.metric = resolve_metric(metric)
         self.shard_index = int(shard_index)
+        # Resolved in the worker process: each shard owns its backend
+        # instance (screen state + counters), so per-shard backend
+        # choices need nothing shared beyond the name.
+        self._backend = None if backend is None else resolve_backend(backend)
         self.K = int(K)
         self.graph_name = graph
         resolve_filter_mode(mode, None)
@@ -166,7 +172,18 @@ class MutableShardWorker:
             if self.metric.is_vector
             else self._objects,
             self.metric,
+            backend=self._backend,
         )
+
+    def backend_stats(self) -> dict:
+        if self._backend is None:
+            return {
+                "backend": "numpy64",
+                "screen_calls": 0,
+                "screened_pairs": 0,
+                "rescreened_pairs": 0,
+            }
+        return self._backend.stats_dict()
 
     def _bank_pairs(self) -> None:
         if self._dataset is not None:
@@ -287,7 +304,7 @@ class MutableShardWorker:
         neighbors_out: list[dict] = [dict() for _ in range(B)]
         if targets.size:
             bound = (
-                None if self._graph.exact_knn or not radii else max(radii)
+                None if self._graph.exact_knn or not radii else tuple(radii)
             )
             D = self._dataset.pair_dist(
                 np.repeat(owned_gids, targets.size),
@@ -642,6 +659,7 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         cache_radii: "int | None" = None,
         rebuild_every: "int | None" = None,
         start_method: "str | None" = None,
+        backend: "str | Sequence[str] | None" = None,
     ):
         if n_shards < 1:
             raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
@@ -671,6 +689,23 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         self._workers_requested = max(1, int(workers))
         self.workers = min(self._workers_requested, self.n_shards)
         self._start_method = start_method
+        # Backend spec: a scalar name applies to every shard; a sequence
+        # assigns per shard and cycles if rebalancing later changes the
+        # shard count (split/merge keeps whatever pattern was given).
+        # Resolve each distinct name now so unknown backends and missing
+        # optional dependencies fail here, not inside a worker process.
+        if backend is None or isinstance(backend, str):
+            self._backend_spec: "tuple[str | None, ...]" = (backend,)
+        else:
+            names = tuple(None if b is None else str(b) for b in backend)
+            if len(names) != self.n_shards:
+                raise ParameterError(
+                    f"backend list has {len(names)} entries for "
+                    f"{self.n_shards} shards"
+                )
+            self._backend_spec = names if names else (None,)
+        for name in {b for b in self._backend_spec if b is not None}:
+            resolve_backend(name)
         self._objects: list[Any] = []
         self._alive: list[bool] = []
         self._shard_of_list: list[int] = []
@@ -713,6 +748,9 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
             "cache_state": state.get("cache"),
             "knn_radii": tuple(state.get("knn_radii", ())),
             "build": bool(state.get("build", False)),
+            "backend": self._backend_spec[
+                shard_index % len(self._backend_spec)
+            ],
         }
         return kwargs
 
@@ -1143,6 +1181,30 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
             f"{self.n_total} total ids, {self.n_shards} shards on "
             f"{self.workers} worker process(es), epoch {self.epoch}"
         )
+
+    @property
+    def backend_name(self) -> str:
+        """The numeric backend(s) in use, ``+``-joined when mixed."""
+        return "+".join(
+            sorted({b or "numpy64" for b in self._backend_spec})
+        )
+
+    def backend_stats(self) -> dict:
+        """Screen/rescreen counters summed across shard workers."""
+        out: dict = {
+            "backend": self.backend_name,
+            "screen_calls": 0,
+            "screened_pairs": 0,
+            "rescreened_pairs": 0,
+        }
+        per_shard = [] if self._pool is None else self._pool.call(
+            "backend_stats"
+        )
+        for entry in per_shard:
+            for key in ("screen_calls", "screened_pairs", "rescreened_pairs"):
+                out[key] += int(entry.get(key, 0))
+        out["per_shard"] = list(per_shard)
+        return out
 
     def reset_cache(self) -> None:
         """Drop accumulated evidence in every shard."""

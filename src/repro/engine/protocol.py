@@ -136,6 +136,15 @@ class EngineCore(Protocol):
         """Memory held by the serving state (graphs + caches)."""
         ...
 
+    @property
+    def backend_name(self) -> str:
+        """Numeric backend(s) answering queries (``numpy64`` default)."""
+        ...
+
+    def backend_stats(self) -> dict:
+        """Screen/rescreen pair counters of the numeric backend(s)."""
+        ...
+
 
 @runtime_checkable
 class MutableEngineCore(EngineCore, Protocol):
@@ -204,6 +213,7 @@ def create_engine(
     cache_radii: "int | None" = None,
     rebuild_every: "int | None" = None,
     start_method: "str | None" = None,
+    backend: "str | Sequence[str] | None" = None,
     **graph_params,
 ) -> EngineCore:
     """Build the engine variant matching a workload shape.
@@ -212,7 +222,9 @@ def create_engine(
     (static engines require it; mutable engines may start empty and be
     populated through ``insert``).  ``shards > 1`` selects a sharded
     engine, ``mutable=True`` a mutable one; both together compose into
-    the mutable sharded engine.  This is the **only** place the engine
+    the mutable sharded engine.  ``backend`` picks the numeric backend
+    (:mod:`repro.backends`) — a name for every shard, or a per-shard
+    sequence on sharded engines.  This is the **only** place the engine
     class is chosen — callers above the engine layer (the CLI, scripts)
     stay concrete-class-free.
     """
@@ -220,6 +232,15 @@ def create_engine(
 
     if shards < 1:
         raise ParameterError(f"shards must be >= 1, got {shards}")
+    if (
+        shards == 1
+        and backend is not None
+        and not isinstance(backend, str)
+    ):
+        raise ParameterError(
+            "a per-shard backend sequence needs shards > 1; pass a single "
+            "backend name"
+        )
     is_dataset = isinstance(data, Dataset)
     if mutable:
         # Mutable engines build their graphs incrementally (and rebuild
@@ -248,6 +269,7 @@ def create_engine(
                 K=K, seed=seed, mode=mode, batch_size=batch_size,
                 pinned=pinned, cache_radii=cache_radii,
                 rebuild_every=rebuild_every, start_method=start_method,
+                backend=backend,
             )
             if objects is not None:
                 engine.bulk_load(objects)
@@ -259,13 +281,13 @@ def create_engine(
                 objects, metric=metric, K=K, seed=seed, n_jobs=n_jobs,
                 mode=mode, batch_size=batch_size, rebuild_graph=graph,
                 cache_radii=cache_radii, rebuild_every=rebuild_every,
-                pinned=pinned,
+                pinned=pinned, backend=backend,
             )
         return MutableDetectionEngine(
             metric=metric, K=K, seed=seed, n_jobs=n_jobs, mode=mode,
             batch_size=batch_size, rebuild_graph=graph,
             cache_radii=cache_radii, rebuild_every=rebuild_every,
-            pinned=pinned,
+            pinned=pinned, backend=backend,
         )
     if data is None:
         raise ParameterError("static engines need data; pass mutable=True "
@@ -277,7 +299,7 @@ def create_engine(
         return ShardedDetectionEngine(
             dataset, n_shards=shards, workers=workers, strategy=strategy,
             graph=graph, K=K, rng=seed, mode=mode, batch_size=batch_size,
-            start_method=start_method, **graph_params,
+            start_method=start_method, backend=backend, **graph_params,
         )
     from .engine import DetectionEngine
 
@@ -289,10 +311,10 @@ def create_engine(
         built = build_graph(graph, data, K=K, rng=gen, **graph_params)
         return DetectionEngine(
             data, built, n_jobs=n_jobs, rng=gen, mode=mode,
-            batch_size=batch_size, cache_radii=cache_radii,
+            batch_size=batch_size, cache_radii=cache_radii, backend=backend,
         )
     return DetectionEngine.fit(
         data, metric=metric, graph=graph, K=K, seed=seed, n_jobs=n_jobs,
         mode=mode, batch_size=batch_size, cache_radii=cache_radii,
-        **graph_params,
+        backend=backend, **graph_params,
     )

@@ -73,6 +73,7 @@ from ..core.counting import (
 from ..core.parallel import DatasetTransport, ShardPool, default_start_method
 from ..core.result import DODResult
 from ..core.traversal import DEFAULT_BLOCK, BlockTracker
+from ..backends import resolve_backend
 from ..data import Dataset
 from ..exceptions import GraphError, ParameterError
 from ..graphs.adjacency import Graph
@@ -148,6 +149,7 @@ class ShardWorker:
         graph_params: "dict | None" = None,
         cache: "EvidenceCache | None" = None,
         knn_radii: "tuple[float, ...]" = (),
+        backend: "str | None" = None,
     ):
         if isinstance(dataset, DatasetTransport):
             dataset = dataset.materialize()
@@ -158,8 +160,15 @@ class ShardWorker:
         self.m = int(self.ids.size)
         #: full-dataset view: cross-shard subset sweeps + own pair counter.
         self._full = dataset.view()
+        if backend is not None:
+            # Each worker instantiates its own backend (transport strips
+            # it), so per-shard choices — one GPU per worker — need no
+            # cross-process state beyond the name.
+            self._full.set_backend(backend)
         #: shard sub-dataset (local ids 0..m-1): traversal + own counter.
-        self.sub = dataset.subset(self.ids)
+        #: Shares the full view's backend instance so the worker's
+        #: screen stats aggregate in one place.
+        self.sub = self._full.subset(self.ids)
         if isinstance(graph, Graph):
             if graph.n != self.m:
                 raise GraphError(
@@ -336,14 +345,18 @@ class ShardWorker:
         self.cache.clear()
         self._knn_radii.clear()
 
+    def backend_stats(self) -> dict:
+        """This worker's backend name + screen/rescreen counters."""
+        return self._full.backend_stats()
+
 
 def _make_worker(dataset, ids, graph, K, seed, mode, batch_size,
-                 graph_params, cache, knn_radii) -> ShardWorker:
+                 graph_params, cache, knn_radii, backend=None) -> ShardWorker:
     """Module-level factory so spawn-based pools can pickle it."""
     return ShardWorker(
         dataset, ids, graph=graph, K=K, seed=seed, mode=mode,
         batch_size=batch_size, graph_params=graph_params,
-        cache=cache, knn_radii=knn_radii,
+        cache=cache, knn_radii=knn_radii, backend=backend,
     )
 
 
@@ -689,6 +702,7 @@ class ShardedDetectionEngine(_ShardMergeBase):
         start_method: "str | None" = None,
         shard_ids: "list[np.ndarray] | None" = None,
         shard_state: "list[dict] | None" = None,
+        backend: "str | Sequence[str] | None" = None,
         **graph_params,
     ):
         gen = ensure_rng(rng)
@@ -710,6 +724,22 @@ class ShardedDetectionEngine(_ShardMergeBase):
             workers = min(self.n_shards, os.cpu_count() or 1)
         self.workers = max(1, min(int(workers), self.n_shards))
         self._start_method = start_method or default_start_method()
+        # One backend name per shard: a scalar applies everywhere, a
+        # sequence picks per shard (the seam for one-GPU-per-worker).
+        # Resolve each distinct name here so unknown backends and
+        # missing optional dependencies fail in the parent process.
+        if backend is None or isinstance(backend, str):
+            backend_names: "list[str | None]" = [backend] * self.n_shards
+        else:
+            backend_names = [None if b is None else str(b) for b in backend]
+            if len(backend_names) != self.n_shards:
+                raise ParameterError(
+                    f"backend list has {len(backend_names)} entries for "
+                    f"{self.n_shards} shards"
+                )
+        for name in {b for b in backend_names if b is not None}:
+            resolve_backend(name)
+        self.backend_names = backend_names
 
         #: global id -> owning shard, for routing the filter phase.
         self._shard_of = np.empty(dataset.n, dtype=np.int64)
@@ -729,6 +759,7 @@ class ShardedDetectionEngine(_ShardMergeBase):
                 state.get("graph", graph), self.K, seeds[s], mode,
                 self.batch_size, dict(graph_params),
                 state.get("cache"), tuple(state.get("knn_radii", ())),
+                backend_names[s],
             ))
         try:
             self._pool = ShardPool(
@@ -764,6 +795,7 @@ class ShardedDetectionEngine(_ShardMergeBase):
         mode: str = "auto",
         batch_size: int = DEFAULT_BLOCK,
         start_method: "str | None" = None,
+        backend: "str | Sequence[str] | None" = None,
         **graph_params,
     ) -> "ShardedDetectionEngine":
         """Offline phase in one call: dataset + per-shard graphs + engine.
@@ -775,12 +807,32 @@ class ShardedDetectionEngine(_ShardMergeBase):
         return cls(
             dataset, n_shards=n_shards, workers=workers, strategy=strategy,
             graph=graph, K=K, rng=seed, mode=mode, batch_size=batch_size,
-            start_method=start_method, **graph_params,
+            start_method=start_method, backend=backend, **graph_params,
         )
 
     @property
     def n(self) -> int:
         return self.dataset.n
+
+    @property
+    def backend_name(self) -> str:
+        """The numeric backend(s) in use, ``+``-joined when mixed."""
+        return "+".join(sorted({b or "numpy64" for b in self.backend_names}))
+
+    def backend_stats(self) -> dict:
+        """Screen/rescreen counters summed across shard workers."""
+        per_shard = self._pool.call("backend_stats")
+        out: dict = {
+            "backend": self.backend_name,
+            "screen_calls": 0,
+            "screened_pairs": 0,
+            "rescreened_pairs": 0,
+        }
+        for entry in per_shard:
+            for key in ("screen_calls", "screened_pairs", "rescreened_pairs"):
+                out[key] += int(entry.get(key, 0))
+        out["per_shard"] = list(per_shard)
+        return out
 
     # -- merge hooks (the static population) -----------------------------------
 

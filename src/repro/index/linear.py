@@ -29,10 +29,16 @@ BLOCK_ELEM_BUDGET = 1 << 21
 
 
 def _pairs_per_kernel(dataset: Dataset) -> int:
-    """Pair budget per kernel, scaled by the store's row width."""
+    """Pair budget per kernel, scaled by the store's row width.
+
+    A screening backend computes the block in narrower floats, so its
+    :attr:`~repro.data.Dataset.kernel_budget_scale` widens the pair
+    budget to keep the materialised bytes per kernel roughly constant.
+    """
     shape = getattr(dataset.store, "shape", None)
     dim = int(shape[1]) if shape is not None and len(shape) == 2 else 64
-    return max(256, BLOCK_ELEM_BUDGET // max(1, dim))
+    pairs = max(256, BLOCK_ELEM_BUDGET // max(1, dim))
+    return int(pairs * dataset.kernel_budget_scale)
 
 
 def linear_count(

@@ -293,6 +293,7 @@ def load_engine(
     cache_radii: int | None = None,
     memo_outliers: bool = True,
     memo_budget: int | None = None,
+    backend: "str | None" = None,
 ):
     """Rebuild a saved engine against its (re-supplied) dataset.
 
@@ -342,6 +343,7 @@ def load_engine(
         cache_radii=cache_radii,
         memo_outliers=memo_outliers,
         memo_budget=memo_budget,
+        backend=backend,
     )
     engine.cache = EvidenceCache.from_state_arrays(graph.n, cache_arrays)
     engine.cache.max_radii = cache_radii
@@ -574,6 +576,7 @@ def load_sharded_engine(
     mode: str = "auto",
     batch_size: int | None = None,
     start_method: "str | None" = None,
+    backend=None,
 ):
     """Rebuild a saved sharded engine against its (re-supplied) dataset.
 
@@ -672,6 +675,7 @@ def load_sharded_engine(
         start_method=start_method,
         shard_ids=shard_ids,
         shard_state=shard_state,
+        backend=backend,
     )
     stats = meta.get("stats", {})
     for key in engine.stats:
@@ -925,8 +929,8 @@ def load_any_engine(
     Callers — the CLI in particular — no longer pick a loader by engine
     class.  The common execution knobs are routed to whichever subset
     the resolved engine takes (``workers`` for sharded engines,
-    ``n_jobs`` for single-process ones); ``extra`` keywords are
-    forwarded to the mutable constructors.
+    ``n_jobs`` for single-process ones); ``extra`` keywords — e.g.
+    ``backend`` — are forwarded to the resolved loader.
 
     Raises :class:`GraphError` for unreadable paths, unknown formats,
     or when the required ``dataset``/``objects`` was not supplied.
@@ -959,7 +963,7 @@ def load_any_engine(
             )
         return load_sharded_engine(
             path, dataset, workers=workers, rng=rng, mode=mode,
-            batch_size=batch_size, start_method=start_method,
+            batch_size=batch_size, start_method=start_method, **extra,
         )
     with _NpzReader(path, "engine snapshot") as data:
         mutable = "mutable_format_version" in data

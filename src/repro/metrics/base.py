@@ -121,6 +121,38 @@ class Metric(ABC):
             )
         return out
 
+    # -- reduced-precision screening (numeric backends) --------------------
+
+    def screen_prepare(self, store: Any) -> Any:
+        """Reduced-precision screening state for ``store``, or ``None``.
+
+        Screening backends (:mod:`repro.backends`) call this once per
+        prepared store.  Metrics that support the float32 screen return
+        an object holding whatever :meth:`screen_pair_dist` needs — a
+        float32 copy of the store plus the facts behind the error band
+        ``eps(r)`` (see ``docs/backends.md``).  The default ``None``
+        means "no screen kernel": the backend then leaves every call to
+        the exact float64 kernels, which is always correct.
+        """
+        return None
+
+    def screen_pair_dist(
+        self, state: Any, a: Sequence[int], b: Sequence[int], radii: Sequence[float]
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Low-precision element-wise distances plus a decided mask.
+
+        Returns ``(values, decided)``: ``values`` is a float64 array of
+        screen distances and ``decided[t]`` is True when float32
+        rounding provably cannot flip the ``values[t] <= r`` verdict at
+        **any** threshold in ``radii`` — i.e. the screen value lies
+        outside the metric's error band ``[r - eps(r), r + eps(r)]``
+        of every threshold.  Pairs with ``decided[t]`` False must be
+        re-evaluated by the caller with the exact kernels.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no screen kernel"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 

@@ -298,10 +298,16 @@ class EngineServer:
             live = int(engine.n) if hasattr(engine, "n") else None
         else:
             live = int(engine.n_active)
-        return {
+        payload = {
             "serving": dict(self.coalescer.stats),
             "engine": dict(engine.stats),
             "capabilities": dict(caps.__dict__),
             "describe": self.coalescer.describe(),
             "n_live": live,
         }
+        # Numeric-backend counters (screened/rescreened pairs); guarded
+        # so a duck-typed engine without the accessor still serves.
+        stats_fn = getattr(engine, "backend_stats", None)
+        if callable(stats_fn):
+            payload["backend"] = stats_fn()
+        return payload
