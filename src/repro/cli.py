@@ -67,6 +67,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_detect.add_argument("--backend", default=None,
                           help="numeric backend: numpy64 (exact default) or "
                                "float32 (screened prefilter, identical answers)")
+    p_detect.add_argument("--store", default="ram", choices=["ram", "memmap"],
+                          help="object storage: ram (in-memory copy) or memmap "
+                               "(map an --input .npy written by "
+                               "repro.io.create_memmap_store; out-of-core, "
+                               "identical answers)")
     p_detect.add_argument("--output", help="write outlier ids to this file")
     p_detect.set_defaults(func=_cmd_detect)
 
@@ -107,6 +112,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--backend", default=None,
                          help="numeric backend: numpy64 (exact default) or "
                               "float32 (screened prefilter, identical answers)")
+    p_sweep.add_argument("--store", default="ram", choices=["ram", "memmap"],
+                         help="object storage: ram (in-memory copy) or memmap "
+                              "(map an --input .npy written by "
+                              "repro.io.create_memmap_store; out-of-core, "
+                              "identical answers)")
     p_sweep.add_argument("--check", action="store_true",
                          help="verify every grid point against a fresh graph_dod "
                               "run and report the reuse speedup")
@@ -160,6 +170,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_update.add_argument("--backend", default=None,
                           help="numeric backend: numpy64 (exact default) or "
                                "float32 (screened prefilter, identical answers)")
+    p_update.add_argument("--store", default="ram", choices=["ram", "shm"],
+                          help="object storage: ram (per-worker copies) or shm "
+                               "(one growable shared segment every shard "
+                               "worker maps zero-copy; identical answers)")
     p_update.add_argument("--rebalance", action="store_true",
                           help="run the automatic shard split/merge policy "
                                "after every batch (needs --shards > 1)")
@@ -221,6 +235,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--mutable", action="store_true",
                          help="serve a mutable engine (enables POST "
                               "/insert and /remove)")
+    p_serve.add_argument("--store", default="ram",
+                         choices=["ram", "shm", "memmap"],
+                         help="object storage: ram (in-memory), shm (growable "
+                              "shared segment, needs --mutable), or memmap "
+                              "(map an --input .npy written by "
+                              "repro.io.create_memmap_store)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8734,
                          help="listening port (0 picks a free port)")
@@ -271,6 +291,19 @@ def _load_input(path: str, metric: str):
         return [line.rstrip("\n") for line in handle if line.strip()]
 
 
+def _memmap_dataset(args: argparse.Namespace, metric: str):
+    """Map ``--input`` as an out-of-core dataset (``--store memmap``)."""
+    from .exceptions import ParameterError
+    from .io import open_memmap_dataset
+
+    if not args.input or not args.input.endswith(".npy"):
+        raise ParameterError(
+            "--store memmap maps an --input .npy store (write one with "
+            "repro.io.create_memmap_store)"
+        )
+    return open_memmap_dataset(args.input, metric, backend=args.backend)
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     if args.suite:
         objects = make_objects(args.suite, n=args.n, seed=args.seed)
@@ -279,12 +312,19 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         r = args.r if args.r is not None else spec.default_r
         k = args.k if args.k is not None else spec.default_k
     else:
-        objects = _load_input(args.input, args.metric)
         metric = args.metric
         if args.r is None or args.k is None:
             print("detect: --r and --k are required with --input", file=sys.stderr)
             return 2
         r, k = args.r, args.k
+        objects = (None if args.store == "memmap"
+                   else _load_input(args.input, args.metric))
+    if args.store == "memmap":
+        if args.suite:
+            print("detect: --store memmap needs --input (a prepared .npy "
+                  "store)", file=sys.stderr)
+            return 2
+        objects = _memmap_dataset(args, metric)
     from .engine import create_engine
 
     with create_engine(
@@ -339,7 +379,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         base_r = args.r if args.r is not None else spec.default_r
         base_k = args.k if args.k is not None else spec.default_k
     else:
-        objects = _load_input(args.input, args.metric)
         metric = args.metric
         if (args.r is None and args.r_grid is None) or (
             args.k is None and args.k_grid is None
@@ -348,6 +387,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         base_r, base_k = args.r, args.k
+        objects = (None if args.store == "memmap"
+                   else _load_input(args.input, args.metric))
 
     r_grid = _parse_grid(args.r_grid, float)
     if r_grid is None:
@@ -363,7 +404,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .data import Dataset
     from .engine import create_engine
 
-    dataset = Dataset(objects, metric, backend=args.backend)
+    if args.store == "memmap":
+        if args.suite:
+            print("sweep: --store memmap needs --input (a prepared .npy "
+                  "store)", file=sys.stderr)
+            return 2
+        dataset = _memmap_dataset(args, metric)
+    else:
+        dataset = Dataset(objects, metric, backend=args.backend)
     engine = None
     if args.snapshot is not None and os.path.exists(args.snapshot):
         from .io import load_any_engine
@@ -548,6 +596,7 @@ def _cmd_update(args: argparse.Namespace) -> int:
         None, metric=spec.metric, K=args.K, seed=args.seed, mutable=True,
         shards=args.shards, workers=args.workers,
         rebuild_every=args.rebuild_every, backend=args.backend,
+        store=args.store,
     )
     gen = np.random.default_rng(args.seed + 1)
     n = len(objects)
@@ -618,8 +667,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         objects = make_objects(args.suite, n=args.n, seed=args.seed)
         metric = get_spec(args.suite).metric
     else:
-        objects = _load_input(args.input, args.metric)
         metric = args.metric
+        objects = (None if args.store == "memmap"
+                   else _load_input(args.input, args.metric))
+    if args.store == "memmap":
+        if args.suite:
+            print("serve: --store memmap needs --input (a prepared .npy "
+                  "store)", file=sys.stderr)
+            return 2
+        if args.mutable:
+            print("serve: --store memmap serves static engines; use "
+                  "--store shm for mutable serving", file=sys.stderr)
+            return 2
+        objects = _memmap_dataset(args, metric)
+    elif args.store == "shm" and not args.mutable:
+        print("serve: --store shm needs --mutable", file=sys.stderr)
+        return 2
     config = ServingConfig(
         window=args.window_ms / 1e3,
         max_batch=args.max_batch,
@@ -632,6 +695,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards, workers=args.workers, mutable=args.mutable,
         n_jobs=args.n_jobs, mode=args.mode, batch_size=args.batch_size,
         backend=args.backend,
+        store="shm" if args.store == "shm" else "ram",
     )
 
     async def _run() -> None:

@@ -27,6 +27,7 @@ from .parallel import (
     partition_indices,
 )
 from .result import DODResult, ObjectEvidence
+from .store import STORE_NAME_PREFIX, SharedObjectStore
 from .traversal import DEFAULT_BLOCK, BlockTracker, greedy_count_block
 from .verify import Verifier
 
@@ -57,6 +58,8 @@ __all__ = [
     "WorkerPool",
     "ShardPool",
     "SharedMemoryStore",
+    "SharedObjectStore",
+    "STORE_NAME_PREFIX",
     "DatasetTransport",
     "default_start_method",
     "map_over_objects",

@@ -24,6 +24,7 @@ memory for ``spawn`` contexts that must pickle their arguments.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence, TypeVar
@@ -390,26 +391,48 @@ class SharedMemoryStore:
     The creating side owns the segment and must eventually call
     :meth:`unlink`.  (Under ``fork`` none of this is needed — children
     inherit the parent's pages copy-on-write.)
+
+    The ownership story is explicit: only the creating *process* may
+    unlink (a forked child inheriting the owner object is pid-guarded
+    out), and :meth:`close`/:meth:`unlink` are idempotent in any order —
+    ``close()`` then ``unlink()`` still destroys the segment instead of
+    silently leaking it.  Segments are named under the ``repro_``
+    prefix so leak checks can sweep ``/dev/shm``.
     """
 
     def __init__(self, array: np.ndarray):
+        import secrets
         from multiprocessing import shared_memory
 
         arr = np.ascontiguousarray(array)
         self.shape = arr.shape
         self.dtype = arr.dtype.str
-        self._shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
-        self.name = self._shm.name
+        while True:
+            name = "repro_shm_" + secrets.token_hex(8)
+            try:
+                self._shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(1, arr.nbytes)
+                )
+                break
+            except FileExistsError:  # pragma: no cover - 64-bit collision
+                continue
+        self.name = self._shm.name.lstrip("/")
         self._owner = True
+        self._owner_pid = os.getpid()
+        self._unlinked = False
         view = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=self._shm.buf)
         np.copyto(view, arr)
 
     def array(self) -> np.ndarray:
         """A view onto the shared pages (attaching by name if unpickled)."""
+        if self._unlinked:
+            raise ParameterError(
+                f"SharedMemoryStore {self.name}: array() after unlink"
+            )
         if self._shm is None:
-            from multiprocessing import shared_memory
+            from .store import _attach_segment
 
-            self._shm = shared_memory.SharedMemory(name=self.name)
+            self._shm = _attach_segment(self.name)
         return np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=self._shm.buf)
 
     def __getstate__(self) -> dict:
@@ -421,50 +444,75 @@ class SharedMemoryStore:
         self.dtype = state["dtype"]
         self._shm = None
         self._owner = False
+        self._owner_pid = -1
+        self._unlinked = False
 
     def close(self) -> None:
-        """Detach this process's mapping (owner keeps the segment alive)."""
+        """Detach this process's mapping (idempotent; segment stays alive)."""
         if self._shm is not None:
             self._shm.close()
             self._shm = None
 
     def unlink(self) -> None:
-        """Destroy the segment (owner side, after every worker detached)."""
-        if self._owner and self._shm is not None:
-            name = self._shm.name
-            self._shm.close()
-            self._shm = None
-            from multiprocessing import shared_memory
+        """Destroy the segment (owner process only; idempotent; works
+        after :meth:`close` too — a detached owner can still clean up)."""
+        if not self._owner or os.getpid() != self._owner_pid or self._unlinked:
+            return
+        self._unlinked = True
+        self.close()
+        from multiprocessing import shared_memory
 
-            try:
-                shared_memory.SharedMemory(name=name).unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+        try:
+            shared_memory.SharedMemory(name=self.name).unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            if self._owner:
+                self.unlink()
+            else:
+                self.close()
+        except Exception:
+            pass
 
 
 class DatasetTransport:
     """Picklable dataset handle for process pools that cannot fork.
 
     Vector stores (2-D ndarrays) ride a :class:`SharedMemoryStore`;
-    non-array stores (e.g. the edit metric's string payload) fall back
-    to ordinary pickling.  :meth:`materialize` rebuilds an equivalent
+    memmap-backed stores (out-of-core ``.npy`` datasets) carry only
+    their file path and are re-mapped on the receiving side — copying
+    an out-of-core store into shared memory would defeat it; non-array
+    stores (e.g. the edit metric's string payload) fall back to
+    ordinary pickling.  :meth:`materialize` rebuilds an equivalent
     :class:`~repro.data.Dataset` (fresh distance counter) on the
     receiving side without re-running ``metric.prepare``.
     """
 
     def __init__(self, dataset: Dataset):
         self.metric_name = dataset.metric.name
-        if isinstance(dataset.store, np.ndarray):
+        store = dataset.store
+        if isinstance(store, np.memmap) and getattr(store, "filename", None):
+            self.kind = "memmap"
+            self.payload: Any = str(store.filename)
+        elif isinstance(store, np.ndarray):
             self.kind = "shm"
-            self.payload: Any = SharedMemoryStore(dataset.store)
+            self.payload = SharedMemoryStore(store)
         else:
             self.kind = "raw"
-            self.payload = dataset.store
+            self.payload = store
 
     def materialize(self) -> Dataset:
         """Rebuild the dataset around the transported store."""
         from ..metrics import resolve_metric
 
+        if self.kind == "memmap":
+            from ..io import open_memmap_dataset
+
+            return open_memmap_dataset(
+                self.payload, self.metric_name, validate=False
+            )
         store = self.payload.array() if self.kind == "shm" else self.payload
         dataset = object.__new__(Dataset)
         dataset.metric = resolve_metric(self.metric_name)

@@ -18,6 +18,15 @@ from .backends import NumericBackend, resolve_backend
 from .exceptions import GraphError, ParameterError
 from .metrics import Metric, resolve_metric
 
+#: element budget (rows x dimensionality) per gathered block on
+#: **out-of-core** (memmap) stores.  Every batched distance query
+#: gathers its rows into private RAM before the kernel runs; chunking
+#: the gather at this budget — here and in the linear sweeps — is what
+#: bounds the resident working set to the budget instead of the store
+#: size.  Row-wise kernels make the chunked evaluation bit-identical
+#: to the unchunked one.
+MEMMAP_ELEM_BUDGET = 1 << 19
+
 
 def _checked_vector_input(objects: Any, metric_name: str) -> Any:
     """Reject stores the float kernels cannot take, before they crash.
@@ -111,6 +120,11 @@ class Dataset:
     #: (transport materialisation, pickling) stay on the exact kernels.
     backend: "NumericBackend | None" = None
     _screen: Any = None
+    #: where the prepared store lives: ``"ram"`` (a private ndarray),
+    #: ``"shm"`` (a zero-copy view onto a shared segment), or
+    #: ``"memmap"`` (an out-of-core ``.npy`` mapping).  Sweeps consult
+    #: this to bound their resident working set.
+    store_kind: str = "ram"
 
     def __init__(
         self,
@@ -126,6 +140,69 @@ class Dataset:
         self.counter = DistanceCounter()
         if backend is not None:
             self.set_backend(backend)
+
+    @classmethod
+    def from_prepared(
+        cls,
+        store: np.ndarray,
+        metric: "str | Metric" = "l2",
+        backend: "str | NumericBackend | None" = None,
+        kind: "str | None" = None,
+    ) -> "Dataset":
+        """Wrap an **already-prepared** store without copying it.
+
+        The zero-copy constructor behind the shared object store
+        (:class:`~repro.core.store.SharedObjectStore` row views) and
+        memmap datasets (:func:`repro.io.open_memmap_dataset`): the
+        caller vouches that ``store`` is bitwise what
+        ``metric.prepare`` would produce — a C-contiguous 2-D float64
+        array, rows unit-normalised for the angular metric — so no
+        copy, cast or re-normalisation happens here.  Structural
+        violations (wrong dtype/layout/metric family) raise
+        :class:`GraphError`; content guarantees (finiteness,
+        normalisation) remain the caller's, because checking them would
+        re-read an out-of-core store.
+
+        ``kind`` overrides the :attr:`store_kind` tag (``"shm"`` for
+        shared-segment views); memmap stores are tagged automatically.
+        """
+        resolved = resolve_metric(metric)
+        if not resolved.is_vector:
+            raise GraphError(
+                f"{resolved.name}: from_prepared takes vector stores only"
+            )
+        if not isinstance(store, np.ndarray):
+            raise GraphError(
+                f"{resolved.name}: from_prepared needs an ndarray, got "
+                f"{type(store).__name__}"
+            )
+        if store.ndim != 2 or store.shape[0] == 0:
+            raise GraphError(
+                f"{resolved.name}: from_prepared needs a non-empty 2-D "
+                f"store, got shape {store.shape}"
+            )
+        if store.dtype != np.float64:
+            raise GraphError(
+                f"{resolved.name}: prepared stores are float64, got "
+                f"{store.dtype} (did you mean Dataset(...)?)"
+            )
+        if not store.flags["C_CONTIGUOUS"]:
+            raise GraphError(
+                f"{resolved.name}: prepared stores are C-contiguous; this "
+                f"one is not"
+            )
+        ds = object.__new__(cls)
+        ds.metric = resolved
+        ds.store = store
+        ds.n = resolved.n_objects(store)
+        ds.counter = DistanceCounter()
+        if kind is not None:
+            ds.store_kind = str(kind)
+        elif isinstance(store, np.memmap):
+            ds.store_kind = "memmap"
+        if backend is not None:
+            ds.set_backend(backend)
+        return ds
 
     # -- distance queries ---------------------------------------------------
 
@@ -144,7 +221,17 @@ class Dataset:
         """
         idx = np.asarray(idx, dtype=np.int64)
         self.counter.add(idx.size)
-        return self.metric.dist_many(self.store, i, idx, bound=bound)
+        chunk = self._gather_chunk(idx.size)
+        if chunk is None:
+            return self.metric.dist_many(self.store, i, idx, bound=bound)
+        # Out-of-core store: evaluate in row chunks so the gathered
+        # block, not the store, bounds resident memory.  The kernels
+        # reduce row-wise, so the concatenation is bit-identical.
+        return np.concatenate([
+            self.metric.dist_many(self.store, i, idx[lo:lo + chunk],
+                                  bound=bound)
+            for lo in range(0, idx.size, chunk)
+        ])
 
     def pair_dist(
         self,
@@ -205,6 +292,21 @@ class Dataset:
             radii = (float(bound),)
         else:
             radii = tuple(sorted(float(r) for r in bound)) or None
+        chunk = self._gather_chunk(a.size)
+        if chunk is None:
+            return self._pair_dist_block(a, b, radii, consistent)
+        # Out-of-core store: element-wise evaluation is chunked so each
+        # gathered block fits the memmap budget.  Per-element values
+        # (and screening verdicts) do not depend on the batch split.
+        b = np.asarray(b, dtype=np.int64)
+        return np.concatenate([
+            self._pair_dist_block(a[lo:lo + chunk], b[lo:lo + chunk],
+                                  radii, consistent)
+            for lo in range(0, a.size, chunk)
+        ])
+
+    def _pair_dist_block(self, a, b, radii, consistent) -> np.ndarray:
+        """One kernel-sized :meth:`pair_dist` block (already counted)."""
         bound_max = radii[-1] if radii is not None else None
         if radii is not None and self._screen is not None:
             out = self.backend.screened_pair_dist(
@@ -215,6 +317,26 @@ class Dataset:
         if consistent and not self.metric.pair_rowwise_consistent:
             return self.metric.pair_dist_grouped(self.store, a, b, bound=bound_max)
         return self.metric.pair_dist(self.store, a, b, bound=bound_max)
+
+    def _gather_chunk(self, n_rows: int) -> "int | None":
+        """Rows per gathered block, or ``None`` when no chunking applies.
+
+        Only memmap-backed stores chunk — in-RAM and shared-segment
+        stores index views without materialising copies, so splitting
+        their kernels would cost calls without saving memory.  And only
+        metrics with partition-stable kernels
+        (:attr:`~repro.metrics.base.Metric.chunkable_gather`) chunk:
+        angular's BLAS matvec picks batch-size-dependent reduction
+        orders, so splitting it would break bit-identity with in-RAM
+        runs.
+        """
+        if self.store_kind != "memmap" or not self.metric.chunkable_gather:
+            return None
+        shape = getattr(self.store, "shape", None)
+        if shape is None or len(shape) != 2:
+            return None
+        chunk = max(1, MEMMAP_ELEM_BUDGET // max(1, int(shape[1])))
+        return chunk if n_rows > chunk else None
 
     # -- object access --------------------------------------------------------
 
@@ -263,6 +385,7 @@ class Dataset:
         v.counter = DistanceCounter()
         v.backend = self.backend
         v._screen = self._screen
+        v.store_kind = self.store_kind
         return v
 
     def sample(self, rate: float, rng: "int | np.random.Generator | None" = None) -> "Dataset":
@@ -329,6 +452,24 @@ class Dataset:
     def nbytes(self) -> int:
         """Approximate memory held by the prepared store."""
         return self.metric.nbytes(self.store)
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Bytes the store pins in *this process's private* memory.
+
+        Zero for memmap stores (file-backed pages, evictable) and for
+        shared-segment views (counted once by the owning store); the
+        full store size for ordinary in-RAM datasets.
+        """
+        return 0 if self.store_kind in ("memmap", "shm") else self.nbytes
+
+    def store_stats(self) -> dict:
+        """``{"kind", "nbytes", "resident_nbytes"}`` for ``/stats``."""
+        return {
+            "kind": self.store_kind,
+            "nbytes": int(self.nbytes),
+            "resident_nbytes": int(self.resident_nbytes),
+        }
 
     def reset_counter(self) -> None:
         self.counter.reset()

@@ -549,6 +549,10 @@ class DetectionEngine:
         """Active backend name plus screen/rescreen pair counters."""
         return self.dataset.backend_stats()
 
+    def store_stats(self) -> dict:
+        """Where the dataset's object store lives and what it pins."""
+        return self.dataset.store_stats()
+
     # -- bookkeeping -----------------------------------------------------------
 
     @property

@@ -748,6 +748,22 @@ class MutableDetectionEngine:
             }
         return self._backend.stats_dict()
 
+    def store_stats(self) -> dict:
+        """Object-log accounting (one in-process copy of the log)."""
+        if not self._objects:
+            nbytes = 0
+        elif self.metric.is_vector:
+            nbytes = int(np.asarray(self._objects, dtype=np.float64).nbytes)
+        else:
+            nbytes = int(sum(len(str(o)) for o in self._objects))
+        return {
+            "kind": "list",
+            "length": len(self._objects),
+            "nbytes": nbytes,
+            "replicas": 1,
+            "resident_nbytes": nbytes,
+        }
+
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:

@@ -48,9 +48,10 @@ import numpy as np
 
 from ..core.counting import VisitTracker, classify_chunk_arrays, resolve_filter_mode
 from ..core.result import DODResult
+from ..core.store import SharedObjectStore
 from ..core.traversal import DEFAULT_BLOCK, BlockTracker
 from ..backends import resolve_backend
-from ..data import Dataset
+from ..data import Dataset, _checked_vector_input
 from ..exceptions import GraphError, ParameterError
 from ..graphs.adjacency import Graph
 from ..graphs.base import build_graph
@@ -100,6 +101,8 @@ class MutableShardWorker:
         knn_radii: Sequence[float] = (),
         build: bool = False,
         backend: "str | None" = None,
+        shared_store: bool = False,
+        store_meta: "dict | None" = None,
     ):
         self.metric = resolve_metric(metric)
         self.shard_index = int(shard_index)
@@ -115,11 +118,22 @@ class MutableShardWorker:
         self.cache_radii = cache_radii
         self._rng = ensure_rng(seed)
         self._pinned: set[float] = {float(r) for r in pinned}
+        # Zero-copy data plane: instead of a log replica, this worker
+        # maps the parent's shared segment and serves over a view.
+        self._shared = bool(shared_store) or store_meta is not None
+        self._store_handle: "SharedObjectStore | None" = (
+            SharedObjectStore.attach(store_meta)
+            if store_meta is not None
+            else None
+        )
+        self._n_log: int = (
+            int(store_meta["length"]) if store_meta is not None else 0
+        )
         self._objects: list[Any] = list(objects) if objects is not None else []
         self._alive: list[bool] = (
             [bool(a) for a in alive]
             if alive is not None
-            else [True] * len(self._objects)
+            else [True] * self.n_total
         )
         self._member_gids: list[int] = (
             [int(g) for g in member_gids] if member_gids is not None else []
@@ -133,12 +147,12 @@ class MutableShardWorker:
         self.cache: EvidenceCache | None = None
         self._knn_radii: set[float] = set(float(r) for r in knn_radii)
         self._serve: "tuple | None" = None
-        if self._objects:
+        if self.n_total:
             self._refresh_dataset()
             self.cache = (
                 cache_state
                 if cache_state is not None
-                else EvidenceCache(len(self._objects), max_radii=cache_radii)
+                else EvidenceCache(self.n_total, max_radii=cache_radii)
             )
             self.cache.max_radii = cache_radii
         if graph_state is not None:
@@ -163,10 +177,19 @@ class MutableShardWorker:
 
     @property
     def n_total(self) -> int:
-        return len(self._objects)
+        return self._n_log if self._shared else len(self._objects)
 
     def _refresh_dataset(self) -> None:
         self._bank_pairs()
+        if self._shared:
+            assert self._store_handle is not None
+            self._dataset = Dataset.from_prepared(
+                self._store_handle.rows(self._n_log),
+                self.metric,
+                backend=self._backend,
+                kind="shm",
+            )
+            return
         self._dataset = Dataset(
             np.asarray(self._objects, dtype=np.float64)
             if self.metric.is_vector
@@ -174,6 +197,17 @@ class MutableShardWorker:
             self.metric,
             backend=self._backend,
         )
+
+    def store_resident_nbytes(self) -> int:
+        """Bytes of object data this actor pins privately.
+
+        Zero on the shared store (the segment is counted once by its
+        owner); the full float64 replica otherwise.  Screening state
+        (a float32 copy, when a backend is attached) is not included.
+        """
+        if self._dataset is None:
+            return 0
+        return int(self._dataset.resident_nbytes)
 
     def backend_stats(self) -> dict:
         if self._backend is None:
@@ -252,26 +286,43 @@ class MutableShardWorker:
     def ingest(self, objects, first_gid: int, owned_pos: np.ndarray):
         """Append a batch; repair graph + cache for the owned newcomers.
 
-        Every worker appends the full batch to its log replica; the
-        owned positions are linked into the local graph and repaired
-        into the cache from **O(1) ``pair_dist`` sweeps**: one
-        owned-vs-live matrix covers linking, per-radius increments,
-        exact own counts and exact-K'NN list patching at once.
-        Returns the per-newcomer within-radius neighbor dicts (global
-        ids) for the owned positions, plus pairs.
+        Every worker appends the full batch to its log replica — or, on
+        the shared store, syncs its mapping from the metadata-only
+        broadcast (``objects`` is then a :meth:`SharedObjectStore.meta`
+        dict, not data); the owned positions are linked into the local
+        graph and repaired into the cache from **O(1) ``pair_dist``
+        sweeps**: one owned-vs-live matrix covers linking, per-radius
+        increments, exact own counts and exact-K'NN list patching at
+        once.  Returns the per-newcomer within-radius neighbor dicts
+        (global ids) for the owned positions, plus pairs.
         """
-        objects = list(objects)
         first_gid = int(first_gid)
-        if first_gid != len(self._objects):
+        if first_gid != self.n_total:
             raise ParameterError(
                 f"shard {self.shard_index}: ingest at gid {first_gid} but the "
-                f"log holds {len(self._objects)} objects"
+                f"log holds {self.n_total} objects"
             )
         self._drop_serve()
-        self._objects.extend(objects)
-        self._alive.extend([True] * len(objects))
+        if self._shared:
+            meta = objects
+            # Drop the mapped view *before* syncing: a growth broadcast
+            # may carry a relocation, and re-mapping unmaps pages a
+            # stale dataset view would still dereference.
+            self._bank_pairs()
+            self._dataset = None
+            if self._store_handle is None:
+                self._store_handle = SharedObjectStore.attach(meta)
+            else:
+                self._store_handle.sync(meta)
+            self._n_log = int(meta["length"])
+            n_new = self._n_log - first_gid
+        else:
+            objects = list(objects)
+            self._objects.extend(objects)
+            n_new = len(objects)
+        self._alive.extend([True] * n_new)
         self._refresh_dataset()
-        n_total = len(self._objects)
+        n_total = self.n_total
         if self.cache is None:
             self.cache = EvidenceCache(n_total, max_radii=self.cache_radii)
         else:
@@ -422,12 +473,31 @@ class MutableShardWorker:
                 self._graph = None
         return self._take_pairs()
 
-    def vacuum(self, keep: np.ndarray, remap: np.ndarray) -> int:
-        """Compact the log replica to ``keep`` (parent-computed remap)."""
+    def vacuum(
+        self,
+        keep: np.ndarray,
+        remap: np.ndarray,
+        store_meta: "dict | None" = None,
+    ) -> int:
+        """Compact the log replica to ``keep`` (parent-computed remap).
+
+        On the shared store the parent already compacted the segment
+        behind the pool barrier; ``store_meta`` carries the relocated
+        segment's metadata and this worker re-maps instead of copying.
+        """
         self._drop_serve()
         keep = np.asarray(keep, dtype=np.int64)
         remap = np.asarray(remap, dtype=np.int64)
-        self._objects = [self._objects[int(g)] for g in keep]
+        if self._shared:
+            # Compaction always relocates: drop the mapped view first
+            # (see ingest), then re-attach the fresh segment.
+            self._bank_pairs()
+            self._dataset = None
+            if store_meta is not None and self._store_handle is not None:
+                self._store_handle.sync(store_meta)
+            self._n_log = int(keep.size)
+        else:
+            self._objects = [self._objects[int(g)] for g in keep]
         self._alive = [True] * keep.size
         members = np.asarray(self._member_gids, dtype=np.int64)
         if members.size:
@@ -660,6 +730,7 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         rebuild_every: "int | None" = None,
         start_method: "str | None" = None,
         backend: "str | Sequence[str] | None" = None,
+        store: str = "list",
     ):
         if n_shards < 1:
             raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
@@ -670,6 +741,23 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
                 f"rebuild_every must be >= 1, got {rebuild_every}"
             )
         self.metric = resolve_metric(metric)
+        # Object-store choice: "list" replicates the raw log into every
+        # shard actor (the historical layout); "shm" keeps one growable
+        # shared segment (:class:`~repro.core.store.SharedObjectStore`)
+        # that every actor maps zero-copy, and mutation broadcasts carry
+        # metadata only.
+        store_kind = {"ram": "list"}.get(str(store), str(store))
+        if store_kind not in ("list", "shm"):
+            raise ParameterError(
+                f"store must be 'list' ('ram') or 'shm', got {store!r}"
+            )
+        if store_kind == "shm" and not self.metric.is_vector:
+            raise ParameterError(
+                f"store='shm' holds prepared float64 rows; the "
+                f"{self.metric.name} metric is not a vector metric"
+            )
+        self.store_kind = store_kind
+        self._store: "SharedObjectStore | None" = None
         self.graph_name = graph
         self.K = int(K)
         resolve_filter_mode(mode, None)
@@ -723,6 +811,13 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
             "rebuilds": 0,
             "rebalances": 0,
         }
+        if store_kind == "shm":
+            # Instance override of the class-level capability flags.
+            self.capabilities = EngineCapabilities(
+                mutable=True, sharded=True, snapshot=True,
+                pinned_radii=True, epoch_barrier=True,
+                zero_copy_store=True,
+            )
         self._pool = None
         self._spawn_pool([
             {"member_gids": []} for _ in range(self.n_shards)
@@ -741,7 +836,13 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
             "graph": self.graph_name,
             "cache_radii": self.cache_radii,
             "pinned": sorted(self._pinned | set(state.get("pinned", ()))),
-            "objects": list(self._objects),
+            "objects": (
+                None if self.store_kind == "shm" else list(self._objects)
+            ),
+            "shared_store": self.store_kind == "shm",
+            "store_meta": (
+                self._store.meta() if self._store is not None else None
+            ),
             "alive": list(self._alive),
             "member_gids": state.get("member_gids", []),
             "graph_state": state.get("graph"),
@@ -785,17 +886,20 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
     def bulk_load(self, objects) -> "MutableShardedDetectionEngine":
         """Populate an empty engine in one shot (per-shard ``build_graph``)."""
         objects = list(objects)
-        if self._objects:
+        if self.n_total:
             raise ParameterError("bulk_load on a non-empty engine")
         if not objects:
             return self
         from .sharded import plan_shards
 
-        n = len(objects)
+        if self.store_kind == "shm":
+            n = self._append_prepared(self._prepare_rows(objects))
+        else:
+            n = len(objects)
+            self._objects = objects
         shards = plan_shards(
             n, min(self.n_shards, n), strategy="permuted", rng=self._rng
         )
-        self._objects = objects
         self._alive = [True] * n
         self._shard_of_list = [0] * n
         for s, ids in enumerate(shards):
@@ -810,10 +914,36 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         self.stats["inserts"] += n
         return self
 
+    # -- the object store --------------------------------------------------
+
+    def _prepare_rows(self, objects) -> np.ndarray:
+        """Validate and prepare a raw batch for the shared store."""
+        return self.metric.prepare(
+            _checked_vector_input(objects, self.metric.name)
+        )
+
+    def _append_prepared(self, prepared: np.ndarray) -> int:
+        """Append prepared rows, creating the store lazily; returns count."""
+        if self._store is None:
+            self._store = SharedObjectStore(
+                dim=int(prepared.shape[1]),
+                capacity=max(64, int(prepared.shape[0])),
+            )
+        self._store.append(prepared)
+        return int(prepared.shape[0])
+
+    def _store_rows(self) -> np.ndarray:
+        """The shared store's prepared rows (zero-copy view)."""
+        if self._store is None:
+            raise ParameterError("no objects inserted yet")
+        return self._store.rows()
+
     # -- bookkeeping -------------------------------------------------------
 
     @property
     def n_total(self) -> int:
+        if self.store_kind == "shm":
+            return 0 if self._store is None else self._store.length
         return len(self._objects)
 
     @property
@@ -824,10 +954,25 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         return np.flatnonzero(np.asarray(self._alive, dtype=bool))
 
     def live_objects(self) -> list:
+        if self.store_kind == "shm":
+            if self._store is None:
+                return []
+            rows = self._store_rows()
+            return [np.array(rows[int(g)]) for g in self.active_ids()]
         return [self._objects[int(g)] for g in self.active_ids()]
 
     def live_dataset(self) -> Dataset:
-        """A fresh :class:`Dataset` over the live objects (compact ids)."""
+        """A fresh :class:`Dataset` over the live objects (compact ids).
+
+        On the shared store the rows are already prepared (preparation
+        is row-wise), so the gather is wrapped without re-preparing —
+        bit-identical to preparing the raw objects once.
+        """
+        if self.store_kind == "shm":
+            keep = self.active_ids()
+            return Dataset.from_prepared(
+                np.ascontiguousarray(self._store_rows()[keep]), self.metric
+            )
         objects = self.live_objects()
         return Dataset(
             np.asarray(objects, dtype=np.float64)
@@ -837,7 +982,37 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         )
 
     def object_log(self) -> list:
+        if self.store_kind == "shm":
+            if self._store is None:
+                return []
+            return [np.array(row) for row in self._store_rows()]
         return list(self._objects)
+
+    def log_dataset(self) -> Dataset:
+        """The full log (dead rows included), prepared exactly once.
+
+        Snapshot fingerprints are computed over this: the shared store
+        already holds once-prepared rows (re-preparing an angular store
+        would re-normalise and change bits), the list store prepares its
+        raw log here.
+        """
+        if self.store_kind == "shm":
+            return Dataset.from_prepared(self._store_rows(), self.metric)
+        return Dataset(
+            np.asarray(self._objects, dtype=np.float64)
+            if self.metric.is_vector
+            else self._objects,
+            self.metric,
+        )
+
+    def _adopt_log(self, objects) -> None:
+        """Install a full insertion log on an empty engine (io load path)."""
+        if self.n_total:
+            raise ParameterError("_adopt_log on a non-empty engine")
+        if self.store_kind == "shm":
+            self._append_prepared(self._prepare_rows(list(objects)))
+        else:
+            self._objects = list(objects)
 
     def shard_sizes(self) -> np.ndarray:
         """Live member count per shard."""
@@ -860,6 +1035,11 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
 
     def _budget_dataset(self):
         live = self.active_ids()
+        if self.store_kind == "shm":
+            return Dataset.from_prepared(
+                np.ascontiguousarray(self._store_rows()[live[:1]]),
+                self.metric,
+            )
         probe = [self._objects[int(live[0])]]
         return Dataset(
             np.asarray(probe, dtype=np.float64)
@@ -881,26 +1061,39 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
 
         Each newcomer routes to the **least-loaded shard** (live member
         count, updated within the batch); one broadcast carries the
-        whole batch, and each owning shard repairs its graph and cache
-        from O(1) distance sweeps.
+        whole batch — on the shared store, only the segment metadata —
+        and each owning shard repairs its graph and cache from O(1)
+        distance sweeps.
         """
         objects = list(objects)
         if not objects:
             self.last_insert_neighbors = []
             return _EMPTY
-        first_gid = len(self._objects)
-        B = len(objects)
+        first_gid = self.n_total
+        if self.store_kind == "shm":
+            # Validate and prepare *before* any bookkeeping mutates, so
+            # a bad batch (ragged, non-finite, wrong dim) aborts clean.
+            prepared = self._prepare_rows(objects)
+            B = int(prepared.shape[0])
+        else:
+            prepared = None
+            B = len(objects)
         sizes = self.shard_sizes().astype(np.int64)
         owner = np.empty(B, dtype=np.int64)
         for i in range(B):
             s = int(np.argmin(sizes))
             owner[i] = s
             sizes[s] += 1
-        self._objects.extend(objects)
+        if prepared is not None:
+            self._append_prepared(prepared)
+            payload = self._store.meta()
+        else:
+            self._objects.extend(objects)
+            payload = objects
         self._alive.extend([True] * B)
         self._shard_of_list.extend(int(s) for s in owner)
         shard_args = [
-            (objects, first_gid, np.flatnonzero(owner == s))
+            (payload, first_gid, np.flatnonzero(owner == s))
             for s in range(self.n_shards)
         ]
         results = self._pool.call("ingest", shard_args=shard_args)
@@ -969,6 +1162,10 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         if not id_list:
             return
         victims = np.asarray(id_list, dtype=np.int64)
+        if self._store is not None:
+            # Deletes never touch the data plane: tombstoned offsets are
+            # bookkeeping until a vacuum epoch compacts the segment.
+            self._store.tombstone(victims)
         shard_args = []
         for s in range(self.n_shards):
             known_s = None
@@ -992,13 +1189,30 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         self._pool.call("pin", common=(tuple(self._pinned),))
 
     def vacuum(self) -> np.ndarray:
-        """Drop tombstoned storage everywhere, renumbering live ids."""
+        """Drop tombstoned storage everywhere, renumbering live ids.
+
+        On the shared store this is the **compaction epoch**: in-flight
+        shard work drains on the pool barrier, the owner relocates the
+        segment to exactly the surviving rows (generation bump), and the
+        vacuum broadcast hands every worker the new segment's metadata
+        to re-map.
+        """
         keep = self.active_ids()
         remap = np.full(self.n_total, -1, dtype=np.int64)
         remap[keep] = np.arange(keep.size)
-        for shard_pairs in self._pool.call("vacuum", common=(keep, remap)):
+        if self.store_kind == "shm":
+            store_meta = None
+            if self._store is not None:
+                self._pool.barrier()
+                self._store.compact(keep)
+                store_meta = self._store.meta()
+            common = (keep, remap, store_meta)
+        else:
+            common = (keep, remap)
+        for shard_pairs in self._pool.call("vacuum", common=common):
             self.pairs += shard_pairs
-        self._objects = [self._objects[int(g)] for g in keep]
+        if self.store_kind != "shm":
+            self._objects = [self._objects[int(g)] for g in keep]
         self._alive = [True] * keep.size
         self._shard_of_list = [
             self._shard_of_list[int(g)] for g in keep
@@ -1206,15 +1420,61 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         out["per_shard"] = list(per_shard)
         return out
 
+    def store_stats(self) -> dict:
+        """Object-store accounting (``/stats`` and the benchmarks).
+
+        ``replicas`` counts copies of the object log across the engine
+        family: one per shard actor plus the parent's on the list
+        store, exactly one shared segment on the shm store.
+        ``resident_nbytes`` is the total bytes those copies pin.
+        """
+        if self.store_kind == "shm":
+            if self._store is None:
+                return {
+                    "kind": "shm", "length": 0, "capacity": 0,
+                    "generation": 0, "tombstones": 0, "nbytes": 0,
+                    "replicas": 1, "resident_nbytes": 0,
+                }
+            out = self._store.stats()
+            out["replicas"] = 1
+            out["resident_nbytes"] = int(out["nbytes"])
+            return out
+        if not self._objects:
+            nbytes = 0
+        elif self.metric.is_vector:
+            nbytes = int(np.asarray(self._objects, dtype=np.float64).nbytes)
+        else:
+            nbytes = int(sum(len(str(o)) for o in self._objects))
+        replicas = self.n_shards + 1
+        return {
+            "kind": "list",
+            "length": len(self._objects),
+            "nbytes": nbytes,
+            "replicas": replicas,
+            "resident_nbytes": nbytes * replicas,
+        }
+
+    def worker_store_nbytes(self) -> "list[int]":
+        """Per-actor private bytes pinned by each worker's dataset."""
+        return [int(b) for b in self._pool.call("store_resident_nbytes")]
+
     def reset_cache(self) -> None:
         """Drop accumulated evidence in every shard."""
         self._pool.call("reset_cache")
 
     def close(self) -> None:
-        """Shut down the worker pool."""
-        if self._pool is not None:
-            self._pool.close()
+        """Shut down the worker pool and destroy the shared segment.
+
+        The store is unlinked even when pool shutdown fails (a killed
+        worker mid-mutation must not leak ``/dev/shm`` entries).
+        """
+        try:
+            if self._pool is not None:
+                self._pool.close()
+        finally:
             self._pool = None
+            if self._store is not None:
+                self._store.unlink()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

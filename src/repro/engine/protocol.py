@@ -71,6 +71,12 @@ class EngineCapabilities:
         calls it between a mutation batch and the reads queued behind
         it so shard-local repairs are fully applied before the next
         coalesced broadcast.
+    ``zero_copy_store``
+        Object data lives in one growable shared segment
+        (:class:`~repro.core.store.SharedObjectStore`) that every shard
+        worker maps zero-copy; mutation broadcasts carry metadata only
+        and deletes are reclaimed by a compaction epoch behind the
+        barrier.
     """
 
     mutable: bool = False
@@ -80,6 +86,7 @@ class EngineCapabilities:
     pinned_radii: bool = False
     coalescable: bool = True
     epoch_barrier: bool = False
+    zero_copy_store: bool = False
 
 
 @runtime_checkable
@@ -143,6 +150,11 @@ class EngineCore(Protocol):
 
     def backend_stats(self) -> dict:
         """Screen/rescreen pair counters of the numeric backend(s)."""
+        ...
+
+    def store_stats(self) -> dict:
+        """Object-store accounting: ``kind``, ``nbytes``, and the
+        resident footprint (``resident_nbytes``) the store pins."""
         ...
 
 
@@ -214,6 +226,7 @@ def create_engine(
     rebuild_every: "int | None" = None,
     start_method: "str | None" = None,
     backend: "str | Sequence[str] | None" = None,
+    store: str = "ram",
     **graph_params,
 ) -> EngineCore:
     """Build the engine variant matching a workload shape.
@@ -224,14 +237,30 @@ def create_engine(
     engine, ``mutable=True`` a mutable one; both together compose into
     the mutable sharded engine.  ``backend`` picks the numeric backend
     (:mod:`repro.backends`) — a name for every shard, or a per-shard
-    sequence on sharded engines.  This is the **only** place the engine
-    class is chosen — callers above the engine layer (the CLI, scripts)
-    stay concrete-class-free.
+    sequence on sharded engines.  ``store`` picks where object data
+    lives: ``"ram"`` (private copies, the default) or ``"shm"`` (one
+    growable shared segment, mutable engines only — always served by
+    the mutable *sharded* engine, even at ``shards=1``).  Out-of-core
+    ``"memmap"`` storage is a dataset-loading choice
+    (:func:`repro.io.open_memmap_dataset`), not an engine knob.  This
+    is the **only** place the engine class is chosen — callers above
+    the engine layer (the CLI, scripts) stay concrete-class-free.
     """
     from ..data import Dataset
 
     if shards < 1:
         raise ParameterError(f"shards must be >= 1, got {shards}")
+    store_kind = {"list": "ram"}.get(str(store), str(store))
+    if store_kind not in ("ram", "shm"):
+        raise ParameterError(
+            f"store must be 'ram' or 'shm', got {store!r} (memmap data is "
+            f"opened with repro.io.open_memmap_dataset, not an engine store)"
+        )
+    if store_kind == "shm" and not mutable:
+        raise ParameterError(
+            "store='shm' needs mutable=True: the growable shared store "
+            "backs the mutable sharded engine"
+        )
     if (
         shards == 1
         and backend is not None
@@ -261,7 +290,7 @@ def create_engine(
                 [data.get(i) for i in range(data.n)] if is_dataset else data
             )
             metric = data.metric if is_dataset else metric
-        if shards > 1:
+        if shards > 1 or store_kind == "shm":
             from .mutable_sharded import MutableShardedDetectionEngine
 
             engine = MutableShardedDetectionEngine(
@@ -270,6 +299,7 @@ def create_engine(
                 pinned=pinned, cache_radii=cache_radii,
                 rebuild_every=rebuild_every, start_method=start_method,
                 backend=backend,
+                store="shm" if store_kind == "shm" else "list",
             )
             if objects is not None:
                 engine.bulk_load(objects)

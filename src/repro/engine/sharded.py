@@ -834,6 +834,15 @@ class ShardedDetectionEngine(_ShardMergeBase):
         out["per_shard"] = list(per_shard)
         return out
 
+    def store_stats(self) -> dict:
+        """The fitted dataset's store accounting (see ``Dataset.store_stats``).
+
+        Vector data reaches worker processes through the shared-memory
+        transport, so the parent's store is the only full-precision
+        copy; string stores are pickled per worker.
+        """
+        return self.dataset.store_stats()
+
     # -- merge hooks (the static population) -----------------------------------
 
     def _live_ids(self) -> np.ndarray:

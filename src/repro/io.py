@@ -48,6 +48,151 @@ _GRAPH_KEYS = (
 )
 
 
+# -- out-of-core datasets -----------------------------------------------------
+
+#: rows handled per chunk when writing/validating memmap stores.
+_MEMMAP_CHUNK = 4096
+
+#: tolerance on unit row norms when opening a foreign angular store
+#: (float64 normalisation leaves norms within a few ulp of 1).
+_UNIT_NORM_TOL = 1e-9
+
+
+def create_memmap_store(
+    path: "str | Path",
+    objects,
+    metric="l2",
+    *,
+    chunk: int = _MEMMAP_CHUNK,
+) -> Path:
+    """Write a *prepared* vector store as a ``.npy`` file for mapping.
+
+    The out-of-core counterpart of ``Dataset(objects, metric)``: the
+    input is validated and pushed through ``metric.prepare`` **chunk by
+    chunk** (preparation is row-wise for every vector metric, so the
+    chunked output is bit-identical to preparing the whole array), and
+    the result lands in an ``.npy`` whose rows are exactly what an
+    in-RAM dataset would hold.  :func:`open_memmap_dataset` then maps
+    it back without copying — sweeps over it return bit-identical
+    outlier sets to the in-RAM dataset, while resident memory stays
+    bounded by the kernel chunk size.
+
+    Non-rectangular, mis-typed or empty inputs raise
+    :class:`GraphError`; content violations (non-finite rows, zero
+    vectors under angular) surface as the metric's usual errors.
+    """
+    from .data import _checked_vector_input
+    from .exceptions import ParameterError
+    from .metrics import resolve_metric
+
+    if chunk < 1:
+        raise ParameterError(f"chunk must be >= 1, got {chunk}")
+    resolved = resolve_metric(metric)
+    if not resolved.is_vector:
+        raise GraphError(
+            f"{resolved.name}: memmap stores hold vector data only"
+        )
+    arr = _checked_vector_input(objects, resolved.name)
+    # 1-D input means n objects of dimension 1, matching metric.prepare.
+    if (
+        arr.ndim not in (1, 2)
+        or arr.shape[0] == 0
+        or (arr.ndim == 2 and arr.shape[1] == 0)
+    ):
+        raise GraphError(
+            f"{resolved.name}: memmap store needs a non-empty 1-D or 2-D "
+            f"input, got shape {arr.shape}"
+        )
+    path = Path(path)
+    n = int(arr.shape[0])
+    first = resolved.prepare(arr[: min(chunk, n)])
+    dim = int(first.shape[1])
+    try:
+        out = np.lib.format.open_memmap(
+            path, mode="w+", dtype=np.float64, shape=(n, dim)
+        )
+    except OSError as exc:
+        raise GraphError(f"{path}: cannot create memmap store ({exc})") from exc
+    try:
+        out[: first.shape[0]] = first
+        for lo in range(first.shape[0], n, chunk):
+            out[lo : lo + chunk] = resolved.prepare(arr[lo : lo + chunk])
+        out.flush()
+    except BaseException:
+        del out
+        path.unlink(missing_ok=True)
+        raise
+    del out
+    return path
+
+
+def open_memmap_dataset(
+    path: "str | Path",
+    metric="l2",
+    backend=None,
+    *,
+    validate: bool = True,
+):
+    """Map a ``.npy`` store as an out-of-core :class:`~repro.data.Dataset`.
+
+    The file must hold *prepared* rows — what :func:`create_memmap_store`
+    writes, or any C-ordered non-empty 2-D float64 array that already
+    satisfies the metric's prepared contract (finite everywhere;
+    unit-norm rows for the angular metric).  Structural violations and,
+    with ``validate=True``, chunked content checks raise
+    :class:`GraphError` naming the file; the returned dataset reads the
+    file lazily (``store_kind == "memmap"``), so resident memory stays
+    bounded by the kernel chunk size regardless of the file size.
+    """
+    from .data import Dataset
+    from .metrics import resolve_metric
+
+    path = Path(path)
+    resolved = resolve_metric(metric)
+    if not resolved.is_vector:
+        raise GraphError(
+            f"{resolved.name}: memmap stores hold vector data only"
+        )
+    try:
+        arr = np.lib.format.open_memmap(path, mode="r")
+    except FileNotFoundError:
+        raise GraphError(f"{path}: no such memmap store") from None
+    except (ValueError, OSError) as exc:
+        raise GraphError(f"{path}: not a readable .npy store ({exc})") from exc
+    if arr.dtype != np.float64:
+        raise GraphError(
+            f"{path}: memmap store dtype is {arr.dtype}, prepared stores "
+            f"are float64 (write it with create_memmap_store)"
+        )
+    if arr.ndim != 2 or arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise GraphError(
+            f"{path}: memmap store shape {arr.shape} is not a non-empty "
+            f"2-D row store"
+        )
+    if not arr.flags["C_CONTIGUOUS"]:
+        raise GraphError(
+            f"{path}: memmap store is Fortran-ordered; prepared stores "
+            f"are C-contiguous"
+        )
+    if validate:
+        for lo in range(0, arr.shape[0], _MEMMAP_CHUNK):
+            block = np.asarray(arr[lo : lo + _MEMMAP_CHUNK])
+            if not np.isfinite(block).all():
+                raise GraphError(
+                    f"{path}: non-finite values in rows "
+                    f"[{lo}, {lo + block.shape[0]}) — not a prepared store"
+                )
+            if resolved.name == "angular":
+                norms = np.linalg.norm(block, axis=1)
+                if np.abs(norms - 1.0).max() > _UNIT_NORM_TOL:
+                    raise GraphError(
+                        f"{path}: angular stores hold unit-norm rows; "
+                        f"rewrite the file with create_memmap_store("
+                        f"..., metric='angular')"
+                    )
+    return Dataset.from_prepared(arr, resolved, backend=backend)
+
+
 def _graph_arrays(graph: Graph) -> dict[str, np.ndarray]:
     """Flatten a graph into the named arrays of the .npz container."""
     indptr = np.zeros(graph.n + 1, dtype=np.int64)
@@ -733,15 +878,10 @@ def save_mutable_sharded_engine(engine, path: "str | Path") -> None:
             },
         )
     # The fingerprint covers the *full log* (dead entries included):
-    # that is what the caller must re-supply at load time.
-    from .data import Dataset
-
-    full_ds = Dataset(
-        np.asarray(engine.object_log(), dtype=np.float64)
-        if engine.metric.is_vector
-        else engine.object_log(),
-        engine.metric,
-    )
+    # that is what the caller must re-supply at load time.  The engine
+    # builds it store-aware — a shared-store log is already prepared
+    # and must not be prepared twice (angular rows would re-normalise).
+    full_ds = engine.log_dataset()
     manifest = {
         "mutable_sharded_format_version": np.asarray(
             _MUTABLE_SHARDED_FORMAT_VERSION
@@ -892,7 +1032,7 @@ def load_mutable_sharded_engine(path: "str | Path", objects, **kwargs):
                 "knn_radii": [float(r) for r in shard_meta.get("knn_radii", ())],
             }
         )
-    engine._objects = object_log
+    engine._adopt_log(object_log)
     engine._alive = [bool(a) for a in alive]
     engine._shard_of_list = [int(s) for s in shard_of]
     engine._spawn_pool(states)

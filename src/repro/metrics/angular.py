@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import MetricError
-from .base import VectorMetric
+from .base import VectorMetric, screen_store32
 from .minkowski import SCREEN_EPS32, SCREEN_SAFETY
 
 
@@ -78,7 +78,7 @@ class Angular(VectorMetric):
 
     def screen_prepare(self, store: np.ndarray) -> _AngularScreen:
         eps_dot = SCREEN_SAFETY * (store.shape[1] + 8.0) * SCREEN_EPS32
-        return _AngularScreen(store.astype(np.float32), eps_dot)
+        return _AngularScreen(screen_store32(store), eps_dot)
 
     def screen_band(self, state: _AngularScreen, r: float) -> float:
         """Half-width of the rescreen band, in **cosine** space."""

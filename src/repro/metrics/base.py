@@ -20,6 +20,59 @@ from typing import Any, Sequence
 import numpy as np
 
 
+class LazyFloat32Rows:
+    """Per-gather float32 mirror of an out-of-core store.
+
+    Screening kernels address their float32 store only through fancy row
+    indexing (``store32[idx]``); for memmap-backed stores this adapter
+    gathers the requested float64 rows and casts *those* instead of
+    materialising a full float32 copy in RAM.  Casting after the gather
+    is element-wise, so the screen values are bit-identical to gathering
+    from an eagerly cast copy — the error-band analysis is unchanged.
+    """
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: np.ndarray):
+        self._base = base
+
+    @property
+    def shape(self):
+        return self._base.shape
+
+    @property
+    def dtype(self):
+        return np.dtype(np.float32)
+
+    def __getitem__(self, idx) -> np.ndarray:
+        return np.asarray(self._base[idx], dtype=np.float32)
+
+
+def screen_store32(store: np.ndarray):
+    """The float32 store behind a screen state: eager copy or lazy rows.
+
+    In-RAM stores are cast once (fastest per gather); memmap stores get
+    a :class:`LazyFloat32Rows` adapter so screening an out-of-core
+    dataset keeps its resident working set at chunk scale.
+    """
+    if isinstance(store, np.memmap):
+        return LazyFloat32Rows(store)
+    return store.astype(np.float32)
+
+
+def screen_abs_max(store: np.ndarray, chunk: int = 4096) -> float:
+    """``|store|.max()`` without materialising an out-of-core store."""
+    if not store.size:
+        return 0.0
+    if not isinstance(store, np.memmap):
+        return float(np.abs(store).max())
+    top = 0.0
+    for lo in range(0, store.shape[0], chunk):
+        block = np.asarray(store[lo : lo + chunk])
+        top = max(top, float(np.abs(block).max()))
+    return top
+
+
 class Metric(ABC):
     """A distance function satisfying the metric axioms.
 
@@ -43,6 +96,16 @@ class Metric(ABC):
     #: matvec vs einsum) must leave it False, and batched callers then
     #: fall back to :meth:`pair_dist_grouped`.
     pair_rowwise_consistent: bool = True
+
+    #: True when the batched kernels are invariant to partitioning the
+    #: index batch into chunks — i.e. every returned value is a pure
+    #: row-wise reduction that never depends on the batch size.  Only
+    #: such metrics may have their out-of-core gathers chunked at the
+    #: :class:`~repro.data.Dataset` level; metrics whose kernels pick
+    #: size-dependent reduction orders (BLAS matvec) must leave this
+    #: False so chunked memmap runs stay bit-identical to in-RAM ones
+    #: (their sweeps are still memory-bounded by caller-side chunking).
+    chunkable_gather: bool = False
 
     @abstractmethod
     def prepare(self, objects: Any) -> Any:

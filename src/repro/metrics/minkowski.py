@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import ParameterError
-from .base import VectorMetric
+from .base import VectorMetric, screen_abs_max, screen_store32
 
 #: early abandonment pays only when the per-row work being skipped
 #: (remaining coordinate chunks) outweighs the bookkeeping; below these
@@ -68,6 +68,11 @@ class Minkowski(VectorMetric):
 
     ``p >= 1`` is required for the triangle inequality to hold.
     """
+
+    # Every kernel reduces each row independently (einsum "ij->i"), so
+    # values never depend on how a batch is chunked — out-of-core
+    # gathers may split freely.
+    chunkable_gather = True
 
     def __init__(self, p: float):
         if p < 1:
@@ -181,7 +186,7 @@ class Minkowski(VectorMetric):
         floor ``(m * tiny32)**(1/p)``.
         """
         dim = int(store.shape[1])
-        scale = float(np.abs(store).max()) if store.size else 0.0
+        scale = screen_abs_max(store)
         # Power sums must stay well inside float32 range, else the
         # screen values saturate and the band analysis is void.
         if dim == 0 or (2.0 * scale) ** self.p * dim > _F32_HUGE:
@@ -189,7 +194,7 @@ class Minkowski(VectorMetric):
         coord = (dim ** (1.0 / self.p)) * 4.0 * SCREEN_EPS32 * scale
         rel = ((dim + 8.0) / self.p + 4.0) * SCREEN_EPS32
         floor = (dim * _TINY32) ** (1.0 / self.p)
-        return _MinkowskiScreen(store.astype(np.float32), coord, rel, floor)
+        return _MinkowskiScreen(screen_store32(store), coord, rel, floor)
 
     def screen_band(self, state: _MinkowskiScreen, r: float) -> float:
         """Half-width of the rescreen band around threshold ``r``."""

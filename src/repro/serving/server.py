@@ -310,4 +310,9 @@ class EngineServer:
         stats_fn = getattr(engine, "backend_stats", None)
         if callable(stats_fn):
             payload["backend"] = stats_fn()
+        # Object-store memory counters (kind, bytes pinned, replicas);
+        # same duck-typed guard.
+        store_fn = getattr(engine, "store_stats", None)
+        if callable(store_fn):
+            payload["store"] = store_fn()
         return payload

@@ -6,12 +6,40 @@ tests must treat them as immutable (copy before mutating a graph).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro import Dataset, build_graph
 from repro.datasets import blobs_with_outliers, words_with_outliers
 from repro.index import brute_force_outliers
+
+_SHM_DIR = "/dev/shm"
+
+
+def _repro_shm_entries() -> "set[str]":
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:  # platforms without a tmpfs /dev/shm
+        return set()
+    return {n for n in names if n.startswith("repro_")}
+
+
+@pytest.fixture(autouse=True)
+def no_shared_memory_leaks():
+    """Every test must release the shared segments it created.
+
+    Both shared-memory stores (``repro_shm_*`` transport segments and
+    ``repro_store_*`` object stores) land in ``/dev/shm`` under a
+    ``repro_`` prefix; a test that leaks one would silently pin memory
+    for the whole machine until reboot.  Pre-existing segments (from a
+    concurrently running process) are tolerated; *new* ones are not.
+    """
+    before = _repro_shm_entries()
+    yield
+    leaked = _repro_shm_entries() - before
+    assert not leaked, f"test leaked shared-memory segments: {sorted(leaked)}"
 
 
 @pytest.fixture()

@@ -124,3 +124,68 @@ def test_random_graphs_property(seed, density):
     ref = brute_force_outliers(ds.view(), r, k)
     res = graph_dod(ds, g, r, k, verifier=Verifier(ds, strategy="linear"))
     assert res.same_outliers(ref)
+
+
+# -- process-failure injection: the shared store must never leak --------------
+
+
+@pytest.mark.slow
+def test_killed_worker_mid_churn_still_unlinks_shared_segment():
+    """SIGKILL a shard worker, then close(): /dev/shm must end clean.
+
+    The owner's close() path has to unlink the object store even when
+    the pool shutdown underneath it is degraded (one worker already
+    dead, its pipe broken).
+    """
+    import os
+    import signal
+
+    from repro.engine.mutable_sharded import MutableShardedDetectionEngine
+
+    def repro_segments():
+        return {n for n in os.listdir("/dev/shm") if n.startswith("repro_")}
+
+    before = repro_segments()
+    rng = np.random.default_rng(11)
+    engine = MutableShardedDetectionEngine(
+        metric="l2", n_shards=2, workers=2, K=8, seed=0, store="shm",
+    )
+    engine.bulk_load(rng.standard_normal((80, 4)))
+    engine.insert(rng.standard_normal((10, 4)))
+    assert repro_segments() - before  # the store segment exists
+
+    procs = list(engine._pool._procs)
+    assert procs, "expected real worker processes"
+    os.kill(procs[0].pid, signal.SIGKILL)
+    procs[0].join(timeout=10)
+
+    # Further engine work may fail (half the pool is gone) — what must
+    # NOT happen is a leaked segment after close().
+    try:
+        engine.insert(rng.standard_normal((5, 4)))
+    except Exception:
+        pass
+    engine.close()
+    assert repro_segments() == before
+
+
+@pytest.mark.slow
+def test_engine_garbage_collection_unlinks_shared_segment():
+    """Dropping the last reference (no explicit close) reclaims /dev/shm."""
+    import gc
+    import os
+
+    from repro.engine.mutable_sharded import MutableShardedDetectionEngine
+
+    def repro_segments():
+        return {n for n in os.listdir("/dev/shm") if n.startswith("repro_")}
+
+    before = repro_segments()
+    engine = MutableShardedDetectionEngine(
+        metric="l2", n_shards=2, workers=1, K=8, seed=0, store="shm",
+    )
+    engine.bulk_load(np.random.default_rng(3).standard_normal((60, 4)))
+    assert repro_segments() - before
+    del engine
+    gc.collect()
+    assert repro_segments() == before

@@ -283,3 +283,150 @@ def test_dataset_transport_string_store(edit_dataset):
     assert rebuilt.n == edit_dataset.n
     assert rebuilt.dist(0, 1) == edit_dataset.view().dist(0, 1)
     transport.release()
+
+
+# -- the growable shared object store across processes ------------------------
+
+
+class _StoreReaderActor:
+    """Worker-side handle onto a :class:`SharedObjectStore`."""
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        self.handle = None
+
+    def attach(self, meta):
+        from repro.core.store import SharedObjectStore
+
+        self.handle = SharedObjectStore.attach(meta)
+        return self.handle.generation
+
+    def sync(self, meta):
+        self.handle.sync(meta)
+        return self.handle.generation
+
+    def checksum(self, length):
+        return float(self.handle.rows(int(length)).sum())
+
+    def detach(self):
+        self.handle.close()
+        return True
+
+
+def _store_reader_factory(shard):
+    # Module-level so spawn-mode workers can unpickle it by reference.
+    from functools import partial
+
+    return partial(_StoreReaderActor, shard)
+
+
+def _require_start_method(start_method: str) -> None:
+    import multiprocessing as mp
+
+    if start_method not in mp.get_all_start_methods():
+        pytest.skip(f"start method {start_method!r} unavailable")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_store_handles_remap_across_start_methods(start_method):
+    """Workers follow growth relocations and reject stale broadcasts."""
+    _require_start_method(start_method)
+    from repro.core import ShardPool
+    from repro.core.store import SharedObjectStore
+
+    store = SharedObjectStore(dim=4, capacity=2)
+    pool = ShardPool(
+        [_store_reader_factory(s) for s in range(2)],
+        workers=2, start_method=start_method,
+    )
+    try:
+        rows0 = np.arange(8, dtype=np.float64).reshape(2, 4)
+        store.append(rows0)
+        stale_meta = store.meta()
+        assert pool.call("attach", common=(stale_meta,)) == [1, 1]
+        assert pool.call("checksum", common=(store.length,)) == [rows0.sum()] * 2
+
+        # Growth forces a relocation (generation bump, fresh segment
+        # name): a metadata-only sync must re-map both workers.
+        rows1 = np.ones((5, 4))
+        store.append(rows1)
+        assert store.generation == 2
+        assert pool.call("sync", common=(store.meta(),)) == [2, 2]
+        assert pool.call("checksum", common=(store.length,)) == [
+            float(rows0.sum() + rows1.sum())
+        ] * 2
+
+        # A broadcast from before the relocation must be rejected in
+        # the worker process, not silently rewind its view.
+        with pytest.raises(RuntimeError, match="stale broadcast"):
+            pool.call("sync", common=(stale_meta,))
+
+        # The compaction epoch: drain on the barrier, compact, re-sync.
+        store.tombstone([0])
+        pool.barrier()
+        keep = np.arange(1, store.length, dtype=np.int64)
+        store.compact(keep)
+        assert pool.call("sync", common=(store.meta(),)) == [3, 3]
+        assert pool.call("checksum", common=(store.length,)) == [
+            float(store.rows().sum())
+        ] * 2
+        pool.call("detach")
+    finally:
+        pool.close()
+        store.unlink()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_shm_engine_matches_list_engine_across_start_methods(start_method):
+    """One churn trace, two stores, both start methods: identical answers."""
+    _require_start_method(start_method)
+    from repro.engine.mutable_sharded import MutableShardedDetectionEngine
+
+    rng = np.random.default_rng(5)
+    data = rng.standard_normal((90, 5))
+    batch = rng.standard_normal((40, 5))  # overflows capacity: relocation
+    engines = [
+        MutableShardedDetectionEngine(
+            metric="l2", n_shards=2, workers=2, K=8, seed=0,
+            store=store, start_method=start_method,
+        )
+        for store in ("shm", "list")
+    ]
+    try:
+        traces = []
+        for eng in engines:
+            eng.bulk_load(data)
+            trace = [eng.insert(batch).tolist()]
+            eng.remove(eng.active_ids()[::7].tolist())
+            res = eng.detect(1.7, 6)
+            trace.append(res.outliers.tolist())
+            eng.rebalance()  # workers re-map their shard subsets
+            trace.append(eng.vacuum().tolist())
+            res = eng.detect(1.7, 6)
+            trace.append(res.outliers.tolist())
+            traces.append(trace)
+        assert traces[0] == traces[1]
+        assert engines[0].store_stats()["kind"] == "shm"
+        assert engines[0].store_stats()["replicas"] == 1
+    finally:
+        for eng in engines:
+            eng.close()
+
+
+def test_shared_memory_store_close_unlink_idempotent():
+    from repro.core import SharedMemoryStore
+
+    arr = np.arange(6, dtype=np.float64).reshape(2, 3)
+    first = SharedMemoryStore(arr)
+    first.close()
+    first.close()  # double close must be a no-op
+    first.unlink()  # a detached owner can still destroy the segment
+    first.unlink()
+    second = SharedMemoryStore(arr)
+    second.unlink()
+    second.unlink()
+    second.close()
+    with pytest.raises(ParameterError, match="after unlink"):
+        second.array()
