@@ -9,8 +9,18 @@ PRs regress against.
 
 Record fields: ``n, dim, metric, graph, K, k, r, engine, shards,
 workers, seconds, cache_seconds, filter_seconds, verify_seconds,
-pairs, outliers``; the payload also carries ``cpu_count`` and the
-headline ``speedup`` (single / sharded-at-4-workers).
+pairs, verify_pairs, verify_descent_pairs, verify_index_pairs,
+verify_sweep_pairs, outliers``; the payload also carries ``cpu_count``
+and the headline ``speedup`` (single / sharded-at-4-workers).
+
+The sharded engine runs twice at 1 worker: once with the phase-C v2
+path disabled (``sharded-sweep``, the linear-sweep baseline) and once
+with it on (``sharded``, the default: selective graph descent plus
+per-shard VP-tree exact counting).  Two pair gates always run at full
+scale (pair counts are deterministic, so they are not hardware
+claims): the v2 path must cut phase-C verify pairs by >= 2x versus
+the sweep-only path, and the 4-shard phase-C verify pairs must stay
+within 1.5x of the single engine's *total* pairs.
 
 The >= 1.8x acceptance headline is a *hardware* claim: shard workers
 are processes, so it only applies where at least 4 cores are actually
@@ -85,6 +95,10 @@ def _record(dataset, r, engine_kind, shards, workers, res):
         "filter_seconds": round(res.phases.get("filter", 0.0), 6),
         "verify_seconds": round(res.phases.get("verify", 0.0), 6),
         "pairs": res.pairs,
+        "verify_pairs": int(res.phase_pairs.get("verify", 0)),
+        "verify_descent_pairs": int(res.phase_pairs.get("verify_descent", 0)),
+        "verify_index_pairs": int(res.phase_pairs.get("verify_index", 0)),
+        "verify_sweep_pairs": int(res.phase_pairs.get("verify_sweep", 0)),
         "outliers": res.n_outliers,
     }
 
@@ -98,7 +112,19 @@ def test_sharded_speedup_and_baseline(workload_10k):
     single_res = _best_cold_query(single, r)
     records.append(_record(dataset, r, "single", 1, 1, single_res))
 
+    # Linear-sweep phase C (descent and exact index off): the baseline
+    # the graph-assisted foreign counting is gated against.
+    sweep_engine = ShardedDetectionEngine(
+        dataset, n_shards=N_SHARDS, workers=1,
+        graph=GRAPH, K=DEGREE, rng=0, foreign_descent=False,
+    )
+    sweep_res = _best_cold_query(sweep_engine, r)
+    sweep_engine.close()
+    assert sweep_res.same_outliers(single_res), "sweep-only"
+    records.append(_record(dataset, r, "sharded-sweep", N_SHARDS, 1, sweep_res))
+
     sharded_seconds = {}
+    descent_res = None
     for workers in WORKER_COUNTS:
         engine = ShardedDetectionEngine(
             dataset, n_shards=N_SHARDS, workers=workers,
@@ -109,8 +135,24 @@ def test_sharded_speedup_and_baseline(workload_10k):
         # Exactness headline: bit-identical outlier sets at any scale.
         assert res.same_outliers(single_res), workers
         sharded_seconds[workers] = res.seconds
+        if descent_res is None:
+            descent_res = res
         records.append(_record(dataset, r, "sharded", N_SHARDS, workers, res))
     single.close()
+
+    # Phase C gates: deterministic pair counts, so they run at full
+    # scale regardless of core count.
+    verify_on = int(descent_res.phase_pairs.get("verify", 0))
+    verify_off = int(sweep_res.phase_pairs.get("verify", 0))
+    if int(round(N_FULL * bench_scale())) >= N_FULL:
+        assert verify_on * 2 <= verify_off, (
+            f"phase C v2 saves < 2x verify pairs "
+            f"({verify_on} on vs {verify_off} off)"
+        )
+        assert verify_on <= 1.5 * single_res.pairs, (
+            f"phase-C verify pairs {verify_on} exceed 1.5x single-engine "
+            f"pairs {single_res.pairs}"
+        )
 
     speedup = single_res.seconds / max(sharded_seconds[4], 1e-12)
     # The >= 1.8x headline is a hardware claim: it has only ever run
@@ -123,10 +165,14 @@ def test_sharded_speedup_and_baseline(workload_10k):
     )
     payload = {
         "description": "single-process DetectionEngine vs shard-per-worker "
-                       "ShardedDetectionEngine, cold (r, k) queries",
+                       "ShardedDetectionEngine, cold (r, k) queries; "
+                       "sharded-sweep disables the phase-C foreign descent",
         "cpu_count": gate["cores_available"],
         "records": records,
         "speedup_vs_single_at_4_workers": round(speedup, 3),
+        "verify_pairs_descent_on": verify_on,
+        "verify_pairs_descent_off": verify_off,
+        "verify_pair_reduction": round(verify_off / max(verify_on, 1), 3),
         **gate,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

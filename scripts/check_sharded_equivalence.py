@@ -69,6 +69,62 @@ def check_config(dataset, graph_name, r_grid, k, label: str) -> list[str]:
     return failures
 
 
+def check_foreign_descent(dataset, graph_name, r_grid, k, label: str) -> list[str]:
+    """Graph-assisted phase C must be invisible in the answers.
+
+    Runs a 4-shard engine through the v2 path (selective descent +
+    per-shard exact-counting index), the linear-sweep baseline, and
+    the descent-without-index mix over the same queries: all must
+    return the brute-force outlier set bit-exactly, the v2 stages must
+    actually fire (non-zero ``verify_descent``/``verify_index`` pairs
+    with the sweep rounds never running), and warm re-queries must
+    stay free.
+    """
+    failures: list[str] = []
+    on = ShardedDetectionEngine(
+        dataset, n_shards=4, workers=1, graph=graph_name, K=8, rng=0,
+    )
+    off = ShardedDetectionEngine(
+        dataset, n_shards=4, workers=1, graph=graph_name, K=8, rng=0,
+        foreign_descent=False,
+    )
+    mix = ShardedDetectionEngine(
+        dataset, n_shards=4, workers=1, graph=graph_name, K=8, rng=0,
+        foreign_index=False,
+    )
+    for r in r_grid:
+        brute = brute_force_outliers(dataset.view(), r, k)
+        a = on.query(r, k)
+        b = off.query(r, k)
+        c = mix.query(r, k)
+        if not np.array_equal(a.outliers, brute):
+            failures.append(f"{label}: v2 differs from brute at r={r:g}")
+        if not np.array_equal(b.outliers, brute):
+            failures.append(f"{label}: sweep-only differs from brute at r={r:g}")
+        if not np.array_equal(c.outliers, brute):
+            failures.append(
+                f"{label}: descent-no-index differs from brute at r={r:g}"
+            )
+        warm = on.query(r, k)
+        if warm.pairs != 0:
+            failures.append(
+                f"{label}: warm re-query after v2 cost {warm.pairs} pairs"
+            )
+    pp_off = off.stats["phase_pairs"]
+    if pp_off["verify_descent"] != 0 or pp_off["verify_index"] != 0:
+        failures.append(f"{label}: sweep-only engine still ran v2 stages")
+    pp_on = on.stats["phase_pairs"]
+    if pp_on["verify"]:
+        if pp_on["verify_descent"] + pp_on["verify_index"] == 0:
+            failures.append(f"{label}: v2 stages never fired")
+        if pp_on["verify_sweep"] != 0:
+            failures.append(f"{label}: v2 engine still fell back to sweeps")
+    on.close()
+    off.close()
+    mix.close()
+    return failures
+
+
 def check_process_backend(dataset, r, k, label: str) -> list[str]:
     """The multi-process backend must match the in-process one exactly."""
     failures: list[str] = []
@@ -118,12 +174,18 @@ def main(argv=None) -> int:
                 dataset, graph_name, (r * 0.9, r), 8, f"{metric}/{graph_name}"
             )
             checks += 1
+        failures += check_foreign_descent(
+            dataset, "mrpg", (r * 0.9, r), 8, f"{metric}/descent-S=4"
+        )
+        checks += 1
 
     words = words_with_outliers(160, n_stems=12, planted_frac=0.02, rng=7)
     dataset = Dataset(words, "edit")
     for graph_name in GRAPHS:
         failures += check_config(dataset, graph_name, (2.0,), 4, f"edit/{graph_name}")
         checks += 1
+    failures += check_foreign_descent(dataset, "kgraph", (2.0,), 4, "edit/descent-S=4")
+    checks += 1
 
     dataset = Dataset(points, "l2")
     gen = np.random.default_rng(0)

@@ -144,6 +144,92 @@ def churn_trace(
     return failures
 
 
+def rebalance_transfer_trace(
+    dataset_objects, metric, r, k, label: str
+) -> list[str]:
+    """Evidence transfer + foreign descent must be invisible under churn.
+
+    Drives two 4-shard engines through the identical
+    insert/remove/split/merge trace — one with the graph-assisted
+    foreign descent and evidence-preserving rebalance on, one with
+    both off — and fails if either ever differs from brute force over
+    the live objects, or if a split preserves fewer than half of the
+    affected shard's evidence entries (the transfer counters exist to
+    prove the rebalance is repair-style, not reset-style).
+    """
+    failures: list[str] = []
+    full = MutableShardedDetectionEngine(
+        metric=metric, n_shards=4, workers=1, K=6, seed=0
+    )
+    plain = MutableShardedDetectionEngine(
+        metric=metric, n_shards=4, workers=1, K=6, seed=0,
+        foreign_descent=False, evidence_transfer=False,
+    )
+
+    def brute_check(tag: str) -> None:
+        keep = full.active_ids()
+        objects = full.live_objects()
+        live_ds = Dataset(
+            np.asarray(objects) if full.metric.is_vector else objects, metric
+        )
+        brute = keep[brute_force_outliers(live_ds.view(), r, k)]
+        if not np.array_equal(full.detect(r, k).outliers, brute):
+            failures.append(f"{tag}: descent+transfer engine differs from brute")
+        if not np.array_equal(plain.detect(r, k).outliers, brute):
+            failures.append(f"{tag}: plain engine differs from brute")
+
+    n = len(dataset_objects)
+    gen = np.random.default_rng(5)
+    step = max(8, n // 3)
+    cursor = 0
+    phase = 0
+    while cursor < n:
+        batch = dataset_objects[cursor : cursor + step]
+        payload = list(batch) if metric == "edit" else batch
+        full.insert(payload)
+        plain.insert(payload)
+        cursor += step
+        phase += 1
+        if full.n_active > 24:
+            live = full.active_ids()
+            victims = gen.choice(live, size=live.size // 10, replace=False)
+            full.remove(victims.tolist())
+            plain.remove(victims.tolist())
+        brute_check(f"{label}/phase{phase}")
+        if phase == 1:
+            full.split_shard()
+            plain.split_shard()
+            before, after = (
+                full.last_transfer["before"], full.last_transfer["after"]
+            )
+            if before > 0 and after < 0.5 * before:
+                failures.append(
+                    f"{label}: split preserved {after}/{before} evidence "
+                    f"entries (< 50%)"
+                )
+            if plain.last_transfer != {"before": 0, "after": 0}:
+                failures.append(f"{label}: transfer-off engine moved evidence")
+            brute_check(f"{label}/phase{phase}-split")
+        if phase == 2:
+            full.merge_shards()
+            plain.merge_shards()
+            brute_check(f"{label}/phase{phase}-merged")
+    # A load-directed split (the rebalance(load_above=...) trigger) on
+    # the hottest observed shard must be just as invisible.
+    hot = int(np.argmax(full.shard_load()))
+    if full.shard_sizes()[hot] >= 2:
+        full.split_shard(hot)
+        plain.split_shard(hot)
+        brute_check(f"{label}/hot-split")
+    if full.stats["phase_pairs"]["verify_descent"] == 0 < full.stats[
+        "phase_pairs"
+    ]["verify"]:
+        failures.append(f"{label}: foreign descent never fired")
+    full.close()
+    plain.close()
+    return failures
+
+
 def process_backend_trace(points, r, k, label: str) -> list[str]:
     """The multi-process backend must match the in-process one exactly."""
     failures: list[str] = []
@@ -227,9 +313,15 @@ def main(argv=None) -> int:
                 points, metric, r, 6, n_shards, f"{metric}/S={n_shards}"
             )
             checks += 1
+        failures += rebalance_transfer_trace(
+            points, metric, r, 6, f"{metric}/transfer-S=4"
+        )
+        checks += 1
 
     words = words_with_outliers(140, n_stems=12, planted_frac=0.02, rng=7)
     failures += churn_trace(words, "edit", 3.0, 3, 2, "edit/S=2")
+    checks += 1
+    failures += rebalance_transfer_trace(words, "edit", 3.0, 3, "edit/transfer-S=4")
     checks += 1
 
     probe = Dataset(points, "l2")

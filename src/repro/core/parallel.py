@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence, TypeVar
@@ -179,7 +180,9 @@ def _shard_actor_main(conn, factories) -> None:  # pragma: no cover - child
     Runs in the worker process; coverage tooling does not see it.  The
     protocol is tiny: ``("call", method, [(slot, args), ...])`` executes
     ``actors[slot].method(*args)`` per entry and answers
-    ``("ok", [results...])``; any exception answers ``("error", trace)``;
+    ``("ok", [results...])``; ``("busy",)`` answers the per-slot
+    cumulative actor-invocation seconds (the load signal stats-driven
+    rebalancing reads); any exception answers ``("error", trace)``;
     ``("stop",)`` exits the loop.
     """
     try:
@@ -191,6 +194,7 @@ def _shard_actor_main(conn, factories) -> None:  # pragma: no cover - child
         finally:
             conn.close()
         return
+    busy = [0.0] * len(actors)
     while True:
         try:
             message = conn.recv()
@@ -201,9 +205,16 @@ def _shard_actor_main(conn, factories) -> None:  # pragma: no cover - child
         if message[0] == "ping":
             conn.send(("ok", None))
             continue
+        if message[0] == "busy":
+            conn.send(("ok", list(busy)))
+            continue
         _, method, calls = message
         try:
-            results = [getattr(actors[slot], method)(*args) for slot, args in calls]
+            results = []
+            for slot, args in calls:
+                t0 = time.perf_counter()
+                results.append(getattr(actors[slot], method)(*args))
+                busy[slot] += time.perf_counter() - t0
             conn.send(("ok", results))
         except BaseException:
             conn.send(("error", traceback.format_exc()))
@@ -246,6 +257,9 @@ class ShardPool:
         self._procs: list = []
         self._conns: list = []
         self._groups: list[np.ndarray] = []
+        #: in-process per-shard cumulative actor seconds (process pools
+        #: keep this in the children; see :meth:`busy_seconds`).
+        self._busy = np.zeros(self.n_shards, dtype=np.float64)
         if self.workers == 1:
             self._actors = [factory() for factory in factories]
             return
@@ -303,10 +317,12 @@ class ShardPool:
             else (lambda i: common)
         )
         if self._actors is not None:
-            return [
-                getattr(actor, method)(*args_of(i))
-                for i, actor in enumerate(self._actors)
-            ]
+            results = []
+            for i, actor in enumerate(self._actors):
+                t0 = time.perf_counter()
+                results.append(getattr(actor, method)(*args_of(i)))
+                self._busy[i] += time.perf_counter() - t0
+            return results
         for conn, group in zip(self._conns, self._groups):
             calls = [(slot, args_of(int(shard))) for slot, shard in enumerate(group)]
             conn.send(("call", method, calls))
@@ -328,6 +344,84 @@ class ShardPool:
                 "shard worker failed:\n" + "\n".join(errors)
             )
         return results
+
+    def call_where(
+        self,
+        method: str,
+        shard_args: "Sequence[tuple]",
+        mask: "Sequence[bool] | np.ndarray",
+    ) -> list:
+        """Run ``actor.method(*args)`` only on shards where ``mask`` holds.
+
+        The selective sibling of :meth:`call` for broadcasts whose
+        per-shard payload is often empty (the foreign-descent phase
+        skips each candidate's home shard and empty shards): skipped
+        shards get ``None`` in the shard-ordered result list, and a
+        worker process none of whose shards are selected sees **no
+        pipe round-trip at all**.
+        """
+        if self._closed:
+            raise ParameterError("ShardPool.call_where after close")
+        if len(shard_args) != self.n_shards or len(mask) != self.n_shards:
+            raise ParameterError(
+                f"call_where needs one args tuple and one mask entry per "
+                f"shard ({self.n_shards}), got {len(shard_args)} / {len(mask)}"
+            )
+        results: list = [None] * self.n_shards
+        if self._actors is not None:
+            for i, actor in enumerate(self._actors):
+                if not mask[i]:
+                    continue
+                t0 = time.perf_counter()
+                results[i] = getattr(actor, method)(*tuple(shard_args[i]))
+                self._busy[i] += time.perf_counter() - t0
+            return results
+        sent: list[tuple] = []
+        for conn, group in zip(self._conns, self._groups):
+            calls = [
+                (slot, tuple(shard_args[int(shard)]))
+                for slot, shard in enumerate(group)
+                if mask[int(shard)]
+            ]
+            if not calls:
+                continue
+            conn.send(("call", method, calls))
+            sent.append((conn, [int(group[slot]) for slot, _ in calls]))
+        errors: list[str] = []
+        for conn, shards in sent:
+            kind, payload = conn.recv()
+            if kind == "error":
+                errors.append(payload)
+                continue
+            for shard, result in zip(shards, payload):
+                results[shard] = result
+        if errors:
+            raise RuntimeError(
+                "shard worker failed:\n" + "\n".join(errors)
+            )
+        return results
+
+    def busy_seconds(self) -> np.ndarray:
+        """Cumulative actor-invocation seconds per shard.
+
+        The serve-time load signal for stats-driven rebalancing: unlike
+        pair counts, it also reflects per-shard graph quality and cache
+        hit rates.  Process pools fetch the children's counters (one
+        ``("busy",)`` round-trip per worker); in-process pools read the
+        local accumulator.  Monotone over the pool's lifetime.
+        """
+        if self._closed:
+            raise ParameterError("ShardPool.busy_seconds after close")
+        if self._actors is not None:
+            return self._busy.copy()
+        out = np.zeros(self.n_shards, dtype=np.float64)
+        for conn in self._conns:
+            conn.send(("busy",))
+        for conn, group in zip(self._conns, self._groups):
+            payload = self._expect_ok(conn.recv())
+            for slot, shard in enumerate(group):
+                out[int(shard)] = float(payload[slot])
+        return out
 
     def barrier(self) -> int:
         """Drain every worker: returns once all prior calls completed.

@@ -612,6 +612,123 @@ class EvidenceCache:
         for r in self.radii:
             yield r, self._lb.get(r), self._ub.get(r)
 
+    def nonvacuous_rows(self) -> np.ndarray:
+        """Ids holding *any* evidence (some lb > 0, or some ub known)."""
+        mask = np.zeros(self.n, dtype=bool)
+        for row in self._lb.values():
+            mask |= row > 0
+        for row in self._ub.values():
+            mask |= row != NO_BOUND
+        return np.flatnonzero(mask)
+
+    def entry_count(self) -> int:
+        """Non-vacuous bound entries across all stored rows.
+
+        The unit of the rebalance transfer accounting: each positive
+        lower bound and each known upper bound counts once.
+        """
+        total = 0
+        for row in self._lb.values():
+            total += int(np.count_nonzero(row > 0))
+        for row in self._ub.values():
+            total += int(np.count_nonzero(row != NO_BOUND))
+        return total
+
+    # -- rebalance decomposition -------------------------------------------
+    #
+    # Within-shard counts decompose over any partition of the shard's
+    # members: for a split ``members = stay ∪ moved`` every object
+    # satisfies ``c_members(p) = c_stay(p) + c_moved(p)``, and for a
+    # merge of disjoint shards A and B, ``c_A∪B(p) = c_A(p) + c_B(p)``.
+    # These two methods apply the law to whole caches so split/merge
+    # rebalancing can *transfer* evidence instead of resetting it.
+
+    def split_by_counts(
+        self,
+        rows: np.ndarray,
+        moved_counts: "dict[float, np.ndarray]",
+    ) -> "tuple[EvidenceCache, EvidenceCache]":
+        """Decompose into ``(stay, moved)`` caches for a shard split.
+
+        ``moved_counts[r]`` (aligned with ``rows``) is the **exact**
+        number of moved members within ``r`` of each row object
+        (self-excluded), for every stored radius; ``rows`` must cover
+        every non-vacuous row.  Subtracting the exact moved
+        contribution from a bound on ``c_members`` leaves a valid bound
+        on ``c_stay`` — lower bounds clamp at 0, known upper bounds
+        come down by the same exact amount — and the moved cache gets
+        ``moved_counts`` itself as exact rows.  Tightness may be lost
+        (a lower bound can under-shoot the stay half it came from);
+        soundness cannot.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        stay = EvidenceCache(self.n, max_radii=self.max_radii)
+        moved = EvidenceCache(self.n, max_radii=self.max_radii)
+        if rows.size == 0:
+            return stay, moved
+        for r in self.radii:
+            c = np.asarray(moved_counts[float(r)], dtype=np.int64)
+            if c.shape != rows.shape:
+                raise ParameterError(
+                    f"split_by_counts: counts at r={r} cover {c.size} "
+                    f"objects for {rows.size} rows"
+                )
+            lb = self.lower_bounds(r)[rows]
+            ub = self.upper_bounds(r)[rows]
+            stay_lb = np.maximum(lb - c, 0)
+            if stay_lb.any():
+                row = np.zeros(self.n, dtype=np.int64)
+                row[rows] = stay_lb
+                stay._lb[float(r)] = row
+            known = ub != NO_BOUND
+            if known.any():
+                row = np.full(self.n, NO_BOUND, dtype=np.int64)
+                row[rows[known]] = np.maximum(ub[known] - c[known], 0)
+                stay._ub[float(r)] = row
+            lb_row = np.zeros(self.n, dtype=np.int64)
+            lb_row[rows] = c
+            ub_row = np.full(self.n, NO_BOUND, dtype=np.int64)
+            ub_row[rows] = c
+            moved._lb[float(r)] = lb_row
+            moved._ub[float(r)] = ub_row
+        stay._invalidate_folds()
+        stay._enforce_budget()
+        moved._invalidate_folds()
+        moved._enforce_budget()
+        return stay, moved
+
+    def merged_with(self, other: "EvidenceCache") -> "EvidenceCache":
+        """The cache of the union shard: per-radius bound *sums*.
+
+        Lower bounds add unconditionally (both halves understate their
+        disjoint contributions); upper bounds add only where **both**
+        sides know one — a single-sided upper bound says nothing about
+        the union.  Folded bounds are used at every stored radius of
+        either side, so one side's evidence at ``r`` still combines
+        with the other side's evidence proven at different radii.
+        """
+        if other.n != self.n:
+            raise ParameterError(
+                f"merged_with: caches cover {self.n} vs {other.n} objects"
+            )
+        budget = self.max_radii if self.max_radii is not None else other.max_radii
+        merged = EvidenceCache(self.n, max_radii=budget)
+        for r in sorted(set(self._lb) | set(other._lb)):
+            row = self.lower_bounds(r) + other.lower_bounds(r)
+            if row.any():
+                merged._lb[float(r)] = row
+        for r in sorted(set(self._ub) | set(other._ub)):
+            a = self.upper_bounds(r)
+            b = other.upper_bounds(r)
+            known = (a != NO_BOUND) & (b != NO_BOUND)
+            if known.any():
+                row = np.full(self.n, NO_BOUND, dtype=np.int64)
+                row[known] = a[known] + b[known]
+                merged._ub[float(r)] = row
+        merged._invalidate_folds()
+        merged._enforce_budget()
+        return merged
+
     def take(self, ids: np.ndarray) -> "EvidenceCache":
         """A new cache holding only the rows of ``ids`` (re-numbered).
 

@@ -49,7 +49,7 @@ import numpy as np
 from ..core.counting import VisitTracker, classify_chunk_arrays, resolve_filter_mode
 from ..core.result import DODResult
 from ..core.store import SharedObjectStore
-from ..core.traversal import DEFAULT_BLOCK, BlockTracker
+from ..core.traversal import DEFAULT_BLOCK, BlockTracker, foreign_count_block
 from ..backends import resolve_backend
 from ..data import Dataset, _checked_vector_input
 from ..exceptions import GraphError, ParameterError
@@ -60,7 +60,7 @@ from ..metrics import Metric, resolve_metric
 from ..rng import ensure_rng
 from .evidence import NO_BOUND, EvidenceCache, build_delete_evidence
 from .protocol import EngineCapabilities
-from .sharded import _ShardMergeBase
+from .sharded import DESCENT_BLOCK, _ShardMergeBase
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -143,6 +143,7 @@ class MutableShardWorker:
         }
         self._dataset: Dataset | None = None
         self._banked = 0
+        self._descent_tracker: "BlockTracker | None" = None
         self._graph: Graph | None = None
         self.cache: EvidenceCache | None = None
         self._knn_radii: set[float] = set(float(r) for r in knn_radii)
@@ -623,6 +624,36 @@ class MutableShardWorker:
             self.cache.record(r, home_gids[walk], w_counts, exact_mask=w_exact)
         return home_gids, counts, exact, self._take_pairs()
 
+    def count_descent(self, r: float, ids: np.ndarray, need: np.ndarray):
+        """Phase C v2: graph-speed within-shard lower bounds for foreign ids.
+
+        The mutable twin of :meth:`ShardWorker.count_descent`: the
+        descent runs over the epoch's compacted serve graph, so counts
+        cover exactly the live members — an empty shard answers zeros
+        (its prepare already reported exact zeros, so the merge never
+        asks).
+        """
+        r = float(r)
+        ids = np.asarray(ids, dtype=np.int64)
+        _, graph, serve_gids, _, _, _ = self._ensure_serve()
+        if ids.size == 0 or graph is None or serve_gids.size == 0:
+            return np.zeros(ids.size, dtype=np.int64), self._take_pairs()
+        need = np.broadcast_to(np.asarray(need, dtype=np.int64), ids.shape)
+        counts = np.zeros(ids.size, dtype=np.int64)
+        block = min(ids.size, DESCENT_BLOCK)
+        m = int(serve_gids.size)
+        tracker = self._descent_tracker
+        if tracker is None or tracker.n != m or tracker.block_size < block:
+            tracker = self._descent_tracker = BlockTracker(m, block)
+        assert self._dataset is not None
+        for lo in range(0, ids.size, block):
+            sl = slice(lo, lo + block)
+            counts[sl] = foreign_count_block(
+                self._dataset, graph, serve_gids, ids[sl], r, need[sl],
+                tracker=tracker,
+            )
+        return counts, self._take_pairs()
+
     def count_range(self, r: float, ids: np.ndarray, lo: int, hi: int):
         """Phase C: hits among live-member positions ``[lo, hi)``."""
         r = float(r)
@@ -731,6 +762,8 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         start_method: "str | None" = None,
         backend: "str | Sequence[str] | None" = None,
         store: str = "list",
+        foreign_descent: bool = True,
+        evidence_transfer: bool = True,
     ):
         if n_shards < 1:
             raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
@@ -801,16 +834,22 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         self.epoch = 0
         self.pairs = 0
         self.last_insert_neighbors: list[dict[float, np.ndarray]] = []
-        self.stats: dict[str, int] = {
-            "queries": 0,
-            "cache_decided": 0,
-            "filtered": 0,
-            "verified": 0,
+        self.foreign_descent = bool(foreign_descent)
+        self.evidence_transfer = bool(evidence_transfer)
+        self.stats = self._fresh_merge_stats()
+        self.stats.update({
             "inserts": 0,
             "removes": 0,
             "rebuilds": 0,
             "rebalances": 0,
-        }
+            "rebalance_pairs": 0,
+            "evidence_rows_transferred": 0,
+            "evidence_rows_dropped": 0,
+        })
+        #: entry counts of the most recent evidence split: how many cache
+        #: entries the affected shard held before, and how many survived
+        #: into the stay + moved halves combined.
+        self.last_transfer = {"before": 0, "after": 0}
         if store_kind == "shm":
             # Instance override of the class-level capability flags.
             self.capabilities = EngineCapabilities(
@@ -863,6 +902,7 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
             self._pool = None
         self.n_shards = len(shard_states)
         self.workers = min(self._workers_requested, self.n_shards)
+        self._shard_load = np.zeros(self.n_shards, dtype=np.int64)
         factories = [
             partial(_make_mutable_worker, **self._worker_kwargs(s, state))
             for s, state in enumerate(shard_states)
@@ -1255,8 +1295,19 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         stay, move = np.sort(halves[0]), np.sort(halves[1])
         new_index = self.n_shards
         states = self._collect_states()
-        states[s] = {"member_gids": stay.tolist(), "build": True}
-        states.append({"member_gids": move.tolist(), "build": True})
+        stay_cache = move_cache = None
+        if self.evidence_transfer:
+            stay_cache, move_cache = self._split_evidence(
+                states[s].get("cache"), move
+            )
+        states[s] = {
+            "member_gids": stay.tolist(), "build": True,
+            "cache": stay_cache,
+        }
+        states.append({
+            "member_gids": move.tolist(), "build": True,
+            "cache": move_cache,
+        })
         for g in move:
             self._shard_of_list[int(g)] = new_index
         self._spawn_pool(states)
@@ -1293,7 +1344,15 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         union = np.flatnonzero(
             alive & ((shard_of == source) | (shard_of == target))
         )
-        states[target] = {"member_gids": union.tolist(), "build": True}
+        merged_cache = None
+        if self.evidence_transfer:
+            merged_cache = self._merge_evidence(
+                states[source].get("cache"), states[target].get("cache")
+            )
+        states[target] = {
+            "member_gids": union.tolist(), "build": True,
+            "cache": merged_cache,
+        }
         del states[source]
         remap = {
             old: (old if old < source else old - 1)
@@ -1307,18 +1366,93 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         self.stats["rebalances"] += 1
         return remap[target]
 
+    def _split_evidence(
+        self, cache: "EvidenceCache | None", move: np.ndarray
+    ) -> "tuple[EvidenceCache | None, EvidenceCache | None]":
+        """Decompose one shard's evidence into stay + moved halves.
+
+        Within-shard counts decompose over any partition of the member
+        set, so for every cached row the *moved* contribution — the
+        exact neighbor count inside ``move`` at each stored radius — is
+        subtracted from the stay half's bounds and becomes the moved
+        half's exact rows (:meth:`EvidenceCache.split_by_counts`).  The
+        counting sweep is rows x move, orders of magnitude cheaper than
+        the evidence the transfer preserves, and its pairs are charged
+        to ``stats['rebalance_pairs']``.
+        """
+        if cache is None:
+            return None, None
+        rows = cache.nonvacuous_rows()
+        radii = cache.radii
+        if rows.size == 0 or not radii or move.size == 0:
+            return cache, None
+        before = cache.entry_count()
+        ds = self.log_dataset()
+        counts: dict[float, np.ndarray] = {}
+        for r in radii:
+            counts[float(r)] = linear_count_block(
+                ds, rows, float(r), subset=move
+            )
+            pairs = int(rows.size) * int(move.size)
+            self.pairs += pairs
+            self.stats["rebalance_pairs"] += pairs
+        stay_cache, move_cache = cache.split_by_counts(rows, counts)
+        after = stay_cache.entry_count() + move_cache.entry_count()
+        self.stats["evidence_rows_transferred"] += after
+        self.stats["evidence_rows_dropped"] += max(0, before - after)
+        self.last_transfer = {"before": int(before), "after": int(after)}
+        return stay_cache, move_cache
+
+    def _merge_evidence(
+        self,
+        source: "EvidenceCache | None",
+        target: "EvidenceCache | None",
+    ) -> "EvidenceCache | None":
+        """Combine two shards' evidence for their merged member union.
+
+        Within-union counts are the sum of within-source and
+        within-target counts, so lower bounds add, and upper bounds add
+        where both halves know one (:meth:`EvidenceCache.merged_with`).
+        """
+        if source is None or target is None:
+            merged = source if target is None else target
+        else:
+            merged = target.merged_with(source)
+        before = sum(
+            c.entry_count() for c in (source, target) if c is not None
+        )
+        after = 0 if merged is None else merged.entry_count()
+        self.stats["evidence_rows_transferred"] += after
+        self.stats["evidence_rows_dropped"] += max(0, before - after)
+        self.last_transfer = {"before": int(before), "after": int(after)}
+        return merged
+
     def rebalance(
-        self, split_above: float = 2.0, merge_below: float = 0.25
+        self,
+        split_above: float = 2.0,
+        merge_below: float = 0.25,
+        load_above: "float | None" = None,
     ) -> bool:
         """One automatic rebalancing step; ``True`` if anything changed.
 
         Splits a shard holding more than ``split_above`` times the mean
         live load; otherwise merges a shard starved below
         ``merge_below`` times the mean (keeping at least one shard).
+
+        ``load_above`` adds a *serve-time* trigger on top of the size
+        policy: when set, a shard whose observed load factor (mean of
+        its mean-normalised verification-pair share and busy-seconds
+        share, :meth:`shard_load`) exceeds ``load_above`` is split even
+        though sizes are balanced — hot shards that dominate phase-C
+        verification stop serialising the merge.
         """
         if split_above <= 1.0 or not 0.0 <= merge_below < 1.0:
             raise ParameterError(
                 "rebalance needs split_above > 1 and 0 <= merge_below < 1"
+            )
+        if load_above is not None and load_above <= 1.0:
+            raise ParameterError(
+                f"rebalance needs load_above > 1, got {load_above}"
             )
         sizes = self.shard_sizes()
         if self.n_active == 0:
@@ -1330,6 +1464,12 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         if self.n_shards > 1 and sizes.min() < merge_below * mean:
             self.merge_shards(int(np.argmin(sizes)))
             return True
+        if load_above is not None:
+            load = self.shard_load()
+            hot = int(np.argmax(load))
+            if load[hot] > float(load_above) and sizes[hot] >= 2:
+                self.split_shard(hot)
+                return True
         return False
 
     def _collect_states(self) -> list[dict]:

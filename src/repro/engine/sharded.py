@@ -72,13 +72,14 @@ from ..core.counting import (
 )
 from ..core.parallel import DatasetTransport, ShardPool, default_start_method
 from ..core.result import DODResult
-from ..core.traversal import DEFAULT_BLOCK, BlockTracker
+from ..core.traversal import DEFAULT_BLOCK, BlockTracker, foreign_count_block
 from ..backends import resolve_backend
 from ..data import Dataset
 from ..exceptions import GraphError, ParameterError
 from ..graphs.adjacency import Graph
 from ..graphs.base import build_graph
 from ..index.linear import linear_count_block
+from ..index.vptree import VPTree
 from ..metrics import Metric
 from ..rng import ensure_rng
 from .engine import SweepResult, _sweep_order
@@ -87,6 +88,10 @@ from .protocol import EngineCapabilities
 
 #: recognised dataset-partitioning strategies.
 SHARD_STRATEGIES = ("contiguous", "permuted")
+
+#: foreign candidates per descent kernel — bounds the BlockTracker's
+#: ``block_size * shard_n`` stamp matrix while keeping waves batched.
+DESCENT_BLOCK = 256
 
 
 def plan_shards(
@@ -150,6 +155,7 @@ class ShardWorker:
         cache: "EvidenceCache | None" = None,
         knn_radii: "tuple[float, ...]" = (),
         backend: "str | None" = None,
+        foreign_index: bool = True,
     ):
         if isinstance(dataset, DatasetTransport):
             dataset = dataset.materialize()
@@ -188,13 +194,26 @@ class ShardWorker:
                 graph, self.sub, K=K, rng=seed, clamp_K=True,
                 **(graph_params or {}),
             )
+        #: per-shard Exact-Counting index (§4): a VP-tree over this
+        #: shard's members on the *full-log* view, so phase C can count
+        #: foreign candidates exactly with metric pruning instead of a
+        #: linear subset sweep.  Phase-C survivors are by construction
+        #: far from most data (true outliers dominate them), which is
+        #: precisely where ball pruning collapses the scan.
+        self._ftree: "VPTree | None" = None
+        if foreign_index and self.m > 1:
+            self._ftree = VPTree(
+                self._full, capacity=16, rng=seed, indices=self.ids
+            )
         self.sub.counter.reset()  # offline build cost is not query cost
+        self._full.counter.reset()
         resolve_filter_mode(mode, None)
         self.mode = mode
         self.batch_size = int(batch_size)
         self.cache = cache if cache is not None else EvidenceCache(self.n)
         self._tracker = VisitTracker(self.m)
         self._block_tracker: "BlockTracker | None" = None
+        self._descent_tracker: "BlockTracker | None" = None
         (
             self._knn_owners,
             self._knn_sizes,
@@ -271,6 +290,66 @@ class ShardWorker:
             exact[walk] = w_exact
             self.cache.record(r, home_ids[walk], w_counts, exact_mask=w_exact)
         return home_ids, counts, exact, self._take_pairs()
+
+    def count_descent(self, r: float, ids: np.ndarray, need: np.ndarray):
+        """Phase C v2: graph-speed within-shard lower bounds for foreign ids.
+
+        Seeds a multi-source descent on this shard's graph from each
+        foreign candidate (:func:`foreign_count_block`) and stops a
+        candidate at its ``need`` residual — the count the global merge
+        is still missing.  Counts are sound within-shard **lower
+        bounds**: a candidate that reaches ``need`` retires from the
+        sweep rounds entirely, a stalled one falls back to the exact
+        subset sweeps unchanged, so verdicts stay bit-identical.
+        """
+        r = float(r)
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return np.zeros(0, dtype=np.int64), 0
+        need = np.broadcast_to(np.asarray(need, dtype=np.int64), ids.shape)
+        counts = np.zeros(ids.size, dtype=np.int64)
+        block = min(ids.size, DESCENT_BLOCK)
+        tracker = self._descent_tracker
+        if tracker is None or tracker.n != self.m or tracker.block_size < block:
+            tracker = self._descent_tracker = BlockTracker(self.m, block)
+        for lo in range(0, ids.size, block):
+            sl = slice(lo, lo + block)
+            counts[sl] = foreign_count_block(
+                self._full, self.graph, self.ids, ids[sl], r, need[sl],
+                tracker=tracker,
+            )
+        return counts, self._take_pairs()
+
+    def count_exact(self, r: float, ids: np.ndarray, need: np.ndarray):
+        """Phase C v2 fallback: early-terminated *exact* within-shard counts.
+
+        Counts each candidate against this shard's members through the
+        per-shard VP-tree (the §4 Exact-Counting index, built offline
+        over the shard's ids), stopping at the candidate's ``need``
+        residual.  A returned count below ``need`` saw every member —
+        it is the true within-shard count; a count at or above ``need``
+        is a truncated lower bound that already retires the candidate
+        at the merge.  Without a tree the call degrades to the exact
+        linear subset sweep with the same per-candidate stops.
+        """
+        r = float(r)
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return (
+                np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool), 0
+            )
+        need = np.broadcast_to(np.asarray(need, dtype=np.int64), ids.shape)
+        if self._ftree is not None:
+            counts = np.empty(ids.size, dtype=np.int64)
+            for t in range(ids.size):
+                counts[t] = self._ftree.count_within(
+                    int(ids[t]), r, stop_at=int(need[t])
+                )
+        else:
+            counts = linear_count_block(
+                self._full, ids, r, stop_at=need, subset=self.ids
+            )
+        return counts, counts < need, self._take_pairs()
 
     def count_range(self, r: float, ids: np.ndarray, lo: int, hi: int):
         """Phase C: hits among shard positions ``[lo, hi)`` per candidate.
@@ -351,12 +430,14 @@ class ShardWorker:
 
 
 def _make_worker(dataset, ids, graph, K, seed, mode, batch_size,
-                 graph_params, cache, knn_radii, backend=None) -> ShardWorker:
+                 graph_params, cache, knn_radii, backend=None,
+                 foreign_index=True) -> ShardWorker:
     """Module-level factory so spawn-based pools can pickle it."""
     return ShardWorker(
         dataset, ids, graph=graph, K=K, seed=seed, mode=mode,
         batch_size=batch_size, graph_params=graph_params,
         cache=cache, knn_radii=knn_radii, backend=backend,
+        foreign_index=foreign_index,
     )
 
 
@@ -380,6 +461,26 @@ class _ShardMergeBase:
 
     n_shards: int
     stats: dict
+
+    @staticmethod
+    def _fresh_merge_stats() -> dict:
+        """Counters every sharded engine's ``stats`` dict starts with."""
+        return {
+            "queries": 0,
+            "cache_decided": 0,
+            "filtered": 0,
+            "verified": 0,
+            "descent_decided": 0,
+            "phase_seconds": {"cache": 0.0, "filter": 0.0, "verify": 0.0},
+            "phase_pairs": {
+                "cache": 0,
+                "filter": 0,
+                "verify": 0,
+                "verify_descent": 0,
+                "verify_index": 0,
+                "verify_sweep": 0,
+            },
+        }
 
     # -- population hooks (subclass responsibility) ------------------------
 
@@ -427,6 +528,8 @@ class _ShardMergeBase:
         lbs = [p[0] for p in prep]
         ubs = [p[1] for p in prep]
         pairs["cache"] = sum(p[2] for p in prep)
+        for s, p in enumerate(prep):
+            self._shard_load[s] += p[2]
         lb_tot = np.sum(lbs, axis=0)
         span = lb_tot.size
         ub_known = np.ones(span, dtype=bool)
@@ -449,6 +552,7 @@ class _ShardMergeBase:
         filtered = self._pool.call("filter", shard_args=shard_args)
         for s, (ids_s, counts_s, exact_s, pairs_s) in enumerate(filtered):
             pairs["filter"] += pairs_s
+            self._shard_load[s] += pairs_s
             if ids_s.size == 0:
                 continue
             np.maximum.at(lbs[s], ids_s, counts_s)
@@ -481,11 +585,19 @@ class _ShardMergeBase:
         # outliers, which must see everything), the rounds hand off to
         # exhaustive per-shard linear_count_block subset sweeps.
         t0 = time.perf_counter()
+        vdetail = {
+            "descent_pairs": 0, "index_pairs": 0, "sweep_pairs": 0,
+            "descent_decided": 0,
+        }
         if candidates.size:
-            verified, verify_pairs = self._verify_candidates(
+            verified, vdetail = self._verify_candidates(
                 r, k, candidates, lbs, ubs
             )
-            pairs["verify"] = verify_pairs
+            pairs["verify"] = (
+                vdetail["descent_pairs"]
+                + vdetail["index_pairs"]
+                + vdetail["sweep_pairs"]
+            )
         else:
             verified = np.empty(0, dtype=np.int64)
         verify_seconds = time.perf_counter() - t0
@@ -497,6 +609,20 @@ class _ShardMergeBase:
         self.stats["cache_decided"] += cache_decided
         self.stats["filtered"] += int(undecided.size)
         self.stats["verified"] += int(candidates.size)
+        self.stats["descent_decided"] += vdetail["descent_decided"]
+        phase_seconds = {
+            "cache": cache_seconds,
+            "filter": filter_seconds,
+            "verify": verify_seconds,
+        }
+        phase_pairs = dict(pairs)
+        phase_pairs["verify_descent"] = vdetail["descent_pairs"]
+        phase_pairs["verify_index"] = vdetail["index_pairs"]
+        phase_pairs["verify_sweep"] = vdetail["sweep_pairs"]
+        for key, sec in phase_seconds.items():
+            self.stats["phase_seconds"][key] += sec
+        for key, cnt in phase_pairs.items():
+            self.stats["phase_pairs"][key] += cnt
         return DODResult(
             outliers=outliers,
             r=r,
@@ -505,12 +631,8 @@ class _ShardMergeBase:
             method=self._method_label(),
             seconds=cache_seconds + filter_seconds + verify_seconds,
             pairs=sum(pairs.values()),
-            phases={
-                "cache": cache_seconds,
-                "filter": filter_seconds,
-                "verify": verify_seconds,
-            },
-            phase_pairs=dict(pairs),
+            phases=phase_seconds,
+            phase_pairs=phase_pairs,
             counts={
                 "candidates": int(candidates.size),
                 "direct_outliers": int(filter_outliers.size),
@@ -518,17 +640,21 @@ class _ShardMergeBase:
                 "cache_decided": cache_decided,
                 "cache_outliers": int(cache_outliers.size),
                 "filtered": int(undecided.size),
+                "descent_decided": vdetail["descent_decided"],
             },
         )
 
     def _verify_candidates(self, r, k, candidates, lbs, ubs):
-        """Cooperative cross-shard verification: ``(outlier ids, pairs)``.
+        """Cooperative cross-shard verification: ``(outlier ids, detail)``.
 
         Maintains per-shard prefix hit counts for every candidate and
         re-merges after each scan round; evidence (partial-prefix lower
-        bounds, exact counts for fully-swept shards) is deposited back
-        into the shard caches at the end so warm re-queries decide from
-        phase A alone.
+        bounds, exact counts for fully-swept shards, foreign-descent
+        lower bounds) is deposited back into the shard caches at the
+        end so warm re-queries decide from phase A alone.  ``detail``
+        splits the cost into ``descent_pairs`` / ``sweep_pairs`` and
+        reports ``descent_decided`` — candidates the graph phase
+        retired before any linear sweep round ran.
         """
         from ..index.linear import _pairs_per_kernel
 
@@ -548,6 +674,116 @@ class _ShardMergeBase:
         active = np.arange(C, dtype=np.int64)
         outliers: list[int] = []
         empty = np.empty(0, dtype=np.int64)
+
+        # -- phase C v2: graph-assisted foreign counting ---------------------
+        # Before any linear round, each foreign shard runs a seeded
+        # descent on its own graph (``count_descent``) and stops a
+        # candidate at the residual its merge still needs.  The counts
+        # are Lemma-1 lower bounds, so max-merging them into ``bound``
+        # and retiring at ``sum >= k`` is exactly the phase-A inlier
+        # rule — candidates the descent cannot finish fall through to
+        # the sweep rounds untouched, keeping verdicts bit-identical.
+        descent_pairs = 0
+        descent_decided = 0
+        descended = np.zeros((S, C), dtype=bool)
+        if getattr(self, "foreign_descent", True):
+            home = self._home_shards(candidates)
+            tot0 = bound.sum(axis=0)
+            shard_args: list[tuple] = []
+            mask: list[bool] = []
+            sel_sets: list[np.ndarray] = []
+            # A graph walk can realistically close only a *small*
+            # residual: a candidate still missing most of k is almost
+            # always a true outlier, whose count the descent cannot
+            # reach (there is nothing to find) — every pair spent on it
+            # is wasted.  Descend only where the merge is already more
+            # than halfway there; the rest go straight to exact
+            # counting.
+            cap = max(1, k // 2)
+            for s in range(S):
+                # Home shards were walked in phase B (the candidate is a
+                # vertex there); empty shards contribute exact zeros.
+                sel = (
+                    np.flatnonzero(~exact_known[s] & (home != s))
+                    if sizes[s] > 0
+                    else empty
+                )
+                need = np.maximum(1, k - (tot0[sel] - bound[s, sel]))
+                keep = need <= cap
+                sel, need = sel[keep], need[keep]
+                sel_sets.append(sel)
+                if sel.size == 0:
+                    mask.append(False)
+                    shard_args.append((r, empty, empty))
+                    continue
+                mask.append(True)
+                shard_args.append((r, candidates[sel], need))
+            results = self._pool.call_where("count_descent", shard_args, mask)
+            for s in range(S):
+                if results[s] is None:
+                    continue
+                counts_s, shard_pairs = results[s]
+                descent_pairs += shard_pairs
+                self._shard_load[s] += shard_pairs
+                sel = sel_sets[s]
+                bound[s, sel] = np.maximum(bound[s, sel], counts_s)
+                descended[s, sel] = True
+            settled = bound[:, active].sum(axis=0) >= k
+            descent_decided = int(np.count_nonzero(settled))
+            active = active[~settled]
+
+        # -- phase C v2: per-shard exact-counting index -----------------------
+        # Survivors here are dominated by true outliers, whose exact
+        # within-shard counts are mandatory (an outlier verdict needs
+        # every shard's true count).  Each shard answers through its
+        # VP-tree (``count_exact``) with the candidate's residual as
+        # the stop: a truncated count retires an inlier exactly like a
+        # truncated sweep, a complete one is the true within-shard
+        # count — ball pruning makes both far cheaper than a linear
+        # sweep precisely because these candidates sit far from the
+        # data.  Any candidate the stage leaves undecided (never, with
+        # every shard answering) falls through to the sweep rounds.
+        index_pairs = 0
+        treed = np.zeros((S, C), dtype=bool)
+        if active.size and getattr(self, "_foreign_index", False):
+            tot0 = bound.sum(axis=0)
+            shard_args = []
+            mask = []
+            sel_sets = []
+            for s in range(S):
+                sel = (
+                    active[~exact_known[s, active]] if sizes[s] > 0 else empty
+                )
+                sel_sets.append(sel)
+                if sel.size == 0:
+                    mask.append(False)
+                    shard_args.append((r, empty, empty))
+                    continue
+                need = np.maximum(1, k - (tot0[sel] - bound[s, sel]))
+                mask.append(True)
+                shard_args.append((r, candidates[sel], need))
+            results = self._pool.call_where("count_exact", shard_args, mask)
+            for s in range(S):
+                if results[s] is None:
+                    continue
+                counts_s, exact_s, shard_pairs = results[s]
+                index_pairs += shard_pairs
+                self._shard_load[s] += shard_pairs
+                sel = sel_sets[s]
+                bound[s, sel] = np.maximum(bound[s, sel], counts_s)
+                exact_known[s, sel] |= exact_s
+                treed[s, sel] = True
+                # A complete count doubles as an exact deposit: mark the
+                # shard fully covered so the record phase flags it.
+                covered[s, sel[exact_s]] = sizes[s]
+            tot = bound[:, active].sum(axis=0)
+            complete = np.all(
+                exact_known[:, active] | (sizes == 0)[:, None], axis=0
+            )
+            is_inlier = tot >= k
+            is_outlier = ~is_inlier & complete
+            outliers.extend(int(p) for p in candidates[active[is_outlier]])
+            active = active[~is_inlier & ~is_outlier]
 
         while active.size:
             # One round costs ~budget pairs across ALL shards together,
@@ -571,6 +807,7 @@ class _ShardMergeBase:
             for s in range(S):
                 add, shard_pairs = results[s]
                 pairs += shard_pairs
+                self._shard_load[s] += shard_pairs
                 sel = scan_sets[s]
                 if sel.size == 0:
                     continue
@@ -601,6 +838,7 @@ class _ShardMergeBase:
                 for s in range(S):
                     add, shard_pairs = results[s]
                     pairs += shard_pairs
+                    self._shard_load[s] += shard_pairs
                     sel = tail_sets[s]
                     if sel.size:
                         prefix[s, sel] += add
@@ -612,12 +850,16 @@ class _ShardMergeBase:
             else:
                 active = survivors
 
-        # Deposit what the sweep proved back into the shard caches: a
-        # scanned prefix is a valid lower bound at r, and a fully-swept
-        # shard's count is exact (doubles as an upper bound).
+        # Deposit what the phase proved back into the shard caches: a
+        # scanned prefix or a descent count is a valid lower bound at r,
+        # and a fully-swept shard's count is exact (doubles as an upper
+        # bound) — so a descent-decided candidate re-decides from phase
+        # A alone on the next query.
         shard_args = []
         for s in range(S):
-            touched = np.flatnonzero(covered[s] > 0)
+            touched = np.flatnonzero(
+                (covered[s] > 0) | descended[s] | treed[s]
+            )
             shard_args.append((
                 r,
                 candidates[touched],
@@ -625,7 +867,13 @@ class _ShardMergeBase:
                 covered[s, touched] >= sizes[s],
             ))
         self._pool.call("record", shard_args=shard_args)
-        return np.asarray(sorted(outliers), dtype=np.int64), pairs
+        detail = {
+            "descent_pairs": int(descent_pairs),
+            "index_pairs": int(index_pairs),
+            "sweep_pairs": int(pairs),
+            "descent_decided": descent_decided,
+        }
+        return np.asarray(sorted(outliers), dtype=np.int64), detail
 
     def batch(self, queries) -> list[DODResult]:
         """Answer ``(r, k)`` queries in the given order (serving semantics)."""
@@ -648,6 +896,35 @@ class _ShardMergeBase:
         for rv, kv in _sweep_order(queries):
             sweep.results[(rv, kv)] = self.query(rv, kv)
         return sweep
+
+    def shard_load(self) -> np.ndarray:
+        """Mean-normalised load factor per shard (1.0 == even load).
+
+        Averages two serve-time signals the merge already collects:
+        the per-shard verification/filter pair counts
+        (``_shard_load``, reset at every pool epoch) and the pool's
+        cumulative per-shard busy-seconds.  Each signal is normalised
+        to mean 1 before averaging so pairs and seconds weigh equally;
+        with no recorded work the load is uniformly 1.  The mutable
+        engine's ``rebalance(load_above=...)`` splits the argmax shard
+        when its factor exceeds the threshold even though sizes are
+        balanced.
+        """
+        n = self.n_shards
+        signals = []
+        pairs = np.asarray(
+            getattr(self, "_shard_load", np.zeros(n)), dtype=np.float64
+        )
+        if pairs.size == n and pairs.sum() > 0:
+            signals.append(pairs * (n / pairs.sum()))
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            busy = np.asarray(pool.busy_seconds(), dtype=np.float64)
+            if busy.size == n and busy.sum() > 0:
+                signals.append(busy * (n / busy.sum()))
+        if not signals:
+            return np.ones(n, dtype=np.float64)
+        return np.mean(signals, axis=0)
 
     def barrier(self) -> int:
         """Drain in-flight shard work; returns the new pool epoch.
@@ -703,6 +980,8 @@ class ShardedDetectionEngine(_ShardMergeBase):
         shard_ids: "list[np.ndarray] | None" = None,
         shard_state: "list[dict] | None" = None,
         backend: "str | Sequence[str] | None" = None,
+        foreign_descent: bool = True,
+        foreign_index: "bool | None" = None,
         **graph_params,
     ):
         gen = ensure_rng(rng)
@@ -746,6 +1025,15 @@ class ShardedDetectionEngine(_ShardMergeBase):
         for s, ids in enumerate(shard_ids):
             self._shard_of[ids] = s
 
+        self.foreign_descent = bool(foreign_descent)
+        #: phase C v2 exact-counting index: per-shard VP-trees, built at
+        #: fit time.  Defaults to following ``foreign_descent`` so the
+        #: single toggle selects the whole v2 path vs the linear-sweep
+        #: baseline; pass it explicitly to mix stages.
+        self._foreign_index = (
+            self.foreign_descent if foreign_index is None else bool(foreign_index)
+        )
+
         seeds = [int(v) for v in gen.integers(0, 2**63 - 1, size=self.n_shards)]
         self._transport: "DatasetTransport | None" = None
         payload: "Dataset | DatasetTransport" = dataset
@@ -759,7 +1047,7 @@ class ShardedDetectionEngine(_ShardMergeBase):
                 state.get("graph", graph), self.K, seeds[s], mode,
                 self.batch_size, dict(graph_params),
                 state.get("cache"), tuple(state.get("knn_radii", ())),
-                backend_names[s],
+                backend_names[s], self._foreign_index,
             ))
         try:
             self._pool = ShardPool(
@@ -772,12 +1060,10 @@ class ShardedDetectionEngine(_ShardMergeBase):
                 self._transport.release()
                 self._transport = None
             raise
-        self.stats: dict[str, int] = {
-            "queries": 0,
-            "cache_decided": 0,
-            "filtered": 0,
-            "verified": 0,
-        }
+        self.stats: dict = self._fresh_merge_stats()
+        #: per-shard verify-pairs accumulator — the second load signal
+        #: (besides pool busy-seconds) stats-driven rebalancing reads.
+        self._shard_load = np.zeros(self.n_shards, dtype=np.int64)
 
     # -- construction helpers ------------------------------------------------
 
@@ -796,6 +1082,8 @@ class ShardedDetectionEngine(_ShardMergeBase):
         batch_size: int = DEFAULT_BLOCK,
         start_method: "str | None" = None,
         backend: "str | Sequence[str] | None" = None,
+        foreign_descent: bool = True,
+        foreign_index: "bool | None" = None,
         **graph_params,
     ) -> "ShardedDetectionEngine":
         """Offline phase in one call: dataset + per-shard graphs + engine.
@@ -807,7 +1095,9 @@ class ShardedDetectionEngine(_ShardMergeBase):
         return cls(
             dataset, n_shards=n_shards, workers=workers, strategy=strategy,
             graph=graph, K=K, rng=seed, mode=mode, batch_size=batch_size,
-            start_method=start_method, backend=backend, **graph_params,
+            start_method=start_method, backend=backend,
+            foreign_descent=foreign_descent, foreign_index=foreign_index,
+            **graph_params,
         )
 
     @property

@@ -401,6 +401,24 @@ def _cache_arrays_from(data, n: int, path: Path) -> dict:
     return cache_arrays
 
 
+def _restore_stats(engine, stats: dict) -> None:
+    """Restore a saved ``stats`` mapping onto ``engine.stats``.
+
+    Scalar counters round-trip as ints; nested per-phase mappings
+    (``phase_seconds`` / ``phase_pairs``) restore key-wise against the
+    engine's own schema, so snapshots written before a counter existed
+    load with that counter at its fresh default.
+    """
+    for key, default in engine.stats.items():
+        saved = stats.get(key)
+        if isinstance(default, dict):
+            if isinstance(saved, dict):
+                for sub in default:
+                    default[sub] = type(default[sub])(saved.get(sub, 0))
+            continue
+        engine.stats[key] = int(0 if saved is None else saved)
+
+
 def save_engine(engine, path: "str | Path") -> None:
     """Snapshot a :class:`~repro.engine.DetectionEngine` to one ``.npz``.
 
@@ -495,9 +513,7 @@ def load_engine(
     if cache_radii is not None:
         engine.cache.evict(cache_radii)
     engine._knn_radii = set(float(r) for r in meta.get("knn_radii", ()))
-    stats = meta.get("stats", {})
-    for key in engine.stats:
-        engine.stats[key] = int(stats.get(key, 0))
+    _restore_stats(engine, meta.get("stats", {}))
     return engine
 
 
@@ -617,9 +633,7 @@ def load_mutable_engine(path: "str | Path", objects, **kwargs):
         engine.cache.evict(engine.cache_radii)
     engine.pairs = int(meta.get("pairs", 0))
     engine._mutations_since_rebuild = int(meta.get("mutations_since_rebuild", 0))
-    stats = meta.get("stats", {})
-    for key in engine.stats:
-        engine.stats[key] = int(stats.get(key, 0))
+    _restore_stats(engine, meta.get("stats", {}))
     return engine
 
 
@@ -822,9 +836,7 @@ def load_sharded_engine(
         shard_state=shard_state,
         backend=backend,
     )
-    stats = meta.get("stats", {})
-    for key in engine.stats:
-        engine.stats[key] = int(stats.get(key, 0))
+    _restore_stats(engine, meta.get("stats", {}))
     return engine
 
 
@@ -1038,9 +1050,7 @@ def load_mutable_sharded_engine(path: "str | Path", objects, **kwargs):
     engine._spawn_pool(states)
     engine.pairs = int(meta.get("pairs", 0))
     engine.epoch = int(meta.get("epoch", engine.epoch))
-    stats = meta.get("stats", {})
-    for key in engine.stats:
-        engine.stats[key] = int(stats.get(key, 0))
+    _restore_stats(engine, meta.get("stats", {}))
     return engine
 
 

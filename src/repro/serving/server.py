@@ -300,11 +300,23 @@ class EngineServer:
             live = int(engine.n_active)
         payload = {
             "serving": dict(self.coalescer.stats),
-            "engine": dict(engine.stats),
+            "engine": {
+                k: (dict(v) if isinstance(v, dict) else v)
+                for k, v in engine.stats.items()
+            },
             "capabilities": dict(caps.__dict__),
             "describe": self.coalescer.describe(),
             "n_live": live,
         }
+        # Sharded merges break their cost into phases A/B/C (cache /
+        # filter / verify, with verify split descent-vs-sweep); surface
+        # them as a first-class block so dashboards need not know the
+        # engine.stats schema.
+        if isinstance(engine.stats.get("phase_seconds"), dict):
+            payload["phases"] = {
+                "seconds": dict(engine.stats["phase_seconds"]),
+                "pairs": dict(engine.stats.get("phase_pairs", {})),
+            }
         # Numeric-backend counters (screened/rescreened pairs); guarded
         # so a duck-typed engine without the accessor still serves.
         stats_fn = getattr(engine, "backend_stats", None)

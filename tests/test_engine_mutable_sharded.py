@@ -196,13 +196,27 @@ def test_rebalance_keeps_unaffected_evidence(pool):
     eng.detect(1.8, 5)
     warm = eng.detect(1.8, 5)
     assert warm.pairs == 0
-    # Split shard 0: shards 1 and 2 transplant their caches, so the
-    # next query re-proves only the two affected shards' bounds.
+    # Split shard 0: shards 1 and 2 transplant their caches untouched,
+    # and the affected shard's evidence is decomposed into stay + moved
+    # contributions — the re-query decides from bounds alone.
     eng.split_shard(0)
     after = eng.detect(1.8, 5)
-    cold_estimate = 150 * 149  # a full fresh brute force
-    assert 0 < after.pairs < cold_estimate
+    assert after.pairs == 0
     _oracle_check(eng, 1.8, 5)
+    # With the transfer off, the two rebuilt shards' bounds are gone
+    # and the same split forces re-proving work.
+    plain = MutableShardedDetectionEngine(
+        metric="l2", n_shards=3, workers=1, K=6, seed=0,
+        evidence_transfer=False,
+    )
+    plain.insert(pool[:150])
+    plain.detect(1.8, 5)
+    plain.split_shard(0)
+    refit = plain.detect(1.8, 5)
+    cold_estimate = 150 * 149  # a full fresh brute force
+    assert 0 < refit.pairs < cold_estimate
+    np.testing.assert_array_equal(after.outliers, refit.outliers)
+    plain.close()
     eng.close()
 
 
@@ -346,3 +360,99 @@ def test_validation(pool):
     with pytest.raises(ParameterError):
         eng.merge_shards(0, 0)
     eng.close()
+
+
+# -- evidence-preserving rebalance (phase C v2) -------------------------------
+
+
+def test_evidence_transfer_matches_cache_drop_rebuild(pool):
+    """Transferred caches prove the same answers as re-proving from scratch."""
+    kwargs = dict(metric="l2", n_shards=2, workers=1, K=6, seed=0)
+    eng = MutableShardedDetectionEngine(**kwargs)
+    plain = MutableShardedDetectionEngine(**kwargs, evidence_transfer=False)
+    grid = dict(k_grid=[5])
+    for e in (eng, plain):
+        e.insert(pool[:160])
+        e.sweep([1.6, 1.8], **grid)
+        e.split_shard()
+    # The split preserved at least half of the affected shard's entries.
+    assert eng.last_transfer["before"] > 0
+    assert eng.last_transfer["after"] >= 0.5 * eng.last_transfer["before"]
+    assert eng.stats["evidence_rows_transferred"] == eng.last_transfer["after"]
+    assert plain.last_transfer == {"before": 0, "after": 0}
+    # Bit-identical sweep answers, strictly fewer re-proven pairs.
+    a = eng.sweep([1.6, 1.8], **grid)
+    b = plain.sweep([1.6, 1.8], **grid)
+    for key in a.results:
+        np.testing.assert_array_equal(
+            a.results[key].outliers, b.results[key].outliers
+        )
+    pairs_a = sum(res.pairs for res in a.results.values())
+    pairs_b = sum(res.pairs for res in b.results.values())
+    assert pairs_a < pairs_b
+    # Merging back stays bit-identical too (bounds add across shards).
+    for e in (eng, plain):
+        e.merge_shards()
+    am = _oracle_check(eng, 1.8, 5)
+    bm = _oracle_check(plain, 1.8, 5)
+    np.testing.assert_array_equal(am.outliers, bm.outliers)
+    eng.close()
+    plain.close()
+
+
+def test_transfer_counters_cover_merge(pool):
+    eng = MutableShardedDetectionEngine(
+        metric="l2", n_shards=3, workers=1, K=6, seed=0
+    )
+    eng.insert(pool[:150])
+    eng.detect(1.8, 5)
+    before = eng.stats["evidence_rows_transferred"]
+    eng.merge_shards()
+    assert eng.stats["evidence_rows_transferred"] > before
+    assert eng.last_transfer["before"] > 0
+    _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_rebalance_load_trigger_and_validation(pool):
+    eng = MutableShardedDetectionEngine(
+        metric="l2", n_shards=2, workers=1, K=6, seed=0
+    )
+    eng.insert(pool[:120])
+    eng.detect(1.8, 5)
+    with pytest.raises(ParameterError):
+        eng.rebalance(load_above=1.0)
+    load = eng.shard_load()
+    assert load.shape == (2,)
+    assert np.isclose(load.mean(), 1.0)
+    # Sizes are balanced, so the size-only policy stands pat ...
+    assert eng.rebalance(split_above=5.0, merge_below=0.0) is False
+    hot = float(load.max())
+    if hot > 1.001:
+        # ... but the serve-time signal can still split the hot shard.
+        assert eng.rebalance(
+            split_above=5.0, merge_below=0.0, load_above=(1.0 + hot) / 2
+        ) is True
+        assert eng.n_shards == 3
+        _oracle_check(eng, 1.8, 5)
+    eng.close()
+
+
+def test_foreign_descent_toggle_matches(pool):
+    on = MutableShardedDetectionEngine(
+        metric="l2", n_shards=3, workers=1, K=6, seed=0
+    )
+    off = MutableShardedDetectionEngine(
+        metric="l2", n_shards=3, workers=1, K=6, seed=0,
+        foreign_descent=False,
+    )
+    for e in (on, off):
+        e.insert(pool[:140])
+    a = on.detect(1.8, 5)
+    b = off.detect(1.8, 5)
+    np.testing.assert_array_equal(a.outliers, b.outliers)
+    assert off.stats["phase_pairs"]["verify_descent"] == 0
+    if on.stats["phase_pairs"]["verify"]:
+        assert on.stats["phase_pairs"]["verify_descent"] > 0
+    on.close()
+    off.close()

@@ -430,3 +430,56 @@ def test_shared_memory_store_close_unlink_idempotent():
     second.close()
     with pytest.raises(ParameterError, match="after unlink"):
         second.array()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_shard_pool_call_where_skips_unmasked(workers):
+    from repro.core import ShardPool
+
+    with ShardPool([_counter_factory(s) for s in range(5)], workers=workers) as pool:
+        mask = [True, False, True, False, True]
+        out = pool.call_where("add", [(s,) for s in range(5)], mask)
+        assert [o is None for o in out] == [not m for m in mask]
+        assert [o for o in out if o is not None] == [(s, s) for s in (0, 2, 4)]
+        # Skipped actors really did not run: their totals are untouched.
+        totals = pool.call("add", common=(0,))
+        assert totals == [(0, 0), (1, 0), (2, 2), (3, 0), (4, 4)]
+
+
+def test_shard_pool_call_where_validates_lengths():
+    from repro.core import ShardPool
+    from repro.exceptions import ParameterError
+
+    with ShardPool([_counter_factory(s) for s in range(3)], workers=1) as pool:
+        with pytest.raises(ParameterError):
+            pool.call_where("add", [(0,)], [True, True, True])
+        with pytest.raises(ParameterError):
+            pool.call_where("add", [(0,), (1,), (2,)], [True])
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_shard_pool_busy_seconds(workers):
+    import time as _time
+
+    from repro.core import ShardPool
+
+    class _Sleeper:
+        def __init__(self, shard):
+            self.shard = shard
+
+        def nap(self):
+            _time.sleep(0.02)
+            return self.shard
+
+    def factory(shard):
+        from functools import partial
+
+        return partial(_Sleeper, shard)
+
+    with ShardPool([factory(s) for s in range(3)], workers=workers) as pool:
+        baseline = pool.busy_seconds()
+        assert baseline.shape == (3,)
+        pool.call_where("nap", [() for _ in range(3)], [True, False, True])
+        busy = pool.busy_seconds()
+        assert busy[0] > baseline[0] and busy[2] > baseline[2]
+        assert busy[1] == baseline[1]  # the masked-out shard never worked

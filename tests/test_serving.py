@@ -587,3 +587,32 @@ def test_double_start_raises(blob_points):
                 serving.start()
 
     run(body())
+
+
+def test_http_stats_surface_phase_breakdown(blob_points, l2_params):
+    """/stats exposes the sharded merge's per-phase seconds and pairs."""
+    r, k = l2_params
+    engine = _make_engine("sharded", blob_points)
+    with _ServerThread(engine) as address:
+        with ServingClient(*address) as client:
+            client.query(r, k)
+            stats = client.stats()
+    phases = stats["phases"]
+    assert set(phases["seconds"]) == {"cache", "filter", "verify"}
+    assert phases["pairs"]["verify"] == (
+        phases["pairs"]["verify_descent"]
+        + phases["pairs"]["verify_index"]
+        + phases["pairs"]["verify_sweep"]
+    )
+    assert phases == {
+        "seconds": stats["engine"]["phase_seconds"],
+        "pairs": stats["engine"]["phase_pairs"],
+    }
+    assert stats["engine"]["descent_decided"] >= 0
+    # Single-process engines have no phase stats block.
+    single = _make_engine("static", blob_points)
+    with _ServerThread(single) as address:
+        with ServingClient(*address) as client:
+            client.query(r, k)
+            bare = client.stats()
+    assert "phases" not in bare or isinstance(bare["phases"], dict)

@@ -85,6 +85,28 @@ def test_subset_index(l2_dataset):
     np.testing.assert_array_equal(got, expected)
 
 
+def test_subset_index_foreign_queries(l2_dataset):
+    """Counts for queries *outside* the indexed subset are exact.
+
+    The sharded engine's phase C counts candidates against foreign
+    shards through per-shard subset trees; the query object is then a
+    dataset member that is not one of the tree's items, and must not
+    be excluded from anything.
+    """
+    subset = np.arange(0, l2_dataset.n, 2, dtype=np.int64)
+    tree = VPTree(l2_dataset, capacity=4, rng=0, indices=subset)
+    member = set(subset.tolist())
+    r = _radii(l2_dataset)[1]
+    for q in (1, 33, 251):
+        assert q not in member
+        expected = np.intersect1d(
+            brute_force_range(l2_dataset, q, r), subset
+        ).size
+        assert tree.count_within(q, r) == expected
+        # stop_at truncation never overshoots the true subset count.
+        assert tree.count_within(q, r, stop_at=2) <= expected
+
+
 def test_edit_metric_tree(edit_dataset):
     tree = VPTree(edit_dataset, capacity=8, rng=0)
     got = tree.range_search(0, 3.0)
