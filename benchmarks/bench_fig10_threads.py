@@ -1,10 +1,49 @@
 """Figure 10: impact of the number of workers.
 
-The paper shows near-linear speedup with OpenMP threads.  In Python,
-only the numpy distance kernels release the GIL, so the reproduction
-target is the *shape*: more workers never hurt much, and the graph
-ranking is unchanged.  (See DESIGN.md §3 on this substitution.)
+The paper shows near-linear build and detection speedup with OpenMP
+threads.  This bench reproduces the figure with two legs:
+
+* **Threads (record-only).**  Detection time vs ``n_jobs`` threads via
+  the harness experiment.  CPython threads cannot reproduce the paper's
+  scaling (the per-object traversal loop holds the GIL; only the numpy
+  distance kernels release it), so this leg records the honest shape —
+  more workers never hurt much, graph ranking unchanged — and asserts
+  nothing about slope.  (See DESIGN.md §3 on this substitution.)
+* **Processes (asserted, hardware-gated).**  MRPG construction time vs
+  ``build_workers`` processes on the worker-count-invariant parallel
+  build (:mod:`repro.graphs.parallel_build`).  Worker processes *do*
+  escape the GIL, so this leg carries the paper-shaped acceptance
+  claim: >= 1.8x build speedup at 4 workers.  That is a *hardware*
+  claim — it only fires where 4 real cores exist at full scale; the
+  committed ``BENCH_build.json`` embeds the gate decision
+  (``cores_available`` / ``assertion_ran``) so numbers measured on a
+  1-CPU container cannot masquerade as a tested claim.  Exactness, by
+  contrast, is asserted at every scale: all builds must be
+  bit-identical to the 1-worker serial reference.
+
+Scale knob: ``REPRO_BENCH_SCALE`` shrinks the cardinality for a quick
+pass.
 """
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import Dataset
+from repro.datasets import blobs_with_outliers
+from repro.graphs import build_graph, graphs_equal
+from repro.harness import bench_scale, hardware_gate
+
+N_FULL = 5_000
+DIM = 16
+GRAPH, DEGREE = "mrpg", 16
+WORKER_COUNTS = (1, 2, 4)
+#: JSON baseline location (repo root, committed).
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_build.json"
 
 
 def test_fig10_threads(benchmark, run_and_save):
@@ -18,3 +57,82 @@ def test_fig10_threads(benchmark, run_and_save):
     # discusses the measured shape honestly.
     for row in table.rows:
         assert row["mrpg"] > 0, row
+
+
+@pytest.fixture(scope="module")
+def build_workload():
+    n = max(512, int(round(N_FULL * bench_scale())))
+    points = blobs_with_outliers(
+        n, dim=DIM, n_clusters=10, core_std=0.6, tail_std=2.2, tail_frac=0.06,
+        center_spread=14.0, planted_frac=0.01, planted_spread=70.0, rng=42,
+    )
+    return Dataset(points, "l2")
+
+
+def test_fig10_parallel_build(build_workload):
+    import numpy as np
+
+    dataset = build_workload
+    records = []
+    graphs = {}
+    seconds = {}
+    for workers in WORKER_COUNTS:
+        t0 = time.perf_counter()
+        g = build_graph(
+            GRAPH, dataset.view(), K=DEGREE,
+            rng=np.random.default_rng(0), build_workers=workers,
+        )
+        seconds[workers] = time.perf_counter() - t0
+        graphs[workers] = g
+        stats = g.build_stats()
+        records.append({
+            "n": dataset.n,
+            "dim": DIM,
+            "metric": "l2",
+            "graph": GRAPH,
+            "K": DEGREE,
+            "build_workers": workers,
+            "seconds": round(seconds[workers], 6),
+            "build_seconds": round(float(stats["build_seconds"]), 6),
+            "phase_seconds": {
+                k: round(float(v), 6)
+                for k, v in stats["phase_seconds"].items()
+            },
+            "iterations": int(stats["iterations"]),
+            "updates_per_round": [
+                int(u) for u in stats["updates_per_round"]
+            ],
+            "build_pairs": int(stats["build_pairs"]),
+            "start_method": stats["start_method"],
+        })
+
+    # Exactness headline at any scale: worker-count invariance means the
+    # speedup is free — every build is the same graph, bit for bit.
+    for workers in WORKER_COUNTS[1:]:
+        assert graphs_equal(graphs[1], graphs[workers]), (
+            f"build_workers={workers} diverged from the serial reference"
+        )
+
+    speedup = seconds[1] / max(seconds[4], 1e-12)
+    gate = hardware_gate(
+        full_scale=int(round(N_FULL * bench_scale())) >= N_FULL,
+        required_cores=4,
+    )
+    payload = {
+        "description": "MRPG construction time vs build_workers processes "
+                       "(worker-count-invariant parallel build); the "
+                       "threads leg of Figure 10 stays record-only in "
+                       "results/fig10*",
+        "cpu_count": gate["cores_available"],
+        "records": records,
+        "speedup_serial_vs_4_workers": round(speedup, 3),
+        **gate,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nparallel build speedup at 4 workers: {speedup:.2f}x on "
+          f"{gate['cores_available']} cpus (baseline written to "
+          f"{OUTPUT.name}; assertion_ran={gate['assertion_ran']})")
+
+    if gate["assertion_ran"]:
+        # Acceptance headline on >= 4 real cores at full scale.
+        assert speedup >= 1.8, payload

@@ -19,6 +19,39 @@ from pathlib import Path
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--build-workers",
+        type=int,
+        default=None,
+        help="build every benchmark graph on the process-parallel path "
+             "with this many workers (worker-count-invariant; default: "
+             "the legacy sequential build)",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _build_workers_option(request):
+    """Route ``--build-workers`` to the harness via the env knob.
+
+    The harness graph cache keys on the worker count, so a session
+    mixing both build paths keeps them distinct.
+    """
+    workers = request.config.getoption("--build-workers")
+    if workers is None:
+        yield
+        return
+    previous = os.environ.get("REPRO_BUILD_WORKERS")
+    os.environ["REPRO_BUILD_WORKERS"] = str(workers)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_BUILD_WORKERS", None)
+        else:
+            os.environ["REPRO_BUILD_WORKERS"] = previous
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> str:
     path = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))

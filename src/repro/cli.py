@@ -72,6 +72,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(map an --input .npy written by "
                                "repro.io.create_memmap_store; out-of-core, "
                                "identical answers)")
+    p_detect.add_argument("--build-workers", type=int, default=None,
+                          help="processes for graph construction (worker-count-"
+                               "invariant: same seed, same graph at any count; "
+                               "default: legacy sequential build)")
+    p_detect.add_argument("--verbose", action="store_true",
+                          help="print per-phase graph-build statistics")
     p_detect.add_argument("--output", help="write outlier ids to this file")
     p_detect.set_defaults(func=_cmd_detect)
 
@@ -117,6 +123,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(map an --input .npy written by "
                               "repro.io.create_memmap_store; out-of-core, "
                               "identical answers)")
+    p_sweep.add_argument("--build-workers", type=int, default=None,
+                         help="processes for graph construction (worker-count-"
+                              "invariant; default: legacy sequential build)")
     p_sweep.add_argument("--check", action="store_true",
                          help="verify every grid point against a fresh graph_dod "
                               "run and report the reuse speedup")
@@ -174,6 +183,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="object storage: ram (per-worker copies) or shm "
                                "(one growable shared segment every shard "
                                "worker maps zero-copy; identical answers)")
+    p_update.add_argument("--build-workers", type=int, default=None,
+                          help="processes for graph rebuilds (worker-count-"
+                               "invariant; default: legacy sequential build)")
     p_update.add_argument("--rebalance", action="store_true",
                           help="run the automatic shard split/merge policy "
                                "after every batch (needs --shards > 1)")
@@ -241,6 +253,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "shared segment, needs --mutable), or memmap "
                               "(map an --input .npy written by "
                               "repro.io.create_memmap_store)")
+    p_serve.add_argument("--build-workers", type=int, default=None,
+                         help="processes for graph construction (worker-count-"
+                              "invariant; default: legacy sequential build)")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8734,
                          help="listening port (0 picks a free port)")
@@ -304,6 +319,29 @@ def _memmap_dataset(args: argparse.Namespace, metric: str):
     return open_memmap_dataset(args.input, metric, backend=args.backend)
 
 
+def _print_build_stats(engine) -> None:
+    """Per-phase graph-build statistics (``detect --verbose``)."""
+    getter = getattr(engine, "build_stats", None)
+    stats = getter() if callable(getter) else {}
+    if not stats:
+        print("build stats: unavailable for this engine")
+        return
+    print("build stats:")
+    per_shard = stats.pop("per_shard", None)
+    for key in sorted(stats):
+        value = stats[key]
+        if isinstance(value, float):
+            print(f"  {key}: {value:.3f}")
+        else:
+            print(f"  {key}: {value}")
+    if per_shard:
+        for s, entry in enumerate(per_shard):
+            secs = entry.get("build_seconds")
+            secs = "?" if secs is None else f"{float(secs):.3f}s"
+            print(f"  shard {s}: build {secs}, "
+                  f"workers {entry.get('build_workers', 'legacy')}")
+
+
 def _cmd_detect(args: argparse.Namespace) -> int:
     if args.suite:
         objects = make_objects(args.suite, n=args.n, seed=args.seed)
@@ -331,11 +369,14 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         objects, metric=metric, graph=args.graph, K=args.K, seed=args.seed,
         shards=args.shards, workers=args.workers, n_jobs=args.n_jobs,
         mode=args.mode, batch_size=args.batch_size, backend=args.backend,
+        build_workers=args.build_workers,
     ) as engine:
         result = engine.query(r, k)
         print(result.summary())
         print(f"index size: {engine.index_nbytes / 1024:.1f} KiB "
               f"({engine.describe()})")
+        if args.verbose:
+            _print_build_stats(engine)
     if args.output:
         np.savetxt(args.output, result.outliers, fmt="%d")
         print(f"outlier ids written to {args.output}")
@@ -439,6 +480,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             dataset, graph=args.graph, K=args.K, seed=args.seed,
             shards=args.shards, workers=args.workers, n_jobs=args.n_jobs,
             mode=args.mode, batch_size=args.batch_size, backend=args.backend,
+            build_workers=args.build_workers,
         )
 
     try:
@@ -573,10 +615,16 @@ def _cmd_update(args: argparse.Namespace) -> int:
     if args.snapshot is not None and os.path.exists(args.snapshot):
         from .io import load_any_engine
 
+        warm_kwargs = {}
+        if args.build_workers is not None:
+            # Explicit flag overrides the parallelism recorded in the
+            # snapshot; omitted, the snapshot's setting is restored.
+            warm_kwargs["build_workers"] = args.build_workers
         try:
             engine = load_any_engine(
                 args.snapshot, objects=objects, workers=args.workers,
                 rebuild_every=args.rebuild_every, backend=args.backend,
+                **warm_kwargs,
             )
         except GraphError as exc:
             print(f"update: cannot load snapshot: {exc}", file=sys.stderr)
@@ -596,7 +644,7 @@ def _cmd_update(args: argparse.Namespace) -> int:
         None, metric=spec.metric, K=args.K, seed=args.seed, mutable=True,
         shards=args.shards, workers=args.workers,
         rebuild_every=args.rebuild_every, backend=args.backend,
-        store=args.store,
+        store=args.store, build_workers=args.build_workers,
     )
     gen = np.random.default_rng(args.seed + 1)
     n = len(objects)
@@ -696,6 +744,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n_jobs=args.n_jobs, mode=args.mode, batch_size=args.batch_size,
         backend=args.backend,
         store="shm" if args.store == "shm" else "ram",
+        build_workers=args.build_workers,
     )
 
     async def _run() -> None:

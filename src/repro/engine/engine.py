@@ -213,12 +213,22 @@ class DetectionEngine:
         memo_outliers: bool = True,
         memo_budget: int | None = None,
         backend: "str | None" = None,
+        build_workers: "int | None" = None,
         **graph_params,
     ) -> "DetectionEngine":
-        """Offline phase in one call: dataset + graph + verifier + engine."""
+        """Offline phase in one call: dataset + graph + verifier + engine.
+
+        ``build_workers`` moves graph construction onto the process-
+        parallel, worker-count-invariant path (see
+        :mod:`repro.graphs.parallel_build`); ``None`` keeps the legacy
+        sequential build.
+        """
         gen = ensure_rng(seed)
         dataset = Dataset(objects, metric)
-        built = build_graph(graph, dataset, K=K, rng=gen, **graph_params)
+        built = build_graph(
+            graph, dataset, K=K, rng=gen, build_workers=build_workers,
+            **graph_params,
+        )
         verifier = Verifier(dataset, strategy=verify, rng=gen)
         return cls(
             dataset,
@@ -552,6 +562,10 @@ class DetectionEngine:
     def store_stats(self) -> dict:
         """Where the dataset's object store lives and what it pins."""
         return self.dataset.store_stats()
+
+    def build_stats(self) -> dict:
+        """Per-phase construction observability of the fitted graph."""
+        return self.graph.build_stats()
 
     # -- bookkeeping -----------------------------------------------------------
 

@@ -94,6 +94,7 @@ class MutableDetectionEngine:
         cache_radii: "int | None" = None,
         pinned: Sequence[float] = (),
         backend: "str | None" = None,
+        build_workers: "int | None" = None,
     ):
         if K < 1:
             raise ParameterError(f"K must be >= 1, got {K}")
@@ -114,6 +115,7 @@ class MutableDetectionEngine:
         self.verify = verify
         self.rebuild_graph = rebuild_graph
         self.rebuild_every = rebuild_every
+        self.build_workers = None if build_workers is None else int(build_workers)
         self.cache_radii = cache_radii
         # Resolved once so screen/rescreen counters survive the dataset
         # refreshes every mutation triggers (the instance is the stats
@@ -615,7 +617,11 @@ class MutableDetectionEngine:
         compact_ds = self._live_dataset(keep)
         if keep.size > self.K + 1:
             built = build_graph(
-                self.rebuild_graph, compact_ds, K=self.K, rng=self._rng
+                self.rebuild_graph,
+                compact_ds,
+                K=self.K,
+                rng=self._rng,
+                build_workers=self.build_workers,
             )
         else:
             built = Graph(keep.size)
@@ -626,6 +632,22 @@ class MutableDetectionEngine:
         self.pairs += compact_ds.counter.pairs
         graph = Graph(self.n_total)
         graph.meta = {"builder": "mutable", "K": self.K}
+        # Keep the inner build's provenance so build_stats() reflects the
+        # most recent rebuild even though ids were remapped.
+        for key in (
+            "build_seconds",
+            "phase_seconds",
+            "iterations",
+            "updates_per_round",
+            "build_workers",
+            "build_stats",
+            "detour_scans",
+            "detour_links_added",
+            "links_removed",
+            "connect_patches",
+        ):
+            if key in built.meta:
+                graph.meta[key] = built.meta[key]
         for cu in range(keep.size):
             u = int(keep[cu])
             graph.set_links(u, (int(keep[w]) for w in built.neighbors_list(cu)))
@@ -747,6 +769,12 @@ class MutableDetectionEngine:
                 "rescreened_pairs": 0,
             }
         return self._backend.stats_dict()
+
+    def build_stats(self) -> dict:
+        """Per-phase timings of the most recent graph (re)build."""
+        if self._graph is None:
+            return {}
+        return self._graph.build_stats()
 
     def store_stats(self) -> dict:
         """Object-log accounting (one in-process copy of the log)."""

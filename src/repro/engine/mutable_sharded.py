@@ -103,6 +103,7 @@ class MutableShardWorker:
         backend: "str | None" = None,
         shared_store: bool = False,
         store_meta: "dict | None" = None,
+        build_workers: "int | None" = None,
     ):
         self.metric = resolve_metric(metric)
         self.shard_index = int(shard_index)
@@ -112,6 +113,10 @@ class MutableShardWorker:
         self._backend = None if backend is None else resolve_backend(backend)
         self.K = int(K)
         self.graph_name = graph
+        # Shard workers are daemon processes, so BuildPool falls back to
+        # one in-process worker here — the partitioned build is
+        # worker-count-invariant, so results match the parent's anyway.
+        self.build_workers = None if build_workers is None else int(build_workers)
         resolve_filter_mode(mode, None)
         self.mode = mode
         self.batch_size = int(batch_size)
@@ -220,6 +225,12 @@ class MutableShardWorker:
             }
         return self._backend.stats_dict()
 
+    def build_stats(self) -> dict:
+        """Per-phase timings of this shard's most recent graph build."""
+        if self._graph is None:
+            return {}
+        return self._graph.build_stats()
+
     def _bank_pairs(self) -> None:
         if self._dataset is not None:
             self._banked += self._dataset.counter.pairs
@@ -260,7 +271,12 @@ class MutableShardWorker:
             sub = self._dataset.subset(members[live_local])
             if live_local.size > self.K + 1:
                 built = build_graph(
-                    self.graph_name, sub, K=self.K, rng=self._rng, clamp_K=True
+                    self.graph_name,
+                    sub,
+                    K=self.K,
+                    rng=self._rng,
+                    clamp_K=True,
+                    build_workers=self.build_workers,
                 )
             else:
                 built = Graph(live_local.size)
@@ -279,6 +295,20 @@ class MutableShardWorker:
                     live_local[nbr_ids],
                     dists.copy(),
                 )
+            for key in (
+                "build_seconds",
+                "phase_seconds",
+                "iterations",
+                "updates_per_round",
+                "build_workers",
+                "build_stats",
+                "detour_scans",
+                "detour_links_added",
+                "links_removed",
+                "connect_patches",
+            ):
+                if key in built.meta:
+                    graph.meta[key] = built.meta[key]
             self._banked += sub.counter.pairs
         self._graph = graph
 
@@ -764,6 +794,7 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         store: str = "list",
         foreign_descent: bool = True,
         evidence_transfer: bool = True,
+        build_workers: "int | None" = None,
     ):
         if n_shards < 1:
             raise ParameterError(f"n_shards must be >= 1, got {n_shards}")
@@ -798,6 +829,7 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
         self.batch_size = int(batch_size)
         self.cache_radii = cache_radii
         self.rebuild_every = rebuild_every
+        self.build_workers = None if build_workers is None else int(build_workers)
         self._rng = ensure_rng(seed)
         self._pinned: set[float] = {float(r) for r in pinned}
         self.n_shards = int(n_shards)
@@ -891,6 +923,7 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
             "backend": self._backend_spec[
                 shard_index % len(self._backend_spec)
             ],
+            "build_workers": self.build_workers,
         }
         return kwargs
 
@@ -1559,6 +1592,20 @@ class MutableShardedDetectionEngine(_ShardMergeBase):
                 out[key] += int(entry.get(key, 0))
         out["per_shard"] = list(per_shard)
         return out
+
+    def build_stats(self) -> dict:
+        """Per-shard graph-build phase timings (most recent builds)."""
+        per_shard = [] if self._pool is None else self._pool.call(
+            "build_stats"
+        )
+        total = 0.0
+        for entry in per_shard:
+            total += float(entry.get("build_seconds", 0.0) or 0.0)
+        return {
+            "build_workers": self.build_workers,
+            "build_seconds": total,
+            "per_shard": list(per_shard),
+        }
 
     def store_stats(self) -> dict:
         """Object-store accounting (``/stats`` and the benchmarks).

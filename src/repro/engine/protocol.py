@@ -227,9 +227,17 @@ def create_engine(
     start_method: "str | None" = None,
     backend: "str | Sequence[str] | None" = None,
     store: str = "ram",
+    build_workers: "int | None" = None,
     **graph_params,
 ) -> EngineCore:
     """Build the engine variant matching a workload shape.
+
+    ``build_workers`` moves every graph construction this engine
+    performs (the initial fit, per-shard fits, ``rebuild_every`` refits
+    and ``split_shard`` rebuilds) onto the process-parallel,
+    worker-count-invariant path of
+    :mod:`repro.graphs.parallel_build`.  Same seed, same graph, at any
+    worker count; ``None`` keeps the legacy sequential builds.
 
     ``data`` is raw objects or a prepared :class:`~repro.data.Dataset`
     (static engines require it; mutable engines may start empty and be
@@ -300,6 +308,7 @@ def create_engine(
                 rebuild_every=rebuild_every, start_method=start_method,
                 backend=backend,
                 store="shm" if store_kind == "shm" else "list",
+                build_workers=build_workers,
             )
             if objects is not None:
                 engine.bulk_load(objects)
@@ -311,13 +320,13 @@ def create_engine(
                 objects, metric=metric, K=K, seed=seed, n_jobs=n_jobs,
                 mode=mode, batch_size=batch_size, rebuild_graph=graph,
                 cache_radii=cache_radii, rebuild_every=rebuild_every,
-                pinned=pinned, backend=backend,
+                pinned=pinned, backend=backend, build_workers=build_workers,
             )
         return MutableDetectionEngine(
             metric=metric, K=K, seed=seed, n_jobs=n_jobs, mode=mode,
             batch_size=batch_size, rebuild_graph=graph,
             cache_radii=cache_radii, rebuild_every=rebuild_every,
-            pinned=pinned, backend=backend,
+            pinned=pinned, backend=backend, build_workers=build_workers,
         )
     if data is None:
         raise ParameterError("static engines need data; pass mutable=True "
@@ -329,7 +338,8 @@ def create_engine(
         return ShardedDetectionEngine(
             dataset, n_shards=shards, workers=workers, strategy=strategy,
             graph=graph, K=K, rng=seed, mode=mode, batch_size=batch_size,
-            start_method=start_method, backend=backend, **graph_params,
+            start_method=start_method, backend=backend,
+            build_workers=build_workers, **graph_params,
         )
     from .engine import DetectionEngine
 
@@ -338,7 +348,10 @@ def create_engine(
         from ..rng import ensure_rng
 
         gen = ensure_rng(seed)
-        built = build_graph(graph, data, K=K, rng=gen, **graph_params)
+        built = build_graph(
+            graph, data, K=K, rng=gen, build_workers=build_workers,
+            **graph_params,
+        )
         return DetectionEngine(
             data, built, n_jobs=n_jobs, rng=gen, mode=mode,
             batch_size=batch_size, cache_radii=cache_radii, backend=backend,
@@ -346,5 +359,5 @@ def create_engine(
     return DetectionEngine.fit(
         data, metric=metric, graph=graph, K=K, seed=seed, n_jobs=n_jobs,
         mode=mode, batch_size=batch_size, cache_radii=cache_radii,
-        backend=backend, **graph_params,
+        backend=backend, build_workers=build_workers, **graph_params,
     )

@@ -428,6 +428,10 @@ class ShardWorker:
         """This worker's backend name + screen/rescreen counters."""
         return self._full.backend_stats()
 
+    def build_stats(self) -> dict:
+        """Construction observability of this shard's graph."""
+        return self.graph.build_stats()
+
 
 def _make_worker(dataset, ids, graph, K, seed, mode, batch_size,
                  graph_params, cache, knn_radii, backend=None,
@@ -982,9 +986,17 @@ class ShardedDetectionEngine(_ShardMergeBase):
         backend: "str | Sequence[str] | None" = None,
         foreign_descent: bool = True,
         foreign_index: "bool | None" = None,
+        build_workers: "int | None" = None,
         **graph_params,
     ):
         gen = ensure_rng(rng)
+        # Per-shard graph builds ride the worker-count-invariant pool
+        # path when requested.  Inside daemonic shard processes the pool
+        # runs in-process (daemons may not have children) — bit-identical
+        # by invariance, so the knob is safe at any (workers, shards).
+        self.build_workers = None if build_workers is None else int(build_workers)
+        if self.build_workers is not None:
+            graph_params.setdefault("build_workers", self.build_workers)
         if shard_ids is None:
             shard_ids = plan_shards(dataset.n, n_shards, strategy=strategy, rng=gen)
         else:
@@ -1132,6 +1144,17 @@ class ShardedDetectionEngine(_ShardMergeBase):
         copy; string stores are pickled per worker.
         """
         return self.dataset.store_stats()
+
+    def build_stats(self) -> dict:
+        """Per-shard graph-construction observability, plus totals."""
+        per_shard = self._pool.call("build_stats")
+        return {
+            "build_workers": self.build_workers,
+            "build_seconds": float(
+                sum(s.get("build_seconds", 0.0) or 0.0 for s in per_shard)
+            ),
+            "per_shard": list(per_shard),
+        }
 
     # -- merge hooks (the static population) -----------------------------------
 

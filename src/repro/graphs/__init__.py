@@ -11,6 +11,12 @@ from .mrpg import MRPGConfig, build_mrpg
 from .nndescent import NNDescentResult, nndescent
 from .nndescent_plus import NNDescentPlusResult, nndescent_plus
 from .nsw import build_nsw
+from .parallel_build import (
+    BUILD_PARTITIONS,
+    BuildPool,
+    build_partitions,
+    graphs_equal,
+)
 from .prune import remove_links
 
 __all__ = [
@@ -32,4 +38,8 @@ __all__ = [
     "BFSScan",
     "remove_links",
     "greedy_ann_search",
+    "BuildPool",
+    "BUILD_PARTITIONS",
+    "build_partitions",
+    "graphs_equal",
 ]

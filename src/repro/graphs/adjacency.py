@@ -310,6 +310,36 @@ class Graph:
         self._knn_arrays = (fingerprint, arrays)
         return arrays
 
+    def build_stats(self) -> dict:
+        """Per-phase construction observability, derived from :attr:`meta`.
+
+        One flat dict for engine ``stats()`` / serving ``/stats`` / CLI
+        ``--verbose``: builder name, wall-clock per phase, NN-Descent
+        round convergence, and — for pool-built graphs — the worker
+        count, start method, per-stage seconds and worker pair counts
+        recorded by :mod:`repro.graphs.parallel_build`.  Keys absent
+        from ``meta`` are omitted rather than padded with ``None``.
+        """
+        stats: dict = {}
+        for key in (
+            "builder",
+            "build_seconds",
+            "phase_seconds",
+            "iterations",
+            "updates_per_round",
+            "build_workers",
+            "detour_scans",
+            "detour_links_added",
+            "links_removed",
+            "connect_patches",
+        ):
+            if key in self.meta:
+                stats[key] = self.meta[key]
+        extra = self.meta.get("build_stats")
+        if isinstance(extra, dict):
+            stats.update(extra)
+        return stats
+
     @property
     def finalized(self) -> bool:
         return self._csr is not None

@@ -36,12 +36,19 @@ def _kgraph(dataset: Dataset, K: int, rng, **params) -> Graph:
 
 
 def _nsw(dataset: Dataset, K: int, rng, **params) -> Graph:
+    # NSW/HNSW insert sequentially (each insert searches the graph built
+    # so far) — no parallel build path; the flag is accepted and ignored
+    # so callers can thread one setting through any builder.
+    params.pop("build_workers", None)
+    params.pop("build_start_method", None)
     # The paper sizes NSW so its memory matches KGraph's: K links/object.
     params.setdefault("n_links", K)
     return build_nsw(dataset, rng=rng, **params)
 
 
 def _hnsw(dataset: Dataset, K: int, rng, **params) -> Graph:
+    params.pop("build_workers", None)
+    params.pop("build_start_method", None)
     # Layer-0 degree cap is 2M, so M = K/2 matches the others' memory.
     params.setdefault("M", max(2, K // 2))
     return build_hnsw(dataset, rng=rng, **params)
@@ -67,9 +74,18 @@ def build_graph(
     K: int = 16,
     rng: "int | np.random.Generator | None" = None,
     clamp_K: bool = False,
+    build_workers: "int | None" = None,
+    build_start_method: "str | None" = None,
     **params,
 ) -> Graph:
     """Build the proximity graph ``name`` over ``dataset``.
+
+    ``build_workers`` selects the process-parallel, worker-count-
+    invariant construction path of
+    :mod:`repro.graphs.parallel_build` for builders that support it
+    (kgraph, mrpg, mrpg-basic; nsw/hnsw ignore it) — the same seed
+    yields a bit-identical graph at any worker count.  ``None`` keeps
+    the legacy sequential algorithms byte-for-byte.
 
     ``clamp_K`` lowers ``K`` to ``dataset.n - 1`` when the dataset is
     too small to have ``K`` distinct neighbors per object — the normal
@@ -95,4 +111,8 @@ def build_graph(
         raise GraphError(f"unknown graph {name!r}; known: {available_graphs()}")
     if clamp_K:
         K = max(1, min(int(K), dataset.n - 1))
+    if build_workers is not None:
+        params["build_workers"] = int(build_workers)
+        if build_start_method is not None:
+            params["build_start_method"] = str(build_start_method)
     return _BUILDERS[key](dataset, K=K, rng=rng, **params)

@@ -15,6 +15,7 @@ import numpy as np
 from ..data import Dataset
 from .adjacency import Graph
 from .nndescent import nndescent
+from .parallel_build import resolve_build_pool
 
 
 def build_kgraph(
@@ -22,17 +23,41 @@ def build_kgraph(
     K: int = 16,
     max_iters: int = 12,
     rng: "int | np.random.Generator | None" = None,
+    build_workers: int | None = None,
+    build_start_method: str | None = None,
 ) -> Graph:
-    """Build a KGraph with plain NNDescent (random init, no skipping)."""
+    """Build a KGraph with plain NNDescent (random init, no skipping).
+
+    ``build_workers`` selects the worker-count-invariant partitioned
+    NN-Descent of :mod:`repro.graphs.parallel_build`; ``None`` (default)
+    keeps the legacy sequential loop byte-for-byte.
+    """
     t0 = time.perf_counter()
-    result = nndescent(dataset, K, max_iters=max_iters, rng=rng)
-    g = Graph(dataset.n)
-    for p in range(dataset.n):
-        g.set_links(p, result.knn_ids[p])
-    g.finalize()
-    g.meta["builder"] = "kgraph"
-    g.meta["K"] = K
-    g.meta["iterations"] = result.iterations
-    g.meta["phase_seconds"] = {"nndescent": time.perf_counter() - t0}
-    g.meta["build_seconds"] = time.perf_counter() - t0
+    pool = resolve_build_pool(dataset, build_workers, build_start_method)
+    try:
+        result = nndescent(dataset, K, max_iters=max_iters, rng=rng, pool=pool)
+        g = Graph(dataset.n)
+        for p in range(dataset.n):
+            g.set_links(p, result.knn_ids[p])
+        g.finalize()
+        g.meta["builder"] = "kgraph"
+        g.meta["K"] = K
+        g.meta["iterations"] = result.iterations
+        g.meta["updates_per_round"] = list(result.updates_per_iter)
+        g.meta["phase_seconds"] = {"nndescent": time.perf_counter() - t0}
+        g.meta["build_seconds"] = time.perf_counter() - t0
+        if pool is not None:
+            pairs = pool.take_pairs()
+            dataset.counter.pairs += pairs
+            g.meta["build_workers"] = pool.workers
+            g.meta["build_stats"] = dict(
+                result.stage_seconds,
+                workers=pool.workers,
+                requested_workers=pool.requested_workers,
+                start_method=pool.start_method,
+                build_pairs=pairs,
+            )
+    finally:
+        if pool is not None:
+            pool.release()
     return g

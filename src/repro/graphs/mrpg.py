@@ -33,6 +33,11 @@ from .adjacency import Graph
 from .connect import connect_subgraphs
 from .detours import remove_detours
 from .nndescent_plus import nndescent_plus
+from .parallel_build import (
+    remove_detours_batched,
+    remove_links_batched,
+    resolve_build_pool,
+)
 from .prune import remove_links
 
 
@@ -58,6 +63,14 @@ class MRPGConfig:
     connect: bool = True
     detours: bool = True
     prune: bool = True
+    #: ``None`` keeps the legacy sequential construction byte-for-byte;
+    #: an int selects the worker-count-invariant partitioned build of
+    #: :mod:`repro.graphs.parallel_build` (``1`` runs it in-process —
+    #: the bit-identical serial reference for any larger pool).
+    build_workers: int | None = None
+    #: multiprocessing start method for the build pool (``None`` =
+    #: platform default: ``fork`` where available, else ``spawn``).
+    build_start_method: str | None = None
 
 
 def build_mrpg(
@@ -77,65 +90,104 @@ def build_mrpg(
     n = dataset.n
     phases: dict[str, float] = {}
 
-    t0 = time.perf_counter()
-    k_prime = cfg.K if basic else cfg.K_prime
-    ndp = nndescent_plus(
-        dataset,
-        cfg.K,
-        K_prime=k_prime,
-        n_exact=cfg.n_exact,
-        partition_repeats=cfg.partition_repeats,
-        capacity=cfg.capacity,
-        max_iters=cfg.max_iters,
-        rng=gen,
-    )
-    phases["nndescent+"] = time.perf_counter() - t0
-
-    g = Graph(n)
-    g.meta["K"] = cfg.K  # remove_detours sizes its samples from this
-    g.pivots = ndp.pivots.copy()
-    g.exact_knn = ndp.exact_knn
-    for p in range(n):
-        if p in ndp.exact_knn:
-            g.set_links(p, ndp.exact_knn[p][0])
-        else:
-            g.set_links(p, ndp.knn.knn_ids[p])
-
-    if cfg.connect:
-        stats = connect_subgraphs(
+    # One pool outlives every stage (descent rounds, exact K'-NN, detour
+    # and prune scans) so the fork/spawn cost is paid once per build.
+    pool = resolve_build_pool(dataset, cfg.build_workers, cfg.build_start_method)
+    try:
+        t0 = time.perf_counter()
+        k_prime = cfg.K if basic else cfg.K_prime
+        ndp = nndescent_plus(
             dataset,
-            g,
+            cfg.K,
+            K_prime=k_prime,
+            n_exact=cfg.n_exact,
+            partition_repeats=cfg.partition_repeats,
+            capacity=cfg.capacity,
+            max_iters=cfg.max_iters,
             rng=gen,
-            n_probe_pivots=cfg.n_probe_pivots,
-            ann_max_hops=cfg.ann_max_hops,
+            pool=pool,
         )
-        phases["connect_subgraphs"] = stats["seconds"]
-        g.meta["connect_patches"] = stats["patches"]
+        phases["nndescent+"] = time.perf_counter() - t0
 
-    if cfg.detours:
-        stats = remove_detours(
-            dataset,
-            g,
-            rng=gen,
-            n_targets=cfg.detour_targets,
-            pivots_per_target=cfg.detour_pivots,
-            cap=cfg.detour_cap,
+        g = Graph(n)
+        g.meta["K"] = cfg.K  # remove_detours sizes its samples from this
+        g.pivots = ndp.pivots.copy()
+        g.exact_knn = ndp.exact_knn
+        for p in range(n):
+            if p in ndp.exact_knn:
+                g.set_links(p, ndp.exact_knn[p][0])
+            else:
+                g.set_links(p, ndp.knn.knn_ids[p])
+
+        if cfg.connect:
+            stats = connect_subgraphs(
+                dataset,
+                g,
+                rng=gen,
+                n_probe_pivots=cfg.n_probe_pivots,
+                ann_max_hops=cfg.ann_max_hops,
+            )
+            phases["connect_subgraphs"] = stats["seconds"]
+            g.meta["connect_patches"] = stats["patches"]
+
+        if cfg.detours:
+            if pool is not None:
+                stats = remove_detours_batched(
+                    dataset,
+                    g,
+                    pool,
+                    gen,
+                    n_targets=cfg.detour_targets,
+                    pivots_per_target=cfg.detour_pivots,
+                    cap=cfg.detour_cap,
+                )
+                g.meta["detour_scans"] = stats["scans"]
+            else:
+                stats = remove_detours(
+                    dataset,
+                    g,
+                    rng=gen,
+                    n_targets=cfg.detour_targets,
+                    pivots_per_target=cfg.detour_pivots,
+                    cap=cfg.detour_cap,
+                )
+            phases["remove_detours"] = stats["seconds"]
+            g.meta["detour_links_added"] = stats["links_added"]
+
+        if cfg.prune:
+            if pool is not None:
+                stats = remove_links_batched(g, pool)
+            else:
+                stats = remove_links(g)
+            phases["remove_links"] = stats["seconds"]
+            g.meta["links_removed"] = stats["removed"]
+
+        g.finalize()
+        g.meta["builder"] = "mrpg-basic" if basic else "mrpg"
+        g.meta["K"] = cfg.K
+        g.meta["K_prime"] = min(
+            cfg.K if basic else (cfg.K_prime or 4 * cfg.K), n - 1
         )
-        phases["remove_detours"] = stats["seconds"]
-        g.meta["detour_links_added"] = stats["links_added"]
-
-    if cfg.prune:
-        stats = remove_links(g)
-        phases["remove_links"] = stats["seconds"]
-        g.meta["links_removed"] = stats["removed"]
-
-    g.finalize()
-    g.meta["builder"] = "mrpg-basic" if basic else "mrpg"
-    g.meta["K"] = cfg.K
-    g.meta["K_prime"] = min(cfg.K if basic else (cfg.K_prime or 4 * cfg.K), n - 1)
-    g.meta["iterations"] = ndp.knn.iterations
-    g.meta["seeded_fraction"] = ndp.seeded_fraction
-    g.meta["nndescent_plus_timings"] = ndp.timings
-    g.meta["phase_seconds"] = phases
-    g.meta["build_seconds"] = sum(phases.values())
+        g.meta["iterations"] = ndp.knn.iterations
+        g.meta["updates_per_round"] = list(ndp.knn.updates_per_iter)
+        g.meta["seeded_fraction"] = ndp.seeded_fraction
+        g.meta["nndescent_plus_timings"] = ndp.timings
+        g.meta["phase_seconds"] = phases
+        g.meta["build_seconds"] = sum(phases.values())
+        if pool is not None:
+            # Fold worker-side distance evaluations back into the parent
+            # counter so build-cost accounting matches sequential builds.
+            pairs = pool.take_pairs()
+            dataset.counter.pairs += pairs
+            g.meta["build_workers"] = pool.workers
+            g.meta["build_stats"] = dict(
+                ndp.knn.stage_seconds,
+                workers=pool.workers,
+                requested_workers=pool.requested_workers,
+                start_method=pool.start_method,
+                build_pairs=pairs,
+            )
+    finally:
+        if pool is not None:
+            pool.release()
     return g

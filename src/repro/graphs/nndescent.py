@@ -40,6 +40,9 @@ class NNDescentResult:
     knn_dists: np.ndarray
     iterations: int
     updates_per_iter: list[int] = field(default_factory=list)
+    #: pooled-build timing detail (init seconds, per-round join seconds);
+    #: empty for the legacy sequential path.
+    stage_seconds: dict = field(default_factory=dict)
 
     @property
     def sum_dists(self) -> np.ndarray:
@@ -146,6 +149,7 @@ def nndescent(
     skip_unchanged: bool = False,
     reverse_cap: int | None = None,
     max_candidates: int | None = None,
+    pool=None,
 ) -> NNDescentResult:
     """Build approximate K-NN lists for every object.
 
@@ -163,6 +167,13 @@ def nndescent(
     max_candidates:
         Cap on the per-object candidate union (default ``8K``); beyond
         it a random subset is probed.
+    pool:
+        Optional :class:`~repro.graphs.parallel_build.BuildPool`.  When
+        given, rounds run as partitioned *Jacobi* local joins across the
+        pool's worker processes — a worker-count-invariant algorithm
+        whose result depends only on the seed, not on the pool size
+        (see :mod:`repro.graphs.parallel_build`).  ``None`` keeps the
+        legacy sequential Gauss-Seidel loop byte-for-byte.
     """
     n = dataset.n
     if K < 1:
@@ -174,6 +185,28 @@ def nndescent(
         reverse_cap = 3 * K
     if max_candidates is None:
         max_candidates = 8 * K
+    if init_ids is not None:
+        seed_shape = np.asarray(init_ids).shape
+        if seed_shape != (n, K):
+            raise ParameterError(
+                f"init_ids must have shape ({n}, {K}), got {seed_shape}"
+            )
+
+    if pool is not None:
+        from .parallel_build import nndescent_pooled
+
+        return nndescent_pooled(
+            dataset,
+            K,
+            pool,
+            gen,
+            max_iters,
+            init_ids,
+            init_dists,
+            skip_unchanged,
+            reverse_cap,
+            max_candidates,
+        )
 
     if init_ids is None:
         knn_ids, knn_dists = _random_init(dataset, K, gen)

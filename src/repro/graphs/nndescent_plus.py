@@ -61,11 +61,17 @@ def nndescent_plus(
     capacity: int | None = None,
     max_iters: int = 12,
     rng: "int | np.random.Generator | None" = None,
+    pool=None,
 ) -> NNDescentPlusResult:
     """Run NNDescent+ and return AKNN lists plus pivots and exact lists.
 
     ``K_prime`` defaults to ``4K`` (the paper's setting); pass
     ``K_prime=K`` to obtain the MRPG-basic flavour.
+
+    ``pool`` (a :class:`~repro.graphs.parallel_build.BuildPool`) moves
+    the descent rounds and the exact-K'-NN scans onto worker processes;
+    the VP-tree partition stays in the caller's process (it drives the
+    shared generator).  Results are worker-count-invariant.
     """
     n = dataset.n
     if K < 1:
@@ -99,6 +105,7 @@ def nndescent_plus(
         init_ids=part.init_ids,
         init_dists=part.init_dists,
         skip_unchanged=True,
+        pool=pool,
     )
     timings["descent"] = time.perf_counter() - t0
 
@@ -106,9 +113,14 @@ def nndescent_plus(
     exact: dict[int, tuple[np.ndarray, np.ndarray]] = {}
     if n_exact > 0:
         order = np.argsort(-knn.sum_dists, kind="stable")[:n_exact]
-        for p in order:
-            ids, dists = brute_force_knn(dataset, int(p), K_prime)
-            exact[int(p)] = (ids, dists)
+        if pool is not None:
+            from .parallel_build import exact_knn_pooled
+
+            exact = exact_knn_pooled(pool, order, K_prime)
+        else:
+            for p in order:
+                ids, dists = brute_force_knn(dataset, int(p), K_prime)
+                exact[int(p)] = (ids, dists)
     timings["exact_knn"] = time.perf_counter() - t0
 
     seeded = float(np.count_nonzero(part.covered)) / n

@@ -1,0 +1,748 @@
+"""Process-parallel, worker-count-invariant graph construction.
+
+The paper parallelises MRPG construction with OpenMP threads (Figure 10:
+near-linear speedup in build threads).  CPython threads cannot run the
+Python half of NN-Descent concurrently, so this module moves the build
+off the GIL the same way the sharded engine moved queries off it: a pool
+of long-lived worker *processes* over a zero-copy view of the dataset
+(`fork` shares pages copy-on-write; ``spawn`` rides a
+:class:`~repro.core.parallel.DatasetTransport`).
+
+The construction stages map onto the pool as follows:
+
+* **NN-Descent rounds** become *Jacobi* rounds: workers read a frozen
+  round-start snapshot of the AKNN lists, locally join their partitions,
+  and return candidate patches ``(p, better_ids, better_dists)``; the
+  parent merges every patch with the same stable-argsort discipline the
+  sequential loop uses.  (The sequential loop is *Gauss-Seidel* — it
+  updates lists mid-round — so the two algorithms converge along
+  slightly different paths; both produce valid AKNN graphs, and the DOD
+  algorithm is exact over any graph.)
+* **Exact K'-NN retrieval**, **Remove-Detours scans** and
+  **Remove-Links scans** are embarrassingly parallel per-object maps:
+  workers compute against a broadcast CSR snapshot and the parent
+  applies the results in deterministic order.
+* **Connect-SubGraphs** (BFS + incremental patching) stays in the
+  parent: it is inherently sequential and cheap.
+
+**Worker-count invariance** is the design rule that makes "the parallel
+build is correct" a cheap equality assert instead of a statistical
+argument: work is split into a *fixed* number of logical partitions
+(:data:`BUILD_PARTITIONS`, independent of the worker count), every
+random decision inside a partition draws from a stream seeded by
+``(seed_root, stage, round, partition)``, objects within a partition
+are processed in ascending id order, and the parent applies all patches
+in partition/target order.  The result is a pure function of the seed —
+bit-identical at 1, 2 or 8 workers, fork or spawn.  ``build_workers=1``
+runs the identical algorithm in-process and is the serial reference the
+``build-equivalence`` CI gate compares against.
+
+``build_workers=None`` (the default everywhere) keeps the legacy
+sequential algorithm byte-for-byte, so every pre-existing seeded
+artifact and equivalence gate is untouched.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from functools import partial
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..data import Dataset
+from ..exceptions import GraphError, ParameterError
+from ..index.linear import brute_force_knn
+from .adjacency import Graph
+from .nndescent import (
+    _INIT_PAIR_CHUNK,
+    NNDescentResult,
+    _reverse_lists,
+    _sort_rows,
+)
+
+#: fixed number of logical work partitions.  Independent of the worker
+#: count by design — this is the invariance anchor: partition ``j``'s
+#: RNG stream and object order never change, only *where* it executes.
+BUILD_PARTITIONS = 16
+
+# RNG stream tags: one namespace per randomized stage.
+_TAG_INIT = 1
+_TAG_FILL = 2
+_TAG_REVERSE = 3
+_TAG_JOIN = 4
+
+
+def _stream(seed_root: int, *tags: int) -> np.random.Generator:
+    """Deterministic stream for ``(seed_root, *tags)``.
+
+    ``np.random.SeedSequence`` mixes the entropy words, so streams for
+    different (stage, round, partition) coordinates are independent.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence([int(seed_root)] + [int(t) for t in tags])
+    )
+
+
+def build_partitions(n: int) -> list[np.ndarray]:
+    """Contiguous id partitions — the same at every worker count."""
+    return [
+        part
+        for part in np.array_split(
+            np.arange(n, dtype=np.int64), min(n, BUILD_PARTITIONS)
+        )
+        if part.size
+    ]
+
+
+def _snapshot_graph(
+    n: int,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    pivots: np.ndarray,
+    exact_ids: np.ndarray,
+) -> Graph:
+    """A read-only :class:`Graph` over a broadcast CSR snapshot.
+
+    Only the surface the scan kernels touch is populated: ``neighbors``
+    (CSR), ``pivots`` and ``has_exact_knn`` membership.  The adjacency
+    lists stay empty — mutating a snapshot graph is a bug.
+    """
+    g = Graph(n)
+    g._csr = (indptr, indices)
+    g.pivots = pivots
+    empty = np.empty(0, dtype=np.int64)
+    g.exact_knn = {int(v): (empty, empty) for v in exact_ids}
+    return g
+
+
+class BuildWorker:
+    """Stateless-per-call build executor hosted by a :class:`BuildPool`.
+
+    Every method takes a list of *tasks* plus stage-wide arguments and
+    returns one result per task, in task order.  Results are pure
+    functions of their inputs (plus the dataset and the last broadcast
+    graph snapshot) — never of which worker ran them.
+    """
+
+    def __init__(self, payload: Any):
+        from ..core.parallel import DatasetTransport
+
+        if isinstance(payload, DatasetTransport):
+            self.dataset = payload.materialize()
+        else:
+            self.dataset = payload.view()
+        self._graph: Graph | None = None
+        self._pairs_taken = 0
+
+    # -- NN-Descent stages -------------------------------------------------
+
+    def init_rows(
+        self, tasks: list, K: int, seed_root: int
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Random-init AKNN rows for each ``(part_idx, ids)`` task."""
+        n = self.dataset.n
+        out = []
+        for part_idx, ids in tasks:
+            gen = _stream(seed_root, _TAG_INIT, part_idx)
+            rows = np.empty((ids.size, K), dtype=np.int64)
+            for j, p in enumerate(ids):
+                picks = gen.choice(n - 1, size=K, replace=False)
+                picks[picks >= p] += 1
+                rows[j] = picks
+            dists = np.empty((ids.size, K), dtype=np.float64)
+            span = max(1, _INIT_PAIR_CHUNK // K)
+            for lo in range(0, ids.size, span):
+                hi = min(lo + span, ids.size)
+                left = np.repeat(ids[lo:hi], K)
+                dists[lo:hi] = self.dataset.pair_dist(
+                    left, rows[lo:hi].ravel(), consistent=True
+                ).reshape(hi - lo, K)
+            out.append((rows, dists))
+        return out
+
+    def fill_rows(self, tasks: list, seed_root: int) -> list:
+        """Top up −1 padding slots for ``(part_idx, ids, rows, dists)``."""
+        n = self.dataset.n
+        out = []
+        for part_idx, ids, rows, dists in tasks:
+            gen = _stream(seed_root, _TAG_FILL, part_idx)
+            rows = np.array(rows, dtype=np.int64, copy=True)
+            dists = np.array(dists, dtype=np.float64, copy=True)
+            for j, p in enumerate(ids):
+                row = rows[j]
+                missing = np.flatnonzero(row < 0)
+                if missing.size == 0:
+                    continue
+                present = set(int(v) for v in row[row >= 0])
+                present.add(int(p))
+                fresh: list[int] = []
+                while len(fresh) < missing.size:
+                    cand = int(gen.integers(n))
+                    if cand not in present:
+                        present.add(cand)
+                        fresh.append(cand)
+                picks = np.asarray(fresh, dtype=np.int64)
+                rows[j, missing] = picks
+                dists[j, missing] = self.dataset.dist_many(int(p), picks)
+            out.append((rows, dists))
+        return out
+
+    def join_round(
+        self,
+        tasks: list,
+        knn_ids: np.ndarray,
+        knn_dists: np.ndarray,
+        changed_prev: np.ndarray,
+        round_no: int,
+        seed_root: int,
+        reverse_cap: int,
+        max_candidates: int,
+        skip_unchanged: bool,
+    ) -> list:
+        """One Jacobi local-join round over the assigned partitions.
+
+        Reads only the round-start snapshot; returns per-partition
+        candidate patches ``(ps, counts, flat_ids, flat_dists)`` for the
+        parent to merge.  The reverse-AKNN lists are recomputed here from
+        the snapshot with a round-level stream shared by every worker,
+        so all partitions see identical hub down-sampling.
+        """
+        rev_owners, rev_starts, rev_ends = _reverse_lists(
+            knn_ids, reverse_cap, _stream(seed_root, _TAG_REVERSE, round_no)
+        )
+        out = []
+        for part_idx, ids in tasks:
+            gen = _stream(seed_root, _TAG_JOIN, round_no, part_idx)
+            ps: list[int] = []
+            counts: list[int] = []
+            flat_ids: list[np.ndarray] = []
+            flat_dists: list[np.ndarray] = []
+            for p in ids:
+                p = int(p)
+                similar = np.concatenate(
+                    (knn_ids[p], rev_owners[rev_starts[p] : rev_ends[p]])
+                )
+                if skip_unchanged:
+                    similar = similar[changed_prev[similar]]
+                if similar.size == 0:
+                    continue
+                similar = np.unique(similar)
+                cand_pool = [knn_ids[similar].ravel()]
+                for s in similar:
+                    cand_pool.append(rev_owners[rev_starts[s] : rev_ends[s]])
+                cands = np.unique(np.concatenate(cand_pool))
+                cands = cands[cands != p]
+                known = np.isin(cands, knn_ids[p], assume_unique=True)
+                cands = cands[~known]
+                if cands.size == 0:
+                    continue
+                if cands.size > max_candidates:
+                    cands = gen.choice(cands, size=max_candidates, replace=False)
+                worst = knn_dists[p, -1]
+                d = self.dataset.dist_many(p, cands, bound=worst)
+                better = d < worst
+                if not np.any(better):
+                    continue
+                ps.append(p)
+                counts.append(int(np.count_nonzero(better)))
+                flat_ids.append(cands[better])
+                flat_dists.append(d[better])
+            out.append(
+                (
+                    np.asarray(ps, dtype=np.int64),
+                    np.asarray(counts, dtype=np.int64),
+                    np.concatenate(flat_ids) if flat_ids else np.empty(0, np.int64),
+                    np.concatenate(flat_dists)
+                    if flat_dists
+                    else np.empty(0, np.float64),
+                )
+            )
+        return out
+
+    def exact_rows(self, tasks: list, K_prime: int) -> list:
+        """Exact K'-NN lists (full scans) for each target id."""
+        return [brute_force_knn(self.dataset, int(p), K_prime) for p in tasks]
+
+    # -- graph-snapshot stages ---------------------------------------------
+
+    def load_graph(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        pivots: np.ndarray,
+        exact_ids: np.ndarray,
+    ) -> bool:
+        """Install the CSR snapshot the scan stages read."""
+        self._graph = _snapshot_graph(
+            self.dataset.n, indptr, indices, pivots, exact_ids
+        )
+        return True
+
+    def detour_scan(
+        self,
+        tasks: list,
+        source_hops: int,
+        pivot_hops: int,
+        pivots_per_target: int,
+        cap: int,
+    ) -> list:
+        """Remove-Detours scans for each target against the snapshot.
+
+        Returns ``(chain, n_scans)`` per target, where ``chain`` is the
+        capped ascending-distance list of non-monotonic vertices — the
+        parent applies the actual link insertions in target order.
+        """
+        from .detours import scan_monotonicity
+
+        if self._graph is None:
+            raise GraphError("detour_scan before load_graph")
+        graph = self._graph
+        out = []
+        for p in tasks:
+            p = int(p)
+            n_scans = 1
+            scan = scan_monotonicity(
+                self.dataset, graph, reference=p, start=p, max_hops=source_hops
+            )
+            found: dict[int, float] = {}
+            for t in np.flatnonzero(~scan.monotonic):
+                v = int(scan.nodes[t])
+                d = float(scan.dists[t])
+                if d < found.get(v, np.inf):
+                    found[v] = d
+            piv_mask = graph.pivots[scan.nodes] & (scan.hops >= 2)
+            piv_candidates = [
+                (float(scan.dists[t]), int(scan.nodes[t]))
+                for t in np.flatnonzero(piv_mask)
+                if not graph.has_exact_knn(int(scan.nodes[t]))
+            ]
+            piv_candidates.sort()
+            for _, pv in piv_candidates[:pivots_per_target]:
+                n_scans += 1
+                sub = scan_monotonicity(
+                    self.dataset, graph, reference=p, start=pv, max_hops=pivot_hops
+                )
+                for t in np.flatnonzero(~sub.monotonic):
+                    v = int(sub.nodes[t])
+                    d = float(sub.dists[t])
+                    if d < found.get(v, np.inf):
+                        found[v] = d
+            direct = set(int(w) for w in graph.neighbors(p))
+            chain = sorted(
+                (d, v) for v, d in found.items() if v not in direct and v != p
+            )[:cap]
+            out.append((chain, n_scans))
+        return out
+
+    def prune_scan(self, tasks: list) -> list:
+        """Remove-Links candidates for each ``(part_idx, ids)`` partition.
+
+        Mirrors the sequential pass against the snapshot, but only
+        *proposes* ``(p, [q...])`` removals — the parent re-checks the
+        live degree/link guards while applying them in order.
+        """
+        if self._graph is None:
+            raise GraphError("prune_scan before load_graph")
+        graph = self._graph
+        out = []
+        for part_idx, ids in tasks:
+            entries = []
+            for p in ids:
+                p = int(p)
+                if graph.is_pivot(p) or graph.has_exact_knn(p):
+                    continue
+                nbrs = graph.neighbors(p)
+                pivot_nbrs = [int(v) for v in nbrs if graph.is_pivot(v)]
+                if not pivot_nbrs:
+                    continue
+                p_nbrs = set(int(v) for v in nbrs)
+                victims: set[int] = set()
+                for piv in pivot_nbrs:
+                    common = p_nbrs.intersection(
+                        int(v) for v in graph.neighbors(piv)
+                    )
+                    for q in common:
+                        if graph.is_pivot(q) or graph.has_exact_knn(q):
+                            continue
+                        victims.add(q)
+                if victims:
+                    entries.append((p, sorted(victims)))
+            out.append(entries)
+        return out
+
+    # -- accounting --------------------------------------------------------
+
+    def take_pairs(self) -> int:
+        """Distance pairs evaluated since the last take (delta)."""
+        total = self.dataset.counter.pairs
+        delta = total - self._pairs_taken
+        self._pairs_taken = total
+        return int(delta)
+
+
+def _make_build_worker(payload: Any) -> BuildWorker:
+    """Module-level factory so ``spawn`` pools can pickle it."""
+    return BuildWorker(payload)
+
+
+class BuildPool:
+    """A persistent pool of :class:`BuildWorker` processes.
+
+    One pool is created per graph build and reused across every stage —
+    NN-Descent init/fill, all join rounds, exact-K'NN retrieval, detour
+    scans and prune scans — so the fork/spawn cost is paid once.
+
+    ``workers <= 1`` (and any *daemonic* caller — per-shard builds run
+    inside the sharded engines' daemon workers, which may not spawn
+    children) executes the identical partitioned algorithm in-process;
+    worker-count invariance makes that the bit-identical serial
+    reference rather than a semantic fork.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        workers: int = 1,
+        start_method: "str | None" = None,
+    ):
+        from ..core.parallel import (
+            DatasetTransport,
+            ShardPool,
+            default_start_method,
+        )
+
+        if int(workers) < 1:
+            raise ParameterError(
+                f"build_workers must be >= 1 (or None for the legacy "
+                f"sequential build), got {workers}"
+            )
+        self.requested_workers = int(workers)
+        workers = self.requested_workers
+        if mp.current_process().daemon:
+            workers = 1  # daemonic workers cannot have children
+        self.workers = workers
+        self.start_method = (
+            (start_method or default_start_method()) if workers > 1 else None
+        )
+        self._transport: "DatasetTransport | None" = None
+        self._pool: "ShardPool | None" = None
+        self._local: BuildWorker | None = None
+        if workers == 1:
+            self._local = BuildWorker(dataset)
+            return
+        payload: Any = dataset
+        if self.start_method != "fork":
+            self._transport = DatasetTransport(dataset)
+            payload = self._transport
+        factory = partial(_make_build_worker, payload)
+        try:
+            self._pool = ShardPool(
+                [factory] * workers,
+                workers=workers,
+                start_method=self.start_method,
+            )
+        except BaseException:
+            self.release()
+            raise
+
+    def run(self, method: str, tasks: Sequence, common: tuple = ()) -> list:
+        """Run ``method`` over ``tasks``; results come back in task order.
+
+        Tasks are dealt round-robin over the workers; because every
+        result is a pure function of its task, the assignment affects
+        only wall-clock, never the merged outcome.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self._local is not None:
+            return getattr(self._local, method)(tasks, *common)
+        assert self._pool is not None
+        buckets = [tasks[w :: self.workers] for w in range(self.workers)]
+        shard_args = [(bucket, *common) for bucket in buckets]
+        per_worker = self._call("call", method, shard_args)
+        out: list = [None] * len(tasks)
+        for w, results in enumerate(per_worker):
+            for slot, res in zip(range(w, len(tasks), self.workers), results):
+                out[slot] = res
+        return out
+
+    def broadcast(self, method: str, common: tuple = ()) -> list:
+        """Run ``method(*common)`` on every worker (state installation)."""
+        if self._local is not None:
+            return [getattr(self._local, method)(*common)]
+        return self._call("call", method, None, common)
+
+    def _call(self, kind: str, method: str, shard_args, common: tuple = ()) -> list:
+        assert self._pool is not None
+        try:
+            return self._pool.call(method, shard_args=shard_args, common=common)
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise GraphError(
+                f"graph build worker died mid-{method}; the partial build "
+                "is discarded (re-run the build — same seed, same result)"
+            ) from exc
+
+    def take_pairs(self) -> int:
+        """Distance pairs evaluated by the workers since the last take."""
+        return int(sum(self.broadcast("take_pairs")))
+
+    def release(self) -> None:
+        """Tear the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._transport is not None:
+            self._transport.release()
+            self._transport = None
+        self._local = None
+
+    def __enter__(self) -> "BuildPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def resolve_build_pool(
+    dataset: Dataset,
+    build_workers: "int | None",
+    start_method: "str | None" = None,
+) -> "BuildPool | None":
+    """``None`` for the legacy sequential path, else a ready pool."""
+    if build_workers is None:
+        return None
+    return BuildPool(dataset, build_workers, start_method)
+
+
+# -- pooled NN-Descent --------------------------------------------------------
+
+
+def nndescent_pooled(
+    dataset: Dataset,
+    K: int,
+    pool: BuildPool,
+    gen: np.random.Generator,
+    max_iters: int,
+    init_ids: "np.ndarray | None",
+    init_dists: "np.ndarray | None",
+    skip_unchanged: bool,
+    reverse_cap: int,
+    max_candidates: int,
+) -> NNDescentResult:
+    """Partitioned Jacobi NN-Descent over a :class:`BuildPool`.
+
+    Called by :func:`repro.graphs.nndescent.nndescent` when a pool is
+    supplied; the parameter validation happened there.  One seed root is
+    drawn from ``gen`` (the only way the caller's generator advances),
+    and every random decision derives from per-(stage, round, partition)
+    streams — the result is invariant in the worker count.
+    """
+    n = dataset.n
+    seed_root = int(gen.integers(2**31 - 1))
+    parts = build_partitions(n)
+    part_tasks = [(i, part) for i, part in enumerate(parts)]
+    timings: dict[str, Any] = {}
+
+    t0 = time.perf_counter()
+    knn_ids = np.empty((n, K), dtype=np.int64)
+    knn_dists = np.empty((n, K), dtype=np.float64)
+    if init_ids is None:
+        for (_, part), (rows, dists) in zip(
+            part_tasks, pool.run("init_rows", part_tasks, common=(K, seed_root))
+        ):
+            knn_ids[part] = rows
+            knn_dists[part] = dists
+    else:
+        seed_rows = np.array(init_ids, dtype=np.int64, copy=True)
+        seed_dists = np.array(init_dists, dtype=np.float64, copy=True)
+        fill_tasks = [
+            (i, part, seed_rows[part], seed_dists[part])
+            for i, part in enumerate(parts)
+        ]
+        for (_, part), (rows, dists) in zip(
+            part_tasks, pool.run("fill_rows", fill_tasks, common=(seed_root,))
+        ):
+            knn_ids[part] = rows
+            knn_dists[part] = dists
+    _sort_rows(knn_ids, knn_dists)
+    timings["init_seconds"] = time.perf_counter() - t0
+
+    changed_prev = np.ones(n, dtype=bool)
+    updates_per_iter: list[int] = []
+    round_seconds: list[float] = []
+    iterations = 0
+    for round_no in range(max_iters):
+        iterations += 1
+        t0 = time.perf_counter()
+        patches = pool.run(
+            "join_round",
+            part_tasks,
+            common=(
+                knn_ids,
+                knn_dists,
+                changed_prev,
+                round_no,
+                seed_root,
+                reverse_cap,
+                max_candidates,
+                skip_unchanged,
+            ),
+        )
+        changed_now = np.zeros(n, dtype=bool)
+        total_updates = 0
+        for ps, counts, flat_ids, flat_d in patches:
+            offset = 0
+            for p, count in zip(ps, counts):
+                p = int(p)
+                cand_ids = flat_ids[offset : offset + count]
+                cand_d = flat_d[offset : offset + count]
+                offset += count
+                merged_ids = np.concatenate((knn_ids[p], cand_ids))
+                merged_d = np.concatenate((knn_dists[p], cand_d))
+                order = np.argsort(merged_d, kind="stable")[:K]
+                new_ids = merged_ids[order]
+                n_new = K - int(
+                    np.isin(new_ids, knn_ids[p], assume_unique=False).sum()
+                )
+                knn_ids[p] = new_ids
+                knn_dists[p] = merged_d[order]
+                if n_new > 0:
+                    changed_now[p] = True
+                    total_updates += n_new
+        round_seconds.append(time.perf_counter() - t0)
+        updates_per_iter.append(total_updates)
+        changed_prev = changed_now
+        if total_updates == 0:
+            break
+    result = NNDescentResult(knn_ids, knn_dists, iterations, updates_per_iter)
+    result.stage_seconds = dict(timings, round_seconds=round_seconds)
+    return result
+
+
+def exact_knn_pooled(
+    pool: BuildPool, order: np.ndarray, K_prime: int
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """Exact K'-NN lists for ``order`` (insertion order preserved)."""
+    results = pool.run("exact_rows", [int(p) for p in order], common=(K_prime,))
+    return {int(p): (ids, dists) for p, (ids, dists) in zip(order, results)}
+
+
+# -- pooled MRPG refinement stages --------------------------------------------
+
+
+def _broadcast_graph(pool: BuildPool, graph: Graph) -> None:
+    indptr, indices = graph.csr()
+    exact_ids = np.asarray(sorted(graph.exact_knn), dtype=np.int64)
+    pool.broadcast("load_graph", (indptr, indices, graph.pivots, exact_ids))
+
+
+def remove_detours_batched(
+    dataset: Dataset,
+    graph: Graph,
+    pool: BuildPool,
+    gen: np.random.Generator,
+    n_targets: "int | None" = None,
+    pivots_per_target: "int | None" = None,
+    cap: "int | None" = None,
+    source_hops: int = 3,
+    pivot_hops: int = 2,
+) -> dict:
+    """Batched Remove-Detours: snapshot scans, ordered application.
+
+    All targets are scanned against one round-start snapshot (the
+    sequential pass lets earlier targets' new links feed later scans;
+    the batched pass trades that coupling for parallelism — both are
+    approximations of the same monotonic-path repair, and the DOD
+    algorithm is exact over either graph).  Chains are applied in target
+    order with the live-graph guards, so the result only depends on the
+    seed.
+    """
+    from .detours import _sample_targets
+
+    t0 = time.perf_counter()
+    K = int(graph.meta.get("K", 16))
+    if n_targets is None:
+        n_targets = max(1, graph.n // max(K, 1))
+    if pivots_per_target is None:
+        pivots_per_target = K
+    if cap is None:
+        cap = K * K
+
+    targets = _sample_targets(graph, n_targets, gen)
+    _broadcast_graph(pool, graph)
+    results = pool.run(
+        "detour_scan",
+        [int(t) for t in targets],
+        common=(source_hops, pivot_hops, pivots_per_target, cap),
+    )
+    links_added = 0
+    scans = 0
+    for p, (chain, n_scans) in zip(targets, results):
+        p = int(p)
+        scans += int(n_scans)
+        prev = p
+        for _, v in chain:
+            if not graph.has_exact_knn(v) and not graph.has_exact_knn(prev):
+                if graph.add_link(prev, v):
+                    links_added += 1
+                if graph.add_link(v, prev):
+                    links_added += 1
+            prev = v
+    return {
+        "targets": int(targets.size),
+        "links_added": links_added,
+        "scans": scans,
+        "seconds": time.perf_counter() - t0,
+    }
+
+
+def remove_links_batched(graph: Graph, pool: BuildPool) -> dict:
+    """Batched Remove-Links: snapshot proposals, guarded application."""
+    t0 = time.perf_counter()
+    min_degree = 2
+    _broadcast_graph(pool, graph)
+    part_tasks = [(i, part) for i, part in enumerate(build_partitions(graph.n))]
+    removed = 0
+    for entries in pool.run("prune_scan", part_tasks):
+        for p, victims in entries:
+            for q in victims:
+                if graph.degree(p) <= min_degree or graph.degree(q) <= min_degree:
+                    continue
+                if not graph.has_link(p, q) and not graph.has_link(q, p):
+                    continue
+                graph.remove_edge(p, q)
+                removed += 1
+    return {"removed": removed, "seconds": time.perf_counter() - t0}
+
+
+# -- equality ----------------------------------------------------------------
+
+
+def graphs_equal(a: Graph, b: Graph) -> bool:
+    """Bit-identity of two graphs: CSR adjacency, pivots, exact K'-NN.
+
+    The check the invariance tests and the ``build-equivalence`` CI gate
+    assert — not isomorphism, literal array equality.
+    """
+    if a.n != b.n:
+        return False
+    a_indptr, a_indices = a.csr()
+    b_indptr, b_indices = b.csr()
+    if not np.array_equal(a_indptr, b_indptr):
+        return False
+    if not np.array_equal(a_indices, b_indices):
+        return False
+    if not np.array_equal(a.pivots, b.pivots):
+        return False
+    if sorted(a.exact_knn) != sorted(b.exact_knn):
+        return False
+    for v, (ids, dists) in a.exact_knn.items():
+        other_ids, other_dists = b.exact_knn[v]
+        if not np.array_equal(ids, other_ids):
+            return False
+        if not np.array_equal(dists, other_dists):
+            return False
+    return True

@@ -16,6 +16,7 @@ from .workloads import (
     Workload,
     bench_scale,
     bench_suites,
+    build_workers_env,
     clear_caches,
     default_workload,
     get_dataset,
@@ -43,6 +44,7 @@ __all__ = [
     "get_verifier",
     "bench_scale",
     "bench_suites",
+    "build_workers_env",
     "hardware_gate",
     "clear_caches",
     "suite_K",

@@ -13,6 +13,9 @@ Environment knobs:
   (default 1.0; use e.g. 0.25 for a quick pass).
 * ``REPRO_BENCH_SUITES`` — comma-separated suite subset or ``all``
   (figure sweeps default to a three-suite subset to bound wall time).
+* ``REPRO_BUILD_WORKERS`` — build every cached graph on the
+  process-parallel path with this many workers (unset: the legacy
+  sequential build).  The benchmarks' ``--build-workers`` flag sets it.
 """
 
 from __future__ import annotations
@@ -94,6 +97,23 @@ def hardware_gate(
     }
 
 
+def build_workers_env() -> "int | None":
+    """Graph-build worker count from ``REPRO_BUILD_WORKERS``.
+
+    ``None`` (unset/empty) keeps the legacy sequential build; any
+    integer >= 1 selects the worker-count-invariant parallel path.
+    """
+    raw = os.environ.get("REPRO_BUILD_WORKERS", "").strip()
+    if not raw:
+        return None
+    workers = int(raw)
+    if workers < 1:
+        raise ParameterError(
+            f"REPRO_BUILD_WORKERS must be >= 1, got {raw!r}"
+        )
+    return workers
+
+
 def bench_suites(default: "tuple[str, ...] | None" = None) -> tuple[str, ...]:
     """Suite subset from ``REPRO_BENCH_SUITES`` (or the given default)."""
     raw = os.environ.get("REPRO_BENCH_SUITES", "")
@@ -153,10 +173,13 @@ def get_graph(w: Workload, builder: str, K: int | None = None) -> Graph:
     """Proximity graph for a workload (cached; build time in meta)."""
     if K is None:
         K = suite_K(w.suite)
-    key = (w.suite, w.n, w.seed, builder, K, w.seed)
+    workers = build_workers_env()
+    key = (w.suite, w.n, w.seed, builder, K, workers)
     if key not in _graph_cache:
         dataset = get_dataset(w)
-        _graph_cache[key] = build_graph(builder, dataset, K=K, rng=w.seed)
+        _graph_cache[key] = build_graph(
+            builder, dataset, K=K, rng=w.seed, build_workers=workers
+        )
     return _graph_cache[key]
 
 

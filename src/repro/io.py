@@ -558,6 +558,7 @@ def save_mutable_engine(engine, path: "str | Path") -> None:
                 "K": engine.K,
                 "search_attempts": engine.search_attempts,
                 "rebuild_graph": engine.rebuild_graph,
+                "build_workers": engine.build_workers,
                 "mutations_since_rebuild": engine._mutations_since_rebuild,
                 "pinned": sorted(engine._pinned),
                 "fingerprint": _dataset_fingerprint(engine._dataset),
@@ -614,6 +615,9 @@ def load_mutable_engine(path: "str | Path", objects, **kwargs):
             f"{path}: snapshot spans {graph.n} objects but the supplied log "
             f"has {len(object_log)} — wrong object log for this snapshot"
         )
+    # Loaded engines keep rebuilding with the snapshot's parallelism
+    # unless the caller overrides it explicitly.
+    kwargs.setdefault("build_workers", meta.get("build_workers"))
     engine = MutableDetectionEngine(
         metric=str(meta.get("metric", "l2")),
         K=int(meta.get("K", 16)),
@@ -718,6 +722,7 @@ def save_sharded_engine(engine, path: "str | Path") -> None:
                     "strategy": engine.strategy,
                     "graph": engine.graph_name,
                     "K": engine.K,
+                    "build_workers": engine.build_workers,
                     "shard_files": shard_files,
                     "fingerprint": _dataset_fingerprint(engine.dataset),
                 }
@@ -736,6 +741,7 @@ def load_sharded_engine(
     batch_size: int | None = None,
     start_method: "str | None" = None,
     backend=None,
+    build_workers: "int | None" = None,
 ):
     """Rebuild a saved sharded engine against its (re-supplied) dataset.
 
@@ -835,6 +841,10 @@ def load_sharded_engine(
         shard_ids=shard_ids,
         shard_state=shard_state,
         backend=backend,
+        build_workers=(
+            build_workers if build_workers is not None
+            else meta.get("build_workers")
+        ),
     )
     _restore_stats(engine, meta.get("stats", {}))
     return engine
@@ -911,6 +921,7 @@ def save_mutable_sharded_engine(engine, path: "str | Path") -> None:
                     "metric": engine.metric.name,
                     "graph": engine.graph_name,
                     "K": engine.K,
+                    "build_workers": engine.build_workers,
                     "pairs": engine.pairs,
                     "epoch": engine.epoch,
                     "pinned": sorted(engine._pinned),
@@ -1010,6 +1021,7 @@ def load_mutable_sharded_engine(path: "str | Path", objects, **kwargs):
             f"for {n_shards} shards"
         )
     metric = str(meta.get("metric", "l2"))
+    kwargs.setdefault("build_workers", meta.get("build_workers"))
     engine = MutableShardedDetectionEngine(
         metric=metric,
         n_shards=n_shards,

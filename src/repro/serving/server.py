@@ -327,4 +327,11 @@ class EngineServer:
         store_fn = getattr(engine, "store_stats", None)
         if callable(store_fn):
             payload["store"] = store_fn()
+        # Graph-construction phase timings (init / join rounds / detour
+        # scans / connect / prune) of the most recent build or rebuild.
+        build_fn = getattr(engine, "build_stats", None)
+        if callable(build_fn):
+            build = build_fn()
+            if build:
+                payload["build"] = build
         return payload

@@ -189,3 +189,43 @@ def test_engine_garbage_collection_unlinks_shared_segment():
     del engine
     gc.collect()
     assert repro_segments() == before
+
+
+@pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="needs fork so build workers inherit the injected crash",
+)
+def test_build_worker_killed_mid_round_raises_graph_error(
+    l2_dataset, monkeypatch
+):
+    """A build worker dying mid-join-round must surface as GraphError.
+
+    The parent's patch merge would otherwise hang on (or silently
+    truncate) the dead worker's results; the pool wraps the broken pipe
+    into a :class:`GraphError` naming the stage, and releasing the pool
+    must not leak processes or shared segments (the autouse conftest
+    fixture checks /dev/shm).
+    """
+    import os
+    import signal
+
+    from repro.exceptions import GraphError
+    from repro.graphs.parallel_build import BuildWorker
+
+    def _die(self, *args, **kwargs):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    # Patch before the pool forks: children inherit the crashing method,
+    # the parent never calls it (join_round only runs worker-side).
+    monkeypatch.setattr(BuildWorker, "join_round", _die)
+    from repro import build_graph
+
+    with pytest.raises(GraphError, match="join_round"):
+        build_graph(
+            "mrpg",
+            l2_dataset.view(),
+            K=6,
+            rng=np.random.default_rng(0),
+            build_workers=2,
+            build_start_method="fork",
+        )
